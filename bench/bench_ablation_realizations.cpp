@@ -1,0 +1,110 @@
+// Ablation A4: realization-form roundoff noise (Jackson 1970, the paper's
+// reference [10]) — the same H(z) realized as direct form, cascade of
+// biquads, and parallel sections produces different output quantization
+// noise; the PSD engine predicts each and simulation confirms it.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/metrics.hpp"
+#include "core/flat_analyzer.hpp"
+#include "core/psd_analyzer.hpp"
+#include "filters/sos.hpp"
+#include "sfg/realizations.hpp"
+#include "sim/error_measurement.hpp"
+#include "support/random.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace psdacc;
+
+filt::Zpk normalized_lowpass(filt::IirFamily family, int order,
+                             double cutoff) {
+  const auto proto = filt::analog_prototype(family, order);
+  const double wc = 2.0 * std::tan(3.141592653589793 * cutoff);
+  auto digital = filt::bilinear(filt::lp_to_lp(proto, wc));
+  filt::cplx dc(1.0, 0.0);
+  for (const auto& z : digital.zeros) dc *= filt::cplx(1.0, 0.0) - z;
+  for (const auto& p : digital.poles) dc /= filt::cplx(1.0, 0.0) - p;
+  digital.gain = 1.0 / std::abs(dc);
+  return digital;
+}
+
+struct FormResult {
+  double estimated = 0.0;
+  double flat = 0.0;
+  double simulated = 0.0;
+  double ed = 0.0;
+  double ed_flat = 0.0;
+};
+
+FormResult measure(const sfg::Graph& g, std::size_t samples,
+                   std::uint64_t seed) {
+  FormResult r;
+  r.estimated = core::PsdAnalyzer(g, {.n_psd = 1024}).output_noise_power();
+  r.flat = core::FlatAnalyzer(g, 1024).output_noise_power();
+  Xoshiro256 rng(seed);
+  const auto x = uniform_signal(samples, 0.4, rng);
+  r.simulated = sim::measure_output_error(g, x, 1024).power;
+  r.ed = core::mse_deviation(r.simulated, r.estimated);
+  r.ed_flat = core::mse_deviation(r.simulated, r.flat);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t samples = bench::sim_samples(1u << 17);
+  const auto fmt = fxp::q_format(4, 14);
+  std::printf(
+      "== Ablation A4: realization forms of the same H(z) "
+      "(Jackson-style) ==\n"
+      "   (d = 14, %zu samples; noise power in units of q^2 = 2^-28)\n\n",
+      samples);
+  const double q2 = fmt.step() * fmt.step();
+
+  TextTable table({"filter", "form", "est/q^2", "sim/q^2", "Ed psd",
+                   "Ed flat"});
+  struct Case {
+    const char* name;
+    filt::IirFamily family;
+    int order;
+    double cutoff;
+  };
+  for (const Case& c :
+       {Case{"butter6@0.20", filt::IirFamily::kButterworth, 6, 0.20},
+        Case{"cheby5@0.12", filt::IirFamily::kChebyshev1, 5, 0.12}}) {
+    const auto zpk = normalized_lowpass(c.family, c.order, c.cutoff);
+    auto b = filt::poly_from_roots(zpk.zeros);
+    for (auto& coef : b) coef *= zpk.gain;
+    const filt::TransferFunction tf(std::move(b),
+                                    filt::poly_from_roots(zpk.poles));
+
+    const auto direct = measure(sfg::build_direct_form(tf, fmt), samples,
+                                11);
+    const auto cascade = measure(
+        sfg::build_cascade_form(filt::zpk_to_sos(zpk), fmt), samples, 12);
+    const auto parallel = measure(
+        sfg::build_parallel_form(filt::zpk_to_parallel(zpk), fmt), samples,
+        13);
+
+    for (const auto& [form, r] :
+         {std::pair<const char*, FormResult>{"direct", direct},
+          {"cascade", cascade},
+          {"parallel", parallel}}) {
+      table.add_row({c.name, form, TextTable::num(r.estimated / q2, 4),
+                     TextTable::num(r.simulated / q2, 4),
+                     TextTable::percent(r.ed),
+                     TextTable::percent(r.ed_flat)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\n(same transfer function, different noise. The parallel form's\n"
+      " branches all carry the input quantizer's noise, which re-converges\n"
+      " coherently at the output adder: Eq. 14 (hierarchical PSD) can\n"
+      " overestimate there, while the flat analyzer's cross terms stay\n"
+      " exact — the scalability/accuracy trade the paper discusses.)\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation A2 (DESIGN.md): what the hierarchical PSD method gives up by
+// assuming uncorrelated noises at adders (Eq. 14) on reconvergent graphs,
+// versus the flat analyzer that keeps complex per-source path responses
+// (Eq. 12 with cross-spectra). Sweeps the relative delay of a two-path
+// reconvergence: with delay 0 the paths are fully correlated (worst case
+// for Eq. 14); white noise decorrelates as the delay grows, closing the
+// gap.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/flat_analyzer.hpp"
+#include "core/metrics.hpp"
+#include "core/psd_analyzer.hpp"
+#include "sim/error_measurement.hpp"
+#include "support/random.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace psdacc;
+
+sfg::Graph two_path_graph(std::size_t delay, int d) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto q = g.add_quantizer(in, fxp::q_format(4, d));
+  const auto direct = g.add_gain(q, 1.0);
+  const auto delayed = g.add_delay(q, delay);
+  const auto sum = g.add_adder({direct, delayed});
+  g.add_output(sum);
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  const int d = 12;
+  const std::size_t samples = bench::sim_samples(1u << 17);
+  std::printf(
+      "== Ablation A2: reconvergent paths, Eq. 14 vs flat cross-spectra "
+      "==\n   (x -> Q(d=%d) -> [direct + z^-D] -> +, %zu samples)\n\n",
+      d, samples);
+
+  TextTable table({"delay D", "sim power/q^2", "Ed hierarchical-PSD",
+                   "Ed flat"});
+  const double q2 = fxp::q_format(4, d).step() * fxp::q_format(4, d).step();
+  for (std::size_t delay : {0u, 1u, 2u, 4u, 16u, 64u}) {
+    const auto g = two_path_graph(delay, d);
+    Xoshiro256 rng(17 + delay);
+    const auto x = uniform_signal(samples, 0.9, rng);
+    const double simulated = sim::measure_output_error(g, x, 256).power;
+    const double psd =
+        core::PsdAnalyzer(g, {.n_psd = 1024}).output_noise_power();
+    const double flat = core::FlatAnalyzer(g, 1024).output_noise_power();
+    table.add_row({std::to_string(delay),
+                   TextTable::num(simulated / q2, 4),
+                   TextTable::percent(core::mse_deviation(simulated, psd)),
+                   TextTable::percent(core::mse_deviation(simulated,
+                                                          flat))});
+  }
+  table.print();
+  std::printf(
+      "\n(D = 0: same-source reconvergence -> hierarchical method "
+      "underestimates by ~2x;\n flat stays exact at every delay. White "
+      "noise decorrelates for D >= 1, so the\n Eq. 14 approximation "
+      "recovers — the regime the paper's systems live in.)\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Shared helpers for the benchmark harnesses that regenerate the paper's
+// tables and figures. Each bench binary prints the corresponding
+// rows/series; absolute values depend on the host, but the shapes are the
+// paper's.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "filters/fir_design.hpp"
+#include "filters/iir_design.hpp"
+#include "filters/transfer_function.hpp"
+#include "fixedpoint/format.hpp"
+#include "sfg/graph.hpp"
+
+namespace psdacc::bench {
+
+/// Scales Monte-Carlo sample counts via the PSDACC_SIM_SCALE environment
+/// variable (default 1; the paper's 10^6-10^7 runs correspond to ~8-64).
+inline std::size_t sim_samples(std::size_t base) {
+  const char* scale = std::getenv("PSDACC_SIM_SCALE");
+  if (scale == nullptr) return base;
+  const long s = std::strtol(scale, nullptr, 10);
+  return s >= 1 ? base * static_cast<std::size_t>(s) : base;
+}
+
+/// One benchmark filter: the paper's Table I population is 147 FIR and
+/// 147 IIR filters spanning low-pass / high-pass / band-pass
+/// functionalities and a range of orders.
+struct FilterSpec {
+  std::string name;
+  filt::TransferFunction tf;
+};
+
+/// 147 FIR filters: 3 functionalities x 49 tap counts in [16, 128].
+inline std::vector<FilterSpec> fir_bank() {
+  std::vector<FilterSpec> bank;
+  for (int k = 0; k < 49; ++k) {
+    const std::size_t taps = 16 + 2 * static_cast<std::size_t>(k);
+    const double lo = 0.08 + 0.003 * k;  // sweep band edges with size
+    const double hi = 0.30 + 0.003 * k;
+    bank.push_back({"fir_lp_" + std::to_string(taps),
+                    filt::TransferFunction(filt::fir_lowpass(taps, hi))});
+    bank.push_back({"fir_hp_" + std::to_string(taps),
+                    filt::TransferFunction(filt::fir_highpass(taps, lo))});
+    bank.push_back(
+        {"fir_bp_" + std::to_string(taps),
+         filt::TransferFunction(filt::fir_bandpass(taps, lo, hi))});
+  }
+  return bank;
+}
+
+/// 147 IIR filters: 3 functionalities x (orders 2..10 x ~5 band variants),
+/// Butterworth and Chebyshev-I alternating.
+inline std::vector<FilterSpec> iir_bank() {
+  std::vector<FilterSpec> bank;
+  int produced = 0;
+  for (int order = 2; order <= 10 && produced < 49; ++order) {
+    for (int v = 0; v < 6 && produced < 49; ++v) {
+      const auto family = (order + v) % 2 == 0
+                              ? filt::IirFamily::kButterworth
+                              : filt::IirFamily::kChebyshev1;
+      const double lo = 0.10 + 0.02 * v;
+      const double hi = lo + 0.18;
+      const std::string tag = std::to_string(order) + "_" +
+                              std::to_string(v);
+      bank.push_back(
+          {"iir_lp_" + tag, filt::iir_lowpass(family, order, hi)});
+      bank.push_back(
+          {"iir_hp_" + tag, filt::iir_highpass(family, order, lo)});
+      // Band-pass uses half the prototype order so the digital order stays
+      // in the paper's 2..10 range.
+      bank.push_back({"iir_bp_" + tag,
+                      filt::iir_bandpass(family, std::max(1, order / 2),
+                                         lo, hi)});
+      ++produced;
+    }
+  }
+  return bank;
+}
+
+/// in -> Q(d) -> quantized filter block -> out (the Table I system).
+inline sfg::Graph quantized_filter_graph(const filt::TransferFunction& tf,
+                                         int d) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto q = g.add_quantizer(in, fxp::q_format(4, d));
+  g.add_output(g.add_block(q, tf, fxp::q_format(4, d)));
+  return g;
+}
+
+}  // namespace psdacc::bench

@@ -1,0 +1,116 @@
+// Fig. 6 of the paper: execution time of simulation vs PSD estimation, and
+// the speed-up factor, as N_PSD sweeps 16..4096, for both benchmark
+// systems. The paper reports 3-5 orders of magnitude speed-up.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/psd_analyzer.hpp"
+#include "freqfilt/freq_filter.hpp"
+#include "imaging/textures.hpp"
+#include "support/random.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+#include "wavelet/dwt2d.hpp"
+#include "wavelet/dwt2d_noise.hpp"
+
+namespace {
+
+using namespace psdacc;
+
+constexpr int kFracBits = 16;
+
+double time_freqfilt_simulation(std::size_t samples) {
+  ff::FreqFilterConfig cfg;
+  cfg.format = fxp::q_format(8, kFracBits);
+  ff::FreqDomainBandpass fx_sys(cfg);
+  auto ref_cfg = cfg;
+  ref_cfg.format.reset();
+  ff::FreqDomainBandpass ref_sys(ref_cfg);
+  Xoshiro256 rng(1);
+  const auto x = uniform_signal(samples, 0.9, rng);
+  Stopwatch w;
+  const auto yr = ref_sys.process(x);
+  const auto yf = fx_sys.process(x);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    acc += (yf[i] - yr[i]) * (yf[i] - yr[i]);
+  const double t = w.seconds();
+  if (acc < 0.0) std::printf("?");  // keep the computation observable
+  return t;
+}
+
+double time_dwt_simulation(std::size_t images) {
+  const auto fmt = fxp::q_format(4, kFracBits);
+  const auto bank = img::texture_bank(images, 64, 64, 33);
+  Stopwatch w;
+  double acc = 0.0;
+  for (const auto& im : bank) {
+    const auto ref = wav::dwt2d_roundtrip(im, 2, {});
+    const auto fx = wav::dwt2d_roundtrip(im, 2, fmt);
+    acc += img::mse(ref, fx);
+  }
+  const double t = w.seconds();
+  if (acc < 0.0) std::printf("?");
+  return t;
+}
+
+// Median-of-repeats timing of the estimation stage alone (tau_eval).
+template <typename F>
+double time_estimation(F&& evaluate, int repeats = 7) {
+  std::vector<double> times;
+  for (int r = 0; r < repeats; ++r) {
+    Stopwatch w;
+    evaluate();
+    times.push_back(w.seconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t ff_samples = bench::sim_samples(1u << 19);
+  const std::size_t dwt_images = bench::sim_samples(16);
+  std::printf(
+      "== Fig. 6: execution time (s) and speed-up vs N_PSD ==\n"
+      "   (simulation: %zu samples / %zu images; estimation: tau_eval of\n"
+      "    one propagation sweep; paper reports 10^3..10^5 speed-up)\n\n",
+      ff_samples, dwt_images);
+
+  const double sim_ff = time_freqfilt_simulation(ff_samples);
+  const double sim_dwt = time_dwt_simulation(dwt_images);
+  std::printf("simulation time: freq. filt. %.3f s, DWT %.3f s\n\n", sim_ff,
+              sim_dwt);
+
+  ff::FreqFilterConfig cfg;
+  cfg.format = fxp::q_format(8, kFracBits);
+  const auto ff_graph = ff::build_freqfilt_sfg(cfg);
+
+  TextTable table({"N_PSD", "est FF (s)", "est DWT (s)", "speedup FF",
+                   "speedup DWT", "log10(FF)", "log10(DWT)"});
+  for (std::size_t n = 16; n <= 4096; n *= 2) {
+    core::PsdAnalyzer analyzer(ff_graph, {.n_psd = n});
+    const double est_ff =
+        time_estimation([&] { return analyzer.evaluate(); });
+    const wav::Dwt2dNoiseConfig dwt_cfg{
+        .levels = 2, .format = fxp::q_format(4, kFracBits),
+        .n_bins = std::min<std::size_t>(std::max<std::size_t>(n, 4), 128),
+        .quantize_input = true};
+    const double est_dwt =
+        time_estimation([&] { return wav::dwt2d_noise_psd(dwt_cfg); });
+    table.add_row(
+        {std::to_string(n), TextTable::num(est_ff, 3),
+         TextTable::num(est_dwt, 3), TextTable::num(sim_ff / est_ff, 3),
+         TextTable::num(sim_dwt / est_dwt, 3),
+         TextTable::num(std::log10(sim_ff / est_ff), 3),
+         TextTable::num(std::log10(sim_dwt / est_dwt), 3)});
+  }
+  table.print();
+  std::printf(
+      "\n(2-D DWT estimation bins are per axis, capped at 128 -> 16384\n"
+      " total bins; its cost grows with N_PSD^2 as the 2-D grid does.)\n");
+  return 0;
+}

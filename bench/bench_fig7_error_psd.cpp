@@ -1,0 +1,140 @@
+// Fig. 7 of the paper: 2-D frequency repartition of the fixed-point error
+// after 2-level DWT encoding+decoding with d = 12, comparing intensive
+// simulation against the PSD estimate. Writes two log-normalized PGM
+// images (center = DC, borders = high frequency, as in the paper) and
+// prints a quantitative shape-agreement score.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/metrics.hpp"
+#include "dsp/fft.hpp"
+#include "imaging/image.hpp"
+#include "imaging/textures.hpp"
+#include "support/table.hpp"
+#include "wavelet/dwt2d.hpp"
+#include "wavelet/dwt2d_noise.hpp"
+
+namespace {
+
+using namespace psdacc;
+
+// 2-D periodogram of an error image, accumulated over the corpus; returns
+// an n x n grid (frequencies k/n per axis).
+std::vector<double> accumulate_error_psd(std::size_t n, std::size_t images,
+                                         const fxp::FixedPointFormat& fmt) {
+  std::vector<double> acc(n * n, 0.0);
+  const auto bank = img::texture_bank(images, n, n, 1234);
+  for (const auto& im : bank) {
+    const auto ref = wav::dwt2d_roundtrip(im, 2, {});
+    const auto fx = wav::dwt2d_roundtrip(im, 2, fmt);
+    // Row-column 2-D FFT of the error image.
+    std::vector<std::vector<dsp::cplx>> field(
+        n, std::vector<dsp::cplx>(n));
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c)
+        field[r][c] = dsp::cplx(fx.at(r, c) - ref.at(r, c), 0.0);
+    for (std::size_t r = 0; r < n; ++r) dsp::fft(field[r]);
+    std::vector<dsp::cplx> col(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      for (std::size_t r = 0; r < n; ++r) col[r] = field[r][c];
+      dsp::fft(col);
+      for (std::size_t r = 0; r < n; ++r) field[r][c] = col[r];
+    }
+    const double scale = 1.0 / (static_cast<double>(n * n) *
+                                static_cast<double>(n * n));
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c)
+        acc[r * n + c] += std::norm(field[r][c]) * scale;
+  }
+  for (double& v : acc) v /= static_cast<double>(images);
+  return acc;
+}
+
+// fftshift + log-normalize into an Image for PGM output (paper's
+// black-to-white rendering, DC at the center).
+img::Image render_log(const std::vector<double>& psd, std::size_t n) {
+  img::Image out(n, n);
+  double lo = 1e300, hi = -1e300;
+  for (double v : psd) {
+    const double l = std::log10(v + 1e-30);
+    lo = std::min(lo, l);
+    hi = std::max(hi, l);
+  }
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) {
+      const std::size_t rs = (r + n / 2) % n;
+      const std::size_t cs = (c + n / 2) % n;
+      const double l = std::log10(psd[r * n + c] + 1e-30);
+      out.at(rs, cs) = (l - lo) / std::max(hi - lo, 1e-12);
+    }
+  return out;
+}
+
+// Pearson correlation of the log-PSDs — the shape-match score.
+double log_correlation(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  const std::size_t n = a.size();
+  double ma = 0.0, mb = 0.0;
+  std::vector<double> la(n), lb(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    la[i] = std::log10(a[i] + 1e-30);
+    lb[i] = std::log10(b[i] + 1e-30);
+    ma += la[i];
+    mb += lb[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    num += (la[i] - ma) * (lb[i] - mb);
+    da += (la[i] - ma) * (la[i] - ma);
+    db += (lb[i] - mb) * (lb[i] - mb);
+  }
+  return num / std::sqrt(da * db);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 64;
+  const std::size_t images = bench::sim_samples(12);
+  const int d = 12;
+  const auto fmt = fxp::q_format(4, d);
+  std::printf(
+      "== Fig. 7: 2-D frequency repartition of the DWT fixed-point error "
+      "==\n   (d = %d, 2 levels, %zu synthetic images, %zux%zu grid)\n\n",
+      d, images, n, n);
+
+  const auto sim_psd = accumulate_error_psd(n, images, fmt);
+
+  const wav::Dwt2dNoiseConfig cfg{
+      .levels = 2, .format = fmt, .n_bins = n, .quantize_input = true};
+  const auto est = wav::dwt2d_noise_psd(cfg);
+  std::vector<double> est_psd(n * n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      est_psd[r * n + c] = est.bin(r, c);
+  est_psd[0] += est.mean() * est.mean();
+
+  img::write_pgm(render_log(sim_psd, n), "fig7_simulation.pgm");
+  img::write_pgm(render_log(est_psd, n), "fig7_estimation.pgm");
+  std::printf("wrote fig7_simulation.pgm and fig7_estimation.pgm\n");
+
+  double sim_total = 0.0, est_total = 0.0;
+  for (std::size_t i = 0; i < n * n; ++i) {
+    sim_total += sim_psd[i];
+    est_total += est_psd[i];
+  }
+  TextTable table({"quantity", "simulation", "PSD estimate"});
+  table.add_row({"total error power", TextTable::num(sim_total, 4),
+                 TextTable::num(est_total, 4)});
+  table.print();
+  std::printf("\nE_d (total power): %s\n",
+              TextTable::percent(core::mse_deviation(sim_total, est_total))
+                  .c_str());
+  std::printf("log-PSD shape correlation (1.0 = identical): %.3f\n",
+              log_correlation(sim_psd, est_psd));
+  return 0;
+}

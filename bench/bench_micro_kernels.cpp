@@ -1,0 +1,111 @@
+// google-benchmark microbenchmarks of the kernels whose costs set the
+// paper's complexity story: FFT preprocessing (tau_pp, O(N log N)), one
+// PSD propagation sweep (tau_eval, O(N) per node), the flat analyzer
+// (O(sources x nodes x N)), and the fixed-point simulation (O(taps x
+// samples)).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/flat_analyzer.hpp"
+#include "core/moment_analyzer.hpp"
+#include "core/psd_analyzer.hpp"
+#include "dsp/fft.hpp"
+#include "filters/iir_design.hpp"
+#include "sim/error_measurement.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace psdacc;
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(1);
+  std::vector<dsp::cplx> data(n);
+  for (auto& v : data) v = dsp::cplx(rng.gaussian(), rng.gaussian());
+  for (auto _ : state) {
+    auto copy = data;
+    dsp::fft(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft)->RangeMultiplier(4)->Range(64, 16384)->Complexity();
+
+sfg::Graph chain_graph(int blocks, int d) {
+  sfg::Graph g;
+  auto head = g.add_input();
+  head = g.add_quantizer(head, fxp::q_format(4, d));
+  for (int b = 0; b < blocks; ++b) {
+    const auto tf = filt::iir_lowpass(filt::IirFamily::kButterworth, 3,
+                                      0.1 + 0.03 * (b % 10));
+    head = g.add_block(head, tf, fxp::q_format(4, d));
+  }
+  g.add_output(head);
+  return g;
+}
+
+// tau_pp: constructing the analyzer samples all block responses.
+void BM_PsdPreprocess(benchmark::State& state) {
+  const auto g = chain_graph(static_cast<int>(state.range(0)), 12);
+  for (auto _ : state) {
+    core::PsdAnalyzer analyzer(g, {.n_psd = 1024});
+    benchmark::DoNotOptimize(&analyzer);
+  }
+}
+BENCHMARK(BM_PsdPreprocess)->Arg(4)->Arg(16)->Arg(64);
+
+// tau_eval: one propagation sweep; linear in both nodes and N_PSD.
+void BM_PsdEvaluate(benchmark::State& state) {
+  const auto g = chain_graph(16, 12);
+  core::PsdAnalyzer analyzer(
+      g, {.n_psd = static_cast<std::size_t>(state.range(0))});
+  for (auto _ : state) {
+    auto spectra = analyzer.evaluate();
+    benchmark::DoNotOptimize(spectra);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PsdEvaluate)
+    ->RangeMultiplier(2)
+    ->Range(16, 4096)
+    ->Complexity(benchmark::oN);
+
+void BM_MomentEvaluate(benchmark::State& state) {
+  const auto g = chain_graph(static_cast<int>(state.range(0)), 12);
+  core::MomentAnalyzer analyzer(g);
+  for (auto _ : state) {
+    auto moments = analyzer.evaluate();
+    benchmark::DoNotOptimize(moments);
+  }
+}
+BENCHMARK(BM_MomentEvaluate)->Arg(4)->Arg(16)->Arg(64);
+
+// Flat method: per-source full-graph sweeps — the scalability wall.
+void BM_FlatEvaluate(benchmark::State& state) {
+  const auto g = chain_graph(static_cast<int>(state.range(0)), 12);
+  core::FlatAnalyzer analyzer(g, 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.output_noise_power());
+  }
+}
+BENCHMARK(BM_FlatEvaluate)->Arg(4)->Arg(16);
+
+void BM_FixedPointSimulation(benchmark::State& state) {
+  const auto g = chain_graph(4, 12);
+  Xoshiro256 rng(2);
+  const auto x =
+      uniform_signal(static_cast<std::size_t>(state.range(0)), 0.9, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::measure_output_error(g, x, 0).power);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FixedPointSimulation)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 16)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

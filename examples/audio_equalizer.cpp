@@ -1,0 +1,102 @@
+// Fixed-point accuracy analysis of a three-band audio equalizer — a
+// realistic parallel topology (band-split, per-band gains, recombination
+// adder) where noises from different branches meet at an adder and the
+// output error spectrum matters perceptually (hiss vs rumble).
+#include <cmath>
+#include <cstdio>
+
+#include "core/metrics.hpp"
+#include "core/psd_analyzer.hpp"
+#include "filters/fir_design.hpp"
+#include "filters/iir_design.hpp"
+#include "sfg/graph.hpp"
+#include "sim/error_measurement.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace psdacc;
+
+// Crossovers at 0.06 and 0.22 cycles/sample (e.g. ~2.6 kHz / ~9.7 kHz at
+// 44.1 kHz), gains in dB per band.
+sfg::Graph build_equalizer(int d, double low_db, double mid_db,
+                           double high_db) {
+  const auto fmt = fxp::q_format(4, d);
+  auto db = [](double g) { return std::pow(10.0, g / 20.0); };
+
+  sfg::Graph g;
+  const auto in = g.add_input("audio");
+  const auto q = g.add_quantizer(in, fmt, "adc");
+
+  const auto low = g.add_block(
+      q, filt::iir_lowpass(filt::IirFamily::kButterworth, 4, 0.06), fmt,
+      "low band");
+  const auto low_g = g.add_gain(low, db(low_db), "low gain");
+
+  const auto mid = g.add_block(
+      q, filt::TransferFunction(filt::fir_bandpass(63, 0.06, 0.22)), fmt,
+      "mid band");
+  const auto mid_g = g.add_gain(mid, db(mid_db), "mid gain");
+
+  const auto high = g.add_block(
+      q, filt::iir_highpass(filt::IirFamily::kButterworth, 4, 0.22), fmt,
+      "high band");
+  const auto high_g = g.add_gain(high, db(high_db), "high gain");
+
+  const auto mix = g.add_adder({low_g, mid_g, high_g}, "mix");
+  const auto q_out = g.add_quantizer(mix, fmt, "dac");
+  g.add_output(q_out);
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "three-band equalizer (bass +6 dB, mid 0 dB, treble -3 dB):\n"
+      "output noise vs data word-length\n\n");
+
+  TextTable table({"frac bits d", "est. noise power", "SQNR (dB)",
+                   "E_d vs sim"});
+  for (int d : {8, 10, 12, 16, 20}) {
+    const auto g = build_equalizer(d, 6.0, 0.0, -3.0);
+    core::PsdAnalyzer psd(g, {.n_psd = 1024});
+    const double est = psd.output_noise_power();
+
+    sim::EvaluationConfig cfg;
+    cfg.sim_samples = 1u << 17;
+    cfg.seed = static_cast<std::uint64_t>(d);
+    const auto report = sim::evaluate_accuracy(g, cfg);
+
+    // Signal power of a full-scale uniform input ~ a^2/3 through the EQ;
+    // use the simulated reference output power as the signal reference.
+    const double sqnr =
+        10.0 * std::log10((0.9 * 0.9 / 3.0) / est);
+    table.add_row({std::to_string(d), TextTable::num(est, 4),
+                   TextTable::num(sqnr, 4),
+                   TextTable::percent(report.psd_ed)});
+  }
+  table.print();
+
+  // Where does the error live spectrally? (d = 12)
+  const auto g = build_equalizer(12, 6.0, 0.0, -3.0);
+  core::PsdAnalyzer psd(g, {.n_psd = 64});
+  const auto spec = psd.output_spectrum();
+  std::printf("\nerror PSD across the band (d = 12), 0..Nyquist:\n");
+  double peak = 0.0;
+  for (std::size_t k = 0; k < spec.size() / 2; ++k)
+    peak = std::max(peak, spec.bin(k));
+  for (std::size_t k = 0; k < spec.size() / 2; k += 2) {
+    const int bars =
+        static_cast<int>(std::round(40.0 * spec.bin(k) / peak));
+    std::printf("  f=%5.3f |%.*s\n",
+                static_cast<double>(k) / static_cast<double>(spec.size()),
+                bars,
+                "########################################");
+  }
+  std::printf(
+      "\n(the bass band's +6 dB gain amplifies its branch noise: the hiss\n"
+      " floor is strongest at low frequency — exactly the insight scalar\n"
+      " noise-power methods cannot provide.)\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// End-to-end fixed-point design walk-through: given a filter spec and a
+// quality target, pick integer bits by range analysis, fractional bits by
+// word-length optimization, compare realization forms, and export the
+// final design's SFG as Graphviz DOT — the full design-automation loop
+// the paper's fast accuracy evaluation enables.
+#include <cstdio>
+#include <fstream>
+
+#include "core/metrics.hpp"
+#include "core/psd_analyzer.hpp"
+#include "core/range_analysis.hpp"
+#include "filters/sos.hpp"
+#include "opt/wordlength_optimizer.hpp"
+#include "sfg/dot.hpp"
+#include "sfg/realizations.hpp"
+#include "sim/error_measurement.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace psdacc;
+
+filt::Zpk spec_filter() {
+  // Spec: 6th-order Butterworth low-pass, cutoff 0.18, unit DC gain.
+  const auto proto =
+      filt::analog_prototype(filt::IirFamily::kButterworth, 6);
+  const double wc = 2.0 * std::tan(3.141592653589793 * 0.18);
+  auto digital = filt::bilinear(filt::lp_to_lp(proto, wc));
+  filt::cplx dc(1.0, 0.0);
+  for (const auto& z : digital.zeros) dc *= filt::cplx(1.0, 0.0) - z;
+  for (const auto& p : digital.poles) dc /= filt::cplx(1.0, 0.0) - p;
+  digital.gain = 1.0 / std::abs(dc);
+  return digital;
+}
+
+}  // namespace
+
+int main() {
+  const auto zpk = spec_filter();
+  const auto sections = filt::zpk_to_sos(zpk);
+  std::printf("spec: Butterworth-6 low-pass, %zu biquad sections\n\n",
+              sections.size());
+
+  // Step 1 — integer bits from range analysis of the unquantized cascade.
+  sfg::Graph probe;
+  const auto pin = probe.add_input();
+  auto head = pin;
+  for (const auto& s : sections) head = probe.add_block(head, s.tf());
+  probe.add_output(head);
+  const auto ranges = core::analyze_ranges(probe, core::Range{-1.0, 1.0});
+  int ibits = 2;
+  for (sfg::NodeId id = 0; id < probe.node_count(); ++id)
+    ibits = std::max(ibits, core::required_integer_bits(ranges[id]));
+  std::printf("step 1: range analysis -> %d integer bits "
+              "(worst node range [%.2f, %.2f])\n",
+              ibits, ranges[probe.node_count() - 1].lo,
+              ranges[probe.node_count() - 1].hi);
+
+  // Step 2 — fractional bits from word-length optimization against a
+  // 90 dB SQNR budget for a full-scale uniform input.
+  const double signal_power = 1.0 / 3.0;  // uniform [-1, 1]
+  const double budget = signal_power / 1e9;  // 90 dB
+  auto g = sfg::build_cascade_form(sections,
+                                   fxp::q_format(ibits, 20));
+  std::vector<sfg::NodeId> variables = g.noise_sources();
+  opt::OptimizerConfig cfg;
+  cfg.noise_budget = budget;
+  cfg.min_bits = 6;
+  cfg.max_bits = 24;
+  opt::WordlengthOptimizer optimizer(g, variables, cfg);
+  const auto result = optimizer.greedy_descent();
+  std::printf(
+      "step 2: word-length optimization -> cost %.0f fractional bits over "
+      "%zu variables\n        (%zu PSD evaluations, est. noise %.3g vs "
+      "budget %.3g)\n",
+      result.cost, variables.size(), result.evaluations, result.noise,
+      budget);
+  TextTable bits_table({"noise source", "fractional bits"});
+  for (std::size_t v = 0; v < variables.size(); ++v)
+    bits_table.add_row({g.node(variables[v]).name,
+                        std::to_string(result.bits[v])});
+  bits_table.print();
+
+  // Step 3 — verify by simulation.
+  sim::EvaluationConfig sim_cfg;
+  sim_cfg.sim_samples = 1u << 17;
+  sim_cfg.input_amplitude = 1.0;
+  const auto report = sim::evaluate_accuracy(g, sim_cfg);
+  std::printf(
+      "\nstep 3: simulation check -> measured %.3g (E_d = %.2f%%), "
+      "SQNR %.1f dB\n",
+      report.simulated_power, 100.0 * report.psd_ed,
+      10.0 * std::log10(signal_power / report.simulated_power));
+
+  // Step 4 — export the final design for documentation.
+  std::ofstream("fixed_point_design.dot") << sfg::to_dot(g, "cascade6");
+  std::printf(
+      "\nstep 4: wrote fixed_point_design.dot (render with: dot -Tpng "
+      "fixed_point_design.dot)\n");
+  return 0;
+}

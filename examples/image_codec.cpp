@@ -1,0 +1,59 @@
+// Fixed-point JPEG-2000-style image codec walk-through: run the 2-level
+// CDF 9/7 DWT codec on a synthetic texture at several word-lengths,
+// compare measured PSNR against the PSNR predicted from the analytical
+// noise estimate, and write the images for visual inspection.
+#include <cmath>
+#include <cstdio>
+
+#include "core/metrics.hpp"
+#include "fixedpoint/format.hpp"
+#include "imaging/image.hpp"
+#include "imaging/textures.hpp"
+#include "support/table.hpp"
+#include "wavelet/dwt2d.hpp"
+#include "wavelet/dwt2d_noise.hpp"
+
+int main() {
+  using namespace psdacc;
+
+  const std::size_t size = 128;
+  const auto image =
+      img::make_texture(img::TextureKind::kPowerLaw, size, size, 2026);
+  img::write_pgm(image, "codec_input.pgm");
+  std::printf("input: %zux%zu synthetic power-law texture "
+              "(codec_input.pgm)\n\n", size, size);
+
+  const auto reference = wav::dwt2d_roundtrip(image, 2, {});
+
+  TextTable table({"frac bits d", "measured PSNR (dB)",
+                   "predicted PSNR (dB)", "E_d"});
+  for (int d : {6, 8, 10, 12, 16}) {
+    const auto fmt = fxp::q_format(2, d);
+    const auto fixed = wav::dwt2d_roundtrip(image, 2, fmt);
+    const double measured_mse = img::mse(reference, fixed);
+    const double measured_psnr = 10.0 * std::log10(1.0 / measured_mse);
+
+    const wav::Dwt2dNoiseConfig cfg{.levels = 2, .format = fmt,
+                                    .n_bins = 64, .quantize_input = true};
+    const double predicted_mse = wav::dwt2d_noise_psd(cfg).power();
+    const double predicted_psnr = 10.0 * std::log10(1.0 / predicted_mse);
+
+    table.add_row(
+        {std::to_string(d), TextTable::num(measured_psnr, 4),
+         TextTable::num(predicted_psnr, 4),
+         TextTable::percent(core::mse_deviation(measured_mse,
+                                                predicted_mse))});
+
+    if (d == 6) {
+      img::write_pgm(wav::align_reconstruction(fixed, 2),
+                     "codec_output_d6.pgm");
+    }
+  }
+  table.print();
+  std::printf(
+      "\nwrote codec_output_d6.pgm (coarsest setting, visible noise).\n"
+      "The analytical PSNR prediction takes microseconds per word-length\n"
+      "setting — fixed-point refinement of the codec never needs to run\n"
+      "the image pipeline itself.\n");
+  return 0;
+}

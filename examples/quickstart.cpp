@@ -1,0 +1,70 @@
+// Quickstart: estimate the output quantization noise of a small fixed-point
+// system with the proposed PSD method, and check it against Monte-Carlo
+// simulation — the 60-second tour of the psdacc API.
+//
+//   system: x --Q(d)--> [IIR low-pass, quantized] --> [FIR high-pass,
+//           quantized] --> y
+#include <cstdio>
+
+#include "core/metrics.hpp"
+#include "core/moment_analyzer.hpp"
+#include "core/psd_analyzer.hpp"
+#include "filters/fir_design.hpp"
+#include "filters/iir_design.hpp"
+#include "sfg/graph.hpp"
+#include "sim/error_measurement.hpp"
+
+int main() {
+  using namespace psdacc;
+
+  // 1. Pick a fixed-point format: signed, 4 integer bits, 12 fractional
+  //    bits, round-to-nearest, saturating.
+  const auto fmt = fxp::q_format(4, 12);
+  std::printf("format: %s, step %.3g\n", fmt.to_string().c_str(),
+              fmt.step());
+
+  // 2. Describe the system as a signal-flow graph. Quantizers and
+  //    quantized blocks are the noise sources (Eq. 10 of the paper).
+  sfg::Graph g;
+  const auto in = g.add_input("x");
+  const auto q_in = g.add_quantizer(in, fmt, "input quantizer");
+  const auto lp = g.add_block(
+      q_in, filt::iir_lowpass(filt::IirFamily::kButterworth, 4, 0.2), fmt,
+      "butterworth lp");
+  const auto hp = g.add_block(
+      lp, filt::TransferFunction(filt::fir_highpass(31, 0.05)), fmt,
+      "fir hp");
+  g.add_output(hp, "y");
+
+  // 3. Analytical estimate: one preprocessing pass (block responses on the
+  //    N_PSD grid), then an O(N) propagation sweep per evaluation.
+  core::PsdAnalyzer psd(g, {.n_psd = 1024});
+  const auto spectrum = psd.output_spectrum();
+  std::printf("estimated noise power (PSD method):    %.6g\n",
+              spectrum.power());
+
+  // The PSD-agnostic baseline for comparison.
+  core::MomentAnalyzer moments(g);
+  std::printf("estimated noise power (PSD-agnostic):  %.6g\n",
+              moments.output_noise_power());
+
+  // 4. Monte-Carlo reference: run the graph in double and fixed-point and
+  //    measure the output difference.
+  sim::EvaluationConfig cfg;
+  cfg.sim_samples = 1u << 18;
+  const auto report = sim::evaluate_accuracy(g, cfg);
+  std::printf("simulated noise power:                 %.6g\n",
+              report.simulated_power);
+  std::printf("E_d (proposed) = %.2f%%   E_d (agnostic) = %.2f%%\n",
+              100.0 * report.psd_ed, 100.0 * report.moment_ed);
+
+  // 5. The estimated spectrum itself (the information scalar methods lose).
+  std::printf("\nestimated error PSD (8 of %zu bins, f = k/N):\n",
+              spectrum.size());
+  for (std::size_t k = 0; k < spectrum.size() / 2;
+       k += spectrum.size() / 16)
+    std::printf("  f = %5.3f : %.3g\n",
+                static_cast<double>(k) / static_cast<double>(spectrum.size()),
+                spectrum.bin(k));
+  return 0;
+}

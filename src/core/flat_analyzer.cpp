@@ -1,0 +1,140 @@
+#include "core/flat_analyzer.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/assert.hpp"
+
+namespace psdacc::core {
+
+using cplx = std::complex<double>;
+
+FlatAnalyzer::FlatAnalyzer(const sfg::Graph& g, std::size_t n_psd)
+    : graph_(g), n_psd_(n_psd) {
+  PSDACC_EXPECTS(n_psd >= 2);
+  PSDACC_EXPECTS(!g.has_cycles());
+  PSDACC_EXPECTS(g.is_single_rate());
+  g.validate();
+  order_ = g.topological_order();
+  const auto outputs = g.outputs();
+  PSDACC_EXPECTS(outputs.size() == 1);
+  output_ = outputs[0];
+  block_grids_.resize(g.node_count());
+  ntf_grids_.resize(g.node_count());
+  for (sfg::NodeId id = 0; id < g.node_count(); ++id) {
+    const auto* block = std::get_if<sfg::BlockNode>(&g.node(id).payload);
+    if (block == nullptr) continue;
+    block_grids_[id] = block->tf.response_grid(n_psd_);
+    if (block->output_format.has_value() && !block->tf.is_fir()) {
+      const filt::TransferFunction ntf(std::vector<double>{1.0},
+                                       block->tf.denominator());
+      ntf_grids_[id] = ntf.response_grid(n_psd_);
+    }
+  }
+}
+
+std::vector<cplx> FlatAnalyzer::source_response(sfg::NodeId source) const {
+  const std::size_t n = n_psd_;
+  // responses[id][k]: complex transfer from the source's injection point to
+  // node id at frequency k/n. Zero until the source is reached.
+  std::vector<std::vector<cplx>> responses(
+      graph_.node_count(), std::vector<cplx>(n, cplx(0.0, 0.0)));
+
+  auto injection = [&](sfg::NodeId id) -> std::vector<cplx> {
+    const sfg::Node& node = graph_.node(id);
+    if (const auto* block = std::get_if<sfg::BlockNode>(&node.payload)) {
+      PSDACC_EXPECTS(block->output_format.has_value());
+      if (!block->tf.is_fir()) return ntf_grids_[id];
+      return std::vector<cplx>(n, cplx(1.0, 0.0));
+    }
+    PSDACC_EXPECTS(
+        std::holds_alternative<sfg::QuantizerNode>(node.payload));
+    return std::vector<cplx>(n, cplx(1.0, 0.0));
+  };
+
+  for (sfg::NodeId id : order_) {
+    const sfg::Node& node = graph_.node(id);
+    auto& out = responses[id];
+    struct Visitor {
+      const FlatAnalyzer& self;
+      const sfg::Node& node;
+      sfg::NodeId id;
+      std::vector<std::vector<cplx>>& responses;
+      std::vector<cplx>& out;
+      std::size_t n;
+
+      const std::vector<cplx>& in(std::size_t port = 0) const {
+        return responses[node.inputs[port]];
+      }
+
+      void operator()(const sfg::InputNode&) const {}
+      void operator()(const sfg::OutputNode&) const { out = in(); }
+      void operator()(const sfg::BlockNode&) const {
+        const auto& h = self.block_grids_[id];
+        for (std::size_t k = 0; k < n; ++k) out[k] = in()[k] * h[k];
+      }
+      void operator()(const sfg::GainNode& gain) const {
+        for (std::size_t k = 0; k < n; ++k) out[k] = in()[k] * gain.gain;
+      }
+      void operator()(const sfg::DelayNode& delay) const {
+        for (std::size_t k = 0; k < n; ++k) {
+          const double w = -2.0 * std::numbers::pi *
+                           static_cast<double>(k * delay.delay) /
+                           static_cast<double>(n);
+          out[k] = in()[k] * cplx(std::cos(w), std::sin(w));
+        }
+      }
+      void operator()(const sfg::AdderNode& adder) const {
+        for (std::size_t p = 0; p < node.inputs.size(); ++p)
+          for (std::size_t k = 0; k < n; ++k)
+            out[k] += adder.signs[p] * in(p)[k];
+      }
+      void operator()(const sfg::DownsampleNode&) const {
+        PSDACC_EXPECTS(false && "flat analyzer is single-rate");
+      }
+      void operator()(const sfg::UpsampleNode&) const {
+        PSDACC_EXPECTS(false && "flat analyzer is single-rate");
+      }
+      void operator()(const sfg::QuantizerNode&) const {
+        // The signal (and any riding noise) passes through unchanged; the
+        // quantizer's own noise is handled when it is the source.
+        out = in();
+      }
+    };
+    std::visit(Visitor{*this, node, id, responses, out, n}, node.payload);
+    if (id == source) {
+      // Inject after the node's own transfer: the noise appears at the
+      // node's *output*.
+      out = injection(id);
+    }
+  }
+  return responses[output_];
+}
+
+NoiseSpectrum FlatAnalyzer::output_spectrum() const {
+  NoiseSpectrum total(n_psd_);
+  double total_mean = 0.0;
+  for (sfg::NodeId src : graph_.noise_sources()) {
+    const sfg::Node& node = graph_.node(src);
+    fxp::NoiseMoments moments;
+    if (const auto* q = std::get_if<sfg::QuantizerNode>(&node.payload)) {
+      moments = q->moments;
+    } else {
+      const auto& block = std::get<sfg::BlockNode>(node.payload);
+      moments = fxp::continuous_quantization_noise(*block.output_format);
+    }
+    const auto g = source_response(src);
+    const double per_bin = moments.variance / static_cast<double>(n_psd_);
+    for (std::size_t k = 0; k < n_psd_; ++k)
+      total.bin(k) += per_bin * std::norm(g[k]);
+    total_mean += moments.mean * g[0].real();
+  }
+  total.set_mean(total_mean);
+  return total;
+}
+
+double FlatAnalyzer::output_noise_power() const {
+  return output_spectrum().power();
+}
+
+}  // namespace psdacc::core

@@ -1,0 +1,43 @@
+// Flat analytical method (Menard et al. [8], Eq. 4 of the paper):
+// propagates the *complex* frequency response from every noise source to
+// the output, so reconvergent paths of the same source add coherently.
+//
+// Exact for single-rate LTI systems (it is the frequency-domain form of the
+// K_i / L_ij path constants), but costs O(sources x nodes x N) per
+// evaluation — the scalability wall that motivates the hierarchical PSD
+// method. Restricted to single-rate graphs (decimation is not LTI).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "core/noise_spectrum.hpp"
+#include "sfg/graph.hpp"
+
+namespace psdacc::core {
+
+class FlatAnalyzer {
+ public:
+  FlatAnalyzer(const sfg::Graph& g, std::size_t n_psd = 1024);
+
+  /// Output noise spectrum with per-source coherent path accumulation.
+  NoiseSpectrum output_spectrum() const;
+  double output_noise_power() const;
+
+  /// Complex source-to-output response on the N-grid for one noise source
+  /// (by NodeId); exposed for tests and the reconvergence ablation.
+  std::vector<std::complex<double>> source_response(sfg::NodeId source) const;
+
+ private:
+  const sfg::Graph& graph_;
+  std::size_t n_psd_;
+  std::vector<sfg::NodeId> order_;
+  sfg::NodeId output_;
+  // Preprocessing cache: complex response grids of Block nodes (and their
+  // noise transfer functions), computed once instead of per source.
+  std::vector<std::vector<std::complex<double>>> block_grids_;
+  std::vector<std::vector<std::complex<double>>> ntf_grids_;
+};
+
+}  // namespace psdacc::core

@@ -1,0 +1,20 @@
+// Accuracy metrics from the paper's Section IV.
+#pragma once
+
+#include "support/assert.hpp"
+
+namespace psdacc::core {
+
+/// Eq. 15: relative deviation of the estimated error power from the
+/// simulated one: E_d = (P_sim - P_est) / P_sim.
+inline double mse_deviation(double simulated_power, double estimated_power) {
+  PSDACC_EXPECTS(simulated_power > 0.0);
+  return (simulated_power - estimated_power) / simulated_power;
+}
+
+/// The paper's "one-bit equivalent" acceptance band: an estimate within one
+/// bit of the true word-length corresponds to E_d in (-75%, +300%) (error
+/// power quadruples per dropped bit).
+inline bool within_one_bit(double e_d) { return e_d > -0.75 && e_d < 3.0; }
+
+}  // namespace psdacc::core

@@ -1,0 +1,106 @@
+#include "core/moment_analyzer.hpp"
+
+#include "support/assert.hpp"
+
+namespace psdacc::core {
+
+MomentAnalyzer::MomentAnalyzer(const sfg::Graph& g, MomentOptions opts)
+    : graph_(g), opts_(opts) {
+  const std::size_t impulse_len = opts_.impulse_len;
+  PSDACC_EXPECTS(!g.has_cycles());
+  g.validate();
+  order_ = g.topological_order();
+  gains_.resize(g.node_count());
+  for (sfg::NodeId id = 0; id < g.node_count(); ++id) {
+    const auto* block = std::get_if<sfg::BlockNode>(&g.node(id).payload);
+    if (block == nullptr) continue;
+    BlockGains bg;
+    bg.signal_power_gain = block->tf.power_gain(impulse_len);
+    bg.signal_dc = block->tf.dc_gain();
+    if (block->output_format.has_value() && !block->tf.is_fir()) {
+      const filt::TransferFunction ntf(std::vector<double>{1.0},
+                                       block->tf.denominator());
+      bg.noise_power_gain = ntf.power_gain(impulse_len);
+      bg.noise_dc = ntf.dc_gain();
+    }
+    gains_[id] = bg;
+  }
+}
+
+std::vector<fxp::NoiseMoments> MomentAnalyzer::evaluate() const {
+  std::vector<fxp::NoiseMoments> moments(graph_.node_count());
+  for (sfg::NodeId id : order_) {
+    const sfg::Node& node = graph_.node(id);
+    fxp::NoiseMoments& out = moments[id];
+    struct Visitor {
+      const MomentAnalyzer& self;
+      const sfg::Node& node;
+      sfg::NodeId id;
+      std::vector<fxp::NoiseMoments>& moments;
+      fxp::NoiseMoments& out;
+
+      const fxp::NoiseMoments& in(std::size_t port = 0) const {
+        return moments[node.inputs[port]];
+      }
+
+      void operator()(const sfg::InputNode&) const {}
+      void operator()(const sfg::OutputNode&) const { out = in(); }
+      void operator()(const sfg::BlockNode& block) const {
+        const auto& bg = self.gains_[id];
+        // Blind propagation: variance times power gain (white assumption).
+        out.variance = in().variance * bg.signal_power_gain;
+        out.mean = in().mean * bg.signal_dc;
+        if (block.output_format.has_value()) {
+          const auto own =
+              fxp::continuous_quantization_noise(*block.output_format);
+          out.variance += own.variance * bg.noise_power_gain;
+          out.mean += own.mean * bg.noise_dc;
+        }
+      }
+      void operator()(const sfg::GainNode& gain) const {
+        out.variance = in().variance * gain.gain * gain.gain;
+        out.mean = in().mean * gain.gain;
+      }
+      void operator()(const sfg::DelayNode&) const { out = in(); }
+      void operator()(const sfg::AdderNode& adder) const {
+        out = fxp::NoiseMoments{};
+        for (std::size_t p = 0; p < node.inputs.size(); ++p) {
+          out.variance += in(p).variance;
+          out.mean += adder.signs[p] * in(p).mean;
+        }
+      }
+      void operator()(const sfg::DownsampleNode&) const {
+        out = in();  // decimation preserves marginal statistics
+      }
+      void operator()(const sfg::UpsampleNode& u) const {
+        if (self.opts_.blind_multirate) {
+          // The paper's baseline: moments pass through unchanged. This is
+          // what makes the agnostic DWT estimate overshoot by ~2x per
+          // zero-insertion (Table II's 610%).
+          out = in();
+          return;
+        }
+        // Corrected: zero insertion gives E[y^2] = E[x^2]/L, E[y] = E[x]/L.
+        const double l = static_cast<double>(u.factor);
+        const double in_power = in().mean * in().mean + in().variance;
+        out.mean = in().mean / l;
+        out.variance = in_power / l - out.mean * out.mean;
+      }
+      void operator()(const sfg::QuantizerNode& q) const {
+        out.variance = in().variance + q.moments.variance;
+        out.mean = in().mean + q.moments.mean;
+      }
+    };
+    std::visit(Visitor{*this, node, id, moments, out}, node.payload);
+  }
+  return moments;
+}
+
+double MomentAnalyzer::output_noise_power() const {
+  const auto outputs = graph_.outputs();
+  PSDACC_EXPECTS(outputs.size() == 1);
+  const auto moments = evaluate();
+  return moments[outputs[0]].power();
+}
+
+}  // namespace psdacc::core

@@ -1,0 +1,55 @@
+// PSD-agnostic hierarchical baseline ([4], [9] in the paper): propagates
+// only the first two moments (mu, sigma^2) of each noise through the SFG.
+//
+// A block with memory scales the variance by its *power gain* sum_k h[k]^2,
+// which silently assumes the incoming noise is white — exactly the
+// assumption the proposed method removes. Everything else (adders, gains,
+// multirate, noise injection) matches the PSD engine so that the comparison
+// in Table II isolates the spectral information alone.
+#pragma once
+
+#include <vector>
+
+#include "fixedpoint/noise_model.hpp"
+#include "sfg/graph.hpp"
+
+namespace psdacc::core {
+
+struct MomentOptions {
+  /// true (default, the paper's baseline of Fig. 1.b): up/downsamplers are
+  /// transparent to the propagated (mu, sigma^2) — "blind propagation".
+  /// false: apply the exact marginal-statistics corrections (zero
+  /// insertion scales E[y^2] by 1/L). The gap between the two is ablation
+  /// A3 in DESIGN.md.
+  bool blind_multirate = true;
+  /// Impulse-response truncation length for IIR power gains.
+  std::size_t impulse_len = 8192;
+};
+
+class MomentAnalyzer {
+ public:
+  /// Preprocesses block power gains. Graph must be acyclic and outlive the
+  /// analyzer.
+  explicit MomentAnalyzer(const sfg::Graph& g, MomentOptions opts = {});
+
+  /// Per-node noise moments after one topological sweep.
+  std::vector<fxp::NoiseMoments> evaluate() const;
+
+  /// Total estimated noise power at the single Output node.
+  double output_noise_power() const;
+
+ private:
+  struct BlockGains {
+    double signal_power_gain = 1.0;
+    double signal_dc = 1.0;
+    double noise_power_gain = 1.0;
+    double noise_dc = 1.0;
+  };
+
+  const sfg::Graph& graph_;
+  MomentOptions opts_;
+  std::vector<sfg::NodeId> order_;
+  std::vector<BlockGains> gains_;
+};
+
+}  // namespace psdacc::core

@@ -1,0 +1,127 @@
+#include "core/noise_spectrum.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace psdacc::core {
+
+NoiseSpectrum::NoiseSpectrum(std::size_t n_bins) : bins_(n_bins, 0.0) {
+  PSDACC_EXPECTS(n_bins >= 2);
+}
+
+NoiseSpectrum::NoiseSpectrum(std::size_t n_bins,
+                             const fxp::NoiseMoments& moments)
+    : mean_(moments.mean),
+      bins_(n_bins, moments.variance / static_cast<double>(n_bins)) {
+  PSDACC_EXPECTS(n_bins >= 2);
+}
+
+double NoiseSpectrum::variance() const {
+  double acc = 0.0;
+  for (double v : bins_) acc += v;
+  return acc;
+}
+
+double NoiseSpectrum::power() const { return mean_ * mean_ + variance(); }
+
+void NoiseSpectrum::add_uncorrelated(const NoiseSpectrum& other,
+                                     double sign) {
+  PSDACC_EXPECTS(other.size() == size());
+  for (std::size_t k = 0; k < bins_.size(); ++k) bins_[k] += other.bins_[k];
+  mean_ += sign * other.mean_;
+}
+
+void NoiseSpectrum::apply_power_response(
+    std::span<const double> power_response, double dc_response) {
+  PSDACC_EXPECTS(power_response.size() == size());
+  for (std::size_t k = 0; k < bins_.size(); ++k) {
+    PSDACC_EXPECTS(power_response[k] >= 0.0);
+    bins_[k] *= power_response[k];
+  }
+  mean_ *= dc_response;
+}
+
+void NoiseSpectrum::apply_gain(double g) {
+  for (double& v : bins_) v *= g * g;
+  mean_ *= g;
+}
+
+namespace {
+
+// Periodic linear interpolation of a bin array at a fractional index.
+double sample_bins(std::span<const double> bins, double index,
+                   NoiseSpectrum::Interp interp) {
+  const auto n = static_cast<double>(bins.size());
+  double idx = std::fmod(index, n);
+  if (idx < 0.0) idx += n;
+  if (interp == NoiseSpectrum::Interp::kNearest) {
+    const auto k = static_cast<std::size_t>(std::lround(idx)) % bins.size();
+    return bins[k];
+  }
+  const auto lo = static_cast<std::size_t>(std::floor(idx));
+  const double frac = idx - static_cast<double>(lo);
+  const std::size_t hi = (lo + 1) % bins.size();
+  return bins[lo % bins.size()] * (1.0 - frac) + bins[hi] * frac;
+}
+
+}  // namespace
+
+void NoiseSpectrum::decimate(std::size_t factor, Interp interp) {
+  PSDACC_EXPECTS(factor >= 1);
+  if (factor == 1) return;
+  const std::size_t n = bins_.size();
+  std::vector<double> out(n, 0.0);
+  const double inv_m = 1.0 / static_cast<double>(factor);
+  for (std::size_t k = 0; k < n; ++k) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < factor; ++r) {
+      const double src_index =
+          (static_cast<double>(k) +
+           static_cast<double>(r) * static_cast<double>(n)) *
+          inv_m;
+      acc += sample_bins(bins_, src_index, interp);
+    }
+    out[k] = acc * inv_m;
+  }
+  bins_ = std::move(out);
+  // mean unchanged: E[x[Mn]] == E[x[n]].
+}
+
+void NoiseSpectrum::expand(std::size_t factor) {
+  PSDACC_EXPECTS(factor >= 1);
+  if (factor == 1) return;
+  const std::size_t n = bins_.size();
+  const double inv_l = 1.0 / static_cast<double>(factor);
+  std::vector<double> out(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k)
+    out[k] = bins_[(k * factor) % n] * inv_l;
+  // The zero-stuffed deterministic mean becomes a periodic impulse train:
+  // DC line mean/L stays coherent, the L-1 image lines at F = r/L carry
+  // power (mean/L)^2 each and are folded into the stochastic bins.
+  const double image_power = (mean_ * inv_l) * (mean_ * inv_l);
+  for (std::size_t r = 1; r < factor; ++r) {
+    const std::size_t k = (r * n) / factor;  // exact when L | N (asserted)
+    PSDACC_EXPECTS((r * n) % factor == 0 &&
+                   "N_PSD must be divisible by the upsampling factor");
+    out[k] += image_power;
+  }
+  bins_ = std::move(out);
+  mean_ *= inv_l;
+}
+
+NoiseSpectrum NoiseSpectrum::resampled(std::size_t new_bins) const {
+  PSDACC_EXPECTS(new_bins >= 2);
+  NoiseSpectrum out(new_bins);
+  out.mean_ = mean_;
+  const double ratio = static_cast<double>(bins_.size()) /
+                       static_cast<double>(new_bins);
+  for (std::size_t k = 0; k < new_bins; ++k) {
+    out.bins_[k] =
+        sample_bins(bins_, static_cast<double>(k) * ratio, Interp::kLinear) *
+        ratio;
+  }
+  return out;
+}
+
+}  // namespace psdacc::core

@@ -1,0 +1,59 @@
+// The proposed method (Section III of the paper): hierarchical propagation
+// of quantization-noise PSDs through an acyclic SFG.
+//
+// Split into the two stages the paper times separately:
+//  * construction ("preprocessing", tau_pp): samples every block's
+//    magnitude-squared response and noise transfer function on the N_PSD
+//    grid — O(N) per block coefficient, one-time;
+//  * evaluate() ("evaluation", tau_eval): one topological sweep applying
+//    Eqs. 10, 11 and 14 plus the multirate rules — O(N) per node, repeated
+//    for every word-length assignment being explored.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/noise_spectrum.hpp"
+#include "sfg/graph.hpp"
+
+namespace psdacc::core {
+
+struct PsdOptions {
+  std::size_t n_psd = 1024;
+  NoiseSpectrum::Interp interp = NoiseSpectrum::Interp::kLinear;
+};
+
+class PsdAnalyzer {
+ public:
+  /// Preprocesses the graph (must be acyclic; run sfg::collapse_loops
+  /// first). Keeps a reference to `g` — the graph must outlive the
+  /// analyzer; quantizer moments may change between evaluate() calls but
+  /// the topology and block coefficients must not.
+  PsdAnalyzer(const sfg::Graph& g, PsdOptions opts = {});
+
+  /// Propagates noise spectra input -> outputs; returns one spectrum per
+  /// node (indexed by NodeId).
+  std::vector<NoiseSpectrum> evaluate() const;
+
+  /// Convenience: spectrum at the single Output node (asserts exactly one).
+  NoiseSpectrum output_spectrum() const;
+  /// Convenience: total noise power at the single Output node.
+  double output_noise_power() const;
+
+  const PsdOptions& options() const { return opts_; }
+
+ private:
+  struct BlockTables {
+    std::vector<double> signal_power;  // |B/A|^2 on the grid
+    double signal_dc = 1.0;
+    std::vector<double> noise_power;  // |1/A|^2 on the grid (if quantized)
+    double noise_dc = 1.0;
+  };
+
+  const sfg::Graph& graph_;
+  PsdOptions opts_;
+  std::vector<sfg::NodeId> order_;
+  std::vector<BlockTables> tables_;  // indexed by NodeId (empty for most)
+};
+
+}  // namespace psdacc::core

@@ -1,0 +1,114 @@
+#include "core/range_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace psdacc::core {
+
+double Range::max_abs() const { return std::max(std::abs(lo), std::abs(hi)); }
+
+double l1_norm(const filt::TransferFunction& tf, std::size_t impulse_len) {
+  const std::size_t len = tf.is_fir() ? tf.numerator().size() : impulse_len;
+  double acc = 0.0;
+  for (double v : tf.impulse_response(len)) acc += std::abs(v);
+  return acc;
+}
+
+namespace {
+
+Range through_block(const Range& in, const filt::TransferFunction& tf,
+                    std::size_t impulse_len) {
+  // Split the input into its midpoint (a DC signal, mapped exactly through
+  // H(1)) and a residual of half-width w (worst-cased via the L1 norm).
+  const double c_out = in.center() * tf.dc_gain();
+  const double w_out = in.half_width() * l1_norm(tf, impulse_len);
+  return Range{c_out - w_out, c_out + w_out};
+}
+
+Range hull(const Range& a, double v) {
+  return Range{std::min(a.lo, v), std::max(a.hi, v)};
+}
+
+}  // namespace
+
+std::vector<Range> analyze_ranges(const sfg::Graph& g, Range input,
+                                  RangeOptions opts) {
+  PSDACC_EXPECTS(input.lo <= input.hi);
+  PSDACC_EXPECTS(!g.has_cycles());
+  g.validate();
+  std::vector<Range> ranges(g.node_count());
+  for (sfg::NodeId id : g.topological_order()) {
+    const sfg::Node& node = g.node(id);
+    Range& out = ranges[id];
+    struct Visitor {
+      const sfg::Graph& g;
+      const sfg::Node& node;
+      const Range& input;
+      const RangeOptions& opts;
+      std::vector<Range>& ranges;
+      Range& out;
+
+      const Range& in(std::size_t port = 0) const {
+        return ranges[node.inputs[port]];
+      }
+
+      void operator()(const sfg::InputNode&) const { out = input; }
+      void operator()(const sfg::OutputNode&) const { out = in(); }
+      void operator()(const sfg::BlockNode& block) const {
+        out = through_block(in(), block.tf, opts.impulse_len);
+        if (block.output_format.has_value()) {
+          // Quantization can move a value by half a step (round) or a full
+          // step (truncate), and saturation clamps to the format range.
+          const double q = block.output_format->step();
+          out.lo = std::max(out.lo - q, block.output_format->min_value());
+          out.hi = std::min(out.hi + q, block.output_format->max_value());
+          if (out.lo > out.hi) std::swap(out.lo, out.hi);
+        }
+      }
+      void operator()(const sfg::GainNode& gain) const {
+        const double a = in().lo * gain.gain;
+        const double b = in().hi * gain.gain;
+        out = Range{std::min(a, b), std::max(a, b)};
+      }
+      void operator()(const sfg::DelayNode&) const {
+        out = hull(in(), 0.0);  // zero initial state is observable
+      }
+      void operator()(const sfg::AdderNode& adder) const {
+        out = Range{0.0, 0.0};
+        for (std::size_t p = 0; p < node.inputs.size(); ++p) {
+          const double s = adder.signs[p];
+          const double a = s * in(p).lo;
+          const double b = s * in(p).hi;
+          out.lo += std::min(a, b);
+          out.hi += std::max(a, b);
+        }
+      }
+      void operator()(const sfg::DownsampleNode&) const { out = in(); }
+      void operator()(const sfg::UpsampleNode&) const {
+        out = hull(in(), 0.0);  // inserted zeros
+      }
+      void operator()(const sfg::QuantizerNode& q) const {
+        const double step = q.format.step();
+        out.lo = std::max(in().lo - step, q.format.min_value());
+        out.hi = std::min(in().hi + step, q.format.max_value());
+        if (out.lo > out.hi) std::swap(out.lo, out.hi);
+      }
+    };
+    std::visit(Visitor{g, node, input, opts, ranges, out}, node.payload);
+  }
+  return ranges;
+}
+
+int required_integer_bits(const Range& r) {
+  PSDACC_EXPECTS(r.lo <= r.hi);
+  // Signed range [-2^(i-1), 2^(i-1)): find the smallest i covering r.
+  for (int i = 1; i <= 62; ++i) {
+    const double mag = std::ldexp(1.0, i - 1);
+    if (r.lo >= -mag && r.hi < mag) return i;
+  }
+  return 63;
+}
+
+}  // namespace psdacc::core

@@ -1,0 +1,49 @@
+// Dynamic-range analysis for integer-bit selection — the complement to
+// fractional-bit (precision) analysis that Section I of the paper points
+// to. Two classical bounds are propagated through the SFG:
+//
+//  * interval arithmetic for memoryless nodes, and
+//  * the L1 norm of the impulse response for LTI blocks:
+//    y in c * H(1) +/- w * sum_k |h[k]| for inputs centered at c with
+//    half-width w (the exact worst case for LTI systems).
+//
+// The resulting per-node ranges feed required_integer_bits(), closing the
+// loop on full fixed-point format selection.
+#pragma once
+
+#include <vector>
+
+#include "fixedpoint/format.hpp"
+#include "sfg/graph.hpp"
+
+namespace psdacc::core {
+
+struct Range {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double center() const { return (lo + hi) / 2.0; }
+  double half_width() const { return (hi - lo) / 2.0; }
+  double max_abs() const;
+  bool contains(double v) const { return v >= lo && v <= hi; }
+};
+
+struct RangeOptions {
+  /// Impulse-response truncation for IIR L1 norms.
+  std::size_t impulse_len = 8192;
+};
+
+/// Propagates the input range through every node; returns one Range per
+/// NodeId. Graph must be acyclic and single-input (the one Input node gets
+/// `input`).
+std::vector<Range> analyze_ranges(const sfg::Graph& g, Range input,
+                                  RangeOptions opts = {});
+
+/// Smallest signed integer-bit count (including the sign bit) whose
+/// representable range [-2^(i-1), 2^(i-1)) covers `r`.
+int required_integer_bits(const Range& r);
+
+/// L1 norm of a transfer function's impulse response (truncated for IIR).
+double l1_norm(const filt::TransferFunction& tf, std::size_t impulse_len);
+
+}  // namespace psdacc::core

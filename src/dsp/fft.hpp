@@ -1,0 +1,44 @@
+// Fast Fourier transforms.
+//
+// Provides an iterative radix-2 Cooley-Tukey FFT for power-of-two sizes and
+// a Bluestein chirp-z fallback for arbitrary sizes, so callers never need to
+// care about the transform length. Conventions: forward transform is
+// X[k] = sum_n x[n] e^{-j 2 pi k n / N}; the inverse divides by N.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace psdacc::dsp {
+
+using cplx = std::complex<double>;
+
+/// True iff n is a power of two (n >= 1).
+bool is_power_of_two(std::size_t n);
+
+/// Smallest power of two >= n.
+std::size_t next_power_of_two(std::size_t n);
+
+/// In-place forward FFT. `data.size()` may be any length >= 1; non-powers of
+/// two use the Bluestein algorithm internally.
+void fft(std::vector<cplx>& data);
+
+/// In-place inverse FFT (includes the 1/N normalization).
+void ifft(std::vector<cplx>& data);
+
+/// Out-of-place forward FFT of a real signal; returns all N complex bins.
+std::vector<cplx> fft_real(std::span<const double> x);
+
+/// Forward FFT of a real signal zero-padded (or truncated) to length n.
+std::vector<cplx> fft_real(std::span<const double> x, std::size_t n);
+
+/// Inverse FFT returning only the real parts (caller asserts the spectrum is
+/// conjugate-symmetric up to round-off).
+std::vector<double> ifft_real(std::span<const cplx> spectrum);
+
+/// Naive O(N^2) DFT, used as a test oracle only.
+std::vector<cplx> dft_reference(std::span<const cplx> x);
+
+}  // namespace psdacc::dsp

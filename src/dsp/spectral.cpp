@@ -1,0 +1,117 @@
+#include "dsp/spectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/fft.hpp"
+#include "support/assert.hpp"
+
+namespace psdacc::dsp {
+
+std::vector<double> autocorrelation(std::span<const double> x,
+                                    std::size_t max_lag) {
+  PSDACC_EXPECTS(!x.empty());
+  PSDACC_EXPECTS(max_lag < x.size());
+  std::vector<double> r(max_lag + 1, 0.0);
+  const double inv_n = 1.0 / static_cast<double>(x.size());
+  for (std::size_t m = 0; m <= max_lag; ++m) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i + m < x.size(); ++i) acc += x[i] * x[i + m];
+    r[m] = acc * inv_n;
+  }
+  return r;
+}
+
+std::vector<double> periodogram(std::span<const double> x,
+                                std::size_t n_bins) {
+  PSDACC_EXPECTS(!x.empty());
+  PSDACC_EXPECTS(n_bins >= 1);
+  const auto spectrum = fft_real(x, n_bins);
+  // With a length-N signal folded into n bins by the FFT, the total power is
+  // recovered by dividing |X[k]|^2 by (N * n): Parseval gives
+  // sum_k |X[k]|^2 = n * sum_i x_i^2 when N <= n.
+  const double scale =
+      1.0 / (static_cast<double>(std::min(x.size(), n_bins)) *
+             static_cast<double>(n_bins));
+  std::vector<double> psd(n_bins);
+  for (std::size_t k = 0; k < n_bins; ++k)
+    psd[k] = std::norm(spectrum[k]) * scale;
+  return psd;
+}
+
+namespace {
+
+// Shared Welch segmentation: calls `accumulate(xw_fft, yw_fft)` for each
+// windowed 50%-overlapped segment pair.
+template <typename Accumulate>
+std::size_t welch_segments(std::span<const double> x,
+                           std::span<const double> y, std::size_t n_bins,
+                           WindowKind window, Accumulate&& accumulate) {
+  const std::size_t seg = std::min(n_bins, x.size());
+  const std::size_t hop = std::max<std::size_t>(1, seg / 2);
+  const auto w = make_window(window, seg);
+  double wpow = 0.0;
+  for (double v : w) wpow += v * v;
+  wpow /= static_cast<double>(seg);
+
+  std::vector<double> xw(seg), yw(seg);
+  std::size_t count = 0;
+  for (std::size_t start = 0; start + seg <= x.size(); start += hop) {
+    for (std::size_t i = 0; i < seg; ++i) {
+      xw[i] = x[start + i] * w[i];
+      yw[i] = y[start + i] * w[i];
+    }
+    const auto xs = fft_real(xw, n_bins);
+    const auto ys = fft_real(yw, n_bins);
+    accumulate(xs, ys, wpow);
+    ++count;
+    if (x.size() < seg + hop) break;  // single segment case
+  }
+  return count;
+}
+
+}  // namespace
+
+std::vector<double> welch_psd(std::span<const double> x, std::size_t n_bins,
+                              WindowKind window) {
+  PSDACC_EXPECTS(!x.empty());
+  PSDACC_EXPECTS(n_bins >= 1);
+  std::vector<double> psd(n_bins, 0.0);
+  const std::size_t seg = std::min(n_bins, x.size());
+  const std::size_t count = welch_segments(
+      x, x, n_bins, window,
+      [&](const std::vector<cplx>& xs, const std::vector<cplx>&,
+          double wpow) {
+        const double scale = 1.0 / (static_cast<double>(seg) *
+                                    static_cast<double>(n_bins) * wpow);
+        for (std::size_t k = 0; k < n_bins; ++k)
+          psd[k] += std::norm(xs[k]) * scale;
+      });
+  PSDACC_ENSURES(count > 0);
+  for (auto& v : psd) v /= static_cast<double>(count);
+  return psd;
+}
+
+std::vector<double> welch_cross_psd_real(std::span<const double> x,
+                                         std::span<const double> y,
+                                         std::size_t n_bins,
+                                         WindowKind window) {
+  PSDACC_EXPECTS(x.size() == y.size());
+  PSDACC_EXPECTS(!x.empty());
+  std::vector<double> cross(n_bins, 0.0);
+  const std::size_t seg = std::min(n_bins, x.size());
+  const std::size_t count = welch_segments(
+      x, y, n_bins, window,
+      [&](const std::vector<cplx>& xs, const std::vector<cplx>& ys,
+          double wpow) {
+        const double scale = 1.0 / (static_cast<double>(seg) *
+                                    static_cast<double>(n_bins) * wpow);
+        for (std::size_t k = 0; k < n_bins; ++k)
+          cross[k] += (xs[k] * std::conj(ys[k])).real() * scale;
+      });
+  PSDACC_ENSURES(count > 0);
+  for (auto& v : cross) v /= static_cast<double>(count);
+  return cross;
+}
+
+}  // namespace psdacc::dsp

@@ -1,0 +1,39 @@
+// Spectral estimation: autocorrelation, periodogram, Welch PSD.
+//
+// Convention used throughout psdacc: the discrete PSD of a signal x over N
+// bins satisfies sum_k S[k] = E[x^2] (total power), matching Eq. 9 of the
+// paper where the integral of the PSD equals mu^2 + sigma^2. Bin k
+// corresponds to normalized frequency k/N in cycles/sample, periodic.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/window.hpp"
+
+namespace psdacc::dsp {
+
+/// Biased sample autocorrelation r[m] = (1/N) sum_n x[n] x[n+m] for
+/// m = 0..max_lag.
+std::vector<double> autocorrelation(std::span<const double> x,
+                                    std::size_t max_lag);
+
+/// Single periodogram over n_bins: S[k] = |FFT_n(x)|^2 / (N * n), where N is
+/// the signal length (rectangular window). sum_k S[k] ~= E[x^2].
+std::vector<double> periodogram(std::span<const double> x,
+                                std::size_t n_bins);
+
+/// Welch-averaged PSD over n_bins with 50% overlap and the given window.
+/// Normalized so that sum_k S[k] ~= E[x^2] for stationary x.
+std::vector<double> welch_psd(std::span<const double> x, std::size_t n_bins,
+                              WindowKind window = WindowKind::kHann);
+
+/// Cross-PSD of x and y over n_bins via Welch averaging; returns the real
+/// part (the part that contributes to the power of x + y).
+std::vector<double> welch_cross_psd_real(std::span<const double> x,
+                                         std::span<const double> y,
+                                         std::size_t n_bins,
+                                         WindowKind window = WindowKind::kHann);
+
+}  // namespace psdacc::dsp

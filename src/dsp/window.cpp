@@ -1,0 +1,71 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/assert.hpp"
+
+namespace psdacc::dsp {
+
+double bessel_i0(double x) {
+  // Power series: I0(x) = sum_k ((x/2)^k / k!)^2. Converges quickly for the
+  // beta range used in window design.
+  const double half = x / 2.0;
+  double term = 1.0;
+  double sum = 1.0;
+  for (int k = 1; k <= 64; ++k) {
+    term *= half / static_cast<double>(k);
+    const double add = term * term;
+    sum += add;
+    if (add < 1e-18 * sum) break;
+  }
+  return sum;
+}
+
+double kaiser_beta_for_attenuation(double atten_db) {
+  if (atten_db > 50.0) return 0.1102 * (atten_db - 8.7);
+  if (atten_db >= 21.0)
+    return 0.5842 * std::pow(atten_db - 21.0, 0.4) +
+           0.07886 * (atten_db - 21.0);
+  return 0.0;
+}
+
+std::vector<double> make_window(WindowKind kind, std::size_t n,
+                                double kaiser_beta) {
+  PSDACC_EXPECTS(n >= 1);
+  std::vector<double> w(n, 1.0);
+  if (n == 1 || kind == WindowKind::kRectangular) return w;
+  const double denom = static_cast<double>(n - 1);
+  switch (kind) {
+    case WindowKind::kRectangular:
+      break;
+    case WindowKind::kHann:
+      for (std::size_t i = 0; i < n; ++i)
+        w[i] = 0.5 - 0.5 * std::cos(2.0 * std::numbers::pi *
+                                    static_cast<double>(i) / denom);
+      break;
+    case WindowKind::kHamming:
+      for (std::size_t i = 0; i < n; ++i)
+        w[i] = 0.54 - 0.46 * std::cos(2.0 * std::numbers::pi *
+                                      static_cast<double>(i) / denom);
+      break;
+    case WindowKind::kBlackman:
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t =
+            2.0 * std::numbers::pi * static_cast<double>(i) / denom;
+        w[i] = 0.42 - 0.5 * std::cos(t) + 0.08 * std::cos(2.0 * t);
+      }
+      break;
+    case WindowKind::kKaiser: {
+      const double norm = bessel_i0(kaiser_beta);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double r = 2.0 * static_cast<double>(i) / denom - 1.0;
+        w[i] = bessel_i0(kaiser_beta * std::sqrt(1.0 - r * r)) / norm;
+      }
+      break;
+    }
+  }
+  return w;
+}
+
+}  // namespace psdacc::dsp

@@ -1,0 +1,22 @@
+// Window functions for FIR design and Welch PSD estimation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace psdacc::dsp {
+
+enum class WindowKind { kRectangular, kHann, kHamming, kBlackman, kKaiser };
+
+/// Symmetric window of length n. `kaiser_beta` only applies to Kaiser.
+std::vector<double> make_window(WindowKind kind, std::size_t n,
+                                double kaiser_beta = 8.6);
+
+/// Modified zeroth-order Bessel function of the first kind (series
+/// expansion), used by the Kaiser window.
+double bessel_i0(double x);
+
+/// Kaiser beta for a target stop-band attenuation in dB (Kaiser's formula).
+double kaiser_beta_for_attenuation(double atten_db);
+
+}  // namespace psdacc::dsp

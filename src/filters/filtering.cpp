@@ -1,0 +1,101 @@
+#include "filters/filtering.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace psdacc::filt {
+
+DirectForm2T::DirectForm2T(TransferFunction tf) : tf_(std::move(tf)) {
+  const std::size_t order =
+      std::max(tf_.numerator().size(), tf_.denominator().size());
+  state_.assign(order > 0 ? order - 1 : 0, 0.0);
+}
+
+double DirectForm2T::step(double x) {
+  const auto& b = tf_.numerator();
+  const auto& a = tf_.denominator();
+  const double b0 = b[0];
+  const double y = b0 * x + (state_.empty() ? 0.0 : state_[0]);
+  for (std::size_t i = 0; i + 1 < state_.size(); ++i) {
+    const double bi = i + 1 < b.size() ? b[i + 1] : 0.0;
+    const double ai = i + 1 < a.size() ? a[i + 1] : 0.0;
+    state_[i] = state_[i + 1] + bi * x - ai * y;
+  }
+  if (!state_.empty()) {
+    const std::size_t last = state_.size() - 1;
+    const double bi = last + 1 < b.size() ? b[last + 1] : 0.0;
+    const double ai = last + 1 < a.size() ? a[last + 1] : 0.0;
+    state_[last] = bi * x - ai * y;
+  }
+  return y;
+}
+
+std::vector<double> DirectForm2T::process(std::span<const double> x) {
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = step(x[i]);
+  return out;
+}
+
+void DirectForm2T::reset() { std::fill(state_.begin(), state_.end(), 0.0); }
+
+FixedPointDirectForm::FixedPointDirectForm(
+    TransferFunction tf, fxp::FixedPointFormat data_fmt,
+    std::optional<fxp::FixedPointFormat> coeff_fmt, bool quantize_products)
+    : tf_(std::move(tf)),
+      data_fmt_(data_fmt),
+      quantize_products_(quantize_products) {
+  if (coeff_fmt.has_value()) {
+    auto b = fxp::quantize(tf_.numerator(), *coeff_fmt);
+    auto a = fxp::quantize(tf_.denominator(), *coeff_fmt);
+    PSDACC_EXPECTS(a[0] != 0.0);
+    tf_ = TransferFunction(std::move(b), std::move(a));
+  }
+  x_hist_.assign(tf_.numerator().size(), 0.0);
+  y_hist_.assign(tf_.denominator().size(), 0.0);
+}
+
+double FixedPointDirectForm::step(double x) {
+  const auto& b = tf_.numerator();
+  const auto& a = tf_.denominator();
+  // Shift histories (direct form I keeps quantized samples in the delay
+  // line, matching a hardware register file).
+  std::rotate(x_hist_.rbegin(), x_hist_.rbegin() + 1, x_hist_.rend());
+  x_hist_[0] = x;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    double prod = b[i] * x_hist_[i];
+    if (quantize_products_) prod = fxp::quantize(prod, data_fmt_);
+    acc += prod;
+  }
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    double prod = a[i] * y_hist_[i - 1];
+    if (quantize_products_) prod = fxp::quantize(prod, data_fmt_);
+    acc -= prod;
+  }
+  const double y = fxp::quantize(acc, data_fmt_);
+  if (!y_hist_.empty()) {
+    std::rotate(y_hist_.rbegin(), y_hist_.rbegin() + 1, y_hist_.rend());
+    y_hist_[0] = y;
+  }
+  return y;
+}
+
+std::vector<double> FixedPointDirectForm::process(std::span<const double> x) {
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = step(x[i]);
+  return out;
+}
+
+void FixedPointDirectForm::reset() {
+  std::fill(x_hist_.begin(), x_hist_.end(), 0.0);
+  std::fill(y_hist_.begin(), y_hist_.end(), 0.0);
+}
+
+std::vector<double> filter_signal(const TransferFunction& tf,
+                                  std::span<const double> x) {
+  DirectForm2T f(tf);
+  return f.process(x);
+}
+
+}  // namespace psdacc::filt

@@ -1,0 +1,60 @@
+// Streaming application of transfer functions (direct-form II transposed)
+// in double precision, plus a fixed-point variant that quantizes after every
+// multiply-accumulate the way a hardware datapath would.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "filters/transfer_function.hpp"
+#include "fixedpoint/quantizer.hpp"
+
+namespace psdacc::filt {
+
+/// Direct-form II transposed filter with persistent state.
+class DirectForm2T {
+ public:
+  explicit DirectForm2T(TransferFunction tf);
+
+  double step(double x);
+  std::vector<double> process(std::span<const double> x);
+  void reset();
+
+  const TransferFunction& tf() const { return tf_; }
+
+ private:
+  TransferFunction tf_;
+  std::vector<double> state_;  // max(len(b), len(a)) - 1 registers
+};
+
+/// Fixed-point direct-form filter: coefficients are quantized to
+/// `coeff_fmt` once, and the accumulator output is quantized to `data_fmt`
+/// after each output sample (the "quantize at operator output" model the
+/// paper's simulation reference uses). Optionally quantizes each product.
+class FixedPointDirectForm {
+ public:
+  FixedPointDirectForm(TransferFunction tf, fxp::FixedPointFormat data_fmt,
+                       std::optional<fxp::FixedPointFormat> coeff_fmt = {},
+                       bool quantize_products = false);
+
+  double step(double x);
+  std::vector<double> process(std::span<const double> x);
+  void reset();
+
+  /// The coefficient set actually used (after coefficient quantization).
+  const TransferFunction& effective_tf() const { return tf_; }
+
+ private:
+  TransferFunction tf_;
+  fxp::FixedPointFormat data_fmt_;
+  bool quantize_products_;
+  std::vector<double> x_hist_;  // direct-form I input history
+  std::vector<double> y_hist_;  // direct-form I output history
+};
+
+/// One-shot convenience: filter the whole signal in double precision.
+std::vector<double> filter_signal(const TransferFunction& tf,
+                                  std::span<const double> x);
+
+}  // namespace psdacc::filt

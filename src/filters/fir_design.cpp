@@ -1,0 +1,97 @@
+#include "filters/fir_design.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/assert.hpp"
+
+namespace psdacc::filt {
+namespace {
+
+// Ideal low-pass impulse response (2*cutoff at the center tap), windowed.
+std::vector<double> windowed_sinc(std::size_t taps, double cutoff,
+                                  dsp::WindowKind window) {
+  PSDACC_EXPECTS(taps >= 2);
+  PSDACC_EXPECTS(cutoff > 0.0 && cutoff < 0.5);
+  const auto w = dsp::make_window(window, taps);
+  std::vector<double> h(taps);
+  const double center = (static_cast<double>(taps) - 1.0) / 2.0;
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double t = static_cast<double>(i) - center;
+    const double x = 2.0 * std::numbers::pi * cutoff * t;
+    const double sinc = (std::abs(t) < 1e-12)
+                            ? 2.0 * cutoff
+                            : std::sin(x) / (std::numbers::pi * t);
+    h[i] = sinc * w[i];
+  }
+  return h;
+}
+
+std::size_t force_odd(std::size_t taps) { return taps % 2 == 0 ? taps + 1 : taps; }
+
+void normalize_dc(std::vector<double>& h) {
+  double s = 0.0;
+  for (double v : h) s += v;
+  PSDACC_EXPECTS(s != 0.0);
+  for (double& v : h) v /= s;
+}
+
+void normalize_at(std::vector<double>& h, double freq) {
+  // Normalize |H| at the given frequency to 1.
+  double re = 0.0, im = 0.0;
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const double w = 2.0 * std::numbers::pi * freq * static_cast<double>(i);
+    re += h[i] * std::cos(w);
+    im -= h[i] * std::sin(w);
+  }
+  const double mag = std::hypot(re, im);
+  PSDACC_EXPECTS(mag > 0.0);
+  for (double& v : h) v /= mag;
+}
+
+}  // namespace
+
+std::vector<double> fir_lowpass(std::size_t taps, double cutoff,
+                                dsp::WindowKind window) {
+  auto h = windowed_sinc(taps, cutoff, window);
+  normalize_dc(h);
+  return h;
+}
+
+std::vector<double> fir_highpass(std::size_t taps, double cutoff,
+                                 dsp::WindowKind window) {
+  // Spectral inversion of a low-pass: delta at center minus LP. Requires a
+  // symmetric center tap, hence odd length.
+  const std::size_t n = force_odd(taps);
+  auto h = fir_lowpass(n, cutoff, window);
+  for (double& v : h) v = -v;
+  h[(n - 1) / 2] += 1.0;
+  normalize_at(h, 0.5);
+  return h;
+}
+
+std::vector<double> fir_bandpass(std::size_t taps, double low, double high,
+                                 dsp::WindowKind window) {
+  PSDACC_EXPECTS(low > 0.0 && low < high && high < 0.5);
+  // Difference of two low-pass designs with the same length.
+  const std::size_t n = force_odd(taps);
+  const auto lp_high = windowed_sinc(n, high, window);
+  const auto lp_low = windowed_sinc(n, low, window);
+  std::vector<double> h(n);
+  for (std::size_t i = 0; i < n; ++i) h[i] = lp_high[i] - lp_low[i];
+  normalize_at(h, (low + high) / 2.0);
+  return h;
+}
+
+std::vector<double> fir_bandstop(std::size_t taps, double low, double high,
+                                 dsp::WindowKind window) {
+  PSDACC_EXPECTS(low > 0.0 && low < high && high < 0.5);
+  const std::size_t n = force_odd(taps);
+  auto h = fir_bandpass(n, low, high, window);
+  for (double& v : h) v = -v;
+  h[(n - 1) / 2] += 1.0;
+  normalize_dc(h);
+  return h;
+}
+
+}  // namespace psdacc::filt

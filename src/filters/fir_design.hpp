@@ -1,0 +1,27 @@
+// Windowed-sinc FIR design: low-pass, high-pass, band-pass, band-stop.
+//
+// Frequencies are normalized to cycles/sample (Nyquist = 0.5). Designs are
+// linear-phase type I/II; high-pass and band-stop force an odd tap count so
+// the response at Nyquist is realizable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/window.hpp"
+
+namespace psdacc::filt {
+
+std::vector<double> fir_lowpass(std::size_t taps, double cutoff,
+                                dsp::WindowKind window = dsp::WindowKind::kHamming);
+
+std::vector<double> fir_highpass(std::size_t taps, double cutoff,
+                                 dsp::WindowKind window = dsp::WindowKind::kHamming);
+
+std::vector<double> fir_bandpass(std::size_t taps, double low, double high,
+                                 dsp::WindowKind window = dsp::WindowKind::kHamming);
+
+std::vector<double> fir_bandstop(std::size_t taps, double low, double high,
+                                 dsp::WindowKind window = dsp::WindowKind::kHamming);
+
+}  // namespace psdacc::filt

@@ -1,0 +1,46 @@
+// Classical IIR design: Butterworth and Chebyshev-I prototypes, analog band
+// transforms, bilinear transform with prewarping.
+//
+// Frequencies are normalized to cycles/sample (Nyquist = 0.5). Responses are
+// normalized to unit gain at a band reference (DC for low-pass, Nyquist for
+// high-pass, geometric center for band-pass).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "filters/transfer_function.hpp"
+
+namespace psdacc::filt {
+
+enum class IirFamily { kButterworth, kChebyshev1 };
+
+/// Zero-pole-gain form in the analog (s) or digital (z) plane.
+struct Zpk {
+  std::vector<cplx> zeros;
+  std::vector<cplx> poles;
+  double gain = 1.0;
+};
+
+/// Analog low-pass prototype with cutoff 1 rad/s.
+Zpk analog_prototype(IirFamily family, int order, double ripple_db = 1.0);
+
+/// Analog LP(1 rad/s) -> LP(wc), HP(wc), BP(w0, bw) transforms.
+Zpk lp_to_lp(const Zpk& proto, double wc);
+Zpk lp_to_hp(const Zpk& proto, double wc);
+Zpk lp_to_bp(const Zpk& proto, double w0, double bw);
+
+/// Bilinear transform (fs = 1) mapping analog zpk to the z-plane; fills in
+/// zeros at z = -1 so zero and pole counts match.
+Zpk bilinear(const Zpk& analog);
+
+/// Digital designs. `cutoff`, `low`, `high` in cycles/sample, in (0, 0.5).
+TransferFunction iir_lowpass(IirFamily family, int order, double cutoff,
+                             double ripple_db = 1.0);
+TransferFunction iir_highpass(IirFamily family, int order, double cutoff,
+                              double ripple_db = 1.0);
+/// Band-pass of analog-prototype order `order` (digital order 2*order).
+TransferFunction iir_bandpass(IirFamily family, int order, double low,
+                              double high, double ripple_db = 1.0);
+
+}  // namespace psdacc::filt

@@ -1,0 +1,228 @@
+#include "filters/sos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "support/assert.hpp"
+
+namespace psdacc::filt {
+namespace {
+
+// A root group is either a conjugate pair, two reals, or one lone real.
+struct RootGroup {
+  std::vector<cplx> roots;  // size 1 or 2
+  double radius() const {
+    double r = 0.0;
+    for (const auto& z : roots) r = std::max(r, std::abs(z));
+    return r;
+  }
+  cplx representative() const { return roots[0]; }
+};
+
+bool is_real(const cplx& z, double tol = 1e-9) {
+  return std::abs(z.imag()) <= tol * (1.0 + std::abs(z.real()));
+}
+
+std::vector<RootGroup> group_roots(std::vector<cplx> roots) {
+  std::vector<RootGroup> groups;
+  std::vector<cplx> reals;
+  std::vector<bool> used(roots.size(), false);
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    if (used[i]) continue;
+    if (is_real(roots[i])) {
+      reals.push_back(roots[i]);
+      used[i] = true;
+      continue;
+    }
+    // Find the conjugate partner.
+    std::size_t partner = roots.size();
+    for (std::size_t j = i + 1; j < roots.size(); ++j) {
+      if (used[j]) continue;
+      if (std::abs(roots[j] - std::conj(roots[i])) <
+          1e-6 * (1.0 + std::abs(roots[i]))) {
+        partner = j;
+        break;
+      }
+    }
+    PSDACC_EXPECTS(partner < roots.size() &&
+                   "complex roots must come in conjugate pairs");
+    groups.push_back(RootGroup{{roots[i], roots[partner]}});
+    used[i] = true;
+    used[partner] = true;
+  }
+  // Pair reals two at a time, largest magnitude first.
+  std::sort(reals.begin(), reals.end(),
+            [](const cplx& a, const cplx& b) {
+              return std::abs(a) > std::abs(b);
+            });
+  for (std::size_t i = 0; i + 1 < reals.size(); i += 2)
+    groups.push_back(RootGroup{{reals[i], reals[i + 1]}});
+  if (reals.size() % 2 == 1)
+    groups.push_back(RootGroup{{reals.back()}});
+  return groups;
+}
+
+// Monic polynomial coefficients (1, c1, c2) in z^-1 form for a group.
+void group_to_coeffs(const RootGroup& g, double& c1, double& c2) {
+  if (g.roots.size() == 2) {
+    c1 = -(g.roots[0] + g.roots[1]).real();
+    c2 = (g.roots[0] * g.roots[1]).real();
+  } else {
+    c1 = -g.roots[0].real();
+    c2 = 0.0;
+  }
+}
+
+}  // namespace
+
+TransferFunction Biquad::tf() const {
+  return TransferFunction({b0, b1, b2}, {1.0, a1, a2});
+}
+
+std::vector<Biquad> zpk_to_sos(const Zpk& digital) {
+  PSDACC_EXPECTS(digital.zeros.size() == digital.poles.size() &&
+                 "zpk must be balanced (bilinear output is)");
+  auto pole_groups = group_roots(digital.poles);
+  auto zero_groups = group_roots(digital.zeros);
+  PSDACC_EXPECTS(pole_groups.size() == zero_groups.size());
+
+  // Highest-Q (largest radius) pole groups first: they get the nearest
+  // zeros, keeping each section's peak gain low.
+  std::sort(pole_groups.begin(), pole_groups.end(),
+            [](const RootGroup& a, const RootGroup& b) {
+              return a.radius() > b.radius();
+            });
+
+  std::vector<Biquad> sections;
+  std::vector<bool> zero_used(zero_groups.size(), false);
+  for (const auto& pg : pole_groups) {
+    // Nearest unused zero group.
+    std::size_t best = zero_groups.size();
+    double best_dist = 0.0;
+    for (std::size_t i = 0; i < zero_groups.size(); ++i) {
+      if (zero_used[i]) continue;
+      const double dist =
+          std::abs(zero_groups[i].representative() - pg.representative());
+      if (best == zero_groups.size() || dist < best_dist) {
+        best = i;
+        best_dist = dist;
+      }
+    }
+    PSDACC_ENSURES(best < zero_groups.size());
+    zero_used[best] = true;
+
+    Biquad s;
+    group_to_coeffs(pg, s.a1, s.a2);
+    double z1 = 0.0, z2 = 0.0;
+    group_to_coeffs(zero_groups[best], z1, z2);
+    s.b0 = 1.0;
+    s.b1 = z1;
+    s.b2 = z2;
+    sections.push_back(s);
+  }
+  // Apply the overall gain to the first section.
+  if (!sections.empty()) {
+    sections.front().b0 *= digital.gain;
+    sections.front().b1 *= digital.gain;
+    sections.front().b2 *= digital.gain;
+  }
+  return sections;
+}
+
+ParallelForm zpk_to_parallel(const Zpk& digital) {
+  const std::size_t n = digital.poles.size();
+  PSDACC_EXPECTS(digital.zeros.size() == n);
+  PSDACC_EXPECTS(n >= 1);
+  // Simple poles only.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      PSDACC_EXPECTS(std::abs(digital.poles[i] - digital.poles[j]) >
+                     1e-9 && "parallel form requires simple poles");
+
+  ParallelForm form;
+  form.direct = digital.gain;  // H(inf) for balanced zpk
+
+  // Residues r_i = k * prod_j (p_i - z_j) / prod_{j != i} (p_i - p_j).
+  std::vector<cplx> residues(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cplx num(digital.gain, 0.0);
+    for (const auto& z : digital.zeros) num *= digital.poles[i] - z;
+    cplx den(1.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i) den *= digital.poles[i] - digital.poles[j];
+    residues[i] = num / den;
+  }
+
+  // Combine conjugate pairs into real biquads; collect lone reals.
+  std::vector<bool> used(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (used[i]) continue;
+    const cplx p = digital.poles[i];
+    const cplx r = residues[i];
+    if (is_real(p)) {
+      Biquad s;
+      s.b0 = 0.0;
+      s.b1 = r.real();
+      s.a1 = -p.real();
+      form.sections.push_back(s);
+      used[i] = true;
+      continue;
+    }
+    std::size_t partner = n;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (!used[j] &&
+          std::abs(digital.poles[j] - std::conj(p)) <
+              1e-6 * (1.0 + std::abs(p))) {
+        partner = j;
+        break;
+      }
+    }
+    PSDACC_EXPECTS(partner < n);
+    used[i] = true;
+    used[partner] = true;
+    // r/(z-p) + conj(r)/(z-conj(p)) in z^-1 form.
+    Biquad s;
+    s.b0 = 0.0;
+    s.b1 = 2.0 * r.real();
+    s.b2 = -2.0 * (r * std::conj(p)).real();
+    s.a1 = -2.0 * p.real();
+    s.a2 = std::norm(p);
+    form.sections.push_back(s);
+  }
+  return form;
+}
+
+TransferFunction sos_to_tf(const std::vector<Biquad>& sections) {
+  PSDACC_EXPECTS(!sections.empty());
+  TransferFunction acc = sections.front().tf();
+  for (std::size_t i = 1; i < sections.size(); ++i)
+    acc = acc.cascade(sections[i].tf());
+  return acc;
+}
+
+TransferFunction parallel_to_tf(const ParallelForm& form) {
+  TransferFunction acc = TransferFunction::gain(form.direct);
+  for (const auto& s : form.sections) acc = acc.add(s.tf());
+  return acc;
+}
+
+std::vector<Biquad> design_sos_lowpass(IirFamily family, int order,
+                                       double cutoff, double ripple_db) {
+  const auto proto = analog_prototype(family, order, ripple_db);
+  const double wc = 2.0 * std::tan(std::numbers::pi * cutoff);
+  auto digital = bilinear(lp_to_lp(proto, wc));
+  digital.gain = 1.0;
+  auto sections = zpk_to_sos(digital);
+  // Normalize overall DC gain to 1.
+  double dc = 1.0;
+  for (const auto& s : sections)
+    dc *= (s.b0 + s.b1 + s.b2) / (1.0 + s.a1 + s.a2);
+  PSDACC_EXPECTS(dc != 0.0);
+  sections.front().b0 /= dc;
+  sections.front().b1 /= dc;
+  sections.front().b2 /= dc;
+  return sections;
+}
+
+}  // namespace psdacc::filt

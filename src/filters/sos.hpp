@@ -1,0 +1,54 @@
+// Second-order-section (biquad) and parallel realizations of IIR filters.
+//
+// Classic roundoff-noise theory (Jackson 1970, the paper's reference [10])
+// studies how the *realization form* — direct, cascade-of-biquads,
+// parallel — changes the output quantization noise of the same transfer
+// function. psdacc models each section as a quantized block, so the three
+// forms become three different SFGs over the same H(z), and the PSD
+// engine predicts their (different) noise levels.
+#pragma once
+
+#include <vector>
+
+#include "filters/iir_design.hpp"
+#include "filters/transfer_function.hpp"
+
+namespace psdacc::filt {
+
+/// One biquad: (b0 + b1 z^-1 + b2 z^-2) / (1 + a1 z^-1 + a2 z^-2).
+/// First-order sections are represented with the quadratic coefficients
+/// set to zero.
+struct Biquad {
+  double b0 = 1.0, b1 = 0.0, b2 = 0.0;
+  double a1 = 0.0, a2 = 0.0;
+
+  TransferFunction tf() const;
+};
+
+/// Cascade decomposition of a digital Zpk: poles/zeros are paired
+/// conjugate-first, nearest zero to highest-Q pole (the standard pairing
+/// that minimizes section peak gain). The product of all section transfer
+/// functions equals the original H(z).
+std::vector<Biquad> zpk_to_sos(const Zpk& digital);
+
+/// Parallel (partial-fraction) decomposition: H(z) = direct +
+/// sum_i section_i where each section is a first- or second-order term.
+/// Requires strictly proper or equal-degree rational H with simple poles
+/// (asserted); `digital` must be the z-plane zpk.
+struct ParallelForm {
+  double direct = 0.0;          // constant feed-through term
+  std::vector<Biquad> sections; // each with b2 == 0 (proper residue terms)
+};
+ParallelForm zpk_to_parallel(const Zpk& digital);
+
+/// Overall transfer function of a cascade (product of sections).
+TransferFunction sos_to_tf(const std::vector<Biquad>& sections);
+/// Overall transfer function of a parallel form (sum of terms).
+TransferFunction parallel_to_tf(const ParallelForm& form);
+
+/// Convenience: design + decompose in one step.
+std::vector<Biquad> design_sos_lowpass(IirFamily family, int order,
+                                       double cutoff,
+                                       double ripple_db = 1.0);
+
+}  // namespace psdacc::filt

@@ -1,0 +1,45 @@
+#include "fixedpoint/dither.hpp"
+
+#include "fixedpoint/quantizer.hpp"
+
+namespace psdacc::fxp {
+
+NoiseMoments dithered_quantization_noise(const FixedPointFormat& fmt,
+                                         DitherMode mode) {
+  NoiseMoments m = continuous_quantization_noise(fmt);
+  const double q = fmt.step();
+  switch (mode) {
+    case DitherMode::kNone:
+      break;
+    case DitherMode::kRectangular:
+      m.variance += q * q / 12.0;
+      break;
+    case DitherMode::kTriangular:
+      m.variance += 2.0 * q * q / 12.0;
+      break;
+  }
+  return m;
+}
+
+DitheredQuantizer::DitheredQuantizer(FixedPointFormat fmt, DitherMode mode,
+                                     std::uint64_t seed)
+    : fmt_(fmt), mode_(mode), rng_(seed) {}
+
+double DitheredQuantizer::operator()(double x) {
+  const double q = fmt_.step();
+  double dither = 0.0;
+  switch (mode_) {
+    case DitherMode::kNone:
+      break;
+    case DitherMode::kRectangular:
+      dither = rng_.uniform(-q / 2.0, q / 2.0);
+      break;
+    case DitherMode::kTriangular:
+      dither = rng_.uniform(-q / 2.0, q / 2.0) +
+               rng_.uniform(-q / 2.0, q / 2.0);
+      break;
+  }
+  return quantize(x + dither, fmt_);
+}
+
+}  // namespace psdacc::fxp

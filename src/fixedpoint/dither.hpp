@@ -1,0 +1,41 @@
+// Dithered quantization — the approximate-computing knob that trades a
+// little extra noise power for signal-independent, spectrally white error
+// (making the PQN model of Eq. 10 hold even for pathological inputs).
+//
+// Non-subtractive dither d is added before rounding: y = Q(x + d).
+//  * rectangular (RPDF, d ~ U(-q/2, q/2)): first error moment independent
+//    of the signal; total error variance q^2/12 + q^2/12 = q^2/6.
+//  * triangular (TPDF, d = sum of two U(-q/2, q/2)): first and second
+//    moments independent; total error variance 2 q^2/12 + q^2/12 = q^2/4.
+#pragma once
+
+#include "fixedpoint/format.hpp"
+#include "fixedpoint/noise_model.hpp"
+#include "support/random.hpp"
+
+namespace psdacc::fxp {
+
+enum class DitherMode { kNone, kRectangular, kTriangular };
+
+/// Moments of the total error of a dithered quantizer (rounding mode of
+/// `fmt` applies to the post-dither rounding).
+NoiseMoments dithered_quantization_noise(const FixedPointFormat& fmt,
+                                         DitherMode mode);
+
+/// Stateful dithered quantizer (owns its PRNG for reproducibility).
+class DitheredQuantizer {
+ public:
+  DitheredQuantizer(FixedPointFormat fmt, DitherMode mode,
+                    std::uint64_t seed = 0x5eed);
+
+  double operator()(double x);
+  const FixedPointFormat& format() const { return fmt_; }
+  DitherMode mode() const { return mode_; }
+
+ private:
+  FixedPointFormat fmt_;
+  DitherMode mode_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace psdacc::fxp

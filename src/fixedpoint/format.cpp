@@ -1,0 +1,52 @@
+#include "fixedpoint/format.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace psdacc::fxp {
+
+double FixedPointFormat::step() const {
+  return std::ldexp(1.0, -fractional_bits);
+}
+
+double FixedPointFormat::max_value() const {
+  const int magnitude_bits =
+      is_signed ? integer_bits - 1 : integer_bits;
+  return std::ldexp(1.0, magnitude_bits) - step();
+}
+
+double FixedPointFormat::min_value() const {
+  if (!is_signed) return 0.0;
+  return -std::ldexp(1.0, integer_bits - 1);
+}
+
+std::string FixedPointFormat::to_string() const {
+  std::string s = is_signed ? "sQ" : "uQ";
+  s += std::to_string(integer_bits) + "." + std::to_string(fractional_bits);
+  switch (rounding) {
+    case RoundingMode::kTruncate: s += "/trunc"; break;
+    case RoundingMode::kRoundNearest: s += "/round"; break;
+    case RoundingMode::kConvergent: s += "/conv"; break;
+  }
+  switch (overflow) {
+    case OverflowMode::kSaturate: s += "/sat"; break;
+    case OverflowMode::kWrap: s += "/wrap"; break;
+  }
+  return s;
+}
+
+FixedPointFormat q_format(int integer_bits, int fractional_bits,
+                          RoundingMode rounding) {
+  PSDACC_EXPECTS(integer_bits >= 1);
+  PSDACC_EXPECTS(fractional_bits >= 0);
+  FixedPointFormat fmt;
+  fmt.integer_bits = integer_bits;
+  fmt.fractional_bits = fractional_bits;
+  fmt.is_signed = true;
+  fmt.rounding = rounding;
+  fmt.overflow = OverflowMode::kSaturate;
+  return fmt;
+}
+
+}  // namespace psdacc::fxp

@@ -1,0 +1,50 @@
+// Fixed-point number formats.
+//
+// A format Q(i, f) has `integer_bits` i (including sign for signed formats)
+// and `fractional_bits` f; values are k * 2^-f for integer k. The paper's
+// experiments sweep f (written d there) from 8 to 32 bits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace psdacc::fxp {
+
+/// How the dropped LSBs are treated when narrowing.
+enum class RoundingMode {
+  kTruncate,      // floor toward -infinity (two's-complement truncation)
+  kRoundNearest,  // round half up
+  kConvergent,    // round half to even
+};
+
+/// What happens on dynamic-range violation.
+enum class OverflowMode {
+  kSaturate,  // clamp to representable range
+  kWrap,      // two's-complement wrap-around
+};
+
+struct FixedPointFormat {
+  int integer_bits = 4;     // includes the sign bit when is_signed
+  int fractional_bits = 12; // "d" in the paper
+  bool is_signed = true;
+  RoundingMode rounding = RoundingMode::kRoundNearest;
+  OverflowMode overflow = OverflowMode::kSaturate;
+
+  int word_length() const { return integer_bits + fractional_bits; }
+  /// Quantization step q = 2^-f.
+  double step() const;
+  /// Largest representable value.
+  double max_value() const;
+  /// Smallest representable value (0 for unsigned).
+  double min_value() const;
+  /// e.g. "sQ4.12/round/sat".
+  std::string to_string() const;
+
+  bool operator==(const FixedPointFormat&) const = default;
+};
+
+/// Convenience builder for the common signed Q(i, d) with rounding+saturate.
+FixedPointFormat q_format(int integer_bits, int fractional_bits,
+                          RoundingMode rounding = RoundingMode::kRoundNearest);
+
+}  // namespace psdacc::fxp

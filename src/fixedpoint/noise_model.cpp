@@ -1,0 +1,51 @@
+#include "fixedpoint/noise_model.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace psdacc::fxp {
+
+NoiseMoments continuous_quantization_noise(const FixedPointFormat& fmt) {
+  const double q = fmt.step();
+  NoiseMoments m;
+  m.variance = q * q / 12.0;
+  switch (fmt.rounding) {
+    case RoundingMode::kTruncate:
+      m.mean = -q / 2.0;
+      break;
+    case RoundingMode::kRoundNearest:
+    case RoundingMode::kConvergent:
+      m.mean = 0.0;
+      break;
+  }
+  return m;
+}
+
+NoiseMoments narrowing_quantization_noise(int in_fractional_bits,
+                                          const FixedPointFormat& fmt) {
+  PSDACC_EXPECTS(in_fractional_bits >= fmt.fractional_bits);
+  NoiseMoments m;
+  if (in_fractional_bits == fmt.fractional_bits) return m;
+  const double q_out = fmt.step();
+  const double q_in = std::ldexp(1.0, -in_fractional_bits);
+  m.variance = (q_out * q_out - q_in * q_in) / 12.0;
+  switch (fmt.rounding) {
+    case RoundingMode::kTruncate:
+      m.mean = -(q_out - q_in) / 2.0;
+      break;
+    case RoundingMode::kRoundNearest:
+      // Round-half-up on the discrete grid: the error distribution is
+      // symmetric except for the tie value +q_out/2 taken with probability
+      // q_in/q_out, so the bias is exactly q_in/2 regardless of how many
+      // bits are dropped.
+      m.mean = q_in / 2.0;
+      break;
+    case RoundingMode::kConvergent:
+      m.mean = 0.0;
+      break;
+  }
+  return m;
+}
+
+}  // namespace psdacc::fxp

@@ -1,0 +1,17 @@
+#include "fixedpoint/noise_model_psd.hpp"
+
+#include "support/assert.hpp"
+
+namespace psdacc::fxp {
+
+std::vector<double> white_noise_psd(const NoiseMoments& moments,
+                                    std::size_t n_bins) {
+  PSDACC_EXPECTS(n_bins >= 2);
+  std::vector<double> psd(n_bins,
+                          moments.variance /
+                              static_cast<double>(n_bins - 1));
+  psd[0] = moments.mean * moments.mean;
+  return psd;
+}
+
+}  // namespace psdacc::fxp

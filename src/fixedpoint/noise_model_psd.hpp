@@ -1,0 +1,21 @@
+// Eq. 10 of the paper: discrete PSD of a freshly generated quantization
+// noise. White except at DC: S(0) = mu^2, S(k != 0) = sigma^2 / N_PSD.
+//
+// Discretized so that sum_k S[k] = mu^2 + sigma^2 * (N-1)/N with the paper's
+// literal reading; psdacc instead spreads sigma^2 over the N-1 non-DC bins
+// so the total is exactly mu^2 + sigma^2 (see NoiseSpectrum docs). The
+// difference is O(1/N) and vanishes for the N_PSD >= 16 used everywhere.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fixedpoint/noise_model.hpp"
+
+namespace psdacc::fxp {
+
+/// Builds the N-bin white-noise PSD of a source with the given moments.
+std::vector<double> white_noise_psd(const NoiseMoments& moments,
+                                    std::size_t n_bins);
+
+}  // namespace psdacc::fxp

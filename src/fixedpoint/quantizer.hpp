@@ -1,0 +1,34 @@
+// Quantization of double-precision values to a fixed-point grid.
+//
+// The simulation engine quantizes after every arithmetic operation; the
+// analytical engines never quantize — they model the same operation with the
+// PQN statistics from noise_model.hpp.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fixedpoint/format.hpp"
+
+namespace psdacc::fxp {
+
+/// Quantizes `value` to the grid of `fmt` (rounding mode applied first, then
+/// overflow handling).
+double quantize(double value, const FixedPointFormat& fmt);
+
+/// Element-wise quantization.
+std::vector<double> quantize(std::span<const double> values,
+                             const FixedPointFormat& fmt);
+
+/// Stateless functor form, convenient for simulation pipelines.
+class Quantizer {
+ public:
+  explicit Quantizer(FixedPointFormat fmt) : fmt_(fmt) {}
+  double operator()(double v) const { return quantize(v, fmt_); }
+  const FixedPointFormat& format() const { return fmt_; }
+
+ private:
+  FixedPointFormat fmt_;
+};
+
+}  // namespace psdacc::fxp

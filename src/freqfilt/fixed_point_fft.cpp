@@ -1,0 +1,114 @@
+#include "freqfilt/fixed_point_fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/fft.hpp"
+#include "fixedpoint/noise_model.hpp"
+#include "fixedpoint/quantizer.hpp"
+#include "support/assert.hpp"
+
+namespace psdacc::ff {
+
+using cplx = std::complex<double>;
+
+FixedPointFft::FixedPointFft(std::size_t n, fxp::FixedPointFormat fmt)
+    : n_(n), fmt_(fmt) {
+  PSDACC_EXPECTS(dsp::is_power_of_two(n) && n >= 2);
+  stages_ = 0;
+  for (std::size_t m = n; m > 1; m >>= 1) ++stages_;
+}
+
+std::size_t FixedPointFft::nontrivial_twiddles(std::size_t stage) const {
+  PSDACC_EXPECTS(stage < stages_);
+  // Stage s uses len = 2^(s+1); twiddles W_len^k for k = 0..len/2-1 in
+  // each of N/len groups. Trivial: k = 0 (W = 1) and, when len >= 4,
+  // k = len/4 (W = -j).
+  const std::size_t len = std::size_t{1} << (stage + 1);
+  const std::size_t per_group = len / 2 - (len >= 4 ? 2 : 1);
+  return (n_ / len) * per_group;
+}
+
+double FixedPointFft::forward_noise_variance() const {
+  const double v = fxp::continuous_quantization_noise(fmt_).variance;
+  double total = 0.0;
+  for (std::size_t s = 0; s < stages_; ++s) {
+    const double fraction =
+        2.0 * static_cast<double>(nontrivial_twiddles(s)) /
+        static_cast<double>(n_);
+    const double injected = 2.0 * v * fraction;  // per complex element
+    total += injected * std::ldexp(1.0, static_cast<int>(stages_ - 1 - s));
+  }
+  return total;
+}
+
+double FixedPointFft::inverse_noise_variance() const {
+  const double v = fxp::continuous_quantization_noise(fmt_).variance;
+  // Stage noise as in forward, then the 1/N scaling divides the power by
+  // N^2 and the final rounding adds 2v per element.
+  return forward_noise_variance() /
+             (static_cast<double>(n_) * static_cast<double>(n_)) +
+         2.0 * v;
+}
+
+std::vector<cplx> FixedPointFft::transform(std::vector<cplx> a,
+                                           bool inverse) const {
+  const std::size_t n = n_;
+  const double sign = inverse ? 1.0 : -1.0;
+  // Bit-reversal permutation (exact, no rounding).
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  const auto quantize_all = [&](std::vector<cplx>& data) {
+    for (auto& z : data)
+      z = cplx(fxp::quantize(z.real(), fmt_),
+               fxp::quantize(z.imag(), fmt_));
+  };
+  // Input register: the datapath only ever holds representable values. The
+  // stage-noise model assumes this (an unrepresentable input would add an
+  // input-referred error amplified by the transform's power gain).
+  quantize_all(a);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx w(std::cos(angle * static_cast<double>(k)),
+                     std::sin(angle * static_cast<double>(k)));
+        const cplx u = a[i + k];
+        const cplx t = a[i + k + len / 2] * w;
+        a[i + k] = u + t;
+        a[i + k + len / 2] = u - t;
+      }
+    }
+    quantize_all(a);  // stage-output register file
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& z : a) z *= inv_n;
+    quantize_all(a);
+  }
+  return a;
+}
+
+std::vector<cplx> FixedPointFft::forward(std::span<const double> x) const {
+  PSDACC_EXPECTS(x.size() == n_);
+  std::vector<cplx> data(n_);
+  for (std::size_t i = 0; i < n_; ++i) data[i] = cplx(x[i], 0.0);
+  return transform(std::move(data), false);
+}
+
+std::vector<cplx> FixedPointFft::forward(std::span<const cplx> x) const {
+  PSDACC_EXPECTS(x.size() == n_);
+  return transform(std::vector<cplx>(x.begin(), x.end()), false);
+}
+
+std::vector<cplx> FixedPointFft::inverse(std::span<const cplx> x) const {
+  PSDACC_EXPECTS(x.size() == n_);
+  return transform(std::vector<cplx>(x.begin(), x.end()), true);
+}
+
+}  // namespace psdacc::ff

@@ -1,0 +1,63 @@
+// Bit-true fixed-point radix-2 FFT with per-stage rounding, plus the
+// Widrow-Kollar-style stage-noise model that predicts its output error
+// power. This refines the block-boundary FFT model of freq_filter.hpp down
+// to the butterfly level (the granularity Widrow & Kollar analyze).
+//
+// Model: after stage s (stages 0..S-1, S = log2 N), every array element is
+// re-quantized. Butterflies whose twiddle is +-1 or +-j produce on-grid
+// sums (no rounding noise in hardware: they are multiplier-free), so only
+// the fraction of elements touched by a nontrivial twiddle injects noise:
+//   inj_s = 2 v * (2 * nt_s / N)        per complex element, v = q^2/12,
+// and noise injected after stage s is amplified by the remaining butterfly
+// additions: power x2 per subsequent stage. Output per-element complex
+// error variance:
+//   sigma_fft^2 = sum_s inj_s * 2^(S-1-s).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fixedpoint/format.hpp"
+
+namespace psdacc::ff {
+
+class FixedPointFft {
+ public:
+  /// `n` must be a power of two. All real/imaginary parts are quantized to
+  /// `fmt` after every butterfly stage (and after the final 1/N scaling of
+  /// the inverse transform).
+  FixedPointFft(std::size_t n, fxp::FixedPointFormat fmt);
+
+  std::size_t size() const { return n_; }
+
+  /// Forward transform with stage-wise rounding.
+  std::vector<std::complex<double>> forward(
+      std::span<const double> x) const;
+  std::vector<std::complex<double>> forward(
+      std::span<const std::complex<double>> x) const;
+
+  /// Inverse transform with stage-wise rounding (includes 1/N).
+  std::vector<std::complex<double>> inverse(
+      std::span<const std::complex<double>> x) const;
+
+  /// Number of multiplier butterflies (nontrivial twiddles) in stage s.
+  std::size_t nontrivial_twiddles(std::size_t stage) const;
+  /// Predicted per-element complex error variance of forward().
+  double forward_noise_variance() const;
+  /// Predicted per-element complex error variance of inverse() (includes
+  /// the final scaling rounding; the 1/N scaling divides the accumulated
+  /// stage noise power by N^2).
+  double inverse_noise_variance() const;
+
+ private:
+  std::vector<std::complex<double>> transform(
+      std::vector<std::complex<double>> data, bool inverse) const;
+
+  std::size_t n_;
+  std::size_t stages_;
+  fxp::FixedPointFormat fmt_;
+};
+
+}  // namespace psdacc::ff

@@ -1,0 +1,143 @@
+#include "freqfilt/freq_filter.hpp"
+
+#include <algorithm>
+
+#include "dsp/fft.hpp"
+#include "filters/fir_design.hpp"
+#include "freqfilt/fixed_point_fft.hpp"
+#include "fixedpoint/noise_model.hpp"
+#include "fixedpoint/quantizer.hpp"
+#include "support/assert.hpp"
+
+namespace psdacc::ff {
+
+FreqDomainBandpass::FreqDomainBandpass(FreqFilterConfig cfg)
+    : cfg_(cfg),
+      h_fir_(filt::fir_lowpass(cfg.fir_taps, cfg.fir_cutoff)),
+      h_fd_(filt::fir_highpass(cfg.fd_taps, cfg.fd_cutoff)) {
+  PSDACC_EXPECTS(dsp::is_power_of_two(cfg.fft_size));
+  PSDACC_EXPECTS(cfg.fft_size >= 2 * h_fd_.size() - 2);
+}
+
+std::vector<double> FreqDomainBandpass::process(
+    std::span<const double> x) const {
+  const bool fx = cfg_.format.has_value();
+  const auto quant = [&](double v) {
+    return fx ? fxp::quantize(v, *cfg_.format) : v;
+  };
+
+  // Input quantization.
+  std::vector<double> in(x.begin(), x.end());
+  if (fx && cfg_.quantize_input)
+    for (double& v : in) v = quant(v);
+
+  // Front FIR, causal "same" output, quantized per sample.
+  std::vector<double> front(in.size(), 0.0);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    double acc = 0.0;
+    const std::size_t kmax = std::min(h_fir_.size(), i + 1);
+    for (std::size_t k = 0; k < kmax; ++k) acc += h_fir_[k] * in[i - k];
+    front[i] = quant(acc);
+  }
+
+  // Overlap-save frequency-domain stage.
+  const std::size_t n = cfg_.fft_size;
+  const std::size_t taps = h_fd_.size();
+  const std::size_t hop = n - taps + 1;  // valid samples per block
+  const auto h_spec = dsp::fft_real(h_fd_, n);
+
+  std::vector<double> out(front.size(), 0.0);
+  std::vector<double> window(n, 0.0);  // [history | new samples]
+  std::size_t produced = 0;
+  while (produced < front.size()) {
+    // Slide the window forward by `hop`.
+    std::copy(window.begin() + static_cast<std::ptrdiff_t>(hop),
+              window.end(), window.begin());
+    for (std::size_t i = 0; i < hop; ++i) {
+      const std::size_t src = produced + i;
+      window[n - hop + i] = src < front.size() ? front[src] : 0.0;
+    }
+    // FFT: either bit-true with stage-wise rounding, or double with one
+    // rounding per bin at the block boundary.
+    std::vector<dsp::cplx> buf(n);
+    if (fx && cfg_.stagewise_fft) {
+      const ff::FixedPointFft fft(n, *cfg_.format);
+      buf = fft.forward(std::span<const double>(window));
+    } else {
+      for (std::size_t i = 0; i < n; ++i)
+        buf[i] = dsp::cplx(window[i], 0.0);
+      dsp::fft(buf);
+      if (fx)
+        for (auto& b : buf)
+          b = dsp::cplx(quant(b.real()), quant(b.imag()));
+    }
+    // Coefficient multiply, quantized.
+    for (std::size_t k = 0; k < n; ++k) {
+      buf[k] *= h_spec[k];
+      if (fx) buf[k] = dsp::cplx(quant(buf[k].real()), quant(buf[k].imag()));
+    }
+    // IFFT; keep the last `hop` valid samples, quantized.
+    if (fx && cfg_.stagewise_fft) {
+      const ff::FixedPointFft fft(n, *cfg_.format);
+      buf = fft.inverse(buf);
+    } else {
+      dsp::ifft(buf);
+    }
+    for (std::size_t i = 0; i < hop && produced + i < out.size(); ++i)
+      out[produced + i] = quant(buf[taps - 1 + i].real());
+    produced += hop;
+  }
+  return out;
+}
+
+sfg::Graph build_freqfilt_sfg(const FreqFilterConfig& cfg) {
+  const FreqDomainBandpass model(cfg);
+  sfg::Graph g;
+  const auto in = g.add_input("x");
+  sfg::NodeId head = in;
+  if (cfg.format.has_value()) {
+    if (cfg.quantize_input)
+      head = g.add_quantizer(head, *cfg.format, "q_in");
+    head = g.add_block(head, filt::TransferFunction(model.front_fir()),
+                       cfg.format, "h_fir");
+    // FD-stage noise bookkeeping (N = fft_size, v = q^2/12 per real
+    // rounding):
+    //  * FFT-bin quantization: var v on re and im of each of N bins; after
+    //    x H and the 1/N IFFT the real-part time-domain contribution is
+    //    (1/N^2) sum_k v |H_k|^2 — i.e. an input-referred white source of
+    //    variance v/N in front of the h_fd block;
+    //  * multiply-stage quantization: same algebra without |H|^2 — an
+    //    output-referred white source of variance v/N;
+    //  * IFFT-output quantization: white, variance v.
+    const auto m = fxp::continuous_quantization_noise(*cfg.format);
+    const double v = m.variance;
+    const double n = static_cast<double>(cfg.fft_size);
+    double pre_var = v / n;       // FFT-bin rounding, input-referred
+    double post_var = v / n + v;  // multiply rounding + IFFT rounding
+    if (cfg.stagewise_fft) {
+      // Per-stage rounding: replace the boundary roundings by the stage
+      // noise model. Forward stage noise (per complex element) divided by
+      // the N^2 IFFT power scaling and by |H| is input-referred via /N
+      // Parseval as before.
+      const ff::FixedPointFft fft(cfg.fft_size, *cfg.format);
+      pre_var = fft.forward_noise_variance() / n;
+      post_var = v / n + fft.inverse_noise_variance() / 2.0;
+    }
+    head = g.add_quantizer(head, *cfg.format,
+                           fxp::NoiseMoments{0.0, pre_var}, "q_fft");
+    head = g.add_block(head, filt::TransferFunction(model.fd_fir()), {},
+                       "h_fd");
+    head = g.add_quantizer(head, *cfg.format,
+                           fxp::NoiseMoments{0.0, post_var}, "q_ifft");
+  } else {
+    head = g.add_block(head, filt::TransferFunction(model.front_fir()), {},
+                       "h_fir");
+    head = g.add_block(head, filt::TransferFunction(model.fd_fir()), {},
+                       "h_fd");
+  }
+  g.add_output(head, "y");
+  g.validate();
+  return g;
+}
+
+}  // namespace psdacc::ff

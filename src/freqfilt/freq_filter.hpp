@@ -1,0 +1,69 @@
+// The paper's Fig. 2 benchmark: a band-pass built from a 16-tap time-domain
+// low-pass FIR followed by a frequency-domain high-pass applied with the
+// overlap-save method (buffer -> FFT -> coefficient multiply -> IFFT ->
+// unbuffer).
+//
+// Fixed-point model (matching the paper's block granularity S1/S2): the
+// datapath is quantized at block boundaries — after the front FIR (every
+// sample), at the FFT output (real and imaginary part of every bin), after
+// the coefficient multiply, and at the IFFT output. The equivalent
+// analytical model is an LTI cascade h_fir * h_fd with three white noise
+// sources whose variances follow from Parseval (derivation in
+// freq_filter.cpp and DESIGN.md).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fixedpoint/format.hpp"
+#include "sfg/graph.hpp"
+
+namespace psdacc::ff {
+
+struct FreqFilterConfig {
+  // The default band [0.18, 0.25] is deliberately narrow: the front
+  // low-pass strongly shapes the noise entering the frequency-domain
+  // high-pass, which is the effect the PSD method captures and the
+  // agnostic baseline cannot (Table II).
+  std::size_t fir_taps = 16;   // front time-domain low-pass
+  double fir_cutoff = 0.25;
+  std::size_t fd_taps = 9;     // frequency-domain high-pass (odd)
+  double fd_cutoff = 0.18;
+  std::size_t fft_size = 16;
+  /// Data format for the whole datapath; empty = reference (double).
+  std::optional<fxp::FixedPointFormat> format;
+  /// Quantize the input signal on entry (when format is set).
+  bool quantize_input = true;
+  /// When true, the FFT/IFFT run bit-true with per-butterfly-stage
+  /// rounding (FixedPointFft) instead of one rounding at the block
+  /// boundary; the SFG model switches to the stage-noise variances.
+  bool stagewise_fft = false;
+};
+
+/// Bit-exact executable model of the Fig. 2 system.
+class FreqDomainBandpass {
+ public:
+  explicit FreqDomainBandpass(FreqFilterConfig cfg);
+
+  /// Processes a whole signal; output has the same length (zero-padded
+  /// tail). Applies the fixed-point quantization steps iff cfg.format set.
+  std::vector<double> process(std::span<const double> x) const;
+
+  const std::vector<double>& front_fir() const { return h_fir_; }
+  const std::vector<double>& fd_fir() const { return h_fd_; }
+  const FreqFilterConfig& config() const { return cfg_; }
+
+ private:
+  FreqFilterConfig cfg_;
+  std::vector<double> h_fir_;
+  std::vector<double> h_fd_;
+};
+
+/// Equivalent-LTI SFG for the analytical engines. Contains the input
+/// quantizer, the quantized front FIR block, and the FD stage modelled as
+/// an unquantized block h_fd bracketed by two white noise sources.
+sfg::Graph build_freqfilt_sfg(const FreqFilterConfig& cfg);
+
+}  // namespace psdacc::ff

@@ -1,0 +1,83 @@
+#include "imaging/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/assert.hpp"
+
+namespace psdacc::img {
+
+Image::Image(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  PSDACC_EXPECTS(rows >= 1 && cols >= 1);
+}
+
+double& Image::at(std::size_t r, std::size_t c) {
+  PSDACC_EXPECTS(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Image::at(std::size_t r, std::size_t c) const {
+  PSDACC_EXPECTS(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+std::vector<double> Image::row(std::size_t r) const {
+  PSDACC_EXPECTS(r < rows_);
+  return std::vector<double>(data_.begin() + static_cast<std::ptrdiff_t>(
+                                                 r * cols_),
+                             data_.begin() + static_cast<std::ptrdiff_t>(
+                                                 (r + 1) * cols_));
+}
+
+std::vector<double> Image::col(std::size_t c) const {
+  PSDACC_EXPECTS(c < cols_);
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = data_[r * cols_ + c];
+  return out;
+}
+
+void Image::set_row(std::size_t r, const std::vector<double>& values) {
+  PSDACC_EXPECTS(r < rows_ && values.size() == cols_);
+  std::copy(values.begin(), values.end(),
+            data_.begin() + static_cast<std::ptrdiff_t>(r * cols_));
+}
+
+void Image::set_col(std::size_t c, const std::vector<double>& values) {
+  PSDACC_EXPECTS(c < cols_ && values.size() == rows_);
+  for (std::size_t r = 0; r < rows_; ++r) data_[r * cols_ + c] = values[r];
+}
+
+double mse(const Image& a, const Image& b) {
+  PSDACC_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+  PSDACC_EXPECTS(a.size() > 0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a.data()[i] - b.data()[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.size());
+}
+
+double psnr(const Image& a, const Image& b) {
+  const double m = mse(a, b);
+  PSDACC_EXPECTS(m > 0.0);
+  return 10.0 * std::log10(1.0 / m);
+}
+
+void write_pgm(const Image& image, const std::string& path, double lo,
+               double hi) {
+  PSDACC_EXPECTS(hi > lo);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  PSDACC_EXPECTS(f != nullptr);
+  std::fprintf(f, "P5\n%zu %zu\n255\n", image.cols(), image.rows());
+  for (double v : image.data()) {
+    const double t = std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+    const auto byte = static_cast<unsigned char>(std::lround(t * 255.0));
+    std::fputc(byte, f);
+  }
+  std::fclose(f);
+}
+
+}  // namespace psdacc::img

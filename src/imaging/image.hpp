@@ -1,0 +1,47 @@
+// Minimal grayscale image container used by the DWT experiments.
+// Pixel values are doubles, nominally in [0, 1).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace psdacc::img {
+
+class Image {
+ public:
+  Image() = default;
+  Image(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// Extracts row r / column c as a vector.
+  std::vector<double> row(std::size_t r) const;
+  std::vector<double> col(std::size_t c) const;
+  void set_row(std::size_t r, const std::vector<double>& values);
+  void set_col(std::size_t c, const std::vector<double>& values);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Mean squared difference between two same-size images.
+double mse(const Image& a, const Image& b);
+/// Peak signal-to-noise ratio in dB for unit-range images.
+double psnr(const Image& a, const Image& b);
+
+/// Writes an 8-bit binary PGM, mapping [lo, hi] to [0, 255] (clamping).
+void write_pgm(const Image& image, const std::string& path, double lo = 0.0,
+               double hi = 1.0);
+
+}  // namespace psdacc::img

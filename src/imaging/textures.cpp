@@ -1,0 +1,150 @@
+#include "imaging/textures.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "dsp/fft.hpp"
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace psdacc::img {
+namespace {
+
+// Rescales pixels to [margin, 1 - margin].
+void normalize_range(Image& im, double margin = 0.02) {
+  const auto [lo_it, hi_it] =
+      std::minmax_element(im.data().begin(), im.data().end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  const double span = hi - lo;
+  if (span <= 0.0) return;
+  for (double& v : im.data())
+    v = margin + (1.0 - 2.0 * margin) * (v - lo) / span;
+}
+
+Image power_law_field(std::size_t rows, std::size_t cols, double alpha,
+                      Xoshiro256& rng) {
+  // Shape white Gaussian noise in the 2-D Fourier domain by 1/f^(alpha/2)
+  // (amplitude), then invert. Uses row-column 1-D FFTs.
+  std::vector<std::vector<dsp::cplx>> field(
+      rows, std::vector<dsp::cplx>(cols));
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      field[r][c] = dsp::cplx(rng.gaussian(), rng.gaussian());
+  auto freq_of = [](std::size_t k, std::size_t n) {
+    const double f = static_cast<double>(k) / static_cast<double>(n);
+    return f <= 0.5 ? f : 1.0 - f;
+  };
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double fr = freq_of(r, rows);
+      const double fc = freq_of(c, cols);
+      const double f = std::hypot(fr, fc);
+      const double amp = 1.0 / std::pow(std::max(f, 1.0 / 256.0), alpha);
+      field[r][c] *= amp;
+    }
+  // Inverse 2-D FFT by rows then columns.
+  for (std::size_t r = 0; r < rows; ++r) dsp::ifft(field[r]);
+  std::vector<dsp::cplx> column(rows);
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) column[r] = field[r][c];
+    dsp::ifft(column);
+    for (std::size_t r = 0; r < rows; ++r) field[r][c] = column[r];
+  }
+  Image im(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) im.at(r, c) = field[r][c].real();
+  normalize_range(im);
+  return im;
+}
+
+Image grating(std::size_t rows, std::size_t cols, Xoshiro256& rng) {
+  const double freq = rng.uniform(0.02, 0.35);
+  const double theta = rng.uniform(0.0, std::numbers::pi);
+  const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double harmonic = rng.uniform(0.0, 0.5);
+  Image im(rows, cols);
+  const double kx = 2.0 * std::numbers::pi * freq * std::cos(theta);
+  const double ky = 2.0 * std::numbers::pi * freq * std::sin(theta);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double arg = kx * static_cast<double>(c) +
+                         ky * static_cast<double>(r) + phase;
+      im.at(r, c) = std::sin(arg) + harmonic * std::sin(3.0 * arg);
+    }
+  normalize_range(im);
+  return im;
+}
+
+Image checkerboard(std::size_t rows, std::size_t cols, Xoshiro256& rng) {
+  const auto cell = static_cast<std::size_t>(rng.uniform(2.0, 17.0));
+  const double contrast = rng.uniform(0.5, 1.0);
+  Image im(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      const bool on = ((r / cell) + (c / cell)) % 2 == 0;
+      im.at(r, c) = 0.5 + (on ? 0.5 : -0.5) * contrast;
+    }
+  // Light noise so the image is not exactly representable at coarse d.
+  for (double& v : im.data()) v += 0.01 * rng.gaussian();
+  normalize_range(im);
+  return im;
+}
+
+Image blobs(std::size_t rows, std::size_t cols, Xoshiro256& rng) {
+  Image im(rows, cols, 0.0);
+  const int count = 3 + static_cast<int>(rng.below(8));
+  for (int b = 0; b < count; ++b) {
+    const double cy = rng.uniform(0.0, static_cast<double>(rows));
+    const double cx = rng.uniform(0.0, static_cast<double>(cols));
+    const double sigma =
+        rng.uniform(0.05, 0.25) * static_cast<double>(std::min(rows, cols));
+    const double amp = rng.uniform(-1.0, 1.0);
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < cols; ++c) {
+        const double dr = static_cast<double>(r) - cy;
+        const double dc = static_cast<double>(c) - cx;
+        im.at(r, c) +=
+            amp * std::exp(-(dr * dr + dc * dc) / (2.0 * sigma * sigma));
+      }
+  }
+  normalize_range(im);
+  return im;
+}
+
+}  // namespace
+
+Image make_texture(TextureKind kind, std::size_t rows, std::size_t cols,
+                   std::uint64_t seed) {
+  PSDACC_EXPECTS(rows >= 8 && cols >= 8);
+  Xoshiro256 rng(seed);
+  switch (kind) {
+    case TextureKind::kPowerLaw:
+      return power_law_field(rows, cols, rng.uniform(0.5, 2.5), rng);
+    case TextureKind::kGrating:
+      return grating(rows, cols, rng);
+    case TextureKind::kCheckerboard:
+      return checkerboard(rows, cols, rng);
+    case TextureKind::kBlobs:
+      return blobs(rows, cols, rng);
+  }
+  PSDACC_EXPECTS(false);
+  return Image(rows, cols);
+}
+
+std::vector<Image> texture_bank(std::size_t count, std::size_t rows,
+                                std::size_t cols, std::uint64_t seed) {
+  std::vector<Image> bank;
+  bank.reserve(count);
+  constexpr TextureKind kinds[] = {TextureKind::kPowerLaw,
+                                   TextureKind::kGrating,
+                                   TextureKind::kCheckerboard,
+                                   TextureKind::kBlobs};
+  for (std::size_t i = 0; i < count; ++i)
+    bank.push_back(
+        make_texture(kinds[i % 4], rows, cols, seed + 1000 * i + i));
+  return bank;
+}
+
+}  // namespace psdacc::img

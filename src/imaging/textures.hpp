@@ -1,0 +1,32 @@
+// Procedural texture generator — the substitution for the USC-SIPI /
+// RPI-CIPR / Brodatz image databases the paper uses (196 grayscale images).
+//
+// The DWT accuracy experiments only need the images to (a) exercise all
+// sub-bands and (b) span the spectral envelope family of natural images.
+// Four deterministic families cover that:
+//   * power-law Gaussian random fields (1/f^alpha spectra, the classic
+//     natural-image statistic) with alpha in [0.5, 2.5];
+//   * oriented sinusoidal gratings (narrow-band energy, Brodatz-like);
+//   * checkerboards / block patterns (strong high-frequency content);
+//   * smooth Gaussian blob scenes (low-frequency dominated).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "imaging/image.hpp"
+
+namespace psdacc::img {
+
+enum class TextureKind { kPowerLaw, kGrating, kCheckerboard, kBlobs };
+
+/// One texture of the given family; `seed` controls all random parameters.
+Image make_texture(TextureKind kind, std::size_t rows, std::size_t cols,
+                   std::uint64_t seed);
+
+/// Deterministic bank of `count` images cycling through the families with
+/// varying parameters — the stand-in for the paper's 196-image corpus.
+std::vector<Image> texture_bank(std::size_t count, std::size_t rows,
+                                std::size_t cols, std::uint64_t seed = 7);
+
+}  // namespace psdacc::img

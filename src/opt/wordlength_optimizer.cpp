@@ -1,0 +1,153 @@
+#include "opt/wordlength_optimizer.hpp"
+
+#include <algorithm>
+
+#include "fixedpoint/noise_model.hpp"
+#include "support/assert.hpp"
+
+namespace psdacc::opt {
+namespace {
+
+// Sets the fractional bits of a word-length variable node.
+void set_bits(sfg::Graph& g, sfg::NodeId id, int bits) {
+  sfg::Node& node = g.node(id);
+  if (auto* q = std::get_if<sfg::QuantizerNode>(&node.payload)) {
+    q->format.fractional_bits = bits;
+    q->moments = fxp::continuous_quantization_noise(q->format);
+    return;
+  }
+  if (auto* b = std::get_if<sfg::BlockNode>(&node.payload)) {
+    PSDACC_EXPECTS(b->output_format.has_value());
+    b->output_format->fractional_bits = bits;
+    return;
+  }
+  PSDACC_EXPECTS(false && "variable must be a quantizer or quantized block");
+}
+
+}  // namespace
+
+WordlengthOptimizer::WordlengthOptimizer(sfg::Graph& g,
+                                         std::vector<sfg::NodeId> variables,
+                                         OptimizerConfig cfg)
+    : graph_(g),
+      variables_(std::move(variables)),
+      cfg_(cfg),
+      analyzer_(g, {.n_psd = cfg.n_psd}) {
+  PSDACC_EXPECTS(!variables_.empty());
+  PSDACC_EXPECTS(cfg_.min_bits >= 1 && cfg_.min_bits <= cfg_.max_bits);
+  PSDACC_EXPECTS(cfg_.cost_weights.empty() ||
+                 cfg_.cost_weights.size() == variables_.size());
+}
+
+double WordlengthOptimizer::weight(std::size_t v) const {
+  return cfg_.cost_weights.empty() ? 1.0 : cfg_.cost_weights[v];
+}
+
+void WordlengthOptimizer::apply(const std::vector<int>& bits) {
+  PSDACC_EXPECTS(bits.size() == variables_.size());
+  for (std::size_t v = 0; v < variables_.size(); ++v)
+    set_bits(graph_, variables_[v], bits[v]);
+}
+
+double WordlengthOptimizer::evaluate() {
+  ++evaluations_;
+  return analyzer_.output_noise_power();
+}
+
+OptimizerResult WordlengthOptimizer::package(std::vector<int> bits) {
+  apply(bits);
+  OptimizerResult r;
+  r.noise = evaluate();
+  r.bits = std::move(bits);
+  r.cost = 0.0;
+  for (std::size_t v = 0; v < r.bits.size(); ++v)
+    r.cost += weight(v) * r.bits[v];
+  r.evaluations = evaluations_;
+  r.feasible = r.noise <= cfg_.noise_budget;
+  return r;
+}
+
+OptimizerResult WordlengthOptimizer::uniform() {
+  for (int d = cfg_.min_bits; d <= cfg_.max_bits; ++d) {
+    std::vector<int> bits(variables_.size(), d);
+    apply(bits);
+    if (evaluate() <= cfg_.noise_budget) return package(std::move(bits));
+  }
+  return package(std::vector<int>(variables_.size(), cfg_.max_bits));
+}
+
+OptimizerResult WordlengthOptimizer::greedy_descent() {
+  std::vector<int> bits(variables_.size(), cfg_.max_bits);
+  apply(bits);
+  if (evaluate() > cfg_.noise_budget)
+    return package(std::move(bits));  // infeasible even at max
+  for (;;) {
+    std::size_t best = variables_.size();
+    double best_score = 0.0;
+    for (std::size_t v = 0; v < variables_.size(); ++v) {
+      if (bits[v] <= cfg_.min_bits) continue;
+      --bits[v];
+      apply(bits);
+      const double noise = evaluate();
+      if (noise <= cfg_.noise_budget) {
+        // Prefer the cheapest noise increase per unit cost saved.
+        const double score = weight(v) / std::max(noise, 1e-300);
+        if (best == variables_.size() || score > best_score) {
+          best = v;
+          best_score = score;
+        }
+      }
+      ++bits[v];
+    }
+    if (best == variables_.size()) break;
+    --bits[best];
+  }
+  return package(std::move(bits));
+}
+
+OptimizerResult WordlengthOptimizer::min_plus_one() {
+  // Per-variable lower bound: the fewest bits for variable v with all
+  // others at max (the standard "minimum word-length" initialization).
+  std::vector<int> bits(variables_.size(), cfg_.max_bits);
+  std::vector<int> lower(variables_.size(), cfg_.min_bits);
+  for (std::size_t v = 0; v < variables_.size(); ++v) {
+    for (int d = cfg_.min_bits; d <= cfg_.max_bits; ++d) {
+      bits[v] = d;
+      apply(bits);
+      if (evaluate() <= cfg_.noise_budget) {
+        lower[v] = d;
+        break;
+      }
+      lower[v] = cfg_.max_bits;
+    }
+    bits[v] = cfg_.max_bits;
+  }
+  // Start from the (usually infeasible) lower bounds and add the most
+  // effective bit until feasible.
+  bits = lower;
+  apply(bits);
+  double noise = evaluate();
+  while (noise > cfg_.noise_budget) {
+    std::size_t best = variables_.size();
+    double best_gain = 0.0;
+    for (std::size_t v = 0; v < variables_.size(); ++v) {
+      if (bits[v] >= cfg_.max_bits) continue;
+      ++bits[v];
+      apply(bits);
+      const double probe = evaluate();
+      const double gain = (noise - probe) / weight(v);
+      if (best == variables_.size() || gain > best_gain) {
+        best = v;
+        best_gain = gain;
+      }
+      --bits[v];
+    }
+    if (best == variables_.size()) break;  // everything saturated
+    ++bits[best];
+    apply(bits);
+    noise = evaluate();
+  }
+  return package(std::move(bits));
+}
+
+}  // namespace psdacc::opt

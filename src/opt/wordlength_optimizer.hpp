@@ -1,0 +1,73 @@
+// Word-length optimization driver — the design-automation loop the paper's
+// fast accuracy evaluation exists to serve.
+//
+// The optimizer owns a set of word-length variables (quantizer nodes and
+// quantized blocks of one SFG), a hardware-cost model (weighted sum of
+// fractional bits by default), and an output-noise budget. Strategies:
+//
+//  * uniform()        — smallest single d meeting the budget (baseline);
+//  * greedy_descent() — start generous, repeatedly remove the bit with the
+//    best cost/noise trade until no removal fits the budget (the classic
+//    "max -1 bit" heuristic);
+//  * min_plus_one()   — start from each variable's noise-constrained lower
+//    bound and add bits where they help most until the budget is met.
+//
+// Every probe is one O(N) PSD evaluation, so thousands of candidates per
+// second are feasible — the paper's scalability argument made concrete.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/psd_analyzer.hpp"
+#include "sfg/graph.hpp"
+
+namespace psdacc::opt {
+
+struct OptimizerConfig {
+  double noise_budget = 1e-6;  // max output noise power
+  int min_bits = 2;
+  int max_bits = 24;
+  std::size_t n_psd = 512;
+  /// Per-variable cost weight (e.g. multiplier width); empty = all 1.
+  std::vector<double> cost_weights;
+};
+
+struct OptimizerResult {
+  std::vector<int> bits;        // per variable, in variable order
+  double cost = 0.0;            // weighted bit total
+  double noise = 0.0;           // estimated output noise power
+  std::size_t evaluations = 0;  // PSD evaluations spent
+  bool feasible = false;        // noise <= budget
+};
+
+class WordlengthOptimizer {
+ public:
+  /// `variables` are node ids of QuantizerNodes or quantized BlockNodes in
+  /// `g`; the optimizer mutates their fractional bit counts in place
+  /// during the search and leaves the best assignment applied.
+  WordlengthOptimizer(sfg::Graph& g, std::vector<sfg::NodeId> variables,
+                      OptimizerConfig cfg);
+
+  OptimizerResult uniform();
+  OptimizerResult greedy_descent();
+  OptimizerResult min_plus_one();
+
+  /// Applies an assignment (one entry per variable).
+  void apply(const std::vector<int>& bits);
+  /// Estimated output noise for the currently applied assignment.
+  double evaluate();
+  std::size_t evaluations() const { return evaluations_; }
+
+ private:
+  double weight(std::size_t v) const;
+  OptimizerResult package(std::vector<int> bits);
+
+  sfg::Graph& graph_;
+  std::vector<sfg::NodeId> variables_;
+  OptimizerConfig cfg_;
+  core::PsdAnalyzer analyzer_;
+  std::size_t evaluations_ = 0;
+};
+
+}  // namespace psdacc::opt

@@ -1,0 +1,87 @@
+#include "sfg/dot.hpp"
+
+#include <sstream>
+
+namespace psdacc::sfg {
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string node_label(const Node& node) {
+  struct Visitor {
+    const Node& node;
+    std::string operator()(const InputNode&) const {
+      return node.name + "\\n(input)";
+    }
+    std::string operator()(const OutputNode&) const {
+      return node.name + "\\n(output)";
+    }
+    std::string operator()(const BlockNode& b) const {
+      std::string s = node.name + "\\nH(z) order " +
+                      std::to_string(std::max(b.tf.numerator().size(),
+                                              b.tf.denominator().size()) -
+                                     1);
+      if (b.output_format.has_value())
+        s += "\\n" + b.output_format->to_string();
+      return s;
+    }
+    std::string operator()(const GainNode& g) const {
+      return node.name + "\\nx " + std::to_string(g.gain);
+    }
+    std::string operator()(const DelayNode& d) const {
+      return node.name + "\\nz^-" + std::to_string(d.delay);
+    }
+    std::string operator()(const AdderNode&) const {
+      return node.name + "\\n(+)";
+    }
+    std::string operator()(const DownsampleNode& d) const {
+      return node.name + "\\nv " + std::to_string(d.factor);
+    }
+    std::string operator()(const UpsampleNode& u) const {
+      return node.name + "\\n^ " + std::to_string(u.factor);
+    }
+    std::string operator()(const QuantizerNode& q) const {
+      return node.name + "\\nQ " + q.format.to_string();
+    }
+  };
+  return std::visit(Visitor{node}, node.payload);
+}
+
+const char* node_shape(const NodePayload& payload) {
+  if (std::holds_alternative<QuantizerNode>(payload)) return "doublecircle";
+  if (const auto* b = std::get_if<BlockNode>(&payload))
+    return b->output_format.has_value() ? "box3d" : "box";
+  if (std::holds_alternative<AdderNode>(payload)) return "circle";
+  if (std::holds_alternative<InputNode>(payload) ||
+      std::holds_alternative<OutputNode>(payload))
+    return "plaintext";
+  return "ellipse";
+}
+
+}  // namespace
+
+std::string to_dot(const Graph& g, const std::string& title) {
+  std::ostringstream out;
+  out << "digraph \"" << escape(title) << "\" {\n"
+      << "  rankdir=LR;\n  node [fontsize=10];\n";
+  for (NodeId id = 0; id < g.node_count(); ++id) {
+    const Node& node = g.node(id);
+    out << "  n" << id << " [label=\"" << escape(node_label(node))
+        << "\", shape=" << node_shape(node.payload) << "];\n";
+  }
+  for (NodeId id = 0; id < g.node_count(); ++id) {
+    for (NodeId src : g.node(id).inputs)
+      out << "  n" << src << " -> n" << id << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace psdacc::sfg

@@ -1,0 +1,15 @@
+// Graphviz DOT export of signal-flow graphs, for debugging and
+// documentation of generated systems.
+#pragma once
+
+#include <string>
+
+#include "sfg/graph.hpp"
+
+namespace psdacc::sfg {
+
+/// Renders the graph in DOT syntax. Noise-injecting nodes are drawn as
+/// double circles; blocks are boxes labelled with name and order.
+std::string to_dot(const Graph& g, const std::string& title = "sfg");
+
+}  // namespace psdacc::sfg

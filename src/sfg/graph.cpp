@@ -1,0 +1,244 @@
+#include "sfg/graph.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace psdacc::sfg {
+
+const char* node_kind_name(const NodePayload& payload) {
+  struct Visitor {
+    const char* operator()(const InputNode&) const { return "input"; }
+    const char* operator()(const OutputNode&) const { return "output"; }
+    const char* operator()(const BlockNode&) const { return "block"; }
+    const char* operator()(const GainNode&) const { return "gain"; }
+    const char* operator()(const DelayNode&) const { return "delay"; }
+    const char* operator()(const AdderNode&) const { return "adder"; }
+    const char* operator()(const DownsampleNode&) const { return "down"; }
+    const char* operator()(const UpsampleNode&) const { return "up"; }
+    const char* operator()(const QuantizerNode&) const { return "quant"; }
+  };
+  return std::visit(Visitor{}, payload);
+}
+
+NodeId Graph::append(Node node) {
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+NodeId Graph::add_input(std::string name) {
+  return append(Node{InputNode{}, {}, std::move(name)});
+}
+
+NodeId Graph::add_output(NodeId src, std::string name) {
+  PSDACC_EXPECTS(src < nodes_.size());
+  return append(Node{OutputNode{}, {src}, std::move(name)});
+}
+
+NodeId Graph::add_block(NodeId src, filt::TransferFunction tf,
+                        std::optional<fxp::FixedPointFormat> output_format,
+                        std::string name) {
+  PSDACC_EXPECTS(src < nodes_.size());
+  return append(
+      Node{BlockNode{std::move(tf), output_format}, {src}, std::move(name)});
+}
+
+NodeId Graph::add_gain(NodeId src, double gain, std::string name) {
+  PSDACC_EXPECTS(src < nodes_.size());
+  return append(Node{GainNode{gain}, {src}, std::move(name)});
+}
+
+NodeId Graph::add_delay(NodeId src, std::size_t delay, std::string name) {
+  PSDACC_EXPECTS(src < nodes_.size());
+  return append(Node{DelayNode{delay}, {src}, std::move(name)});
+}
+
+NodeId Graph::add_adder(std::span<const NodeId> srcs,
+                        std::span<const double> signs, std::string name) {
+  PSDACC_EXPECTS(srcs.size() >= 1);
+  AdderNode adder;
+  if (signs.empty()) {
+    adder.signs.assign(srcs.size(), 1.0);
+  } else {
+    PSDACC_EXPECTS(signs.size() == srcs.size());
+    adder.signs.assign(signs.begin(), signs.end());
+  }
+  Node node{std::move(adder), {}, std::move(name)};
+  for (NodeId s : srcs) {
+    PSDACC_EXPECTS(s < nodes_.size());
+    node.inputs.push_back(s);
+  }
+  return append(std::move(node));
+}
+
+NodeId Graph::add_adder(std::initializer_list<NodeId> srcs,
+                        std::string name) {
+  std::vector<NodeId> v(srcs);
+  return add_adder(std::span<const NodeId>(v), {}, std::move(name));
+}
+
+NodeId Graph::add_downsample(NodeId src, std::size_t factor,
+                             std::string name) {
+  PSDACC_EXPECTS(src < nodes_.size());
+  PSDACC_EXPECTS(factor >= 1);
+  return append(Node{DownsampleNode{factor}, {src}, std::move(name)});
+}
+
+NodeId Graph::add_upsample(NodeId src, std::size_t factor, std::string name) {
+  PSDACC_EXPECTS(src < nodes_.size());
+  PSDACC_EXPECTS(factor >= 1);
+  return append(Node{UpsampleNode{factor}, {src}, std::move(name)});
+}
+
+NodeId Graph::add_quantizer(NodeId src, fxp::FixedPointFormat format,
+                            std::string name) {
+  return add_quantizer(src, format, fxp::continuous_quantization_noise(format),
+                       std::move(name));
+}
+
+NodeId Graph::add_quantizer(NodeId src, fxp::FixedPointFormat format,
+                            fxp::NoiseMoments moments, std::string name) {
+  PSDACC_EXPECTS(src < nodes_.size());
+  return append(
+      Node{QuantizerNode{format, moments}, {src}, std::move(name)});
+}
+
+void Graph::add_adder_input(NodeId adder, NodeId src, double sign) {
+  PSDACC_EXPECTS(adder < nodes_.size());
+  PSDACC_EXPECTS(src < nodes_.size());
+  auto* payload = std::get_if<AdderNode>(&nodes_[adder].payload);
+  PSDACC_EXPECTS(payload != nullptr);
+  nodes_[adder].inputs.push_back(src);
+  payload->signs.push_back(sign);
+}
+
+const Node& Graph::node(NodeId id) const {
+  PSDACC_EXPECTS(id < nodes_.size());
+  return nodes_[id];
+}
+
+Node& Graph::node(NodeId id) {
+  PSDACC_EXPECTS(id < nodes_.size());
+  return nodes_[id];
+}
+
+namespace {
+
+template <typename Predicate>
+std::vector<NodeId> collect(const std::vector<Node>& nodes, Predicate pred) {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < nodes.size(); ++i)
+    if (pred(nodes[i])) out.push_back(i);
+  return out;
+}
+
+}  // namespace
+
+std::vector<NodeId> Graph::inputs() const {
+  return collect(nodes_, [](const Node& n) {
+    return std::holds_alternative<InputNode>(n.payload);
+  });
+}
+
+std::vector<NodeId> Graph::outputs() const {
+  return collect(nodes_, [](const Node& n) {
+    return std::holds_alternative<OutputNode>(n.payload);
+  });
+}
+
+std::vector<NodeId> Graph::noise_sources() const {
+  return collect(nodes_, [](const Node& n) {
+    if (std::holds_alternative<QuantizerNode>(n.payload)) return true;
+    if (const auto* block = std::get_if<BlockNode>(&n.payload))
+      return block->output_format.has_value();
+    return false;
+  });
+}
+
+std::vector<std::vector<NodeId>> Graph::consumers() const {
+  std::vector<std::vector<NodeId>> out(nodes_.size());
+  for (NodeId i = 0; i < nodes_.size(); ++i)
+    for (NodeId src : nodes_[i].inputs) out[src].push_back(i);
+  return out;
+}
+
+bool Graph::has_cycles() const {
+  // Kahn's algorithm: cycle iff not all nodes are drained.
+  std::vector<std::size_t> indegree(nodes_.size(), 0);
+  for (NodeId i = 0; i < nodes_.size(); ++i)
+    indegree[i] = nodes_[i].inputs.size();
+  const auto cons = consumers();
+  std::vector<NodeId> ready;
+  for (NodeId i = 0; i < nodes_.size(); ++i)
+    if (indegree[i] == 0) ready.push_back(i);
+  std::size_t drained = 0;
+  while (!ready.empty()) {
+    const NodeId id = ready.back();
+    ready.pop_back();
+    ++drained;
+    for (NodeId c : cons[id])
+      if (--indegree[c] == 0) ready.push_back(c);
+  }
+  return drained != nodes_.size();
+}
+
+std::vector<NodeId> Graph::topological_order() const {
+  std::vector<std::size_t> indegree(nodes_.size(), 0);
+  for (NodeId i = 0; i < nodes_.size(); ++i)
+    indegree[i] = nodes_[i].inputs.size();
+  const auto cons = consumers();
+  std::vector<NodeId> ready;
+  for (NodeId i = 0; i < nodes_.size(); ++i)
+    if (indegree[i] == 0) ready.push_back(i);
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const NodeId id = ready.back();
+    ready.pop_back();
+    order.push_back(id);
+    for (NodeId c : cons[id])
+      if (--indegree[c] == 0) ready.push_back(c);
+  }
+  PSDACC_ENSURES(order.size() == nodes_.size());  // acyclic
+  return order;
+}
+
+void Graph::validate() const {
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    for (NodeId src : n.inputs) PSDACC_EXPECTS(src < nodes_.size());
+    struct ArityVisitor {
+      std::size_t fan_in;
+      void operator()(const InputNode&) const { PSDACC_EXPECTS(fan_in == 0); }
+      void operator()(const OutputNode&) const { PSDACC_EXPECTS(fan_in == 1); }
+      void operator()(const BlockNode&) const { PSDACC_EXPECTS(fan_in == 1); }
+      void operator()(const GainNode&) const { PSDACC_EXPECTS(fan_in == 1); }
+      void operator()(const DelayNode&) const { PSDACC_EXPECTS(fan_in == 1); }
+      void operator()(const AdderNode& a) const {
+        PSDACC_EXPECTS(fan_in >= 1);
+        PSDACC_EXPECTS(a.signs.size() == fan_in);
+      }
+      void operator()(const DownsampleNode& d) const {
+        PSDACC_EXPECTS(fan_in == 1);
+        PSDACC_EXPECTS(d.factor >= 1);
+      }
+      void operator()(const UpsampleNode& u) const {
+        PSDACC_EXPECTS(fan_in == 1);
+        PSDACC_EXPECTS(u.factor >= 1);
+      }
+      void operator()(const QuantizerNode&) const {
+        PSDACC_EXPECTS(fan_in == 1);
+      }
+    };
+    std::visit(ArityVisitor{n.inputs.size()}, n.payload);
+  }
+}
+
+bool Graph::is_single_rate() const {
+  return std::none_of(nodes_.begin(), nodes_.end(), [](const Node& n) {
+    return std::holds_alternative<DownsampleNode>(n.payload) ||
+           std::holds_alternative<UpsampleNode>(n.payload);
+  });
+}
+
+}  // namespace psdacc::sfg

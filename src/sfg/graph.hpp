@@ -1,0 +1,76 @@
+// Signal-flow graph container and builder API.
+//
+// Nodes are appended through typed add_* methods that wire fan-in edges at
+// construction; feedback loops are created afterwards with
+// `add_adder_input` and must be removed by `collapse_loops` (see
+// transform.hpp) before any analysis or simulation runs (method step 1 of
+// the paper).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sfg/node.hpp"
+
+namespace psdacc::sfg {
+
+class Graph {
+ public:
+  NodeId add_input(std::string name = "in");
+  NodeId add_output(NodeId src, std::string name = "out");
+  NodeId add_block(NodeId src, filt::TransferFunction tf,
+                   std::optional<fxp::FixedPointFormat> output_format = {},
+                   std::string name = "block");
+  NodeId add_gain(NodeId src, double gain, std::string name = "gain");
+  NodeId add_delay(NodeId src, std::size_t delay, std::string name = "delay");
+  NodeId add_adder(std::span<const NodeId> srcs,
+                   std::span<const double> signs = {},
+                   std::string name = "add");
+  NodeId add_adder(std::initializer_list<NodeId> srcs,
+                   std::string name = "add");
+  NodeId add_downsample(NodeId src, std::size_t factor,
+                        std::string name = "down");
+  NodeId add_upsample(NodeId src, std::size_t factor,
+                      std::string name = "up");
+  NodeId add_quantizer(NodeId src, fxp::FixedPointFormat format,
+                       std::string name = "quant");
+  NodeId add_quantizer(NodeId src, fxp::FixedPointFormat format,
+                       fxp::NoiseMoments moments, std::string name = "quant");
+
+  /// Adds a (possibly feedback) input edge to an existing adder.
+  void add_adder_input(NodeId adder, NodeId src, double sign = 1.0);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const Node& node(NodeId id) const;
+  Node& node(NodeId id);
+
+  /// Ids of all Input / Output / noise-injecting nodes.
+  std::vector<NodeId> inputs() const;
+  std::vector<NodeId> outputs() const;
+  std::vector<NodeId> noise_sources() const;
+
+  /// Consumers of each node (inverse adjacency), rebuilt on call.
+  std::vector<std::vector<NodeId>> consumers() const;
+
+  /// True when the graph contains at least one cycle.
+  bool has_cycles() const;
+
+  /// Topological order (asserts acyclicity).
+  std::vector<NodeId> topological_order() const;
+
+  /// Structural checks: edges in range, fan-in arity per node kind, adder
+  /// sign count matches fan-in. Aborts via contract violation on failure.
+  void validate() const;
+
+  /// True if the graph contains no Up/Downsample nodes (required by the
+  /// flat analyzer, which assumes a single-rate LTI system).
+  bool is_single_rate() const;
+
+ private:
+  NodeId append(Node node);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace psdacc::sfg

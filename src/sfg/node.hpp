@@ -1,0 +1,86 @@
+// Node taxonomy for signal-flow graphs (SFG).
+//
+// An SFG is the paper's system model (Fig. 1): LTI blocks delimited by
+// additive quantization-noise sources. psdacc represents word-length
+// decisions explicitly:
+//
+//  * a `QuantizerNode` quantizes the signal passing through it and is the
+//    canonical additive-noise source b_i of the paper;
+//  * a `BlockNode` may carry an `output_format`, meaning the block's output
+//    (including the recursive state of an IIR realization) is quantized
+//    every sample. Its noise enters *inside* the recursion and therefore is
+//    shaped by the noise transfer function 1/A(z) rather than B(z)/A(z).
+//
+// All other nodes are exact (adders of same-format operands, delays,
+// up/downsamplers introduce no new fractional bits).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "filters/transfer_function.hpp"
+#include "fixedpoint/format.hpp"
+#include "fixedpoint/noise_model.hpp"
+
+namespace psdacc::sfg {
+
+using NodeId = std::size_t;
+
+struct InputNode {};
+
+struct OutputNode {};
+
+struct BlockNode {
+  filt::TransferFunction tf;
+  /// When set, the block output is re-quantized each sample; analytically
+  /// this injects PQN noise shaped by 1/A(z).
+  std::optional<fxp::FixedPointFormat> output_format;
+};
+
+struct GainNode {
+  double gain = 1.0;
+};
+
+struct DelayNode {
+  std::size_t delay = 1;
+};
+
+/// Adds its inputs with per-input signs (+1/-1 typically).
+struct AdderNode {
+  std::vector<double> signs;
+};
+
+struct DownsampleNode {
+  std::size_t factor = 2;
+};
+
+struct UpsampleNode {
+  std::size_t factor = 2;
+};
+
+/// Pass-through quantizer: rounds the signal to `format` and is the
+/// additive noise source of Eq. 10. `moments` defaults to the
+/// continuous-amplitude PQN statistics of `format` but can be overridden
+/// (e.g. narrowing re-quantization).
+struct QuantizerNode {
+  fxp::FixedPointFormat format;
+  fxp::NoiseMoments moments;
+};
+
+using NodePayload =
+    std::variant<InputNode, OutputNode, BlockNode, GainNode, DelayNode,
+                 AdderNode, DownsampleNode, UpsampleNode, QuantizerNode>;
+
+struct Node {
+  NodePayload payload;
+  std::vector<NodeId> inputs;  // producer ids, ordered
+  std::string name;
+};
+
+/// Human-readable payload tag, for diagnostics.
+const char* node_kind_name(const NodePayload& payload);
+
+}  // namespace psdacc::sfg

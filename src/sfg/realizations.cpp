@@ -1,0 +1,53 @@
+#include "sfg/realizations.hpp"
+
+#include "support/assert.hpp"
+
+namespace psdacc::sfg {
+
+Graph build_direct_form(const filt::TransferFunction& tf,
+                        const fxp::FixedPointFormat& fmt) {
+  Graph g;
+  const auto in = g.add_input();
+  const auto q = g.add_quantizer(in, fmt, "q_in");
+  g.add_output(g.add_block(q, tf, fmt, "direct"));
+  g.validate();
+  return g;
+}
+
+Graph build_cascade_form(const std::vector<filt::Biquad>& sections,
+                         const fxp::FixedPointFormat& fmt) {
+  PSDACC_EXPECTS(!sections.empty());
+  Graph g;
+  const auto in = g.add_input();
+  NodeId head = g.add_quantizer(in, fmt, "q_in");
+  int index = 0;
+  for (const auto& s : sections) {
+    head = g.add_block(head, s.tf(), fmt,
+                       "sos" + std::to_string(index++));
+  }
+  g.add_output(head);
+  g.validate();
+  return g;
+}
+
+Graph build_parallel_form(const filt::ParallelForm& form,
+                          const fxp::FixedPointFormat& fmt) {
+  PSDACC_EXPECTS(!form.sections.empty());
+  Graph g;
+  const auto in = g.add_input();
+  const auto q = g.add_quantizer(in, fmt, "q_in");
+  std::vector<NodeId> branches;
+  if (form.direct != 0.0)
+    branches.push_back(g.add_gain(q, form.direct, "direct"));
+  int index = 0;
+  for (const auto& s : form.sections) {
+    branches.push_back(
+        g.add_block(q, s.tf(), fmt, "par" + std::to_string(index++)));
+  }
+  const auto sum = g.add_adder(std::span<const NodeId>(branches), {}, "sum");
+  g.add_output(sum);
+  g.validate();
+  return g;
+}
+
+}  // namespace psdacc::sfg

@@ -1,0 +1,26 @@
+// SFG builders for the three classical IIR realization forms of the same
+// H(z) — direct, cascade of biquads, parallel — with every section output
+// quantized. Together with the PSD engine this reproduces the Jackson-
+// style realization-form roundoff-noise comparison (the paper's reference
+// [10]).
+#pragma once
+
+#include "filters/sos.hpp"
+#include "sfg/graph.hpp"
+
+namespace psdacc::sfg {
+
+/// in -> Q(fmt) -> [single quantized block H(z)] -> out.
+Graph build_direct_form(const filt::TransferFunction& tf,
+                        const fxp::FixedPointFormat& fmt);
+
+/// in -> Q(fmt) -> [biquad 1, quantized] -> ... -> [biquad k] -> out.
+Graph build_cascade_form(const std::vector<filt::Biquad>& sections,
+                         const fxp::FixedPointFormat& fmt);
+
+/// in -> Q(fmt) -> parallel branches (each a quantized first/second-order
+/// block plus the direct gain) -> adder -> out.
+Graph build_parallel_form(const filt::ParallelForm& form,
+                          const fxp::FixedPointFormat& fmt);
+
+}  // namespace psdacc::sfg

@@ -1,0 +1,164 @@
+#include "sfg/transform.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "support/assert.hpp"
+
+namespace psdacc::sfg {
+
+std::vector<std::vector<NodeId>> find_cycles(const Graph& g) {
+  // Tarjan's strongly-connected components over the consumer adjacency.
+  const std::size_t n = g.node_count();
+  const auto adj = g.consumers();
+  std::vector<int> index(n, -1);
+  std::vector<int> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  std::vector<std::vector<NodeId>> sccs;
+  int next_index = 0;
+
+  std::function<void(NodeId)> strongconnect = [&](NodeId v) {
+    index[v] = lowlink[v] = next_index++;
+    stack.push_back(v);
+    on_stack[v] = true;
+    for (NodeId w : adj[v]) {
+      if (index[w] < 0) {
+        strongconnect(w);
+        lowlink[v] = std::min(lowlink[v], lowlink[w]);
+      } else if (on_stack[w]) {
+        lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+    }
+    if (lowlink[v] == index[v]) {
+      std::vector<NodeId> scc;
+      NodeId w;
+      do {
+        w = stack.back();
+        stack.pop_back();
+        on_stack[w] = false;
+        scc.push_back(w);
+      } while (w != v);
+      const bool self_loop =
+          scc.size() == 1 &&
+          std::find(adj[scc[0]].begin(), adj[scc[0]].end(), scc[0]) !=
+              adj[scc[0]].end();
+      if (scc.size() >= 2 || self_loop) sccs.push_back(std::move(scc));
+    }
+  };
+
+  for (NodeId v = 0; v < n; ++v)
+    if (index[v] < 0) strongconnect(v);
+  return sccs;
+}
+
+namespace {
+
+// Transfer function of a loop-body node; asserts it is LTI and unquantized.
+filt::TransferFunction loop_node_tf(const Node& node) {
+  if (const auto* block = std::get_if<BlockNode>(&node.payload)) {
+    PSDACC_EXPECTS(!block->output_format.has_value());
+    return block->tf;
+  }
+  if (const auto* gain = std::get_if<GainNode>(&node.payload))
+    return filt::TransferFunction::gain(gain->gain);
+  if (const auto* delay = std::get_if<DelayNode>(&node.payload))
+    return filt::TransferFunction::delay(delay->delay);
+  PSDACC_EXPECTS(false && "unsupported node kind inside a feedback loop");
+  return filt::TransferFunction::identity();
+}
+
+}  // namespace
+
+Graph collapse_loops(const Graph& g) {
+  if (!g.has_cycles()) return g;
+  Graph out = g;
+  const auto sccs = find_cycles(out);
+  for (const auto& scc : sccs) {
+    PSDACC_EXPECTS(scc.size() >= 2 && "self-loops are not supported");
+    const auto in_scc = [&](NodeId id) {
+      return std::find(scc.begin(), scc.end(), id) != scc.end();
+    };
+    // Exactly one adder closes the loop.
+    std::vector<NodeId> adders;
+    for (NodeId id : scc)
+      if (std::holds_alternative<AdderNode>(out.node(id).payload))
+        adders.push_back(id);
+    PSDACC_EXPECTS(adders.size() == 1 &&
+                   "loop must contain exactly one adder");
+    const NodeId adder_id = adders[0];
+
+    // Locate the unique feedback edge into the adder.
+    auto& adder_node = out.node(adder_id);
+    auto& adder = std::get<AdderNode>(adder_node.payload);
+    std::size_t fb_port = adder_node.inputs.size();
+    for (std::size_t i = 0; i < adder_node.inputs.size(); ++i) {
+      if (in_scc(adder_node.inputs[i])) {
+        PSDACC_EXPECTS(fb_port == adder_node.inputs.size() &&
+                       "loop must have a single feedback edge");
+        fb_port = i;
+      }
+    }
+    PSDACC_EXPECTS(fb_port < adder_node.inputs.size());
+    const double fb_sign = adder.signs[fb_port];
+    const NodeId fb_src = adder_node.inputs[fb_port];
+
+    // Walk backwards fb_src -> ... -> adder collecting the loop path.
+    std::vector<NodeId> path;  // reverse order: fb_src first
+    NodeId cursor = fb_src;
+    while (cursor != adder_id) {
+      PSDACC_EXPECTS(in_scc(cursor));
+      path.push_back(cursor);
+      const auto& node = out.node(cursor);
+      PSDACC_EXPECTS(node.inputs.size() == 1 &&
+                     "loop body must be a simple chain");
+      cursor = node.inputs[0];
+    }
+    PSDACC_EXPECTS(path.size() + 1 == scc.size() &&
+                   "loop body must contain all SCC nodes");
+
+    // Loop nodes must not feed anything outside the loop.
+    const auto cons = out.consumers();
+    for (NodeId id : path) {
+      for (NodeId c : cons[id]) PSDACC_EXPECTS(in_scc(c));
+    }
+
+    // Loop transfer function L(z) = cascade along adder -> ... -> fb_src.
+    filt::TransferFunction loop_tf = filt::TransferFunction::identity();
+    for (auto it = path.rbegin(); it != path.rend(); ++it)
+      loop_tf = loop_tf.cascade(loop_node_tf(out.node(*it)));
+
+    // Closed loop: u = sum(ext) + fb_sign * L(z) * u
+    //   =>  H_cl(z) = 1 / (1 - fb_sign * L(z)).
+    const auto h_cl = filt::TransferFunction::identity().feedback(
+        filt::TransferFunction::gain(-fb_sign).cascade(loop_tf));
+    PSDACC_EXPECTS(h_cl.is_stable() && "collapsed loop must be stable");
+
+    // Remove the feedback edge.
+    adder_node.inputs.erase(adder_node.inputs.begin() +
+                            static_cast<std::ptrdiff_t>(fb_port));
+    adder.signs.erase(adder.signs.begin() +
+                      static_cast<std::ptrdiff_t>(fb_port));
+
+    // Insert the closed-loop block and rewire external consumers of the
+    // adder to it.
+    const NodeId cl_id =
+        out.add_block(adder_id, h_cl, {}, adder_node.name + "_closed");
+    for (NodeId c = 0; c < out.node_count(); ++c) {
+      if (c == cl_id || in_scc(c)) continue;
+      for (NodeId& src : out.node(c).inputs)
+        if (src == adder_id) src = cl_id;
+    }
+    // Neutralize the now-dead loop body nodes.
+    for (NodeId id : path) {
+      Node& dead = out.node(id);
+      dead.payload = GainNode{0.0};
+      dead.inputs = {cl_id};
+      dead.name += "_dead";
+    }
+  }
+  PSDACC_ENSURES(!out.has_cycles());
+  return out;
+}
+
+}  // namespace psdacc::sfg

@@ -1,0 +1,31 @@
+// SFG transformations — step 1 of the paper's method: "detect cycles in the
+// SFG and break them to obtain an equivalent acyclic SFG ... using classical
+// SFG transformations".
+//
+// Supported loop shape: a single feedback loop through one adder, where the
+// forward return path consists of LTI nodes (blocks without quantization,
+// gains, delays) none of which feed nodes outside the loop. The loop is
+// replaced by an equivalent closed-loop block 1 / (1 - sign * L(z)) placed
+// after the adder, where L(z) is the cascade of the loop path. Quantizers
+// inside loops are not supported — model a quantized recursion as a
+// BlockNode with a rational transfer function instead (its noise transfer
+// function 1/A(z) is handled natively).
+#pragma once
+
+#include <vector>
+
+#include "sfg/graph.hpp"
+
+namespace psdacc::sfg {
+
+/// Strongly connected components with >= 2 nodes, or single nodes with a
+/// self-loop (Tarjan). Each inner vector lists the member node ids.
+std::vector<std::vector<NodeId>> find_cycles(const Graph& g);
+
+/// Collapses every feedback loop as described above, returning a new
+/// acyclic graph. Node ids are preserved for nodes outside loops; loop
+/// bodies are rewritten. Aborts (contract violation) on unsupported loop
+/// shapes. Returns `g` unchanged when it is already acyclic.
+Graph collapse_loops(const Graph& g);
+
+}  // namespace psdacc::sfg

@@ -1,0 +1,70 @@
+#include "sim/error_measurement.hpp"
+
+#include "core/metrics.hpp"
+#include "dsp/spectral.hpp"
+#include "sim/executor.hpp"
+#include "support/assert.hpp"
+#include "support/statistics.hpp"
+
+namespace psdacc::sim {
+
+ErrorMeasurement measure_output_error(const sfg::Graph& g,
+                                      std::span<const double> input,
+                                      std::size_t discard) {
+  const auto ref = execute_sisos(g, input, Mode::kReference);
+  const auto fx = execute_sisos(g, input, Mode::kFixedPoint);
+  PSDACC_EXPECTS(ref.size() == fx.size());
+  PSDACC_EXPECTS(ref.size() > discard);
+
+  ErrorMeasurement m;
+  m.signal.reserve(ref.size() - discard);
+  RunningStats stats;
+  for (std::size_t i = discard; i < ref.size(); ++i) {
+    const double e = fx[i] - ref[i];
+    m.signal.push_back(e);
+    stats.add(e);
+  }
+  m.power = stats.mean_square();
+  m.mean = stats.mean();
+  m.variance = stats.variance();
+  m.samples = stats.count();
+  return m;
+}
+
+std::vector<double> measured_error_psd(const ErrorMeasurement& m,
+                                       std::size_t n_bins) {
+  PSDACC_EXPECTS(!m.signal.empty());
+  // Welch on the zero-mean part, then put the DC power back in bin 0 so the
+  // total matches E[err^2].
+  std::vector<double> centered(m.signal.size());
+  for (std::size_t i = 0; i < centered.size(); ++i)
+    centered[i] = m.signal[i] - m.mean;
+  auto psd = dsp::welch_psd(centered, n_bins);
+  psd[0] += m.mean * m.mean;
+  return psd;
+}
+
+AccuracyReport evaluate_accuracy(const sfg::Graph& g,
+                                 const EvaluationConfig& cfg) {
+  Xoshiro256 rng(cfg.seed);
+  const auto input =
+      uniform_signal(cfg.sim_samples, cfg.input_amplitude, rng);
+
+  AccuracyReport report;
+  report.simulated_power =
+      measure_output_error(g, input, cfg.discard).power;
+
+  const core::PsdAnalyzer psd(g, {.n_psd = cfg.n_psd});
+  report.psd_power = psd.output_noise_power();
+
+  const core::MomentAnalyzer moments(g);
+  report.moment_power = moments.output_noise_power();
+
+  report.psd_ed =
+      core::mse_deviation(report.simulated_power, report.psd_power);
+  report.moment_ed =
+      core::mse_deviation(report.simulated_power, report.moment_power);
+  return report;
+}
+
+}  // namespace psdacc::sim

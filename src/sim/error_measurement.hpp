@@ -1,0 +1,57 @@
+// Monte-Carlo measurement of the fixed-point error at a graph output, and
+// the top-level harness tying simulation to the three analytical engines.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/moment_analyzer.hpp"
+#include "core/psd_analyzer.hpp"
+#include "sfg/graph.hpp"
+#include "support/random.hpp"
+
+namespace psdacc::sim {
+
+/// What the simulation measured at the output.
+struct ErrorMeasurement {
+  double power = 0.0;          // E[err^2]
+  double mean = 0.0;           // E[err]
+  double variance = 0.0;       // Var[err]
+  std::size_t samples = 0;     // error samples actually accumulated
+  std::vector<double> signal;  // the raw error signal (optional use)
+};
+
+/// Simulates the graph twice (reference vs fixed-point) on `input` and
+/// returns the statistics of the output difference. `discard` initial
+/// samples are dropped to skip filter transients.
+ErrorMeasurement measure_output_error(const sfg::Graph& g,
+                                      std::span<const double> input,
+                                      std::size_t discard = 0);
+
+/// Welch PSD of the simulated error over n_bins, normalized so that
+/// sum(bins) == E[err^2]. For validating the estimated spectrum shape.
+std::vector<double> measured_error_psd(const ErrorMeasurement& m,
+                                       std::size_t n_bins);
+
+/// One-stop comparison of the three estimates against simulation.
+struct AccuracyReport {
+  double simulated_power = 0.0;
+  double psd_power = 0.0;       // proposed method
+  double moment_power = 0.0;    // PSD-agnostic baseline
+  double psd_ed = 0.0;          // Eq. 15 deviations
+  double moment_ed = 0.0;
+};
+
+struct EvaluationConfig {
+  std::size_t n_psd = 1024;
+  std::size_t sim_samples = 1u << 20;
+  std::size_t discard = 1024;
+  std::uint64_t seed = 42;
+  double input_amplitude = 0.9;  // uniform input in [-a, a]
+};
+
+/// Runs the full comparison on a SISO graph with a uniform random input.
+AccuracyReport evaluate_accuracy(const sfg::Graph& g,
+                                 const EvaluationConfig& cfg);
+
+}  // namespace psdacc::sim

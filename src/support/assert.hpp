@@ -1,0 +1,31 @@
+// Lightweight contract-checking macros (Core Guidelines I.6 / E.12 style).
+//
+// PSDACC_EXPECTS / PSDACC_ENSURES check pre/post-conditions and abort with a
+// source location on violation; they stay active in release builds because
+// the library is used for numerical experiments where silent corruption is
+// worse than a crash.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace psdacc::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "psdacc: %s violation: (%s) at %s:%d\n", kind, expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace psdacc::detail
+
+#define PSDACC_EXPECTS(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::psdacc::detail::contract_failure("precondition", #cond,     \
+                                               __FILE__, __LINE__))
+
+#define PSDACC_ENSURES(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::psdacc::detail::contract_failure("postcondition", #cond,    \
+                                               __FILE__, __LINE__))

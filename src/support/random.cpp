@@ -1,0 +1,138 @@
+#include "support/random.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/assert.hpp"
+
+namespace psdacc {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) {
+  PSDACC_EXPECTS(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+double Xoshiro256::gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Xoshiro256::gaussian(double mean, double stddev) {
+  PSDACC_EXPECTS(stddev >= 0.0);
+  return mean + stddev * gaussian();
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t n) {
+  PSDACC_EXPECTS(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (~0ull - n + 1) % n;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::vector<double> gaussian_signal(std::size_t n, Xoshiro256& rng) {
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.gaussian();
+  return out;
+}
+
+std::vector<double> uniform_signal(std::size_t n, double amplitude,
+                                   Xoshiro256& rng) {
+  PSDACC_EXPECTS(amplitude >= 0.0);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.uniform(-amplitude, amplitude);
+  return out;
+}
+
+std::vector<double> multitone_signal(std::size_t n, int tones,
+                                     double amplitude, Xoshiro256& rng) {
+  PSDACC_EXPECTS(tones > 0);
+  std::vector<double> out(n, 0.0);
+  std::vector<double> freqs(static_cast<std::size_t>(tones));
+  std::vector<double> phases(static_cast<std::size_t>(tones));
+  for (int t = 0; t < tones; ++t) {
+    freqs[static_cast<std::size_t>(t)] = rng.uniform(0.01, 0.49);
+    phases[static_cast<std::size_t>(t)] =
+        rng.uniform(0.0, 2.0 * std::numbers::pi);
+  }
+  double peak = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = 0.0;
+    for (int t = 0; t < tones; ++t) {
+      const auto ti = static_cast<std::size_t>(t);
+      v += std::sin(2.0 * std::numbers::pi * freqs[ti] *
+                        static_cast<double>(i) +
+                    phases[ti]);
+    }
+    out[i] = v;
+    peak = std::max(peak, std::abs(v));
+  }
+  if (peak > 0.0) {
+    for (auto& v : out) v *= amplitude / peak;
+  }
+  return out;
+}
+
+std::vector<double> ar1_signal(std::size_t n, double rho, Xoshiro256& rng) {
+  PSDACC_EXPECTS(rho > -1.0 && rho < 1.0);
+  std::vector<double> out(n);
+  // Innovation variance chosen so the stationary variance is 1.
+  const double innovation = std::sqrt(1.0 - rho * rho);
+  double state = rng.gaussian();
+  for (auto& v : out) {
+    state = rho * state + innovation * rng.gaussian();
+    v = state;
+  }
+  return out;
+}
+
+}  // namespace psdacc

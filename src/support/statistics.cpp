@@ -1,0 +1,85 @@
+#include "support/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace psdacc {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::add(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+double RunningStats::variance() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::mean_square() const {
+  return mean() * mean() + variance();
+}
+
+double mean(std::span<const double> xs) {
+  PSDACC_EXPECTS(!xs.empty());
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  PSDACC_EXPECTS(!xs.empty());
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double mean_square(std::span<const double> xs) {
+  PSDACC_EXPECTS(!xs.empty());
+  double acc = 0.0;
+  for (double x : xs) acc += x * x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double min_element(std::span<const double> xs) {
+  PSDACC_EXPECTS(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_element(std::span<const double> xs) {
+  PSDACC_EXPECTS(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double mean_abs(std::span<const double> xs) {
+  PSDACC_EXPECTS(!xs.empty());
+  double acc = 0.0;
+  for (double x : xs) acc += std::abs(x);
+  return acc / static_cast<double>(xs.size());
+}
+
+std::vector<double> subtract(std::span<const double> a,
+                             std::span<const double> b) {
+  PSDACC_EXPECTS(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+}  // namespace psdacc

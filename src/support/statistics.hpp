@@ -1,0 +1,48 @@
+// Basic descriptive statistics used throughout the accuracy experiments.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace psdacc {
+
+/// Running mean/variance accumulator (Welford). Numerically stable for the
+/// 10^6-10^7 sample Monte-Carlo runs used by the simulation engine.
+class RunningStats {
+ public:
+  void add(double x);
+  void add(std::span<const double> xs);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divides by n).
+  double variance() const;
+  double stddev() const;
+  /// Second raw moment E[x^2] = mean^2 + variance.
+  double mean_square() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(std::span<const double> xs);
+/// Population variance (divides by n).
+double variance(std::span<const double> xs);
+/// Second raw moment E[x^2].
+double mean_square(std::span<const double> xs);
+double min_element(std::span<const double> xs);
+double max_element(std::span<const double> xs);
+/// Mean of |x_i|.
+double mean_abs(std::span<const double> xs);
+/// Element-wise difference a - b (sizes must match).
+std::vector<double> subtract(std::span<const double> a,
+                             std::span<const double> b);
+
+}  // namespace psdacc

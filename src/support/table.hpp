@@ -1,0 +1,30 @@
+// Minimal fixed-width text table used by the benchmark harnesses to print
+// paper-style tables (Table I, Table II, ...) to stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace psdacc {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Renders the table with column-aligned cells and a header separator.
+  std::string render() const;
+  /// Renders and writes to stdout.
+  void print() const;
+
+  /// Formats a double with `digits` significant digits.
+  static std::string num(double v, int digits = 4);
+  /// Formats a value as a percentage string, e.g. "-8.40%".
+  static std::string percent(double fraction, int decimals = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace psdacc

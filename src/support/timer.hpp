@@ -1,0 +1,24 @@
+// Wall-clock stopwatch for the paper's timing experiments (Fig. 6).
+#pragma once
+
+#include <chrono>
+
+namespace psdacc {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace psdacc

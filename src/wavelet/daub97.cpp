@@ -1,0 +1,48 @@
+#include "wavelet/daub97.hpp"
+
+namespace psdacc::wav {
+namespace {
+
+// Standard CDF 9/7 coefficients (JPEG 2000 Part 1, irreversible).
+const std::vector<double> kH0 = {
+    0.026748757410810898,  -0.016864118442875890, -0.078223266528990024,
+    0.266864118442875900,  0.602949018236360340,  0.266864118442875900,
+    -0.078223266528990024, -0.016864118442875890, 0.026748757410810898};
+
+const std::vector<double> kH1 = {
+    0.091271763114249850,  -0.057543526228499310, -0.591271763114249850,
+    1.115087052456994400,  -0.591271763114249850, -0.057543526228499310,
+    0.091271763114249850};
+
+std::vector<double> derive_g0() {
+  // g0[n] = -(-1)^n h1[n].
+  std::vector<double> g(kH1.size());
+  for (std::size_t n = 0; n < kH1.size(); ++n)
+    g[n] = (n % 2 == 0 ? -1.0 : 1.0) * kH1[n];
+  return g;
+}
+
+std::vector<double> derive_g1() {
+  // g1[n] = (-1)^n h0[n].
+  std::vector<double> g(kH0.size());
+  for (std::size_t n = 0; n < kH0.size(); ++n)
+    g[n] = (n % 2 == 0 ? 1.0 : -1.0) * kH0[n];
+  return g;
+}
+
+}  // namespace
+
+const std::vector<double>& analysis_lowpass() { return kH0; }
+const std::vector<double>& analysis_highpass() { return kH1; }
+
+const std::vector<double>& synthesis_lowpass() {
+  static const std::vector<double> g0 = derive_g0();
+  return g0;
+}
+
+const std::vector<double>& synthesis_highpass() {
+  static const std::vector<double> g1 = derive_g1();
+  return g1;
+}
+
+}  // namespace psdacc::wav

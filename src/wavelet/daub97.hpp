@@ -1,0 +1,25 @@
+// Cohen-Daubechies-Feauveau 9/7 biorthogonal wavelet filter bank — the
+// irreversible transform of JPEG 2000 and the paper's third benchmark.
+//
+// Conventions: analysis low-pass h0 (9 taps, sum 1), analysis high-pass h1
+// (7 taps, sum 0), synthesis low-pass g0 (7 taps, sum 2), synthesis
+// high-pass g1 (9 taps, sum 0), related by g0[n] = -(-1)^n h1[n] and
+// g1[n] = (-1)^n h0[n]. The two-channel bank
+//   y = (g0 * up2(down2(h0 * x))) + (g1 * up2(down2(h1 * x)))
+// reconstructs x with a delay of kReconstructionDelay samples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace psdacc::wav {
+
+/// Reconstruction delay of one analysis+synthesis level, in samples.
+inline constexpr std::size_t kReconstructionDelay = 7;
+
+const std::vector<double>& analysis_lowpass();   // h0, 9 taps
+const std::vector<double>& analysis_highpass();  // h1, 7 taps
+const std::vector<double>& synthesis_lowpass();  // g0, 7 taps
+const std::vector<double>& synthesis_highpass(); // g1, 9 taps
+
+}  // namespace psdacc::wav

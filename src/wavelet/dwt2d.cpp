@@ -1,0 +1,183 @@
+#include "wavelet/dwt2d.hpp"
+
+#include "fixedpoint/quantizer.hpp"
+#include "support/assert.hpp"
+#include "wavelet/daub97.hpp"
+
+namespace psdacc::wav {
+namespace {
+
+using img::Image;
+
+std::vector<double> maybe_quantize(
+    std::vector<double> v, const std::optional<fxp::FixedPointFormat>& fmt) {
+  if (!fmt.has_value()) return v;
+  return fxp::quantize(v, *fmt);
+}
+
+// Filters + 2:1 decimates every row (along columns) with h.
+Image filter_rows_down(const Image& x, const std::vector<double>& h,
+                       const std::optional<fxp::FixedPointFormat>& fmt) {
+  PSDACC_EXPECTS(x.cols() % 2 == 0);
+  Image out(x.rows(), x.cols() / 2);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto filtered = maybe_quantize(circular_filter(x.row(r), h), fmt);
+    std::vector<double> down(x.cols() / 2);
+    for (std::size_t c = 0; c < down.size(); ++c) down[c] = filtered[2 * c];
+    out.set_row(r, down);
+  }
+  return out;
+}
+
+Image filter_cols_down(const Image& x, const std::vector<double>& h,
+                       const std::optional<fxp::FixedPointFormat>& fmt) {
+  PSDACC_EXPECTS(x.rows() % 2 == 0);
+  Image out(x.rows() / 2, x.cols());
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    const auto filtered = maybe_quantize(circular_filter(x.col(c), h), fmt);
+    std::vector<double> down(x.rows() / 2);
+    for (std::size_t r = 0; r < down.size(); ++r) down[r] = filtered[2 * r];
+    out.set_col(c, down);
+  }
+  return out;
+}
+
+// Upsamples 1:2 and filters every row with h.
+Image up_filter_rows(const Image& x, const std::vector<double>& h,
+                     const std::optional<fxp::FixedPointFormat>& fmt) {
+  Image out(x.rows(), x.cols() * 2);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    std::vector<double> up(row.size() * 2, 0.0);
+    for (std::size_t c = 0; c < row.size(); ++c) up[2 * c] = row[c];
+    out.set_row(r, maybe_quantize(circular_filter(up, h), fmt));
+  }
+  return out;
+}
+
+Image up_filter_cols(const Image& x, const std::vector<double>& h,
+                     const std::optional<fxp::FixedPointFormat>& fmt) {
+  Image out(x.rows() * 2, x.cols());
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    const auto col = x.col(c);
+    std::vector<double> up(col.size() * 2, 0.0);
+    for (std::size_t r = 0; r < col.size(); ++r) up[2 * r] = col[r];
+    out.set_col(c, maybe_quantize(circular_filter(up, h), fmt));
+  }
+  return out;
+}
+
+Image add_images(const Image& a, const Image& b) {
+  PSDACC_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+  Image out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out.data()[i] = a.data()[i] + b.data()[i];
+  return out;
+}
+
+// Circular delay by `shift` pixels along both axes: out[r][c] =
+// in[(r - shift) mod R][(c - shift) mod C].
+Image circular_delay(const Image& x, std::size_t shift) {
+  Image out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r)
+    for (std::size_t c = 0; c < x.cols(); ++c)
+      out.at((r + shift) % x.rows(), (c + shift) % x.cols()) = x.at(r, c);
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> circular_filter(const std::vector<double>& x,
+                                    const std::vector<double>& h) {
+  PSDACC_EXPECTS(!x.empty() && !h.empty());
+  PSDACC_EXPECTS(h.size() <= x.size());
+  const std::size_t n = x.size();
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < h.size(); ++k) {
+      const std::size_t j = (i + n - k % n) % n;
+      acc += h[k] * x[j];
+    }
+    y[i] = acc;
+  }
+  return y;
+}
+
+Subbands2d analyze_2d(const img::Image& x,
+                      const std::optional<fxp::FixedPointFormat>& fmt) {
+  const auto& h0 = analysis_lowpass();
+  const auto& h1 = analysis_highpass();
+  // Rows first (as in the paper), then columns.
+  const Image l = filter_rows_down(x, h0, fmt);
+  const Image h = filter_rows_down(x, h1, fmt);
+  Subbands2d bands;
+  bands.ll = filter_cols_down(l, h0, fmt);
+  bands.lh = filter_cols_down(l, h1, fmt);
+  bands.hl = filter_cols_down(h, h0, fmt);
+  bands.hh = filter_cols_down(h, h1, fmt);
+  return bands;
+}
+
+img::Image synthesize_2d(const Subbands2d& bands,
+                         const std::optional<fxp::FixedPointFormat>& fmt) {
+  const auto& g0 = synthesis_lowpass();
+  const auto& g1 = synthesis_highpass();
+  // Columns first (inverse of the analysis order), then rows.
+  const Image l = add_images(up_filter_cols(bands.ll, g0, fmt),
+                             up_filter_cols(bands.lh, g1, fmt));
+  const Image h = add_images(up_filter_cols(bands.hl, g0, fmt),
+                             up_filter_cols(bands.hh, g1, fmt));
+  return add_images(up_filter_rows(l, g0, fmt), up_filter_rows(h, g1, fmt));
+}
+
+img::Image dwt2d_roundtrip(const img::Image& x, std::size_t levels,
+                           const std::optional<fxp::FixedPointFormat>& fmt,
+                           bool quantize_input) {
+  PSDACC_EXPECTS(levels >= 1);
+  PSDACC_EXPECTS(x.rows() % (std::size_t{1} << levels) == 0);
+  PSDACC_EXPECTS(x.cols() % (std::size_t{1} << levels) == 0);
+  Image in = x;
+  if (fmt.has_value() && quantize_input) {
+    in.data() = fxp::quantize(in.data(), *fmt);
+  }
+  // Analyze down the LL chain.
+  std::vector<Subbands2d> pyramid;
+  Image current = std::move(in);
+  for (std::size_t l = 0; l < levels; ++l) {
+    pyramid.push_back(analyze_2d(current, fmt));
+    current = pyramid.back().ll;
+  }
+  // Synthesize back up. The reconstruction of the inner levels arrives
+  // circularly shifted by t_inner = 7 * (2^inner_levels - 1); delay the
+  // detail bands identically so every level recombines aligned (this is
+  // the 2-D analogue of the compensating delays in the 1-D SFG codec) and
+  // the total codec shift follows the t_L = 2 t_{L-1} + 7 recurrence.
+  Image recon = current;
+  for (std::size_t l = levels; l-- > 0;) {
+    const std::size_t inner_levels = levels - 1 - l;
+    const std::size_t t_inner =
+        kReconstructionDelay * ((std::size_t{1} << inner_levels) - 1);
+    Subbands2d bands = pyramid[l];
+    bands.ll = std::move(recon);
+    if (t_inner > 0) {
+      bands.lh = circular_delay(bands.lh, t_inner);
+      bands.hl = circular_delay(bands.hl, t_inner);
+      bands.hh = circular_delay(bands.hh, t_inner);
+    }
+    recon = synthesize_2d(bands, fmt);
+  }
+  return recon;
+}
+
+img::Image align_reconstruction(const img::Image& y, std::size_t levels) {
+  const std::size_t shift =
+      kReconstructionDelay * ((std::size_t{1} << levels) - 1);
+  img::Image out(y.rows(), y.cols());
+  for (std::size_t r = 0; r < y.rows(); ++r)
+    for (std::size_t c = 0; c < y.cols(); ++c)
+      out.at(r, c) = y.at((r + shift) % y.rows(), (c + shift) % y.cols());
+  return out;
+}
+
+}  // namespace psdacc::wav

@@ -1,0 +1,45 @@
+// Separable 2-D CDF 9/7 DWT codec on images (Fig. 3 of the paper), with
+// circular (periodic) convolution so reconstruction is exact up to a
+// circular shift of 7 * (2^levels - 1) pixels per axis.
+//
+// The fixed-point variant quantizes the input image and the output of every
+// filtering stage (rows and columns, analysis and synthesis) to the given
+// format — the "all fractional word-lengths set to d" experiment.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fixedpoint/format.hpp"
+#include "imaging/image.hpp"
+
+namespace psdacc::wav {
+
+struct Subbands2d {
+  img::Image ll, lh, hl, hh;
+};
+
+/// One analysis level: rows then columns, downsampling by 2 each pass.
+/// Image dimensions must be even. With `fmt`, filter outputs are quantized.
+Subbands2d analyze_2d(const img::Image& x,
+                      const std::optional<fxp::FixedPointFormat>& fmt = {});
+
+/// One synthesis level (inverse of analyze_2d).
+img::Image synthesize_2d(const Subbands2d& bands,
+                         const std::optional<fxp::FixedPointFormat>& fmt = {});
+
+/// Multi-level codec: analyze `levels` deep (recursing on LL), then
+/// synthesize back. Dimensions must be divisible by 2^levels.
+img::Image dwt2d_roundtrip(const img::Image& x, std::size_t levels,
+                           const std::optional<fxp::FixedPointFormat>& fmt = {},
+                           bool quantize_input = true);
+
+/// Circular shift compensating the codec delay, so the round-trip output
+/// can be compared pixel-to-pixel with the input.
+img::Image align_reconstruction(const img::Image& y, std::size_t levels);
+
+/// Circular 1-D convolution helper (shared with tests).
+std::vector<double> circular_filter(const std::vector<double>& x,
+                                    const std::vector<double>& h);
+
+}  // namespace psdacc::wav

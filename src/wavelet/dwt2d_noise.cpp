@@ -1,0 +1,320 @@
+#include "wavelet/dwt2d_noise.hpp"
+
+#include <cmath>
+
+#include "filters/transfer_function.hpp"
+#include "fixedpoint/noise_model.hpp"
+#include "support/assert.hpp"
+#include "wavelet/daub97.hpp"
+
+namespace psdacc::wav {
+namespace {
+
+// Periodic linear interpolation over one axis line.
+double sample_line(std::span<const double> line, double index) {
+  const auto n = static_cast<double>(line.size());
+  double idx = std::fmod(index, n);
+  if (idx < 0.0) idx += n;
+  const auto lo = static_cast<std::size_t>(std::floor(idx));
+  const double frac = idx - static_cast<double>(lo);
+  const std::size_t hi = (lo + 1) % line.size();
+  return line[lo % line.size()] * (1.0 - frac) + line[hi] * frac;
+}
+
+// 1-D fold (decimation image sum): out[k] = (1/M) sum_r in((k + rN)/M).
+std::vector<double> fold_line(std::span<const double> line,
+                              std::size_t factor) {
+  const std::size_t n = line.size();
+  std::vector<double> out(n, 0.0);
+  const double inv_m = 1.0 / static_cast<double>(factor);
+  for (std::size_t k = 0; k < n; ++k) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < factor; ++r)
+      acc += sample_line(line, (static_cast<double>(k) +
+                                static_cast<double>(r * n)) *
+                                   inv_m);
+    out[k] = acc * inv_m;
+  }
+  return out;
+}
+
+// 1-D spectral compression (zero-insertion): out[k] = (1/L) in[kL mod N].
+std::vector<double> compress_line(std::span<const double> line,
+                                  std::size_t factor) {
+  const std::size_t n = line.size();
+  std::vector<double> out(n);
+  const double inv_l = 1.0 / static_cast<double>(factor);
+  for (std::size_t k = 0; k < n; ++k)
+    out[k] = line[(k * factor) % n] * inv_l;
+  return out;
+}
+
+}  // namespace
+
+Spectrum2d::Spectrum2d(std::size_t n_bins)
+    : n_(n_bins), bins_(n_bins * n_bins, 0.0) {
+  PSDACC_EXPECTS(n_bins >= 2 && n_bins % 2 == 0);
+}
+
+double Spectrum2d::variance() const {
+  double acc = 0.0;
+  for (double v : bins_) acc += v;
+  return acc;
+}
+
+double Spectrum2d::power() const { return mean_ * mean_ + variance(); }
+
+void Spectrum2d::add_white(double variance, double mean) {
+  const double per_bin = variance / static_cast<double>(n_ * n_);
+  for (double& v : bins_) v += per_bin;
+  mean_ += mean;
+}
+
+void Spectrum2d::add_uncorrelated(const Spectrum2d& other) {
+  PSDACC_EXPECTS(other.n_ == n_);
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  mean_ += other.mean_;
+}
+
+void Spectrum2d::apply_row_response(std::span<const double> power_response,
+                                    double dc) {
+  PSDACC_EXPECTS(power_response.size() == n_);
+  for (std::size_t ky = 0; ky < n_; ++ky)
+    for (std::size_t kx = 0; kx < n_; ++kx)
+      bins_[ky * n_ + kx] *= power_response[kx];
+  mean_ *= dc;
+}
+
+void Spectrum2d::apply_col_response(std::span<const double> power_response,
+                                    double dc) {
+  PSDACC_EXPECTS(power_response.size() == n_);
+  for (std::size_t ky = 0; ky < n_; ++ky)
+    for (std::size_t kx = 0; kx < n_; ++kx)
+      bins_[ky * n_ + kx] *= power_response[ky];
+  mean_ *= dc;
+}
+
+void Spectrum2d::decimate_rows(std::size_t factor) {
+  if (factor == 1) return;
+  std::vector<double> line(n_);
+  for (std::size_t ky = 0; ky < n_; ++ky) {
+    for (std::size_t kx = 0; kx < n_; ++kx) line[kx] = bins_[ky * n_ + kx];
+    const auto folded = fold_line(line, factor);
+    for (std::size_t kx = 0; kx < n_; ++kx) bins_[ky * n_ + kx] = folded[kx];
+  }
+}
+
+void Spectrum2d::decimate_cols(std::size_t factor) {
+  if (factor == 1) return;
+  std::vector<double> line(n_);
+  for (std::size_t kx = 0; kx < n_; ++kx) {
+    for (std::size_t ky = 0; ky < n_; ++ky) line[ky] = bins_[ky * n_ + kx];
+    const auto folded = fold_line(line, factor);
+    for (std::size_t ky = 0; ky < n_; ++ky) bins_[ky * n_ + kx] = folded[ky];
+  }
+}
+
+void Spectrum2d::expand_rows(std::size_t factor) {
+  if (factor == 1) return;
+  PSDACC_EXPECTS(n_ % factor == 0);
+  std::vector<double> line(n_);
+  for (std::size_t ky = 0; ky < n_; ++ky) {
+    for (std::size_t kx = 0; kx < n_; ++kx) line[kx] = bins_[ky * n_ + kx];
+    const auto compressed = compress_line(line, factor);
+    for (std::size_t kx = 0; kx < n_; ++kx)
+      bins_[ky * n_ + kx] = compressed[kx];
+  }
+  // Mean image lines along kx at ky = 0 (the mean is constant along y).
+  const double image_power =
+      (mean_ / static_cast<double>(factor)) *
+      (mean_ / static_cast<double>(factor));
+  for (std::size_t r = 1; r < factor; ++r)
+    bins_[0 * n_ + (r * n_) / factor] += image_power;
+  mean_ /= static_cast<double>(factor);
+}
+
+void Spectrum2d::expand_cols(std::size_t factor) {
+  if (factor == 1) return;
+  PSDACC_EXPECTS(n_ % factor == 0);
+  std::vector<double> line(n_);
+  for (std::size_t kx = 0; kx < n_; ++kx) {
+    for (std::size_t ky = 0; ky < n_; ++ky) line[ky] = bins_[ky * n_ + kx];
+    const auto compressed = compress_line(line, factor);
+    for (std::size_t ky = 0; ky < n_; ++ky)
+      bins_[ky * n_ + kx] = compressed[ky];
+  }
+  const double image_power =
+      (mean_ / static_cast<double>(factor)) *
+      (mean_ / static_cast<double>(factor));
+  for (std::size_t r = 1; r < factor; ++r)
+    bins_[((r * n_) / factor) * n_ + 0] += image_power;
+  mean_ /= static_cast<double>(factor);
+}
+
+namespace {
+
+struct FilterTables {
+  std::vector<double> h0_pow, h1_pow, g0_pow, g1_pow;
+  double h0_dc, h1_dc, g0_dc, g1_dc;
+  double h0_pg, h1_pg, g0_pg, g1_pg;  // sum h[k]^2, for the moment baseline
+};
+
+FilterTables make_tables(std::size_t n_bins) {
+  FilterTables t;
+  const filt::TransferFunction h0(analysis_lowpass());
+  const filt::TransferFunction h1(analysis_highpass());
+  const filt::TransferFunction g0(synthesis_lowpass());
+  const filt::TransferFunction g1(synthesis_highpass());
+  t.h0_pow = h0.power_response_grid(n_bins);
+  t.h1_pow = h1.power_response_grid(n_bins);
+  t.g0_pow = g0.power_response_grid(n_bins);
+  t.g1_pow = g1.power_response_grid(n_bins);
+  t.h0_dc = h0.dc_gain();
+  t.h1_dc = h1.dc_gain();
+  t.g0_dc = g0.dc_gain();
+  t.g1_dc = g1.dc_gain();
+  t.h0_pg = h0.power_gain();
+  t.h1_pg = h1.power_gain();
+  t.g0_pg = g0.power_gain();
+  t.g1_pg = g1.power_gain();
+  return t;
+}
+
+// Recursive mirror of dwt2d_roundtrip on spectra (proposed method).
+Spectrum2d codec_noise_level(const Spectrum2d& in, std::size_t level,
+                             std::size_t levels, const FilterTables& t,
+                             double q_var, double q_mean,
+                             std::size_t n_bins) {
+  auto filt_rows_down = [&](const Spectrum2d& s,
+                            const std::vector<double>& pow, double dc) {
+    Spectrum2d out = s;
+    out.apply_row_response(pow, dc);
+    out.add_white(q_var, q_mean);
+    out.decimate_rows(2);
+    return out;
+  };
+  auto filt_cols_down = [&](const Spectrum2d& s,
+                            const std::vector<double>& pow, double dc) {
+    Spectrum2d out = s;
+    out.apply_col_response(pow, dc);
+    out.add_white(q_var, q_mean);
+    out.decimate_cols(2);
+    return out;
+  };
+  auto up_filt_cols = [&](const Spectrum2d& s,
+                          const std::vector<double>& pow, double dc) {
+    Spectrum2d out = s;
+    out.expand_cols(2);
+    out.apply_col_response(pow, dc);
+    out.add_white(q_var, q_mean);
+    return out;
+  };
+  auto up_filt_rows = [&](const Spectrum2d& s,
+                          const std::vector<double>& pow, double dc) {
+    Spectrum2d out = s;
+    out.expand_rows(2);
+    out.apply_row_response(pow, dc);
+    out.add_white(q_var, q_mean);
+    return out;
+  };
+
+  // Analysis.
+  const Spectrum2d l = filt_rows_down(in, t.h0_pow, t.h0_dc);
+  const Spectrum2d h = filt_rows_down(in, t.h1_pow, t.h1_dc);
+  Spectrum2d ll = filt_cols_down(l, t.h0_pow, t.h0_dc);
+  const Spectrum2d lh = filt_cols_down(l, t.h1_pow, t.h1_dc);
+  const Spectrum2d hl = filt_cols_down(h, t.h0_pow, t.h0_dc);
+  const Spectrum2d hh = filt_cols_down(h, t.h1_pow, t.h1_dc);
+
+  // Recurse on the approximation band.
+  if (level < levels)
+    ll = codec_noise_level(ll, level + 1, levels, t, q_var, q_mean, n_bins);
+
+  // Synthesis (columns then rows, matching dwt2d.cpp).
+  Spectrum2d lcol = up_filt_cols(ll, t.g0_pow, t.g0_dc);
+  lcol.add_uncorrelated(up_filt_cols(lh, t.g1_pow, t.g1_dc));
+  Spectrum2d hcol = up_filt_cols(hl, t.g0_pow, t.g0_dc);
+  hcol.add_uncorrelated(up_filt_cols(hh, t.g1_pow, t.g1_dc));
+  Spectrum2d out = up_filt_rows(lcol, t.g0_pow, t.g0_dc);
+  out.add_uncorrelated(up_filt_rows(hcol, t.g1_pow, t.g1_dc));
+  return out;
+}
+
+struct Moments {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+Moments codec_noise_level_moments(const Moments& in, std::size_t level,
+                                  std::size_t levels, const FilterTables& t,
+                                  double q_var, double q_mean,
+                                  bool blind_multirate) {
+  auto filt_down = [&](const Moments& m, double pg, double dc) {
+    // Blind variance propagation through the power gain, then the noise of
+    // the quantizer; decimation leaves moments unchanged either way.
+    return Moments{m.mean * dc + q_mean, m.variance * pg + q_var};
+  };
+  auto up_filt = [&](const Moments& m, double pg, double dc) {
+    if (blind_multirate) {
+      // Paper baseline: the upsampler is transparent to the moments.
+      return Moments{m.mean * dc + q_mean, m.variance * pg + q_var};
+    }
+    // Corrected: zero-insertion gives E[y^2] = E[x^2]/2, mean/2; then
+    // filter + quantizer.
+    const double power = m.mean * m.mean + m.variance;
+    const double mean_up = m.mean / 2.0;
+    const double var_up = power / 2.0 - mean_up * mean_up;
+    return Moments{mean_up * dc + q_mean, var_up * pg + q_var};
+  };
+  auto add = [](const Moments& a, const Moments& b) {
+    return Moments{a.mean + b.mean, a.variance + b.variance};
+  };
+
+  const Moments l = filt_down(in, t.h0_pg, t.h0_dc);
+  const Moments h = filt_down(in, t.h1_pg, t.h1_dc);
+  Moments ll = filt_down(l, t.h0_pg, t.h0_dc);
+  const Moments lh = filt_down(l, t.h1_pg, t.h1_dc);
+  const Moments hl = filt_down(h, t.h0_pg, t.h0_dc);
+  const Moments hh = filt_down(h, t.h1_pg, t.h1_dc);
+
+  if (level < levels)
+    ll = codec_noise_level_moments(ll, level + 1, levels, t, q_var, q_mean,
+                                   blind_multirate);
+
+  const Moments lcol = add(up_filt(ll, t.g0_pg, t.g0_dc),
+                           up_filt(lh, t.g1_pg, t.g1_dc));
+  const Moments hcol = add(up_filt(hl, t.g0_pg, t.g0_dc),
+                           up_filt(hh, t.g1_pg, t.g1_dc));
+  return add(up_filt(lcol, t.g0_pg, t.g0_dc),
+             up_filt(hcol, t.g1_pg, t.g1_dc));
+}
+
+}  // namespace
+
+Spectrum2d dwt2d_noise_psd(const Dwt2dNoiseConfig& cfg) {
+  PSDACC_EXPECTS(cfg.levels >= 1);
+  const auto t = make_tables(cfg.n_bins);
+  const auto m = fxp::continuous_quantization_noise(cfg.format);
+  Spectrum2d in(cfg.n_bins);
+  if (cfg.quantize_input) in.add_white(m.variance, m.mean);
+  return codec_noise_level(in, 1, cfg.levels, t, m.variance, m.mean,
+                           cfg.n_bins);
+}
+
+double dwt2d_noise_power_moments(const Dwt2dNoiseConfig& cfg,
+                                 bool blind_multirate) {
+  PSDACC_EXPECTS(cfg.levels >= 1);
+  const auto t = make_tables(cfg.n_bins);
+  const auto m = fxp::continuous_quantization_noise(cfg.format);
+  Moments in;
+  if (cfg.quantize_input) {
+    in.mean = m.mean;
+    in.variance = m.variance;
+  }
+  const auto out = codec_noise_level_moments(in, 1, cfg.levels, t,
+                                             m.variance, m.mean,
+                                             blind_multirate);
+  return out.mean * out.mean + out.variance;
+}
+
+}  // namespace psdacc::wav

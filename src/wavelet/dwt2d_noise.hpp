@@ -1,0 +1,77 @@
+// Analytical quantization-noise estimation for the 2-D DWT codec — the
+// proposed PSD method extended to separable 2-D systems, plus the
+// PSD-agnostic moment baseline over the identical structure.
+//
+// A Spectrum2d is the 2-D analogue of core::NoiseSpectrum: an N x N grid of
+// PSD bins over normalized frequencies (ky, kx) = (r/N, c/N) relative to
+// the *current* sampling rate of the band being propagated, plus a separate
+// coherent mean. Row operations act along kx, column operations along ky.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fixedpoint/format.hpp"
+
+namespace psdacc::wav {
+
+class Spectrum2d {
+ public:
+  explicit Spectrum2d(std::size_t n_bins);
+
+  std::size_t size() const { return n_; }
+  double mean() const { return mean_; }
+  void set_mean(double m) { mean_ = m; }
+  double& bin(std::size_t ky, std::size_t kx) { return bins_[ky * n_ + kx]; }
+  double bin(std::size_t ky, std::size_t kx) const {
+    return bins_[ky * n_ + kx];
+  }
+  const std::vector<double>& bins() const { return bins_; }
+
+  double variance() const;
+  double power() const;
+
+  /// Adds white noise of the given variance (and coherent mean).
+  void add_white(double variance, double mean = 0.0);
+  /// Eq. 14 in 2-D: bins add, means add coherently.
+  void add_uncorrelated(const Spectrum2d& other);
+
+  /// Eq. 11 along one axis: multiplies bins by |H(k/N)|^2 where k is the
+  /// kx (row op) or ky (column op) index; mean scales by dc.
+  void apply_row_response(std::span<const double> power_response, double dc);
+  void apply_col_response(std::span<const double> power_response, double dc);
+
+  /// Multirate rules along one axis (same math as NoiseSpectrum).
+  void decimate_rows(std::size_t factor);  // downsampling along x
+  void decimate_cols(std::size_t factor);  // downsampling along y
+  void expand_rows(std::size_t factor);
+  void expand_cols(std::size_t factor);
+
+ private:
+  std::size_t n_;
+  double mean_ = 0.0;
+  std::vector<double> bins_;
+};
+
+struct Dwt2dNoiseConfig {
+  std::size_t levels = 2;
+  fxp::FixedPointFormat format;
+  std::size_t n_bins = 64;       // per axis; total grid n_bins^2
+  bool quantize_input = true;
+};
+
+/// Proposed method: output noise spectrum of the 2-D codec. Power of the
+/// returned spectrum estimates E[err^2] per output pixel.
+Spectrum2d dwt2d_noise_psd(const Dwt2dNoiseConfig& cfg);
+
+/// PSD-agnostic baseline: same traversal but blind (mu, sigma^2)
+/// propagation through per-filter power gains. Returns estimated power.
+/// With `blind_multirate` (the paper's Fig. 1.b baseline) the up- and
+/// downsamplers are transparent to the moments; with false the exact
+/// marginal corrections are applied (ablation A3).
+double dwt2d_noise_power_moments(const Dwt2dNoiseConfig& cfg,
+                                 bool blind_multirate = true);
+
+}  // namespace psdacc::wav

@@ -1,0 +1,69 @@
+#include "wavelet/dwt_sfg.hpp"
+
+#include "support/assert.hpp"
+#include "wavelet/daub97.hpp"
+
+namespace psdacc::wav {
+namespace {
+
+using sfg::Graph;
+using sfg::NodeId;
+
+// Builds one analysis+synthesis level around `src`; recursion handles the
+// approximation band. Returns the reconstructed node id.
+NodeId build_level(Graph& g, NodeId src, std::size_t level,
+                   std::size_t levels,
+                   const std::optional<fxp::FixedPointFormat>& fmt) {
+  const filt::TransferFunction h0(analysis_lowpass());
+  const filt::TransferFunction h1(analysis_highpass());
+  const filt::TransferFunction g0(synthesis_lowpass());
+  const filt::TransferFunction g1(synthesis_highpass());
+
+  // Low branch.
+  const NodeId lp = g.add_block(src, h0, fmt, "h0_l" + std::to_string(level));
+  const NodeId lp_down = g.add_downsample(lp, 2);
+  NodeId approx = lp_down;
+  if (level < levels) {
+    approx = build_level(g, lp_down, level + 1, levels, fmt);
+  }
+  const NodeId lp_up = g.add_upsample(approx, 2);
+  const NodeId lp_syn =
+      g.add_block(lp_up, g0, fmt, "g0_l" + std::to_string(level));
+
+  // High branch, delayed to stay aligned with the recursive low branch.
+  const NodeId hp = g.add_block(src, h1, fmt, "h1_l" + std::to_string(level));
+  NodeId hp_aligned = hp;
+  if (level < levels) {
+    const std::size_t sub_delay = dwt1d_codec_delay(levels - level);
+    hp_aligned = g.add_delay(hp, 2 * sub_delay,
+                             "align_l" + std::to_string(level));
+  }
+  const NodeId hp_down = g.add_downsample(hp_aligned, 2);
+  const NodeId hp_up = g.add_upsample(hp_down, 2);
+  const NodeId hp_syn =
+      g.add_block(hp_up, g1, fmt, "g1_l" + std::to_string(level));
+
+  return g.add_adder({lp_syn, hp_syn}, "recon_l" + std::to_string(level));
+}
+
+}  // namespace
+
+std::size_t dwt1d_codec_delay(std::size_t levels) {
+  // D_L = 7 + 2 * D_{L-1}, D_0 = 0  =>  7 * (2^L - 1).
+  return kReconstructionDelay * ((std::size_t{1} << levels) - 1);
+}
+
+sfg::Graph build_dwt1d_codec(const DwtCodecSpec& spec) {
+  PSDACC_EXPECTS(spec.levels >= 1 && spec.levels <= 8);
+  Graph g;
+  const NodeId in = g.add_input("x");
+  NodeId head = in;
+  if (spec.format.has_value())
+    head = g.add_quantizer(head, *spec.format, "q_in");
+  const NodeId recon = build_level(g, head, 1, spec.levels, spec.format);
+  g.add_output(recon, "y");
+  g.validate();
+  return g;
+}
+
+}  // namespace psdacc::wav

@@ -1,0 +1,31 @@
+// SFG builders for 1-D CDF 9/7 DWT codecs (Fig. 3 of the paper, 1-D form).
+//
+// The L-level codec analyzes the input into one approximation and L detail
+// bands and immediately re-synthesizes; with `format` set, every filter
+// output is quantized (and the input is quantized on entry), reproducing
+// the paper's "all fractional word-lengths set to d" setting.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "fixedpoint/format.hpp"
+#include "sfg/graph.hpp"
+
+namespace psdacc::wav {
+
+struct DwtCodecSpec {
+  std::size_t levels = 2;
+  /// When set: quantize the input and every filter block output.
+  std::optional<fxp::FixedPointFormat> format;
+};
+
+/// Builds in -> [analysis tree -> synthesis tree] -> out. The total
+/// codec delay is 7 * (2^levels - 1) samples; detail branches carry
+/// compensating delays so reconstruction is exact in reference mode.
+sfg::Graph build_dwt1d_codec(const DwtCodecSpec& spec);
+
+/// Codec group delay in samples for the given level count.
+std::size_t dwt1d_codec_delay(std::size_t levels);
+
+}  // namespace psdacc::wav

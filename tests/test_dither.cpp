@@ -1,0 +1,99 @@
+// Dithered-quantizer tests: empirical error moments match the analytical
+// model, and TPDF dither decorrelates the error from the signal (the PQN
+// guarantee the paper's Eq. 10 relies on).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fixedpoint/dither.hpp"
+#include "support/random.hpp"
+#include "support/statistics.hpp"
+
+namespace {
+
+using namespace psdacc;
+using fxp::DitherMode;
+
+class DitherMoments : public ::testing::TestWithParam<DitherMode> {};
+
+TEST_P(DitherMoments, EmpiricalErrorMatchesModel) {
+  const auto fmt = fxp::q_format(4, 8);
+  const auto predicted = fxp::dithered_quantization_noise(fmt, GetParam());
+  fxp::DitheredQuantizer quant(fmt, GetParam(), 99);
+  Xoshiro256 rng(1);
+  RunningStats stats;
+  for (int i = 0; i < 400000; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    stats.add(quant(x) - x);
+  }
+  EXPECT_NEAR(stats.mean(), predicted.mean, 0.03 * fmt.step());
+  EXPECT_NEAR(stats.variance(), predicted.variance,
+              0.05 * predicted.variance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, DitherMoments,
+                         ::testing::Values(DitherMode::kNone,
+                                           DitherMode::kRectangular,
+                                           DitherMode::kTriangular));
+
+TEST(DitherModel, VarianceOrdering) {
+  const auto fmt = fxp::q_format(4, 10);
+  const double none =
+      fxp::dithered_quantization_noise(fmt, DitherMode::kNone).variance;
+  const double rect =
+      fxp::dithered_quantization_noise(fmt, DitherMode::kRectangular)
+          .variance;
+  const double tri =
+      fxp::dithered_quantization_noise(fmt, DitherMode::kTriangular)
+          .variance;
+  const double q2 = fmt.step() * fmt.step();
+  EXPECT_NEAR(none, q2 / 12.0, 1e-18);
+  EXPECT_NEAR(rect, q2 / 6.0, 1e-18);
+  EXPECT_NEAR(tri, q2 / 4.0, 1e-18);
+}
+
+TEST(Dither, TpdfDecorrelatesErrorPowerFromSignal) {
+  // A signal sitting exactly on the quantization grid produces ZERO error
+  // without dither (PQN breaks down); TPDF dither restores the modelled
+  // error power.
+  const auto fmt = fxp::q_format(4, 6);
+  Xoshiro256 rng(2);
+
+  fxp::DitheredQuantizer plain(fmt, DitherMode::kNone, 7);
+  fxp::DitheredQuantizer tpdf(fmt, DitherMode::kTriangular, 7);
+  RunningStats err_plain, err_tpdf;
+  for (int i = 0; i < 100000; ++i) {
+    // On-grid signal: integer multiples of the step.
+    const double x =
+        std::round(rng.uniform(-32.0, 32.0)) * fmt.step();
+    err_plain.add(plain(x) - x);
+    err_tpdf.add(tpdf(x) - x);
+  }
+  EXPECT_DOUBLE_EQ(err_plain.mean_square(), 0.0);  // PQN failure mode
+  const double predicted =
+      fxp::dithered_quantization_noise(fmt, DitherMode::kTriangular)
+          .variance;
+  EXPECT_NEAR(err_tpdf.mean_square(), predicted, 0.05 * predicted);
+}
+
+TEST(Dither, OutputStaysOnGrid) {
+  const auto fmt = fxp::q_format(4, 5);
+  fxp::DitheredQuantizer quant(fmt, DitherMode::kTriangular, 3);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double y = quant(rng.uniform(-7.0, 7.0));
+    EXPECT_NEAR(y / fmt.step(), std::round(y / fmt.step()), 1e-9);
+  }
+}
+
+TEST(Dither, DeterministicGivenSeed) {
+  const auto fmt = fxp::q_format(4, 8);
+  fxp::DitheredQuantizer a(fmt, DitherMode::kRectangular, 42);
+  fxp::DitheredQuantizer b(fmt, DitherMode::kRectangular, 42);
+  for (int i = 0; i < 100; ++i) {
+    const double x = 0.001 * i;
+    EXPECT_DOUBLE_EQ(a(x), b(x));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,176 @@
+// Edge cases across modules: degenerate sizes, boundary parameters, and
+// failure-injection (death tests on contract violations).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/psd_analyzer.hpp"
+#include "dsp/convolution.hpp"
+#include "dsp/fft.hpp"
+#include "filters/fir_design.hpp"
+#include "filters/transfer_function.hpp"
+#include "fixedpoint/quantizer.hpp"
+#include "sfg/graph.hpp"
+#include "sfg/transform.hpp"
+#include "sim/executor.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace psdacc;
+
+TEST(FftEdge, SizeOneIsIdentity) {
+  std::vector<dsp::cplx> x{dsp::cplx(3.5, -1.25)};
+  dsp::fft(x);
+  EXPECT_DOUBLE_EQ(x[0].real(), 3.5);
+  dsp::ifft(x);
+  EXPECT_DOUBLE_EQ(x[0].real(), 3.5);
+}
+
+TEST(FftEdge, LargePrimeSizeBluestein) {
+  // 97 is prime: pure Bluestein path; check Parseval.
+  Xoshiro256 rng(1);
+  std::vector<dsp::cplx> x(97);
+  for (auto& v : x) v = dsp::cplx(rng.gaussian(), 0.0);
+  double te = 0.0;
+  for (const auto& v : x) te += std::norm(v);
+  auto spec = x;
+  dsp::fft(spec);
+  double fe = 0.0;
+  for (const auto& v : spec) fe += std::norm(v);
+  EXPECT_NEAR(fe / 97.0, te, 1e-8 * te);
+}
+
+TEST(ConvolutionEdge, SingleSampleSignal) {
+  const std::vector<double> x{2.0};
+  const std::vector<double> h{3.0};
+  const auto y = dsp::convolve_direct(x, h);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+}
+
+TEST(TransferFunctionEdge, LeadingZeroNumerator) {
+  // b0 == 0 is legal (pure z^-1 systems).
+  const filt::TransferFunction tf({0.0, 1.0});
+  EXPECT_NEAR(std::abs(tf.response(0.3)), 1.0, 1e-12);
+  const auto h = tf.impulse_response(3);
+  EXPECT_DOUBLE_EQ(h[0], 0.0);
+  EXPECT_DOUBLE_EQ(h[1], 1.0);
+}
+
+TEST(TransferFunctionEdge, MarginallyStablePoleRejected) {
+  // Pole exactly on the unit circle is not strictly stable.
+  EXPECT_FALSE(filt::TransferFunction({1.0}, {1.0, -1.0}).is_stable());
+  EXPECT_FALSE(filt::TransferFunction({1.0}, {1.0, 1.0}).is_stable());
+}
+
+TEST(QuantizeEdge, ZeroFractionalBitsIsIntegerRounding) {
+  const auto fmt = fxp::q_format(5, 0);
+  EXPECT_DOUBLE_EQ(fxp::quantize(2.4, fmt), 2.0);
+  EXPECT_DOUBLE_EQ(fxp::quantize(2.5, fmt), 3.0);
+  EXPECT_DOUBLE_EQ(fxp::quantize(-2.4, fmt), -2.0);
+}
+
+TEST(QuantizeEdge, ValuesAtExactSaturationBoundary) {
+  const auto fmt = fxp::q_format(2, 4);
+  EXPECT_DOUBLE_EQ(fxp::quantize(fmt.max_value(), fmt), fmt.max_value());
+  EXPECT_DOUBLE_EQ(fxp::quantize(fmt.min_value(), fmt), fmt.min_value());
+  // Half a step above max rounds up and saturates back.
+  EXPECT_DOUBLE_EQ(fxp::quantize(fmt.max_value() + fmt.step(), fmt),
+                   fmt.max_value());
+}
+
+TEST(ExecutorEdge, DelayLongerThanSignal) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  g.add_output(g.add_delay(in, 10));
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const auto y = sim::execute_sisos(g, x, sim::Mode::kReference);
+  EXPECT_EQ(y, (std::vector<double>{0.0, 0.0, 0.0}));
+}
+
+TEST(ExecutorEdge, DownsampleByLargeFactor) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  g.add_output(g.add_downsample(in, 5));
+  const std::vector<double> x{1, 2, 3, 4, 5, 6, 7};
+  const auto y = sim::execute_sisos(g, x, sim::Mode::kReference);
+  EXPECT_EQ(y, (std::vector<double>{1.0, 6.0}));
+}
+
+TEST(ExecutorEdge, AdderOfMultirateBranchesUsesShortestLength) {
+  // One branch decimated, one not: the adder works on the common prefix.
+  // (Physically meaningless rates, but the executor must not crash.)
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto down = g.add_downsample(in, 2);
+  const auto sum = g.add_adder({in, down});
+  g.add_output(sum);
+  const std::vector<double> x{1, 2, 3, 4};
+  const auto y = sim::execute_sisos(g, x, sim::Mode::kReference);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 1.0 + 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0 + 3.0);
+}
+
+TEST(GraphDeath, AdderSignCountMismatch) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  std::vector<sfg::NodeId> srcs{in, in};
+  std::vector<double> signs{1.0};  // wrong arity
+  EXPECT_DEATH(g.add_adder(srcs, signs), "precondition");
+}
+
+TEST(GraphDeath, EdgeToUnknownNode) {
+  sfg::Graph g;
+  EXPECT_DEATH(g.add_output(42), "precondition");
+}
+
+TEST(GraphDeath, AnalyzerRejectsCyclicGraph) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto sum = g.add_adder({in});
+  const auto del = g.add_delay(sum, 1);
+  g.add_adder_input(sum, del);
+  g.add_output(sum);
+  EXPECT_DEATH(core::PsdAnalyzer(g, {.n_psd = 16}), "precondition");
+}
+
+TEST(GraphDeath, CollapseRejectsQuantizerInLoop) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto sum = g.add_adder({in});
+  const auto q = g.add_quantizer(sum, fxp::q_format(4, 8));
+  const auto del = g.add_delay(q, 1);
+  g.add_adder_input(sum, del);
+  g.add_output(sum);
+  EXPECT_DEATH(sfg::collapse_loops(g), "loop");
+}
+
+TEST(FirDesignEdge, MinimumTapCount) {
+  const auto h = filt::fir_lowpass(2, 0.25);
+  ASSERT_EQ(h.size(), 2u);
+  double sum = 0.0;
+  for (double v : h) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);  // DC-normalized
+}
+
+TEST(PsdAnalyzerEdge, MinimumBinCount) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  g.add_output(g.add_quantizer(in, fxp::q_format(4, 8)));
+  core::PsdAnalyzer analyzer(g, {.n_psd = 2});
+  const auto m = fxp::continuous_quantization_noise(fxp::q_format(4, 8));
+  EXPECT_NEAR(analyzer.output_noise_power(), m.power(), 1e-15);
+}
+
+TEST(PsdAnalyzerEdge, GraphWithNoNoiseSourcesIsZero) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  g.add_output(
+      g.add_block(in, filt::TransferFunction(filt::fir_lowpass(8, 0.2))));
+  core::PsdAnalyzer analyzer(g, {.n_psd = 64});
+  EXPECT_DOUBLE_EQ(analyzer.output_noise_power(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+// Bit-true fixed-point FFT tests: agreement with the double FFT at wide
+// formats, stage-noise model vs empirical error power, twiddle counting,
+// and round-trip behaviour.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dsp/fft.hpp"
+#include "fixedpoint/quantizer.hpp"
+#include "freqfilt/fixed_point_fft.hpp"
+#include "support/random.hpp"
+#include "support/statistics.hpp"
+
+namespace {
+
+using namespace psdacc;
+using dsp::cplx;
+
+TEST(TwiddleCount, Size16Structure) {
+  ff::FixedPointFft fft(16, fxp::q_format(8, 12));
+  // Stage 0 (len 2): W = 1 only -> 0 nontrivial.
+  EXPECT_EQ(fft.nontrivial_twiddles(0), 0u);
+  // Stage 1 (len 4): k in {0,1}; k=1 is W=-j (trivial) -> 0.
+  EXPECT_EQ(fft.nontrivial_twiddles(1), 0u);
+  // Stage 2 (len 8): k in 0..3; trivial k=0,2 -> 2 per group x 2 groups.
+  EXPECT_EQ(fft.nontrivial_twiddles(2), 4u);
+  // Stage 3 (len 16): k in 0..7; trivial k=0,4 -> 6 x 1 group.
+  EXPECT_EQ(fft.nontrivial_twiddles(3), 6u);
+}
+
+TEST(FixedPointFft, WideFormatMatchesDoubleFft) {
+  const std::size_t n = 64;
+  ff::FixedPointFft fft(n, fxp::q_format(10, 30));
+  Xoshiro256 rng(1);
+  const auto x = uniform_signal(n, 0.9, rng);
+  const auto fx = fft.forward(x);
+  const auto ref = dsp::fft_real(x);
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_LT(std::abs(fx[k] - ref[k]), 1e-6) << "bin " << k;
+}
+
+TEST(FixedPointFft, RoundTripRecoversSignal) {
+  const std::size_t n = 32;
+  ff::FixedPointFft fft(n, fxp::q_format(10, 24));
+  Xoshiro256 rng(2);
+  const auto x = uniform_signal(n, 0.9, rng);
+  const auto back = fft.inverse(fft.forward(x));
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(back[i].real(), x[i], 1e-4);
+}
+
+class FftNoiseModel
+    : public ::testing::TestWithParam<std::pair<std::size_t, int>> {};
+
+TEST_P(FftNoiseModel, ForwardErrorPowerMatchesPrediction) {
+  const auto [n, d] = GetParam();
+  // Integer bits sized for the sqrt(N)-ish growth of random inputs.
+  const auto fmt = fxp::q_format(10, d);
+  ff::FixedPointFft fft(n, fmt);
+  Xoshiro256 rng(100 + n + static_cast<std::uint64_t>(d));
+  RunningStats err;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    // Quantize the input first: the model predicts the *internal* stage
+    // noise, relative to an exact transform of the same datapath input.
+    const auto x = fxp::quantize(uniform_signal(n, 0.9, rng), fmt);
+    const auto fx = fft.forward(x);
+    const auto ref = dsp::fft_real(x);
+    for (std::size_t k = 0; k < n; ++k) {
+      err.add(fx[k].real() - ref[k].real());
+      err.add(fx[k].imag() - ref[k].imag());
+    }
+  }
+  // err accumulates per real dimension; the model predicts per complex
+  // element, i.e. 2x the per-dimension value.
+  const double measured = 2.0 * err.mean_square();
+  const double predicted = fft.forward_noise_variance();
+  EXPECT_GT(predicted, 0.0);
+  // The independence approximations (correlated butterfly outputs) leave
+  // tens of percent; require factor-2 agreement.
+  EXPECT_LT(measured, 2.0 * predicted) << "n=" << n << " d=" << d;
+  EXPECT_GT(measured, 0.5 * predicted) << "n=" << n << " d=" << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, FftNoiseModel,
+    ::testing::Values(std::pair<std::size_t, int>{16, 12},
+                      std::pair<std::size_t, int>{32, 12},
+                      std::pair<std::size_t, int>{64, 12},
+                      std::pair<std::size_t, int>{64, 16},
+                      std::pair<std::size_t, int>{128, 14}));
+
+TEST(FftNoiseModel, VarianceGrowsWithSize) {
+  const auto fmt = fxp::q_format(10, 12);
+  const double v16 = ff::FixedPointFft(16, fmt).forward_noise_variance();
+  const double v64 = ff::FixedPointFft(64, fmt).forward_noise_variance();
+  const double v256 = ff::FixedPointFft(256, fmt).forward_noise_variance();
+  EXPECT_LT(v16, v64);
+  EXPECT_LT(v64, v256);
+}
+
+TEST(FftNoiseModel, InverseIncludesScalingNoise) {
+  const auto fmt = fxp::q_format(10, 12);
+  ff::FixedPointFft fft(32, fmt);
+  const double v = fmt.step() * fmt.step() / 12.0;
+  // At minimum the final rounding contributes 2v per complex element.
+  EXPECT_GE(fft.inverse_noise_variance(), 2.0 * v);
+}
+
+}  // namespace

@@ -1,0 +1,195 @@
+// Flat analyzer and PSD-agnostic moment baseline: equivalences on single
+// blocks (the paper notes flat == PSD on an elementary filter), exactness
+// of the flat method on reconvergent graphs, and the failure mode of the
+// moment method on shaped-noise cascades.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/flat_analyzer.hpp"
+#include "core/metrics.hpp"
+#include "core/moment_analyzer.hpp"
+#include "core/psd_analyzer.hpp"
+#include "filters/fir_design.hpp"
+#include "filters/iir_design.hpp"
+#include "sim/error_measurement.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace psdacc;
+using sfg::Graph;
+
+Graph single_block_graph(const filt::TransferFunction& tf, int d) {
+  Graph g;
+  const auto in = g.add_input();
+  const auto q = g.add_quantizer(in, fxp::q_format(4, d));
+  g.add_output(g.add_block(q, tf, fxp::q_format(4, d)));
+  return g;
+}
+
+TEST(FlatVsPsd, IdenticalOnElementaryFirBlock) {
+  const filt::TransferFunction tf(filt::fir_lowpass(32, 0.2));
+  const auto g = single_block_graph(tf, 12);
+  const core::PsdAnalyzer psd(g, {.n_psd = 512});
+  const core::FlatAnalyzer flat(g, 512);
+  EXPECT_NEAR(psd.output_noise_power(), flat.output_noise_power(),
+              1e-12 * psd.output_noise_power());
+}
+
+TEST(FlatVsPsd, IdenticalOnElementaryIirBlock) {
+  const auto tf = filt::iir_lowpass(filt::IirFamily::kButterworth, 4, 0.2);
+  const auto g = single_block_graph(tf, 12);
+  const core::PsdAnalyzer psd(g, {.n_psd = 512});
+  const core::FlatAnalyzer flat(g, 512);
+  EXPECT_NEAR(psd.output_noise_power(), flat.output_noise_power(),
+              1e-12 * psd.output_noise_power());
+}
+
+TEST(MomentVsPsd, IdenticalForWhiteNoiseThroughOneBlock) {
+  // With a single white source into a single block, the blind power-gain
+  // propagation is exact, so moment and PSD methods agree (up to the
+  // impulse-response truncation of the power gain).
+  const auto tf = filt::iir_lowpass(filt::IirFamily::kButterworth, 3, 0.25);
+  const auto g = single_block_graph(tf, 10);
+  const core::PsdAnalyzer psd(g, {.n_psd = 4096});
+  const core::MomentAnalyzer moments(g);
+  EXPECT_NEAR(psd.output_noise_power(), moments.output_noise_power(),
+              5e-3 * psd.output_noise_power());
+}
+
+Graph reconvergent_graph(int d, double branch_gain) {
+  // One quantizer whose noise reaches the output through two paths that
+  // re-converge at an adder: a direct path and a delayed, scaled path.
+  // The same-source paths are correlated; Eq. 14 (PSD method) misses the
+  // cross term, the flat analyzer keeps it.
+  Graph g;
+  const auto in = g.add_input();
+  const auto q = g.add_quantizer(in, fxp::q_format(4, d));
+  const auto direct = g.add_gain(q, 1.0);
+  const auto delayed = g.add_gain(g.add_delay(q, 0), branch_gain);
+  const auto sum = g.add_adder({direct, delayed});
+  g.add_output(sum);
+  return g;
+}
+
+TEST(FlatAnalyzer, ExactOnReconvergentPaths) {
+  // Zero-delay reconvergence with gain 1: the two branches carry the SAME
+  // noise, so the true output noise is (1+1)^2 = 4x the source power.
+  const auto g = reconvergent_graph(10, 1.0);
+  const auto m = fxp::continuous_quantization_noise(fxp::q_format(4, 10));
+
+  const core::FlatAnalyzer flat(g, 256);
+  EXPECT_NEAR(flat.output_noise_power(), 4.0 * m.power(),
+              1e-12 * m.power());
+
+  // The hierarchical PSD method adds branch powers: 2x. This is the
+  // documented approximation (ablation A2).
+  const core::PsdAnalyzer psd(g, {.n_psd = 256});
+  EXPECT_NEAR(psd.output_noise_power(), 2.0 * m.power(), 1e-12 * m.power());
+
+  // Simulation agrees with the flat method.
+  Xoshiro256 rng(5);
+  const auto x = uniform_signal(1u << 17, 0.9, rng);
+  const double simulated = sim::measure_output_error(g, x, 16).power;
+  EXPECT_LT(std::abs(core::mse_deviation(simulated,
+                                         flat.output_noise_power())),
+            0.03);
+}
+
+TEST(FlatAnalyzer, CancellingReconvergence) {
+  // Gain -1 on the second branch cancels the noise entirely; only the flat
+  // analyzer sees it.
+  const auto g = reconvergent_graph(10, -1.0);
+  const core::FlatAnalyzer flat(g, 128);
+  EXPECT_NEAR(flat.output_noise_power(), 0.0, 1e-18);
+  const core::PsdAnalyzer psd(g, {.n_psd = 128});
+  EXPECT_GT(psd.output_noise_power(), 0.0);
+}
+
+TEST(FlatAnalyzer, DelayedReconvergenceCombFilter) {
+  // y = b + z^-D b: |1 + z^-D|^2 comb. Total power = 2 sigma^2 (white
+  // noise decorrelates across the delay), which the PSD method also gets;
+  // but the flat method additionally reproduces the comb shape.
+  Graph g;
+  const auto in = g.add_input();
+  const auto q = g.add_quantizer(in, fxp::q_format(4, 10));
+  const auto del = g.add_delay(q, 4);
+  const auto sum = g.add_adder({q, del});
+  g.add_output(sum);
+
+  const std::size_t bins = 64;
+  const core::FlatAnalyzer flat(g, bins);
+  const auto spec = flat.output_spectrum();
+  const auto m = fxp::continuous_quantization_noise(fxp::q_format(4, 10));
+  EXPECT_NEAR(spec.variance(), 2.0 * m.variance, 1e-12);
+  // Comb nulls at f = (2k+1)/(2*4): bin 8 of 64 (f=1/8) must be ~zero.
+  EXPECT_NEAR(spec.bin(8), 0.0, 1e-15);
+  // Comb peaks at f = k/4: bin 16 (f=1/4) carries ~4x the flat density.
+  EXPECT_NEAR(spec.bin(16), 4.0 * m.variance / bins, 1e-12);
+}
+
+TEST(MomentAnalyzer, MatchesSimulationForSingleWhiteSource) {
+  const filt::TransferFunction tf(filt::fir_highpass(31, 0.2));
+  const auto g = single_block_graph(tf, 12);
+  const core::MomentAnalyzer moments(g);
+  Xoshiro256 rng(6);
+  const auto x = uniform_signal(1u << 18, 0.9, rng);
+  const double simulated = sim::measure_output_error(g, x, 128).power;
+  EXPECT_LT(std::abs(core::mse_deviation(simulated,
+                                         moments.output_noise_power())),
+            0.06);
+}
+
+TEST(MomentAnalyzer, FailsOnShapedNoiseCascade) {
+  // Quantizer -> narrow low-pass (no own noise) -> another narrow
+  // low-pass. After the first filter the noise is strongly shaped; the
+  // white assumption inside the second power gain misestimates badly,
+  // while the PSD method tracks it. This is Table II in miniature.
+  const auto lp = filt::iir_lowpass(filt::IirFamily::kButterworth, 6, 0.08);
+  Graph g;
+  const auto in = g.add_input();
+  const auto q = g.add_quantizer(in, fxp::q_format(4, 12));
+  const auto b1 = g.add_block(q, lp);   // unquantized: pure shaping
+  const auto b2 = g.add_block(b1, lp);  // unquantized: pure shaping
+  g.add_output(b2);
+
+  const core::PsdAnalyzer psd(g, {.n_psd = 2048});
+  const core::MomentAnalyzer moments(g);
+  Xoshiro256 rng(7);
+  const auto x = uniform_signal(1u << 18, 0.9, rng);
+  const double simulated = sim::measure_output_error(g, x, 1024).power;
+
+  const double psd_ed =
+      std::abs(core::mse_deviation(simulated, psd.output_noise_power()));
+  const double mom_ed = std::abs(
+      core::mse_deviation(simulated, moments.output_noise_power()));
+  EXPECT_LT(psd_ed, 0.1);
+  EXPECT_GT(mom_ed, 5.0 * psd_ed);  // order(s) of magnitude worse
+}
+
+TEST(FlatAnalyzer, SourceResponseGridExposed) {
+  const auto g = reconvergent_graph(10, 1.0);
+  const core::FlatAnalyzer flat(g, 32);
+  const auto sources = g.noise_sources();
+  ASSERT_EQ(sources.size(), 1u);
+  const auto resp = flat.source_response(sources[0]);
+  ASSERT_EQ(resp.size(), 32u);
+  for (const auto& r : resp) EXPECT_NEAR(std::abs(r), 2.0, 1e-12);
+}
+
+TEST(MomentAnalyzer, UpsampleMomentRule) {
+  // Quantizer noise through up-2: E[y^2] halves with the corrected rule;
+  // the paper's blind baseline passes it through unchanged.
+  Graph g;
+  const auto in = g.add_input();
+  const auto q = g.add_quantizer(in, fxp::q_format(4, 10));
+  g.add_output(g.add_upsample(q, 2));
+  const auto m = fxp::continuous_quantization_noise(fxp::q_format(4, 10));
+  const core::MomentAnalyzer corrected(g, {.blind_multirate = false});
+  EXPECT_NEAR(corrected.output_noise_power(), m.power() / 2.0, 1e-15);
+  const core::MomentAnalyzer blind(g, {.blind_multirate = true});
+  EXPECT_NEAR(blind.output_noise_power(), m.power(), 1e-15);
+}
+
+}  // namespace

@@ -1,0 +1,204 @@
+// Frequency-domain band-pass (Fig. 2) tests: the reference path must equal
+// a plain FIR cascade; the fixed-point path's error must match the
+// equivalent-LTI SFG estimate.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/moment_analyzer.hpp"
+#include "core/psd_analyzer.hpp"
+#include "dsp/convolution.hpp"
+#include "freqfilt/freq_filter.hpp"
+#include "sim/executor.hpp"
+#include "support/random.hpp"
+#include "support/statistics.hpp"
+
+namespace {
+
+using namespace psdacc;
+
+ff::FreqFilterConfig reference_config() {
+  ff::FreqFilterConfig cfg;
+  cfg.format.reset();
+  return cfg;
+}
+
+TEST(FreqFilterReference, EqualsDirectFirCascade) {
+  const auto cfg = reference_config();
+  ff::FreqDomainBandpass sys(cfg);
+  Xoshiro256 rng(1);
+  const auto x = uniform_signal(1024, 0.9, rng);
+  const auto y = sys.process(x);
+  ASSERT_EQ(y.size(), x.size());
+  // Direct: x -> h_fir -> h_fd (causal "same" output).
+  const auto mid = dsp::convolve_direct(x, sys.front_fir());
+  const auto full = dsp::convolve_direct(
+      std::span<const double>(mid.data(), x.size()), sys.fd_fir());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(y[i], full[i], 1e-9) << "i=" << i;
+}
+
+TEST(FreqFilterReference, BandpassShape) {
+  const auto cfg = reference_config();
+  ff::FreqDomainBandpass sys(cfg);
+  const filt::TransferFunction h =
+      filt::TransferFunction(sys.front_fir())
+          .cascade(filt::TransferFunction(sys.fd_fir()));
+  // Pass inside [fd_cutoff, fir_cutoff] (narrow band), block outside.
+  double peak = 0.0;
+  for (double f = sys.config().fd_cutoff; f <= sys.config().fir_cutoff;
+       f += 0.002)
+    peak = std::max(peak, std::abs(h.response(f)));
+  // The default band is deliberately narrow and the filters short, so the
+  // in-band peak is well below unity; what matters is pass >> stop.
+  EXPECT_GT(peak, 0.4);
+  EXPECT_LT(std::abs(h.response(0.01)), 0.15);
+  EXPECT_LT(std::abs(h.response(0.49)), 0.15);
+}
+
+TEST(FreqFilterFixedPoint, OutputOnGrid) {
+  ff::FreqFilterConfig cfg;
+  cfg.format = fxp::q_format(8, 10);
+  ff::FreqDomainBandpass sys(cfg);
+  Xoshiro256 rng(2);
+  const auto x = uniform_signal(512, 0.9, rng);
+  const auto y = sys.process(x);
+  const double step = cfg.format->step();
+  for (double v : y)
+    EXPECT_NEAR(v / step, std::round(v / step), 1e-9);
+}
+
+class FreqFilterAccuracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(FreqFilterAccuracy, EstimateTracksSimulatedError) {
+  const int d = GetParam();
+  ff::FreqFilterConfig cfg;
+  cfg.format = fxp::q_format(8, d);
+  ff::FreqDomainBandpass fx_sys(cfg);
+  ff::FreqDomainBandpass ref_sys(reference_config());
+
+  Xoshiro256 rng(100 + d);
+  const auto x = uniform_signal(1u << 16, 0.9, rng);
+  const auto yr = ref_sys.process(x);
+  const auto yf = fx_sys.process(x);
+  RunningStats err;
+  for (std::size_t i = 256; i < x.size(); ++i) err.add(yf[i] - yr[i]);
+
+  const auto g = ff::build_freqfilt_sfg(cfg);
+  core::PsdAnalyzer analyzer(g, {.n_psd = 1024});
+  const double est = analyzer.output_noise_power();
+  const double ed = core::mse_deviation(err.mean_square(), est);
+  EXPECT_TRUE(core::within_one_bit(ed)) << "d=" << d << " E_d=" << ed;
+  EXPECT_LT(std::abs(ed), 0.4) << "d=" << d << " E_d=" << ed;
+}
+
+INSTANTIATE_TEST_SUITE_P(WordLengths, FreqFilterAccuracy,
+                         ::testing::Values(8, 10, 12, 16));
+
+TEST(FreqFilterSfg, GraphStructureReference) {
+  const auto g = ff::build_freqfilt_sfg(reference_config());
+  EXPECT_EQ(g.noise_sources().size(), 0u);
+  EXPECT_EQ(g.inputs().size(), 1u);
+  EXPECT_EQ(g.outputs().size(), 1u);
+}
+
+TEST(FreqFilterSfg, GraphStructureFixedPoint) {
+  ff::FreqFilterConfig cfg;
+  cfg.format = fxp::q_format(8, 12);
+  const auto g = ff::build_freqfilt_sfg(cfg);
+  // q_in, quantized front FIR block, q_fft, q_ifft.
+  EXPECT_EQ(g.noise_sources().size(), 4u);
+}
+
+TEST(FreqFilterSfg, EstimateScalesWithWordLength) {
+  ff::FreqFilterConfig fine;
+  fine.format = fxp::q_format(8, 16);
+  ff::FreqFilterConfig coarse;
+  coarse.format = fxp::q_format(8, 12);
+  const double p_fine =
+      core::PsdAnalyzer(ff::build_freqfilt_sfg(fine), {.n_psd = 256})
+          .output_noise_power();
+  const double p_coarse =
+      core::PsdAnalyzer(ff::build_freqfilt_sfg(coarse), {.n_psd = 256})
+          .output_noise_power();
+  EXPECT_NEAR(p_coarse / p_fine, 256.0, 2.0);
+}
+
+TEST(FreqFilterSfg, MomentBaselineDiffersFromPsd) {
+  ff::FreqFilterConfig cfg;
+  cfg.format = fxp::q_format(8, 12);
+  const auto g = ff::build_freqfilt_sfg(cfg);
+  const double psd =
+      core::PsdAnalyzer(g, {.n_psd = 1024}).output_noise_power();
+  const double mom = core::MomentAnalyzer(g).output_noise_power();
+  EXPECT_GT(psd, 0.0);
+  EXPECT_GT(mom, 0.0);
+  // The front FIR shapes the input-quantization noise before h_fd; the
+  // blind method cannot see that.
+  EXPECT_GT(std::abs(psd - mom) / psd, 1e-3);
+}
+
+TEST(FreqFilterConfigValidation, RejectsTooSmallFft) {
+  ff::FreqFilterConfig cfg;
+  cfg.fd_taps = 17;  // needs fft >= 2*17-2 = 32 > 16
+  EXPECT_DEATH(ff::FreqDomainBandpass{cfg}, "precondition");
+}
+
+class StagewiseFftAccuracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(StagewiseFftAccuracy, EstimateTracksBitTrueButterflies) {
+  const int d = GetParam();
+  ff::FreqFilterConfig cfg;
+  cfg.format = fxp::q_format(8, d);
+  cfg.stagewise_fft = true;
+  ff::FreqDomainBandpass fx_sys(cfg);
+  ff::FreqDomainBandpass ref_sys(reference_config());
+
+  Xoshiro256 rng(500 + d);
+  const auto x = uniform_signal(1u << 15, 0.9, rng);
+  const auto yr = ref_sys.process(x);
+  const auto yf = fx_sys.process(x);
+  RunningStats err;
+  for (std::size_t i = 256; i < x.size(); ++i) err.add(yf[i] - yr[i]);
+
+  const auto g = ff::build_freqfilt_sfg(cfg);
+  core::PsdAnalyzer analyzer(g, {.n_psd = 512});
+  const double est = analyzer.output_noise_power();
+  const double ed = core::mse_deviation(err.mean_square(), est);
+  EXPECT_TRUE(core::within_one_bit(ed)) << "d=" << d << " E_d=" << ed;
+  EXPECT_LT(std::abs(ed), 0.5) << "d=" << d << " E_d=" << ed;
+}
+
+INSTANTIATE_TEST_SUITE_P(WordLengths, StagewiseFftAccuracy,
+                         ::testing::Values(10, 12, 16));
+
+TEST(StagewiseFft, ChangesErrorRelativeToBoundaryModel) {
+  // Stage-wise rounding injects different (usually less, since only
+  // nontrivial twiddles round on a 16-point FFT) noise than rounding
+  // every bin at the boundary.
+  ff::FreqFilterConfig boundary;
+  boundary.format = fxp::q_format(8, 12);
+  ff::FreqFilterConfig stagewise = boundary;
+  stagewise.stagewise_fft = true;
+
+  ff::FreqDomainBandpass ref_sys(reference_config());
+  Xoshiro256 rng(42);
+  const auto x = uniform_signal(1u << 15, 0.9, rng);
+  const auto yr = ref_sys.process(x);
+
+  auto error_power = [&](const ff::FreqFilterConfig& cfg) {
+    ff::FreqDomainBandpass sys(cfg);
+    const auto yf = sys.process(x);
+    RunningStats err;
+    for (std::size_t i = 256; i < x.size(); ++i) err.add(yf[i] - yr[i]);
+    return err.mean_square();
+  };
+  const double p_boundary = error_power(boundary);
+  const double p_stagewise = error_power(stagewise);
+  EXPECT_GT(std::abs(p_boundary - p_stagewise) /
+                std::min(p_boundary, p_stagewise),
+            0.02);
+}
+
+}  // namespace

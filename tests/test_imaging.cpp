@@ -1,0 +1,151 @@
+// Imaging substrate tests: container semantics, metrics, PGM output, and
+// the synthetic texture bank that substitutes for the paper's image corpus.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "dsp/spectral.hpp"
+#include "imaging/image.hpp"
+#include "imaging/textures.hpp"
+
+namespace {
+
+using namespace psdacc::img;
+
+TEST(Image, AccessorsAndRowColumnViews) {
+  Image im(3, 4, 0.0);
+  im.at(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(im.at(1, 2), 5.0);
+  const auto r = im.row(1);
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_DOUBLE_EQ(r[2], 5.0);
+  const auto c = im.col(2);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c[1], 5.0);
+}
+
+TEST(Image, SetRowAndColumnRoundTrip) {
+  Image im(4, 4);
+  im.set_row(2, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(im.row(2), (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+  im.set_col(0, {9.0, 8.0, 7.0, 6.0});
+  EXPECT_DOUBLE_EQ(im.at(2, 0), 7.0);
+  EXPECT_DOUBLE_EQ(im.at(2, 1), 2.0);
+}
+
+TEST(Metrics, MseAndPsnr) {
+  Image a(2, 2, 0.5);
+  Image b(2, 2, 0.5);
+  b.at(0, 0) = 0.6;
+  EXPECT_NEAR(mse(a, b), 0.01 / 4.0, 1e-15);
+  EXPECT_NEAR(psnr(a, b), 10.0 * std::log10(1.0 / (0.01 / 4.0)), 1e-9);
+}
+
+TEST(Pgm, WritesValidHeaderAndPayload) {
+  Image im(2, 3, 0.0);
+  im.at(0, 0) = 1.0;
+  const std::string path = "/tmp/psdacc_test_image.pgm";
+  write_pgm(im, path);
+  std::ifstream f(path, std::ios::binary);
+  ASSERT_TRUE(f.good());
+  std::string magic;
+  f >> magic;
+  EXPECT_EQ(magic, "P5");
+  std::size_t w = 0, h = 0, maxval = 0;
+  f >> w >> h >> maxval;
+  EXPECT_EQ(w, 3u);
+  EXPECT_EQ(h, 2u);
+  EXPECT_EQ(maxval, 255u);
+  f.get();  // single whitespace after header
+  std::vector<unsigned char> pixels(6);
+  f.read(reinterpret_cast<char*>(pixels.data()), 6);
+  EXPECT_EQ(pixels[0], 255);
+  EXPECT_EQ(pixels[1], 0);
+  std::remove(path.c_str());
+}
+
+TEST(Textures, DeterministicGivenSeed) {
+  const auto a = make_texture(TextureKind::kPowerLaw, 32, 32, 77);
+  const auto b = make_texture(TextureKind::kPowerLaw, 32, 32, 77);
+  EXPECT_LT(mse(a, b), 1e-30);
+  const auto c = make_texture(TextureKind::kPowerLaw, 32, 32, 78);
+  EXPECT_GT(mse(a, c), 1e-6);
+}
+
+class TextureRange : public ::testing::TestWithParam<TextureKind> {};
+
+TEST_P(TextureRange, PixelsInUnitRange) {
+  const auto im = make_texture(GetParam(), 64, 64, 5);
+  for (double v : im.data()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST_P(TextureRange, HasNontrivialContrast) {
+  const auto im = make_texture(GetParam(), 64, 64, 6);
+  const auto [lo, hi] =
+      std::minmax_element(im.data().begin(), im.data().end());
+  EXPECT_GT(*hi - *lo, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, TextureRange,
+                         ::testing::Values(TextureKind::kPowerLaw,
+                                           TextureKind::kGrating,
+                                           TextureKind::kCheckerboard,
+                                           TextureKind::kBlobs));
+
+TEST(Textures, BankCyclesThroughFamiliesDeterministically) {
+  const auto bank = texture_bank(8, 32, 32, 7);
+  ASSERT_EQ(bank.size(), 8u);
+  const auto again = texture_bank(8, 32, 32, 7);
+  for (std::size_t i = 0; i < bank.size(); ++i)
+    EXPECT_LT(mse(bank[i], again[i]), 1e-30) << "image " << i;
+  // Images across the bank differ from one another.
+  EXPECT_GT(mse(bank[0], bank[4]), 1e-6);
+}
+
+TEST(Textures, PowerLawFieldIsLowFrequencyDominated) {
+  const auto im = make_texture(TextureKind::kPowerLaw, 128, 128, 9);
+  // Average the PSD of all rows: low bins should dominate high bins.
+  std::vector<double> acc(32, 0.0);
+  for (std::size_t r = 0; r < im.rows(); ++r) {
+    auto row = im.row(r);
+    const double m = [&] {
+      double s = 0.0;
+      for (double v : row) s += v;
+      return s / static_cast<double>(row.size());
+    }();
+    for (double& v : row) v -= m;
+    const auto psd = psdacc::dsp::periodogram(row, 32);
+    for (std::size_t k = 0; k < 32; ++k) acc[k] += psd[k];
+  }
+  double low = 0.0, high = 0.0;
+  for (std::size_t k = 1; k < 5; ++k) low += acc[k];
+  for (std::size_t k = 12; k < 16; ++k) high += acc[k];
+  EXPECT_GT(low, 5.0 * high);
+}
+
+TEST(Textures, GratingIsNarrowBand) {
+  const auto im = make_texture(TextureKind::kGrating, 128, 128, 10);
+  // Total variance concentrated: the largest PSD bin of the mean row
+  // spectrum should hold a large share of the AC power.
+  std::vector<double> acc(64, 0.0);
+  for (std::size_t r = 0; r < im.rows(); ++r) {
+    auto row = im.row(r);
+    const auto psd = psdacc::dsp::periodogram(row, 64);
+    for (std::size_t k = 1; k < 64; ++k) acc[k] += psd[k];
+  }
+  double total = 0.0, peak = 0.0;
+  for (std::size_t k = 1; k < 64; ++k) {
+    total += acc[k];
+    peak = std::max(peak, acc[k] + acc[(64 - k) % 64]);
+  }
+  ASSERT_GT(total, 1e-12);
+  EXPECT_GT(peak / total, 0.2);
+}
+
+}  // namespace

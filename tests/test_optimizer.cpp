@@ -1,0 +1,135 @@
+// Word-length optimizer tests: feasibility, strategy quality ordering,
+// cost-weight sensitivity, and verification of the chosen design by
+// simulation.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "filters/fir_design.hpp"
+#include "filters/iir_design.hpp"
+#include "opt/wordlength_optimizer.hpp"
+#include "sim/error_measurement.hpp"
+
+namespace {
+
+using namespace psdacc;
+
+struct TestSystem {
+  sfg::Graph graph;
+  std::vector<sfg::NodeId> variables;
+};
+
+TestSystem make_chain() {
+  TestSystem s;
+  const auto in = s.graph.add_input();
+  const auto q = s.graph.add_quantizer(in, fxp::q_format(4, 12));
+  const auto b1 = s.graph.add_block(
+      q, filt::iir_lowpass(filt::IirFamily::kButterworth, 3, 0.2),
+      fxp::q_format(4, 12), "lp");
+  const auto b2 = s.graph.add_block(
+      b1, filt::TransferFunction(filt::fir_highpass(31, 0.05)),
+      fxp::q_format(4, 12), "hp");
+  s.graph.add_output(b2);
+  s.variables = {q, b1, b2};
+  return s;
+}
+
+opt::OptimizerConfig budget_config(double budget) {
+  opt::OptimizerConfig cfg;
+  cfg.noise_budget = budget;
+  cfg.min_bits = 4;
+  cfg.max_bits = 20;
+  cfg.n_psd = 256;
+  return cfg;
+}
+
+TEST(Optimizer, UniformFindsFeasibleAssignment) {
+  auto sys = make_chain();
+  opt::WordlengthOptimizer optimizer(sys.graph, sys.variables,
+                                     budget_config(1e-6));
+  const auto r = optimizer.uniform();
+  EXPECT_TRUE(r.feasible);
+  EXPECT_LE(r.noise, 1e-6);
+  for (std::size_t i = 1; i < r.bits.size(); ++i)
+    EXPECT_EQ(r.bits[i], r.bits[0]);  // uniform by construction
+}
+
+TEST(Optimizer, GreedyBeatsOrMatchesUniformCost) {
+  auto sys = make_chain();
+  opt::WordlengthOptimizer optimizer(sys.graph, sys.variables,
+                                     budget_config(1e-6));
+  const auto uniform = optimizer.uniform();
+  const auto greedy = optimizer.greedy_descent();
+  EXPECT_TRUE(greedy.feasible);
+  EXPECT_LE(greedy.cost, uniform.cost);
+}
+
+TEST(Optimizer, MinPlusOneIsFeasible) {
+  auto sys = make_chain();
+  opt::WordlengthOptimizer optimizer(sys.graph, sys.variables,
+                                     budget_config(1e-6));
+  const auto r = optimizer.min_plus_one();
+  EXPECT_TRUE(r.feasible);
+  EXPECT_LE(r.noise, 1e-6);
+}
+
+TEST(Optimizer, TighterBudgetCostsMoreBits) {
+  auto sys = make_chain();
+  opt::WordlengthOptimizer loose(sys.graph, sys.variables,
+                                 budget_config(1e-5));
+  const double loose_cost = loose.greedy_descent().cost;
+  auto sys2 = make_chain();
+  opt::WordlengthOptimizer tight(sys2.graph, sys2.variables,
+                                 budget_config(1e-8));
+  const double tight_cost = tight.greedy_descent().cost;
+  EXPECT_GT(tight_cost, loose_cost);
+}
+
+TEST(Optimizer, CostWeightsShiftBits) {
+  // Make the first variable 10x as expensive: it should end up with no
+  // more bits than in the unweighted solution.
+  auto sys_a = make_chain();
+  opt::WordlengthOptimizer plain(sys_a.graph, sys_a.variables,
+                                 budget_config(1e-6));
+  const auto unweighted = plain.greedy_descent();
+
+  auto sys_b = make_chain();
+  auto cfg = budget_config(1e-6);
+  cfg.cost_weights = {10.0, 1.0, 1.0};
+  opt::WordlengthOptimizer weighted(sys_b.graph, sys_b.variables, cfg);
+  const auto shifted = weighted.greedy_descent();
+  EXPECT_TRUE(shifted.feasible);
+  EXPECT_LE(shifted.bits[0], unweighted.bits[0] + 1);
+}
+
+TEST(Optimizer, ResultVerifiedBySimulation) {
+  auto sys = make_chain();
+  opt::WordlengthOptimizer optimizer(sys.graph, sys.variables,
+                                     budget_config(2e-7));
+  const auto r = optimizer.greedy_descent();
+  ASSERT_TRUE(r.feasible);
+  // The graph still carries the optimized formats; simulate it.
+  sim::EvaluationConfig cfg;
+  cfg.sim_samples = 1u << 16;
+  const auto report = sim::evaluate_accuracy(sys.graph, cfg);
+  // Simulation within 30% of the budget (estimate error + MC noise).
+  EXPECT_LT(report.simulated_power, 1.3 * 2e-7);
+}
+
+TEST(Optimizer, InfeasibleBudgetReported) {
+  auto sys = make_chain();
+  auto cfg = budget_config(1e-30);  // impossible
+  cfg.max_bits = 12;
+  opt::WordlengthOptimizer optimizer(sys.graph, sys.variables, cfg);
+  const auto r = optimizer.greedy_descent();
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Optimizer, EvaluationCountIsTracked) {
+  auto sys = make_chain();
+  opt::WordlengthOptimizer optimizer(sys.graph, sys.variables,
+                                     budget_config(1e-6));
+  const auto r = optimizer.greedy_descent();
+  EXPECT_GT(r.evaluations, 3u);
+}
+
+}  // namespace

@@ -1,0 +1,170 @@
+// Randomized property tests: on randomly generated single-rate LTI SFGs,
+// (1) the flat analyzer must match Monte-Carlo simulation (it is exact up
+// to PQN assumptions), (2) the hierarchical PSD method must stay within
+// the one-bit band of simulation, and (3) all engines must agree on
+// graphs without reconvergence. Also covers DOT export on arbitrary
+// graphs.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/flat_analyzer.hpp"
+#include "core/metrics.hpp"
+#include "core/moment_analyzer.hpp"
+#include "core/psd_analyzer.hpp"
+#include "filters/fir_design.hpp"
+#include "filters/iir_design.hpp"
+#include "sfg/dot.hpp"
+#include "sim/error_measurement.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace psdacc;
+using sfg::Graph;
+using sfg::NodeId;
+
+// Random LTI block from a small design zoo.
+filt::TransferFunction random_block(Xoshiro256& rng) {
+  switch (rng.below(5)) {
+    case 0:
+      return filt::TransferFunction(
+          filt::fir_lowpass(9 + 2 * rng.below(20),
+                            rng.uniform(0.08, 0.4)));
+    case 1:
+      return filt::TransferFunction(
+          filt::fir_highpass(9 + 2 * rng.below(20),
+                             rng.uniform(0.08, 0.4)));
+    case 2:
+      return filt::iir_lowpass(filt::IirFamily::kButterworth,
+                               2 + static_cast<int>(rng.below(4)),
+                               rng.uniform(0.1, 0.35));
+    case 3:
+      return filt::iir_highpass(filt::IirFamily::kChebyshev1,
+                                2 + static_cast<int>(rng.below(3)),
+                                rng.uniform(0.1, 0.3));
+    default:
+      return filt::TransferFunction::gain(rng.uniform(0.3, 1.5));
+  }
+}
+
+// Builds a random acyclic single-rate SFG: a trunk of quantized blocks
+// with occasional two-branch fan-out/fan-in (distinct sources per branch,
+// so Eq. 14 is applicable) and delays.
+Graph random_graph(std::uint64_t seed, int depth) {
+  Xoshiro256 rng(seed);
+  Graph g;
+  const auto in = g.add_input();
+  NodeId head = g.add_quantizer(in, fxp::q_format(5, 12));
+  for (int stage = 0; stage < depth; ++stage) {
+    const auto choice = rng.below(4);
+    if (choice == 0) {
+      // Branch: two differently-filtered quantized paths, re-joined. The
+      // common upstream noise reconverges with a decorrelating delay.
+      const auto left = g.add_block(head, random_block(rng),
+                                    fxp::q_format(5, 12));
+      const auto right_d = g.add_delay(head, 1 + rng.below(8));
+      const auto right = g.add_block(right_d, random_block(rng),
+                                     fxp::q_format(5, 12));
+      head = g.add_adder({left, right});
+    } else if (choice == 1) {
+      head = g.add_gain(head, rng.uniform(0.4, 1.2));
+    } else if (choice == 2) {
+      head = g.add_delay(head, 1 + rng.below(4));
+    } else {
+      head = g.add_block(head, random_block(rng), fxp::q_format(5, 12));
+    }
+  }
+  g.add_output(head);
+  g.validate();
+  return g;
+}
+
+class RandomGraphProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RandomGraphProperty, FlatMatchesSimulation) {
+  const auto g = random_graph(GetParam(), 5);
+  const core::FlatAnalyzer flat(g, 512);
+  const double est = flat.output_noise_power();
+
+  Xoshiro256 rng(GetParam() + 999);
+  const auto x = uniform_signal(1u << 16, 0.4, rng);
+  const double simulated = sim::measure_output_error(g, x, 512).power;
+  const double ed = core::mse_deviation(simulated, est);
+  EXPECT_LT(std::abs(ed), 0.35) << "seed=" << GetParam() << " E_d=" << ed;
+}
+
+TEST_P(RandomGraphProperty, HierarchicalPsdWithinOneBitOfSimulation) {
+  const auto g = random_graph(GetParam(), 6);
+  const core::PsdAnalyzer psd(g, {.n_psd = 512});
+  const double est = psd.output_noise_power();
+
+  Xoshiro256 rng(GetParam() + 555);
+  const auto x = uniform_signal(1u << 16, 0.4, rng);
+  const double simulated = sim::measure_output_error(g, x, 512).power;
+  const double ed = core::mse_deviation(simulated, est);
+  EXPECT_TRUE(core::within_one_bit(ed))
+      << "seed=" << GetParam() << " E_d=" << ed;
+}
+
+TEST_P(RandomGraphProperty, PsdNeverLessAccurateThanMomentByMuch) {
+  // On random shaped-noise graphs the PSD estimate should compare
+  // favourably to the blind baseline relative to the flat (exact) result.
+  const auto g = random_graph(GetParam(), 6);
+  const double exact = core::FlatAnalyzer(g, 1024).output_noise_power();
+  const double psd =
+      core::PsdAnalyzer(g, {.n_psd = 1024}).output_noise_power();
+  const double mom = core::MomentAnalyzer(g).output_noise_power();
+  const double psd_gap = std::abs(psd - exact) / exact;
+  const double mom_gap = std::abs(mom - exact) / exact;
+  EXPECT_LE(psd_gap, mom_gap + 0.02) << "seed=" << GetParam();
+}
+
+TEST_P(RandomGraphProperty, EnginesAgreeOnPureChains) {
+  // Chains (no adders) have no reconvergence: flat and hierarchical PSD
+  // must agree exactly.
+  Xoshiro256 rng(GetParam());
+  Graph g;
+  const auto in = g.add_input();
+  NodeId head = g.add_quantizer(in, fxp::q_format(5, 10));
+  for (int i = 0; i < 4; ++i)
+    head = g.add_block(head, random_block(rng), fxp::q_format(5, 10));
+  g.add_output(head);
+  const double flat = core::FlatAnalyzer(g, 256).output_noise_power();
+  const double psd =
+      core::PsdAnalyzer(g, {.n_psd = 256}).output_noise_power();
+  EXPECT_NEAR(psd, flat, 1e-9 * flat);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+TEST(DotExport, ContainsEveryNodeAndEdge) {
+  const auto g = random_graph(123, 4);
+  const auto dot = sfg::to_dot(g, "random");
+  EXPECT_NE(dot.find("digraph \"random\""), std::string::npos);
+  for (sfg::NodeId id = 0; id < g.node_count(); ++id) {
+    EXPECT_NE(dot.find("n" + std::to_string(id) + " ["), std::string::npos)
+        << "node " << id;
+  }
+  // Count edges.
+  std::size_t edges = 0;
+  for (sfg::NodeId id = 0; id < g.node_count(); ++id)
+    edges += g.node(id).inputs.size();
+  std::size_t arrows = 0;
+  for (std::size_t pos = dot.find(" -> "); pos != std::string::npos;
+       pos = dot.find(" -> ", pos + 1))
+    ++arrows;
+  EXPECT_EQ(arrows, edges);
+}
+
+TEST(DotExport, QuantizersAreDoubleCircles) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  g.add_output(g.add_quantizer(in, fxp::q_format(4, 8)));
+  const auto dot = sfg::to_dot(g);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+}
+
+}  // namespace

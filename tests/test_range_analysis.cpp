@@ -1,0 +1,162 @@
+// Range-analysis tests: interval propagation per node type, L1-norm
+// soundness against simulated extrema, and integer-bit selection.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/range_analysis.hpp"
+#include "filters/fir_design.hpp"
+#include "filters/iir_design.hpp"
+#include "sim/executor.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace psdacc;
+using core::Range;
+
+TEST(Range, Accessors) {
+  const Range r{-2.0, 6.0};
+  EXPECT_DOUBLE_EQ(r.center(), 2.0);
+  EXPECT_DOUBLE_EQ(r.half_width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.max_abs(), 6.0);
+  EXPECT_TRUE(r.contains(0.0));
+  EXPECT_FALSE(r.contains(-3.0));
+}
+
+TEST(L1Norm, FirIsSumOfAbsoluteTaps) {
+  const filt::TransferFunction tf({0.5, -0.25, 0.125});
+  EXPECT_DOUBLE_EQ(core::l1_norm(tf, 16), 0.875);
+}
+
+TEST(L1Norm, OnePoleGeometricSeries) {
+  const filt::TransferFunction tf({1.0}, {1.0, -0.5});
+  EXPECT_NEAR(core::l1_norm(tf, 4096), 2.0, 1e-9);
+}
+
+TEST(RangePropagation, GainAndAdder) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto a = g.add_gain(in, -2.0);
+  const auto b = g.add_gain(in, 0.5);
+  const auto sum = g.add_adder({a, b});
+  const auto out = g.add_output(sum);
+  const auto ranges = core::analyze_ranges(g, Range{-1.0, 1.0});
+  EXPECT_DOUBLE_EQ(ranges[a].lo, -2.0);
+  EXPECT_DOUBLE_EQ(ranges[a].hi, 2.0);
+  EXPECT_DOUBLE_EQ(ranges[out].lo, -2.5);
+  EXPECT_DOUBLE_EQ(ranges[out].hi, 2.5);
+}
+
+TEST(RangePropagation, SubtractingAdder) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto d = g.add_delay(in, 1);
+  std::vector<sfg::NodeId> srcs{in, d};
+  std::vector<double> signs{1.0, -1.0};
+  const auto diff = g.add_adder(srcs, signs);
+  const auto out = g.add_output(diff);
+  const auto ranges = core::analyze_ranges(g, Range{0.0, 1.0});
+  // x in [0,1], delayed in [0,1]: difference in [-1, 1].
+  EXPECT_DOUBLE_EQ(ranges[out].lo, -1.0);
+  EXPECT_DOUBLE_EQ(ranges[out].hi, 1.0);
+}
+
+TEST(RangePropagation, BlockL1BoundIsSoundAndTight) {
+  const filt::TransferFunction tf(filt::fir_lowpass(31, 0.2));
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto out = g.add_output(g.add_block(in, tf));
+  const auto ranges = core::analyze_ranges(g, Range{-1.0, 1.0});
+
+  // Soundness: simulated outputs stay inside the bound.
+  Xoshiro256 rng(1);
+  const auto x = uniform_signal(1u << 15, 1.0, rng);
+  const auto y = sim::execute_sisos(g, x, sim::Mode::kReference);
+  double peak = 0.0;
+  for (double v : y) peak = std::max(peak, std::abs(v));
+  EXPECT_LE(peak, ranges[out].max_abs() + 1e-12);
+  // Tightness: the L1 bound is achievable for FIR (sign-matched input),
+  // so it should be within a small factor of the random-input peak.
+  EXPECT_LT(ranges[out].max_abs(), 4.0 * peak);
+}
+
+TEST(RangePropagation, AsymmetricInputCenterIsMapped) {
+  // A DC-heavy input through a DC-gain-1 filter keeps its center.
+  const filt::TransferFunction tf(filt::fir_lowpass(15, 0.25));
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto out = g.add_output(g.add_block(in, tf));
+  const auto ranges = core::analyze_ranges(g, Range{0.8, 1.2});
+  EXPECT_NEAR(ranges[out].center(), 1.0, 1e-9);
+  EXPECT_TRUE(ranges[out].contains(1.0));
+}
+
+TEST(RangePropagation, QuantizerClampsToFormatRange) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto g10 = g.add_gain(in, 10.0);
+  const auto q = g.add_quantizer(g10, fxp::q_format(3, 8));  // [-4, 4)
+  const auto out = g.add_output(q);
+  const auto ranges = core::analyze_ranges(g, Range{-1.0, 1.0});
+  EXPECT_GE(ranges[out].lo, -4.0);
+  EXPECT_LE(ranges[out].hi, 4.0);
+}
+
+TEST(RangePropagation, DelayAndUpsampleIncludeZero) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto d = g.add_delay(in, 2);
+  const auto u = g.add_upsample(d, 2);
+  const auto out = g.add_output(u);
+  const auto ranges = core::analyze_ranges(g, Range{0.5, 1.0});
+  EXPECT_DOUBLE_EQ(ranges[out].lo, 0.0);  // inserted zeros / initial state
+  EXPECT_DOUBLE_EQ(ranges[out].hi, 1.0);
+}
+
+TEST(RangePropagation, IirRecursiveAmplification) {
+  // H = 1/(1 - 0.9 z^-1): L1 norm 10; input [-1,1] -> output [-10, 10].
+  const filt::TransferFunction tf({1.0}, {1.0, -0.9});
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto out = g.add_output(g.add_block(in, tf));
+  const auto ranges = core::analyze_ranges(g, Range{-1.0, 1.0});
+  EXPECT_NEAR(ranges[out].hi, 10.0, 0.01);
+  EXPECT_NEAR(ranges[out].lo, -10.0, 0.01);
+}
+
+TEST(IntegerBits, CoversRange) {
+  EXPECT_EQ(core::required_integer_bits(Range{-1.0, 0.999}), 1);
+  EXPECT_EQ(core::required_integer_bits(Range{-1.0, 1.0}), 2);
+  EXPECT_EQ(core::required_integer_bits(Range{-8.0, 7.9}), 4);
+  EXPECT_EQ(core::required_integer_bits(Range{0.0, 100.0}), 8);
+  EXPECT_EQ(core::required_integer_bits(Range{-0.1, 0.1}), 1);
+}
+
+TEST(IntegerBits, EndToEndFormatSelection) {
+  // Pick integer bits from range analysis, then verify no saturation in
+  // simulation.
+  const auto tf = filt::iir_lowpass(filt::IirFamily::kChebyshev1, 4, 0.1);
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto blk = g.add_block(in, tf);
+  const auto out = g.add_output(blk);
+  const auto ranges = core::analyze_ranges(g, Range{-1.0, 1.0});
+  const int ibits = core::required_integer_bits(ranges[out]);
+
+  // Rebuild with a quantized block using the selected format.
+  sfg::Graph g2;
+  const auto in2 = g2.add_input();
+  const auto fmt = fxp::q_format(ibits, 12);
+  const auto blk2 = g2.add_block(in2, tf, fmt);
+  g2.add_output(blk2);
+  Xoshiro256 rng(2);
+  const auto x = uniform_signal(1u << 14, 1.0, rng);
+  const auto y = sim::execute_sisos(g2, x, sim::Mode::kFixedPoint);
+  for (double v : y) {
+    EXPECT_GT(v, fmt.min_value() - 1e-12);
+    EXPECT_LT(v, fmt.max_value() + 1e-12);
+  }
+}
+
+}  // namespace

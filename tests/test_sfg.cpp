@@ -1,0 +1,255 @@
+// Signal-flow-graph tests: construction, validation, topology queries,
+// cycle detection, loop collapsing, and executor semantics per node type.
+#include <gtest/gtest.h>
+
+#include "filters/iir_design.hpp"
+#include "sfg/graph.hpp"
+#include "sfg/transform.hpp"
+#include "sim/executor.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace psdacc;
+using sfg::Graph;
+using sfg::NodeId;
+
+TEST(GraphBuild, NodeKindNames) {
+  Graph g;
+  const auto in = g.add_input();
+  const auto q = g.add_quantizer(in, fxp::q_format(4, 8));
+  const auto b = g.add_block(q, filt::TransferFunction::identity());
+  const auto out = g.add_output(b);
+  EXPECT_STREQ(sfg::node_kind_name(g.node(in).payload), "input");
+  EXPECT_STREQ(sfg::node_kind_name(g.node(q).payload), "quant");
+  EXPECT_STREQ(sfg::node_kind_name(g.node(b).payload), "block");
+  EXPECT_STREQ(sfg::node_kind_name(g.node(out).payload), "output");
+}
+
+TEST(GraphBuild, InputsOutputsAndSources) {
+  Graph g;
+  const auto in = g.add_input();
+  const auto q = g.add_quantizer(in, fxp::q_format(4, 8));
+  const auto blk = g.add_block(
+      q, filt::iir_lowpass(filt::IirFamily::kButterworth, 2, 0.2),
+      fxp::q_format(4, 8));
+  g.add_output(blk);
+  EXPECT_EQ(g.inputs().size(), 1u);
+  EXPECT_EQ(g.outputs().size(), 1u);
+  // Quantizer + quantized block are both noise sources.
+  EXPECT_EQ(g.noise_sources().size(), 2u);
+}
+
+TEST(GraphBuild, ConsumersInverseAdjacency) {
+  Graph g;
+  const auto in = g.add_input();
+  const auto a = g.add_gain(in, 2.0);
+  const auto b = g.add_gain(in, 3.0);
+  const auto sum = g.add_adder({a, b});
+  g.add_output(sum);
+  const auto cons = g.consumers();
+  ASSERT_EQ(cons[in].size(), 2u);
+  EXPECT_EQ(cons[a].size(), 1u);
+  EXPECT_EQ(cons[a][0], sum);
+}
+
+TEST(GraphBuild, TopologicalOrderRespectsEdges) {
+  Graph g;
+  const auto in = g.add_input();
+  const auto d = g.add_delay(in, 1);
+  const auto s = g.add_adder({in, d});
+  const auto out = g.add_output(s);
+  const auto order = g.topological_order();
+  auto pos = [&](NodeId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(in), pos(d));
+  EXPECT_LT(pos(d), pos(s));
+  EXPECT_LT(pos(s), pos(out));
+}
+
+TEST(Cycles, AcyclicGraphHasNone) {
+  Graph g;
+  const auto in = g.add_input();
+  g.add_output(g.add_gain(in, 1.0));
+  EXPECT_FALSE(g.has_cycles());
+  EXPECT_TRUE(sfg::find_cycles(g).empty());
+}
+
+Graph one_pole_feedback_graph(double a, NodeId* adder_out = nullptr) {
+  // y[n] = x[n] + a * y[n-1]  ==  H(z) = 1 / (1 - a z^-1).
+  Graph g;
+  const auto in = g.add_input();
+  const auto sum = g.add_adder({in});
+  const auto del = g.add_delay(sum, 1);
+  const auto gain = g.add_gain(del, a);
+  g.add_adder_input(sum, gain);
+  g.add_output(sum);
+  if (adder_out != nullptr) *adder_out = sum;
+  return g;
+}
+
+TEST(Cycles, FeedbackLoopDetected) {
+  const auto g = one_pole_feedback_graph(0.5);
+  EXPECT_TRUE(g.has_cycles());
+  const auto sccs = sfg::find_cycles(g);
+  ASSERT_EQ(sccs.size(), 1u);
+  EXPECT_EQ(sccs[0].size(), 3u);  // adder, delay, gain
+}
+
+TEST(Cycles, CollapseProducesEquivalentAcyclicGraph) {
+  const double a = 0.6;
+  const auto g = one_pole_feedback_graph(a);
+  const auto collapsed = sfg::collapse_loops(g);
+  EXPECT_FALSE(collapsed.has_cycles());
+
+  // Impulse through the collapsed graph must match 1/(1 - a z^-1).
+  std::vector<double> impulse(32, 0.0);
+  impulse[0] = 1.0;
+  const auto y = sim::execute_sisos(collapsed, impulse,
+                                    sim::Mode::kReference);
+  const filt::TransferFunction expected({1.0}, {1.0, -a});
+  const auto h = expected.impulse_response(32);
+  for (std::size_t i = 0; i < h.size(); ++i)
+    EXPECT_NEAR(y[i], h[i], 1e-10) << "n=" << i;
+}
+
+TEST(Cycles, CollapseWithBlockInLoop) {
+  // Loop gain L(z) = 0.8 z^-2 via a block; H = 1 / (1 - 0.8 z^-2).
+  Graph g;
+  const auto in = g.add_input();
+  const auto sum = g.add_adder({in});
+  const auto blk = g.add_block(
+      sum, filt::TransferFunction::gain(0.8).cascade(
+               filt::TransferFunction::delay(2)));
+  g.add_adder_input(sum, blk);
+  g.add_output(sum);
+  const auto collapsed = sfg::collapse_loops(g);
+  EXPECT_FALSE(collapsed.has_cycles());
+  std::vector<double> impulse(16, 0.0);
+  impulse[0] = 1.0;
+  const auto y =
+      sim::execute_sisos(collapsed, impulse, sim::Mode::kReference);
+  const filt::TransferFunction expected({1.0}, {1.0, 0.0, -0.8});
+  const auto h = expected.impulse_response(16);
+  for (std::size_t i = 0; i < h.size(); ++i) EXPECT_NEAR(y[i], h[i], 1e-10);
+}
+
+TEST(Cycles, NegativeFeedbackSign) {
+  // y[n] = x[n] - 0.5 y[n-1]  ==  H = 1 / (1 + 0.5 z^-1).
+  Graph g;
+  const auto in = g.add_input();
+  const auto sum = g.add_adder({in});
+  const auto del = g.add_delay(sum, 1);
+  const auto gain = g.add_gain(del, 0.5);
+  g.add_adder_input(sum, gain, -1.0);
+  g.add_output(sum);
+  const auto collapsed = sfg::collapse_loops(g);
+  std::vector<double> impulse(16, 0.0);
+  impulse[0] = 1.0;
+  const auto y =
+      sim::execute_sisos(collapsed, impulse, sim::Mode::kReference);
+  const filt::TransferFunction expected({1.0}, {1.0, 0.5});
+  const auto h = expected.impulse_response(16);
+  for (std::size_t i = 0; i < h.size(); ++i) EXPECT_NEAR(y[i], h[i], 1e-10);
+}
+
+TEST(Cycles, CollapseIsNoOpOnAcyclicGraphs) {
+  Graph g;
+  const auto in = g.add_input();
+  g.add_output(g.add_delay(in, 2));
+  const auto collapsed = sfg::collapse_loops(g);
+  EXPECT_EQ(collapsed.node_count(), g.node_count());
+}
+
+TEST(Executor, DelaySemantics) {
+  Graph g;
+  const auto in = g.add_input();
+  g.add_output(g.add_delay(in, 3));
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto y = sim::execute_sisos(g, x, sim::Mode::kReference);
+  EXPECT_EQ(y, (std::vector<double>{0.0, 0.0, 0.0, 1.0, 2.0}));
+}
+
+TEST(Executor, AdderWithSigns) {
+  Graph g;
+  const auto in = g.add_input();
+  const auto a = g.add_gain(in, 2.0);
+  const auto b = g.add_gain(in, 0.5);
+  std::vector<NodeId> srcs{a, b};
+  std::vector<double> signs{1.0, -1.0};
+  const auto sum = g.add_adder(srcs, signs);
+  g.add_output(sum);
+  const std::vector<double> x{1.0, -2.0};
+  const auto y = sim::execute_sisos(g, x, sim::Mode::kReference);
+  EXPECT_DOUBLE_EQ(y[0], 1.5);
+  EXPECT_DOUBLE_EQ(y[1], -3.0);
+}
+
+TEST(Executor, DownUpSampleSemantics) {
+  Graph g;
+  const auto in = g.add_input();
+  const auto down = g.add_downsample(in, 2);
+  g.add_output(g.add_upsample(down, 2));
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const auto y = sim::execute_sisos(g, x, sim::Mode::kReference);
+  EXPECT_EQ(y, (std::vector<double>{1.0, 0.0, 3.0, 0.0, 5.0, 0.0}));
+}
+
+TEST(Executor, QuantizerActsOnlyInFixedPointMode) {
+  Graph g;
+  const auto in = g.add_input();
+  g.add_output(g.add_quantizer(in, fxp::q_format(4, 2)));
+  const std::vector<double> x{0.3, -0.3};
+  const auto ref = sim::execute_sisos(g, x, sim::Mode::kReference);
+  const auto fx = sim::execute_sisos(g, x, sim::Mode::kFixedPoint);
+  EXPECT_DOUBLE_EQ(ref[0], 0.3);
+  EXPECT_DOUBLE_EQ(fx[0], 0.25);
+  EXPECT_DOUBLE_EQ(fx[1], -0.25);
+}
+
+TEST(Executor, BlockUsesFixedPointRealizationInFxMode) {
+  const auto tf = filt::iir_lowpass(filt::IirFamily::kButterworth, 2, 0.2);
+  Graph g;
+  const auto in = g.add_input();
+  g.add_output(g.add_block(in, tf, fxp::q_format(4, 6)));
+  Xoshiro256 rng(12);
+  const auto x = uniform_signal(100, 0.9, rng);
+  const auto ref = sim::execute_sisos(g, x, sim::Mode::kReference);
+  const auto fx = sim::execute_sisos(g, x, sim::Mode::kFixedPoint);
+  const double step = fxp::q_format(4, 6).step();
+  bool any_difference = false;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    // Fixed-point outputs on the grid...
+    EXPECT_NEAR(fx[i] / step, std::round(fx[i] / step), 1e-9);
+    if (std::abs(fx[i] - ref[i]) > 1e-12) any_difference = true;
+  }
+  // ... and differ from the double reference somewhere.
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Executor, MultipleInputsByNodeId) {
+  Graph g;
+  const auto in1 = g.add_input("a");
+  const auto in2 = g.add_input("b");
+  const auto sum = g.add_adder({in1, in2});
+  const auto out = g.add_output(sum);
+  std::map<sfg::NodeId, std::vector<double>> inputs;
+  inputs[in1] = {1.0, 2.0};
+  inputs[in2] = {10.0, 20.0};
+  const auto signals = sim::execute(g, inputs, sim::Mode::kReference);
+  EXPECT_EQ(signals[out], (std::vector<double>{11.0, 22.0}));
+}
+
+TEST(Validation, SingleRateDetection) {
+  Graph g;
+  const auto in = g.add_input();
+  g.add_output(g.add_gain(in, 1.0));
+  EXPECT_TRUE(g.is_single_rate());
+  Graph g2;
+  const auto in2 = g2.add_input();
+  g2.add_output(g2.add_downsample(in2, 2));
+  EXPECT_FALSE(g2.is_single_rate());
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+// Spectral estimation tests: power normalization (discrete Parseval),
+// whiteness of white noise, tone localization, autocorrelation identities,
+// cross-PSD consistency.
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "dsp/spectral.hpp"
+#include "support/random.hpp"
+#include "support/statistics.hpp"
+
+namespace {
+
+using psdacc::Xoshiro256;
+
+double total(const std::vector<double>& psd) {
+  double acc = 0.0;
+  for (double v : psd) acc += v;
+  return acc;
+}
+
+TEST(Autocorrelation, LagZeroIsMeanSquare) {
+  Xoshiro256 rng(5);
+  const auto x = psdacc::gaussian_signal(4096, rng);
+  const auto r = psdacc::dsp::autocorrelation(x, 8);
+  EXPECT_NEAR(r[0], psdacc::mean_square(x), 1e-12);
+}
+
+TEST(Autocorrelation, WhiteNoiseDecorrelatesAtNonzeroLags) {
+  Xoshiro256 rng(6);
+  const auto x = psdacc::gaussian_signal(1u << 16, rng);
+  const auto r = psdacc::dsp::autocorrelation(x, 4);
+  for (std::size_t m = 1; m <= 4; ++m)
+    EXPECT_NEAR(r[m], 0.0, 0.02) << "lag " << m;
+}
+
+TEST(Autocorrelation, DeterministicRamp) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const auto r = psdacc::dsp::autocorrelation(x, 2);
+  EXPECT_DOUBLE_EQ(r[0], (1.0 + 4.0 + 9.0 + 16.0) / 4.0);
+  EXPECT_DOUBLE_EQ(r[1], (1.0 * 2 + 2.0 * 3 + 3.0 * 4) / 4.0);
+  EXPECT_DOUBLE_EQ(r[2], (1.0 * 3 + 2.0 * 4) / 4.0);
+}
+
+class PsdNormalization : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PsdNormalization, PeriodogramTotalsMeanSquare) {
+  const std::size_t n_bins = GetParam();
+  Xoshiro256 rng(n_bins);
+  const auto x = psdacc::gaussian_signal(n_bins, rng);
+  const auto psd = psdacc::dsp::periodogram(x, n_bins);
+  EXPECT_NEAR(total(psd), psdacc::mean_square(x),
+              1e-9 * psdacc::mean_square(x));
+}
+
+TEST_P(PsdNormalization, WelchTotalsVarianceOfWhiteNoise) {
+  const std::size_t n_bins = GetParam();
+  Xoshiro256 rng(n_bins + 1);
+  const auto x = psdacc::gaussian_signal(1u << 17, rng);
+  const auto psd = psdacc::dsp::welch_psd(x, n_bins);
+  // Welch of stationary noise converges to E[x^2] = 1.
+  EXPECT_NEAR(total(psd), 1.0, 0.05);
+}
+
+TEST_P(PsdNormalization, WelchWhiteNoiseIsFlat) {
+  const std::size_t n_bins = GetParam();
+  Xoshiro256 rng(n_bins + 2);
+  const auto x = psdacc::gaussian_signal(1u << 18, rng);
+  const auto psd = psdacc::dsp::welch_psd(x, n_bins);
+  const double expected = 1.0 / static_cast<double>(n_bins);
+  for (std::size_t k = 0; k < n_bins; ++k)
+    EXPECT_NEAR(psd[k], expected, 0.35 * expected) << "bin " << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, PsdNormalization,
+                         ::testing::Values(16, 64, 256));
+
+TEST(PsdShape, SinusoidConcentratesInItsBin) {
+  const std::size_t n = 1u << 14;
+  const std::size_t bins = 128;
+  const double f = 16.0 / static_cast<double>(bins);  // exactly bin 16
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::sqrt(2.0) *
+           std::sin(2.0 * std::numbers::pi * f * static_cast<double>(i));
+  const auto psd = psdacc::dsp::periodogram(x, bins);
+  // Total power of a sqrt(2) sine is 1, split between bins 16 and 112.
+  EXPECT_NEAR(psd[16] + psd[bins - 16], 1.0, 0.02);
+  EXPECT_GT(psd[16], 0.4);
+}
+
+TEST(PsdShape, Ar1LowpassSpectrumDecreasesWithFrequency) {
+  Xoshiro256 rng(42);
+  const auto x = psdacc::ar1_signal(1u << 17, 0.9, rng);
+  const auto psd = psdacc::dsp::welch_psd(x, 64);
+  // Positive-rho AR(1) has monotonically decreasing PSD on [0, 0.5].
+  EXPECT_GT(psd[1], psd[8]);
+  EXPECT_GT(psd[8], psd[31]);
+}
+
+TEST(CrossPsd, SelfCrossEqualsAutoPsd) {
+  Xoshiro256 rng(43);
+  const auto x = psdacc::gaussian_signal(1u << 14, rng);
+  const auto auto_psd = psdacc::dsp::welch_psd(x, 64);
+  const auto cross = psdacc::dsp::welch_cross_psd_real(x, x, 64);
+  ASSERT_EQ(cross.size(), auto_psd.size());
+  for (std::size_t k = 0; k < cross.size(); ++k)
+    EXPECT_NEAR(cross[k], auto_psd[k], 1e-10);
+}
+
+TEST(CrossPsd, IndependentSignalsHaveSmallCrossTerms) {
+  Xoshiro256 rng(44);
+  const auto x = psdacc::gaussian_signal(1u << 16, rng);
+  const auto y = psdacc::gaussian_signal(1u << 16, rng);
+  const auto cross = psdacc::dsp::welch_cross_psd_real(x, y, 64);
+  for (double v : cross) EXPECT_NEAR(v, 0.0, 5e-3);
+}
+
+TEST(CrossPsd, SumPowerDecomposition) {
+  // E[(x+y)^2] spectral decomposition: S_zz = S_xx + S_yy + 2 Re S_xy.
+  Xoshiro256 rng(45);
+  const std::size_t n = 1u << 15;
+  const auto x = psdacc::gaussian_signal(n, rng);
+  auto y = psdacc::gaussian_signal(n, rng);
+  for (std::size_t i = 0; i < n; ++i) y[i] = 0.5 * y[i] + 0.5 * x[i];
+  std::vector<double> z(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = x[i] + y[i];
+  const std::size_t bins = 32;
+  const auto sxx = psdacc::dsp::welch_psd(x, bins);
+  const auto syy = psdacc::dsp::welch_psd(y, bins);
+  const auto szz = psdacc::dsp::welch_psd(z, bins);
+  const auto sxy = psdacc::dsp::welch_cross_psd_real(x, y, bins);
+  for (std::size_t k = 0; k < bins; ++k)
+    EXPECT_NEAR(szz[k], sxx[k] + syy[k] + 2.0 * sxy[k], 2e-10)
+        << "bin " << k;
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+// Support substrate tests: RNG determinism and distribution moments,
+// running statistics, table rendering.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "support/random.hpp"
+#include "support/statistics.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace psdacc;
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+  Xoshiro256 c(124);
+  bool differs = false;
+  Xoshiro256 a2(123);
+  for (int i = 0; i < 100; ++i)
+    if (a2() != c()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Xoshiro, UniformInRange) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Xoshiro, UniformMomentsConverge) {
+  Xoshiro256 rng(2);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.005);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.002);
+}
+
+TEST(Xoshiro, GaussianMomentsConverge) {
+  Xoshiro256 rng(3);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.gaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0, 0.02);
+}
+
+TEST(Xoshiro, BelowIsUnbiasedAndInRange) {
+  Xoshiro256 rng(4);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) ++counts[rng.below(7)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Signals, Ar1HasUnitVarianceAndCorrelation) {
+  Xoshiro256 rng(5);
+  const auto x = ar1_signal(1u << 17, 0.8, rng);
+  RunningStats s;
+  s.add(x);
+  EXPECT_NEAR(s.variance(), 1.0, 0.05);
+  // Lag-1 correlation ~ rho.
+  double acc = 0.0;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) acc += x[i] * x[i + 1];
+  acc /= static_cast<double>(x.size() - 1);
+  EXPECT_NEAR(acc, 0.8, 0.03);
+}
+
+TEST(Signals, MultitonePeakBounded) {
+  Xoshiro256 rng(6);
+  const auto x = multitone_signal(4096, 5, 0.9, rng);
+  double peak = 0.0;
+  for (double v : x) peak = std::max(peak, std::abs(v));
+  EXPECT_NEAR(peak, 0.9, 1e-9);
+}
+
+TEST(RunningStats, MatchesBatchFormulas) {
+  Xoshiro256 rng(7);
+  std::vector<double> xs(1000);
+  for (auto& v : xs) v = rng.uniform(-2.0, 3.0);
+  RunningStats s;
+  s.add(xs);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_NEAR(s.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(s.variance(), variance(xs), 1e-12);
+  EXPECT_NEAR(s.mean_square(), mean_square(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), min_element(xs));
+  EXPECT_DOUBLE_EQ(s.max(), max_element(xs));
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Statistics, SubtractElementwise) {
+  const std::vector<double> a{3.0, 2.0, 1.0};
+  const std::vector<double> b{1.0, 1.0, 1.0};
+  EXPECT_EQ(subtract(a, b), (std::vector<double>{2.0, 1.0, 0.0}));
+}
+
+TEST(Table, RendersAlignedCells) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "123456"});
+  const auto s = t.render();
+  EXPECT_NE(s.find("| name  | value  |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1      |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 123456 |"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(1234.5678, 4), "1235");
+  EXPECT_EQ(TextTable::num(0.000123456, 3), "0.000123");
+  EXPECT_EQ(TextTable::percent(0.295, 1), "29.5%");
+  EXPECT_EQ(TextTable::percent(-0.0840, 2), "-8.40%");
+}
+
+TEST(Stopwatch, MeasuresNonNegativeTime) {
+  Stopwatch w;
+  volatile double acc = 0.0;
+  for (int i = 0; i < 10000; ++i) acc = acc + 1.0;
+  EXPECT_GE(w.seconds(), 0.0);
+  EXPECT_GE(w.milliseconds(), 0.0);
+  w.reset();
+  EXPECT_LT(w.seconds(), 1.0);
+}
+
+}  // namespace

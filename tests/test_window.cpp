@@ -1,0 +1,109 @@
+// Window function properties: symmetry, endpoint/center values, Kaiser
+// design formulas, Bessel I0 accuracy.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dsp/window.hpp"
+
+namespace {
+
+using psdacc::dsp::WindowKind;
+using psdacc::dsp::make_window;
+
+class WindowSymmetry : public ::testing::TestWithParam<WindowKind> {};
+
+TEST_P(WindowSymmetry, IsSymmetric) {
+  for (std::size_t n : {5u, 8u, 33u, 64u}) {
+    const auto w = make_window(GetParam(), n);
+    ASSERT_EQ(w.size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(w[i], w[n - 1 - i], 1e-12) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST_P(WindowSymmetry, ValuesInUnitRange) {
+  const auto w = make_window(GetParam(), 51);
+  for (double v : w) {
+    EXPECT_GE(v, -1e-12);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+TEST_P(WindowSymmetry, LengthOneIsUnity) {
+  const auto w = make_window(GetParam(), 1);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, WindowSymmetry,
+                         ::testing::Values(WindowKind::kRectangular,
+                                           WindowKind::kHann,
+                                           WindowKind::kHamming,
+                                           WindowKind::kBlackman,
+                                           WindowKind::kKaiser));
+
+TEST(WindowValues, HannEndpointsAreZero) {
+  const auto w = make_window(WindowKind::kHann, 21);
+  EXPECT_NEAR(w[0], 0.0, 1e-12);
+  EXPECT_NEAR(w[20], 0.0, 1e-12);
+  EXPECT_NEAR(w[10], 1.0, 1e-12);  // center of odd-length window
+}
+
+TEST(WindowValues, HammingEndpoints) {
+  const auto w = make_window(WindowKind::kHamming, 21);
+  EXPECT_NEAR(w[0], 0.08, 1e-12);
+  EXPECT_NEAR(w[10], 1.0, 1e-12);
+}
+
+TEST(WindowValues, BlackmanEndpoints) {
+  const auto w = make_window(WindowKind::kBlackman, 21);
+  EXPECT_NEAR(w[0], 0.0, 1e-12);  // 0.42 - 0.5 + 0.08
+  EXPECT_NEAR(w[10], 1.0, 1e-12);
+}
+
+TEST(WindowValues, RectangularIsAllOnes) {
+  const auto w = make_window(WindowKind::kRectangular, 16);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(BesselI0, MatchesSeriesReference) {
+  // Reference values of I0 (Abramowitz & Stegun).
+  EXPECT_NEAR(psdacc::dsp::bessel_i0(0.0), 1.0, 1e-14);
+  EXPECT_NEAR(psdacc::dsp::bessel_i0(1.0), 1.2660658777520084, 1e-12);
+  EXPECT_NEAR(psdacc::dsp::bessel_i0(2.0), 2.2795853023360673, 1e-12);
+  EXPECT_NEAR(psdacc::dsp::bessel_i0(5.0), 27.239871823604450, 1e-9);
+}
+
+TEST(BesselI0, IsEvenFunction) {
+  EXPECT_DOUBLE_EQ(psdacc::dsp::bessel_i0(3.0), psdacc::dsp::bessel_i0(3.0));
+}
+
+TEST(KaiserDesign, BetaFormulaRegions) {
+  // Below 21 dB the window degenerates to rectangular (beta = 0).
+  EXPECT_DOUBLE_EQ(psdacc::dsp::kaiser_beta_for_attenuation(10.0), 0.0);
+  // Mid region.
+  const double beta40 = psdacc::dsp::kaiser_beta_for_attenuation(40.0);
+  EXPECT_NEAR(beta40, 0.5842 * std::pow(19.0, 0.4) + 0.07886 * 19.0, 1e-12);
+  // High-attenuation region.
+  EXPECT_NEAR(psdacc::dsp::kaiser_beta_for_attenuation(80.0),
+              0.1102 * (80.0 - 8.7), 1e-12);
+  // Monotone increasing in attenuation.
+  EXPECT_LT(beta40, psdacc::dsp::kaiser_beta_for_attenuation(60.0));
+}
+
+TEST(KaiserWindow, PeaksAtCenter) {
+  const auto w = make_window(WindowKind::kKaiser, 33, 8.6);
+  const auto peak = std::max_element(w.begin(), w.end());
+  EXPECT_EQ(std::distance(w.begin(), peak), 16);
+  EXPECT_NEAR(*peak, 1.0, 1e-12);
+}
+
+TEST(KaiserWindow, LargerBetaNarrowsWindow) {
+  const auto narrow = make_window(WindowKind::kKaiser, 33, 12.0);
+  const auto wide = make_window(WindowKind::kKaiser, 33, 4.0);
+  // Edge taps decay faster with larger beta.
+  EXPECT_LT(narrow[2], wide[2]);
+}
+
+}  // namespace
