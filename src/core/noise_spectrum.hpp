@@ -1,19 +1,11 @@
-// Discrete quantization-noise spectrum — the quantity the proposed method
-// propagates (Fig. 1.b of the paper).
-//
-// A NoiseSpectrum holds:
-//  * `mean` — the signed deterministic (DC) component of the noise. Means
-//    add coherently at adders (the paper's Eq. 4 cross term L_ij mu_i mu_j)
-//    and scale by H(0) through blocks, so tracking the sign matters.
-//  * `bins` — an N_PSD-point PSD of the zero-mean stochastic part, bin k
-//    covering normalized frequency k/N (periodic). sum(bins) == variance.
-//
-// Total noise power (Eq. 9): power() = mean^2 + sum(bins).
-//
-// Deviation from the paper's literal Eq. 10: the paper writes S(0) = mu^2
-// and S(k != 0) = sigma^2 / N, which loses a sigma^2/N sliver of power at
-// DC. psdacc keeps the white variance exactly flat over all N bins and the
-// mean separate, so power bookkeeping is exact for every N.
+/// @file noise_spectrum.hpp
+/// Discrete quantization-noise spectrum — the quantity the proposed method
+/// propagates (Fig. 1.b of the paper).
+///
+/// Deviation from the paper's literal Eq. 10: the paper writes S(0) = mu^2
+/// and S(k != 0) = sigma^2 / N, which loses a sigma^2/N sliver of power at
+/// DC. psdacc keeps the white variance exactly flat over all N bins and the
+/// mean separate, so power bookkeeping is exact for every N.
 #pragma once
 
 #include <cstddef>
@@ -24,11 +16,23 @@
 
 namespace psdacc::core {
 
+/// Mean + discrete PSD of one additive quantization noise.
+///
+/// A NoiseSpectrum holds:
+///  * `mean` — the signed deterministic (DC) component of the noise. Means
+///    add coherently at adders (the paper's Eq. 4 cross term L_ij mu_i mu_j)
+///    and scale by H(0) through blocks, so tracking the sign matters.
+///  * `bins` — an N_PSD-point PSD of the zero-mean stochastic part, bin k
+///    covering normalized frequency k/N (periodic). sum(bins) == variance.
+///
+/// Total noise power (Eq. 9): power() = mean^2 + sum(bins).
 class NoiseSpectrum {
  public:
-  /// All-zero spectrum over n_bins.
+  /// All-zero spectrum over @p n_bins.
   explicit NoiseSpectrum(std::size_t n_bins);
   /// White spectrum with the given PQN moments (Eq. 10).
+  /// @param n_bins  number of PSD bins (the paper's N_PSD)
+  /// @param moments first two moments of the injected noise
   NoiseSpectrum(std::size_t n_bins, const fxp::NoiseMoments& moments);
 
   std::size_t size() const { return bins_.size(); }
@@ -44,16 +48,19 @@ class NoiseSpectrum {
   double power() const;
 
   /// Eq. 14: incoherent addition of an uncorrelated noise (bins add), but
-  /// coherent addition of the deterministic means. `sign` applies to the
-  /// other spectrum's mean.
+  /// coherent addition of the deterministic means.
+  /// @param other the spectrum joining this one at an adder
+  /// @param sign  the adder sign applied to @p other's mean
   void add_uncorrelated(const NoiseSpectrum& other, double sign = 1.0);
 
   /// Eq. 11: multiplies bins by |H|^2 sampled on the k/N grid, and the mean
-  /// by the DC response dc. `power_response` must have size() entries.
+  /// by the DC response.
+  /// @param power_response |H(k/N)|^2 per bin; must have size() entries
+  /// @param dc_response    H(0), applied (signed) to the mean
   void apply_power_response(std::span<const double> power_response,
                             double dc_response);
 
-  /// Scales by a constant gain g (bins by g^2, mean by g).
+  /// Scales by a constant gain @p g (bins by g^2, mean by g).
   void apply_gain(double g);
 
   /// Multirate rules (documented in DESIGN.md):
@@ -68,6 +75,7 @@ class NoiseSpectrum {
 
   /// Resamples the spectrum to a different bin count, preserving variance
   /// (used when comparing across N_PSD settings).
+  /// @return a new spectrum with @p new_bins bins and identical power
   NoiseSpectrum resampled(std::size_t new_bins) const;
 
  private:

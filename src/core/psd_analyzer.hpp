@@ -1,13 +1,6 @@
-// The proposed method (Section III of the paper): hierarchical propagation
-// of quantization-noise PSDs through an acyclic SFG.
-//
-// Split into the two stages the paper times separately:
-//  * construction ("preprocessing", tau_pp): samples every block's
-//    magnitude-squared response and noise transfer function on the N_PSD
-//    grid — O(N) per block coefficient, one-time;
-//  * evaluate() ("evaluation", tau_eval): one topological sweep applying
-//    Eqs. 10, 11 and 14 plus the multirate rules — O(N) per node, repeated
-//    for every word-length assignment being explored.
+/// @file psd_analyzer.hpp
+/// The proposed method (Section III of the paper): hierarchical propagation
+/// of quantization-noise PSDs through an acyclic SFG.
 #pragma once
 
 #include <cstddef>
@@ -18,21 +11,35 @@
 
 namespace psdacc::core {
 
+/// Tuning knobs for PsdAnalyzer.
 struct PsdOptions {
+  /// Number of PSD bins (the paper's N_PSD); accuracy/cost trade-off.
   std::size_t n_psd = 1024;
+  /// Interpolation for fractional bin indices in the multirate fold.
   NoiseSpectrum::Interp interp = NoiseSpectrum::Interp::kLinear;
 };
 
+/// Hierarchical PSD accuracy engine.
+///
+/// Split into the two stages the paper times separately:
+///  * construction ("preprocessing", tau_pp): samples every block's
+///    magnitude-squared response and noise transfer function on the N_PSD
+///    grid — O(N) per block coefficient, one-time;
+///  * evaluate() ("evaluation", tau_eval): one topological sweep applying
+///    Eqs. 10, 11 and 14 plus the multirate rules — O(N) per node, repeated
+///    for every word-length assignment being explored.
 class PsdAnalyzer {
  public:
   /// Preprocesses the graph (must be acyclic; run sfg::collapse_loops
-  /// first). Keeps a reference to `g` — the graph must outlive the
-  /// analyzer; quantizer moments may change between evaluate() calls but
-  /// the topology and block coefficients must not.
+  /// first).
+  /// @param g    the system; must outlive the analyzer. Quantizer moments
+  ///             may change between evaluate() calls but the topology and
+  ///             block coefficients must not.
+  /// @param opts PSD resolution and interpolation settings
   PsdAnalyzer(const sfg::Graph& g, PsdOptions opts = {});
 
-  /// Propagates noise spectra input -> outputs; returns one spectrum per
-  /// node (indexed by NodeId).
+  /// Propagates noise spectra input -> outputs.
+  /// @return one spectrum per node, indexed by NodeId
   std::vector<NoiseSpectrum> evaluate() const;
 
   /// Convenience: spectrum at the single Output node (asserts exactly one).

@@ -1,20 +1,21 @@
-// Pseudo-quantization-noise (PQN) statistics, after Widrow & Kollar.
-//
-// When a continuous-amplitude signal is quantized with step q = 2^-d, the
-// error b = Q(x) - x behaves (under the PQN conditions the paper lists in
-// Section II) as an additive noise, white except at DC, with:
-//
-//   truncation:      b in [-q, 0),   mu = -q/2, sigma^2 = q^2/12
-//   round-nearest:   b in [-q/2,q/2], mu = 0,   sigma^2 = q^2/12
-//
-// When the input is *already quantized* with d_in fractional bits and is
-// narrowed to d_out < d_in bits, the error is discrete and the classical
-// corrected moments apply (Constantinides/Menard form), with
-// k = d_in - d_out dropped bits:
-//
-//   truncation:    mu = -(q_out - q_in)/2,  sigma^2 = (q_out^2 - q_in^2)/12
-//   round-nearest: mu = q_in/2 * [k > 0],   sigma^2 = (q_out^2 - q_in^2)/12
-//     (round-half-up has a +q_in/2 bias on the discrete grid)
+/// @file noise_model.hpp
+/// Pseudo-quantization-noise (PQN) statistics, after Widrow & Kollar.
+///
+/// When a continuous-amplitude signal is quantized with step q = 2^-d, the
+/// error b = Q(x) - x behaves (under the PQN conditions the paper lists in
+/// Section II) as an additive noise, white except at DC, with:
+///
+///   truncation:      b in [-q, 0),   mu = -q/2, sigma^2 = q^2/12
+///   round-nearest:   b in [-q/2,q/2], mu = 0,   sigma^2 = q^2/12
+///
+/// When the input is *already quantized* with d_in fractional bits and is
+/// narrowed to d_out < d_in bits, the error is discrete and the classical
+/// corrected moments apply (Constantinides/Menard form), with
+/// k = d_in - d_out dropped bits:
+///
+///   truncation:    mu = -(q_out - q_in)/2,  sigma^2 = (q_out^2 - q_in^2)/12
+///   round-nearest: mu = q_in/2 * [k > 0],   sigma^2 = (q_out^2 - q_in^2)/12
+///     (round-half-up has a +q_in/2 bias on the discrete grid)
 #pragma once
 
 #include "fixedpoint/format.hpp"
@@ -23,17 +24,23 @@ namespace psdacc::fxp {
 
 /// First two moments of an additive quantization-noise source.
 struct NoiseMoments {
-  double mean = 0.0;
-  double variance = 0.0;
+  double mean = 0.0;      ///< Deterministic (DC) error component mu.
+  double variance = 0.0;  ///< Stochastic error power sigma^2.
 
+  /// Total noise power mu^2 + sigma^2.
   double power() const { return mean * mean + variance; }
 };
 
-/// Moments for quantizing a continuous-amplitude signal to `fmt`.
+/// Moments for quantizing a continuous-amplitude signal to @p fmt.
+/// @param fmt target format; its rounding mode selects the mu formula
+/// @return PQN moments of the additive error
 NoiseMoments continuous_quantization_noise(const FixedPointFormat& fmt);
 
-/// Moments for narrowing from `in_fractional_bits` to `fmt.fractional_bits`.
-/// Returns zero moments when no bits are dropped.
+/// Moments for narrowing an already-quantized signal (discrete-error,
+/// Constantinides/Menard corrected form).
+/// @param in_fractional_bits fractional bits d_in of the incoming signal
+/// @param fmt                target format with d_out fractional bits
+/// @return corrected moments; zero moments when no bits are dropped
 NoiseMoments narrowing_quantization_noise(int in_fractional_bits,
                                           const FixedPointFormat& fmt);
 

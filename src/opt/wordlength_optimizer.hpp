@@ -1,19 +1,9 @@
-// Word-length optimization driver — the design-automation loop the paper's
-// fast accuracy evaluation exists to serve.
-//
-// The optimizer owns a set of word-length variables (quantizer nodes and
-// quantized blocks of one SFG), a hardware-cost model (weighted sum of
-// fractional bits by default), and an output-noise budget. Strategies:
-//
-//  * uniform()        — smallest single d meeting the budget (baseline);
-//  * greedy_descent() — start generous, repeatedly remove the bit with the
-//    best cost/noise trade until no removal fits the budget (the classic
-//    "max -1 bit" heuristic);
-//  * min_plus_one()   — start from each variable's noise-constrained lower
-//    bound and add bits where they help most until the budget is met.
-//
-// Every probe is one O(N) PSD evaluation, so thousands of candidates per
-// second are feasible — the paper's scalability argument made concrete.
+/// @file wordlength_optimizer.hpp
+/// Word-length optimization driver — the design-automation loop the paper's
+/// fast accuracy evaluation exists to serve.
+///
+/// Every probe is one O(N) PSD evaluation, so thousands of candidates per
+/// second are feasible — the paper's scalability argument made concrete.
 #pragma once
 
 #include <cstddef>
@@ -24,33 +14,44 @@
 
 namespace psdacc::opt {
 
+/// Search constraints and cost model for WordlengthOptimizer.
 struct OptimizerConfig {
-  double noise_budget = 1e-6;  // max output noise power
-  int min_bits = 2;
-  int max_bits = 24;
-  std::size_t n_psd = 512;
+  double noise_budget = 1e-6;  ///< Max output noise power.
+  int min_bits = 2;            ///< Lower bound per variable.
+  int max_bits = 24;           ///< Upper bound per variable.
+  std::size_t n_psd = 512;     ///< PSD bins used by the probe analyzer.
   /// Per-variable cost weight (e.g. multiplier width); empty = all 1.
   std::vector<double> cost_weights;
 };
 
+/// Outcome of one optimization strategy.
 struct OptimizerResult {
-  std::vector<int> bits;        // per variable, in variable order
-  double cost = 0.0;            // weighted bit total
-  double noise = 0.0;           // estimated output noise power
-  std::size_t evaluations = 0;  // PSD evaluations spent
-  bool feasible = false;        // noise <= budget
+  std::vector<int> bits;        ///< Per variable, in variable order.
+  double cost = 0.0;            ///< Weighted bit total.
+  double noise = 0.0;           ///< Estimated output noise power.
+  std::size_t evaluations = 0;  ///< PSD evaluations spent.
+  bool feasible = false;        ///< noise <= budget.
 };
 
+/// Minimizes hardware cost (weighted fractional bits) subject to an
+/// output-noise budget, probing candidates with the PSD engine.
 class WordlengthOptimizer {
  public:
-  /// `variables` are node ids of QuantizerNodes or quantized BlockNodes in
-  /// `g`; the optimizer mutates their fractional bit counts in place
-  /// during the search and leaves the best assignment applied.
+  /// @param g         the system; mutated in place during the search, with
+  ///                  the best found assignment left applied
+  /// @param variables node ids of QuantizerNodes or quantized BlockNodes
+  ///                  in @p g whose fractional bits are free
+  /// @param cfg       budget, bit bounds, and cost weights
   WordlengthOptimizer(sfg::Graph& g, std::vector<sfg::NodeId> variables,
                       OptimizerConfig cfg);
 
+  /// Smallest single uniform d meeting the budget (baseline).
   OptimizerResult uniform();
+  /// Start generous, repeatedly remove the bit with the best cost/noise
+  /// trade until no removal fits the budget ("max -1 bit" heuristic).
   OptimizerResult greedy_descent();
+  /// Start from each variable's noise-constrained lower bound and add bits
+  /// where they help most until the budget is met.
   OptimizerResult min_plus_one();
 
   /// Applies an assignment (one entry per variable).

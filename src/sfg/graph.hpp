@@ -1,10 +1,5 @@
-// Signal-flow graph container and builder API.
-//
-// Nodes are appended through typed add_* methods that wire fan-in edges at
-// construction; feedback loops are created afterwards with
-// `add_adder_input` and must be removed by `collapse_loops` (see
-// transform.hpp) before any analysis or simulation runs (method step 1 of
-// the paper).
+/// @file graph.hpp
+/// Signal-flow graph container and builder API.
 #pragma once
 
 #include <span>
@@ -15,26 +10,48 @@
 
 namespace psdacc::sfg {
 
+/// The paper's system model (Fig. 1): a directed graph of LTI blocks
+/// delimited by additive quantization-noise sources.
+///
+/// Nodes are appended through typed add_* methods that wire fan-in edges at
+/// construction; feedback loops are created afterwards with
+/// `add_adder_input` and must be removed by `collapse_loops` (see
+/// transform.hpp) before any analysis or simulation runs (method step 1 of
+/// the paper). Every add_* method returns the new node's NodeId, which is
+/// the handle used for wiring and for indexing analysis results.
 class Graph {
  public:
+  /// External signal input (no noise of its own).
   NodeId add_input(std::string name = "in");
+  /// Marks @p src as a system output; analyses report noise here.
   NodeId add_output(NodeId src, std::string name = "out");
+  /// LTI block with transfer function @p tf fed by @p src.
+  /// @param output_format when set, the block computes in fixed point and
+  ///        injects quantization noise at its output
   NodeId add_block(NodeId src, filt::TransferFunction tf,
                    std::optional<fxp::FixedPointFormat> output_format = {},
                    std::string name = "block");
+  /// Constant multiplier.
   NodeId add_gain(NodeId src, double gain, std::string name = "gain");
+  /// Pure delay of @p delay samples (z^-delay).
   NodeId add_delay(NodeId src, std::size_t delay, std::string name = "delay");
+  /// N-ary adder; @p signs (+1/-1 per input) defaults to all +1.
   NodeId add_adder(std::span<const NodeId> srcs,
                    std::span<const double> signs = {},
                    std::string name = "add");
   NodeId add_adder(std::initializer_list<NodeId> srcs,
                    std::string name = "add");
+  /// Keep every @p factor-th sample (multirate decimation).
   NodeId add_downsample(NodeId src, std::size_t factor,
                         std::string name = "down");
+  /// Insert @p factor - 1 zeros between samples (multirate expansion).
   NodeId add_upsample(NodeId src, std::size_t factor,
                       std::string name = "up");
+  /// Explicit quantizer to @p format; PQN moments derived from the format.
   NodeId add_quantizer(NodeId src, fxp::FixedPointFormat format,
                        std::string name = "quant");
+  /// Explicit quantizer with caller-supplied noise moments (e.g. the
+  /// narrowing corrected form, or measured moments).
   NodeId add_quantizer(NodeId src, fxp::FixedPointFormat format,
                        fxp::NoiseMoments moments, std::string name = "quant");
 

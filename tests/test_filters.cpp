@@ -153,8 +153,9 @@ TEST_P(IirDesignCase, LowpassShapeAndStability) {
   EXPECT_LT(std::abs(tf.response(0.5)),
             std::pow(10.0, -0.5 * order));  // deep stop-band for high order
   // Monotone-ish decay beyond cutoff: response well below 1 at 1.8*cutoff.
-  if (1.8 * cutoff < 0.5)
+  if (1.8 * cutoff < 0.5) {
     EXPECT_LT(std::abs(tf.response(1.8 * cutoff)), 0.9);
+  }
 }
 
 TEST_P(IirDesignCase, HighpassShapeAndStability) {

@@ -145,8 +145,10 @@ TEST(DotExport, ContainsEveryNodeAndEdge) {
   const auto dot = sfg::to_dot(g, "random");
   EXPECT_NE(dot.find("digraph \"random\""), std::string::npos);
   for (sfg::NodeId id = 0; id < g.node_count(); ++id) {
-    EXPECT_NE(dot.find("n" + std::to_string(id) + " ["), std::string::npos)
-        << "node " << id;
+    std::string needle = "n";
+    needle += std::to_string(id);
+    needle += " [";
+    EXPECT_NE(dot.find(needle), std::string::npos) << "node " << id;
   }
   // Count edges.
   std::size_t edges = 0;
