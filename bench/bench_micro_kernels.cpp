@@ -10,8 +10,12 @@
 #include "core/moment_analyzer.hpp"
 #include "core/psd_analyzer.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/fft_plan.hpp"
+#include "dsp/spectral.hpp"
 #include "filters/iir_design.hpp"
 #include "sim/error_measurement.hpp"
+#include "sim/execution_plan.hpp"
+#include "sim/executor.hpp"
 #include "support/random.hpp"
 
 namespace {
@@ -32,6 +36,60 @@ void BM_Fft(benchmark::State& state) {
 }
 BENCHMARK(BM_Fft)->RangeMultiplier(4)->Range(64, 16384)->Complexity();
 
+// Real-input transform through a cached plan (reused output buffer), the
+// primitive under every Welch segment.
+void BM_Rfft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(2);
+  const auto x = gaussian_signal(n, rng);
+  const dsp::FftPlan& plan = dsp::plan_for(n);
+  std::vector<dsp::cplx> spectrum;
+  for (auto _ : state) {
+    plan.rfft(x, spectrum);
+    benchmark::DoNotOptimize(spectrum);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Rfft)->RangeMultiplier(4)->Range(64, 16384)->Complexity();
+
+// The acceptance workload: Welch PSD of 2^14 samples over 1024 bins.
+void BM_WelchPsd(benchmark::State& state) {
+  Xoshiro256 rng(3);
+  const auto x = gaussian_signal(1u << 14, rng);
+  for (auto _ : state) {
+    auto psd = dsp::welch_psd(x, 1024);
+    benchmark::DoNotOptimize(psd);
+  }
+}
+BENCHMARK(BM_WelchPsd);
+
+// execute_sisos over the Table-1 filter banks (one fixed-point + one
+// reference sweep per filter, fresh plan per call, as the Table-1 harness
+// does). bank: 0 = FIR population, 1 = IIR population.
+void BM_ExecuteSisosTable1(benchmark::State& state) {
+  const auto bank = state.range(0) == 0 ? bench::fir_bank()
+                                        : bench::iir_bank();
+  std::vector<sfg::Graph> graphs;
+  graphs.reserve(bank.size());
+  for (const auto& spec : bank)
+    graphs.push_back(bench::quantized_filter_graph(spec.tf, 12));
+  Xoshiro256 rng(4);
+  const auto x = uniform_signal(1u << 12, 0.9, rng);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const auto& g : graphs) {
+      acc += sim::execute_sisos(g, x, sim::Mode::kReference)[5];
+      acc += sim::execute_sisos(g, x, sim::Mode::kFixedPoint)[5];
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ExecuteSisosTable1)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"bank"})
+    ->Unit(benchmark::kMillisecond);
+
 sfg::Graph chain_graph(int blocks, int d) {
   sfg::Graph g;
   auto head = g.add_input();
@@ -44,6 +102,31 @@ sfg::Graph chain_graph(int blocks, int d) {
   g.add_output(head);
   return g;
 }
+
+// Repeated simulation through one long-lived ExecutionPlan: what a
+// Monte-Carlo loop pays per sweep once plan setup and buffers are amortized.
+void BM_ExecutionPlanReuse(benchmark::State& state) {
+  const auto g = chain_graph(4, 12);
+  Xoshiro256 rng(5);
+  const auto x = uniform_signal(1u << 12, 0.9, rng);
+  sim::ExecutionPlan plan(g);
+  for (auto _ : state) {
+    const auto y = plan.run_sisos(x, sim::Mode::kFixedPoint);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ExecutionPlanReuse)->Unit(benchmark::kMicrosecond);
+
+// One optimizer-style probe: PsdAnalyzer::output_noise_power() into the
+// analyzer's reused workspace (allocation-free after the first call).
+void BM_PsdProbe(benchmark::State& state) {
+  const auto g = chain_graph(16, 12);
+  core::PsdAnalyzer analyzer(g, {.n_psd = 512});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.output_noise_power());
+  }
+}
+BENCHMARK(BM_PsdProbe)->Unit(benchmark::kMicrosecond);
 
 // tau_pp: constructing the analyzer samples all block responses.
 void BM_PsdPreprocess(benchmark::State& state) {

@@ -17,6 +17,12 @@ NoiseSpectrum::NoiseSpectrum(std::size_t n_bins,
   PSDACC_EXPECTS(n_bins >= 2);
 }
 
+void NoiseSpectrum::reset(std::size_t n_bins) {
+  PSDACC_EXPECTS(n_bins >= 2);
+  mean_ = 0.0;
+  bins_.assign(n_bins, 0.0);
+}
+
 double NoiseSpectrum::variance() const {
   double acc = 0.0;
   for (double v : bins_) acc += v;
@@ -30,6 +36,12 @@ void NoiseSpectrum::add_uncorrelated(const NoiseSpectrum& other,
   PSDACC_EXPECTS(other.size() == size());
   for (std::size_t k = 0; k < bins_.size(); ++k) bins_[k] += other.bins_[k];
   mean_ += sign * other.mean_;
+}
+
+void NoiseSpectrum::add_white(const fxp::NoiseMoments& moments, double sign) {
+  const double per_bin = moments.variance / static_cast<double>(bins_.size());
+  for (double& v : bins_) v += per_bin;
+  mean_ += sign * moments.mean;
 }
 
 void NoiseSpectrum::apply_power_response(

@@ -35,6 +35,10 @@ class NoiseSpectrum {
   /// @param moments first two moments of the injected noise
   NoiseSpectrum(std::size_t n_bins, const fxp::NoiseMoments& moments);
 
+  /// Re-initializes to the all-zero spectrum over @p n_bins, reusing the
+  /// existing bin storage when possible (for allocation-free hot loops).
+  void reset(std::size_t n_bins);
+
   std::size_t size() const { return bins_.size(); }
   double mean() const { return mean_; }
   void set_mean(double m) { mean_ = m; }
@@ -52,6 +56,10 @@ class NoiseSpectrum {
   /// @param other the spectrum joining this one at an adder
   /// @param sign  the adder sign applied to @p other's mean
   void add_uncorrelated(const NoiseSpectrum& other, double sign = 1.0);
+
+  /// Adds an uncorrelated white noise with the given PQN moments (Eqs. 10 +
+  /// 14 fused) without materializing a temporary spectrum.
+  void add_white(const fxp::NoiseMoments& moments, double sign = 1.0);
 
   /// Eq. 11: multiplies bins by |H|^2 sampled on the k/N grid, and the mean
   /// by the DC response.

@@ -5,7 +5,7 @@
 namespace psdacc::core {
 
 PsdAnalyzer::PsdAnalyzer(const sfg::Graph& g, PsdOptions opts)
-    : graph_(g), opts_(opts) {
+    : graph_(g), opts_(opts), scratch_(opts.n_psd) {
   PSDACC_EXPECTS(opts_.n_psd >= 2);
   PSDACC_EXPECTS(!g.has_cycles());
   g.validate();
@@ -31,9 +31,10 @@ PsdAnalyzer::PsdAnalyzer(const sfg::Graph& g, PsdOptions opts)
   }
 }
 
-std::vector<NoiseSpectrum> PsdAnalyzer::evaluate() const {
-  std::vector<NoiseSpectrum> spectra(graph_.node_count(),
-                                     NoiseSpectrum(opts_.n_psd));
+void PsdAnalyzer::evaluate_into(std::vector<NoiseSpectrum>& spectra) const {
+  if (spectra.size() != graph_.node_count())
+    spectra.resize(graph_.node_count(), NoiseSpectrum(opts_.n_psd));
+  for (auto& s : spectra) s.reset(opts_.n_psd);
   for (sfg::NodeId id : order_) {
     const sfg::Node& node = graph_.node(id);
     NoiseSpectrum& out = spectra[id];
@@ -60,7 +61,9 @@ std::vector<NoiseSpectrum> PsdAnalyzer::evaluate() const {
         if (block.output_format.has_value()) {
           const auto moments =
               fxp::continuous_quantization_noise(*block.output_format);
-          NoiseSpectrum own(self.opts_.n_psd, moments);
+          NoiseSpectrum& own = self.scratch_;
+          own.reset(self.opts_.n_psd);
+          own.add_white(moments);
           own.apply_power_response(t.noise_power, t.noise_dc);
           out.add_uncorrelated(own);
         }
@@ -73,7 +76,6 @@ std::vector<NoiseSpectrum> PsdAnalyzer::evaluate() const {
         out = in();  // |z^-k| == 1: PSD and mean unchanged
       }
       void operator()(const sfg::AdderNode& adder) const {
-        out = NoiseSpectrum(self.opts_.n_psd);
         for (std::size_t p = 0; p < node.inputs.size(); ++p)
           out.add_uncorrelated(in(p), adder.signs[p]);  // Eq. 14
       }
@@ -87,23 +89,31 @@ std::vector<NoiseSpectrum> PsdAnalyzer::evaluate() const {
       }
       void operator()(const sfg::QuantizerNode& q) const {
         out = in();
-        out.add_uncorrelated(NoiseSpectrum(self.opts_.n_psd, q.moments));
+        out.add_white(q.moments);
       }
     };
     std::visit(Visitor{*this, node, id, spectra, out}, node.payload);
   }
+}
+
+std::vector<NoiseSpectrum> PsdAnalyzer::evaluate() const {
+  std::vector<NoiseSpectrum> spectra;
+  evaluate_into(spectra);
   return spectra;
 }
 
 NoiseSpectrum PsdAnalyzer::output_spectrum() const {
   const auto outputs = graph_.outputs();
   PSDACC_EXPECTS(outputs.size() == 1);
-  auto spectra = evaluate();
-  return spectra[outputs[0]];
+  evaluate_into(workspace_);
+  return workspace_[outputs[0]];
 }
 
 double PsdAnalyzer::output_noise_power() const {
-  return output_spectrum().power();
+  const auto outputs = graph_.outputs();
+  PSDACC_EXPECTS(outputs.size() == 1);
+  evaluate_into(workspace_);
+  return workspace_[outputs[0]].power();
 }
 
 }  // namespace psdacc::core

@@ -42,7 +42,13 @@ class PsdAnalyzer {
   /// @return one spectrum per node, indexed by NodeId
   std::vector<NoiseSpectrum> evaluate() const;
 
+  /// Propagates into @p spectra, reusing its storage (resized/reset as
+  /// needed). This is the allocation-free form the optimizer probes use.
+  void evaluate_into(std::vector<NoiseSpectrum>& spectra) const;
+
   /// Convenience: spectrum at the single Output node (asserts exactly one).
+  /// Evaluates into an internal workspace, so repeated probes allocate
+  /// nothing after the first call.
   NoiseSpectrum output_spectrum() const;
   /// Convenience: total noise power at the single Output node.
   double output_noise_power() const;
@@ -61,6 +67,10 @@ class PsdAnalyzer {
   PsdOptions opts_;
   std::vector<sfg::NodeId> order_;
   std::vector<BlockTables> tables_;  // indexed by NodeId (empty for most)
+  // Reused by output_spectrum()/output_noise_power() and the block visitor
+  // so per-probe evaluation is allocation-free (analyzer not thread-safe).
+  mutable std::vector<NoiseSpectrum> workspace_;
+  mutable NoiseSpectrum scratch_;
 };
 
 }  // namespace psdacc::core

@@ -20,40 +20,42 @@ std::vector<double> convolve_fft(std::span<const double> x,
   PSDACC_EXPECTS(!x.empty() && !h.empty());
   const std::size_t out_len = x.size() + h.size() - 1;
   const std::size_t n = next_power_of_two(out_len);
-  auto xs = fft_real(x, n);
-  const auto hs = fft_real(h, n);
+  const FftPlan& plan = plan_for(n);
+  std::vector<cplx> xs, hs;
+  plan.rfft(x, xs);
+  plan.rfft(h, hs);
   for (std::size_t i = 0; i < n; ++i) xs[i] *= hs[i];
-  ifft(xs);
+  plan.inverse(xs);
   std::vector<double> out(out_len);
   for (std::size_t i = 0; i < out_len; ++i) out[i] = xs[i].real();
   return out;
 }
 
 OverlapSave::OverlapSave(std::span<const double> h, std::size_t fft_size)
-    : taps_(h.size()), fft_size_(fft_size) {
+    : taps_(h.size()), fft_size_(fft_size), plan_(&plan_for(fft_size)) {
   PSDACC_EXPECTS(!h.empty());
   PSDACC_EXPECTS(is_power_of_two(fft_size));
   PSDACC_EXPECTS(fft_size >= 2 * h.size());
   block_size_ = fft_size_ - taps_ + 1;
-  h_spectrum_ = fft_real(h, fft_size_);
+  plan_->rfft(h, h_spectrum_);
   history_.assign(taps_ - 1, 0.0);
+  buf_.resize(fft_size_);
 }
 
 std::vector<double> OverlapSave::process_block(std::span<const double> x) {
   PSDACC_EXPECTS(x.size() == block_size_);
   // Assemble [history | x] of length fft_size_.
-  std::vector<cplx> buf(fft_size_);
   for (std::size_t i = 0; i < history_.size(); ++i)
-    buf[i] = cplx(history_[i], 0.0);
+    buf_[i] = cplx(history_[i], 0.0);
   for (std::size_t i = 0; i < x.size(); ++i)
-    buf[history_.size() + i] = cplx(x[i], 0.0);
-  fft(buf);
-  for (std::size_t i = 0; i < fft_size_; ++i) buf[i] *= h_spectrum_[i];
-  ifft(buf);
+    buf_[history_.size() + i] = cplx(x[i], 0.0);
+  plan_->forward(buf_);
+  for (std::size_t i = 0; i < fft_size_; ++i) buf_[i] *= h_spectrum_[i];
+  plan_->inverse(buf_);
   // The first taps_-1 outputs are circularly corrupted; keep the rest.
   std::vector<double> out(block_size_);
   for (std::size_t i = 0; i < block_size_; ++i)
-    out[i] = buf[taps_ - 1 + i].real();
+    out[i] = buf_[taps_ - 1 + i].real();
   // Save the tail of the input as history for the next block.
   if (taps_ > 1) {
     const std::size_t keep = taps_ - 1;

@@ -9,7 +9,7 @@
 #include <span>
 #include <vector>
 
-#include "dsp/fft.hpp"
+#include "dsp/fft_plan.hpp"
 
 namespace psdacc::dsp {
 
@@ -49,8 +49,10 @@ class OverlapSave {
   std::size_t taps_;
   std::size_t fft_size_;
   std::size_t block_size_;
+  const FftPlan* plan_;          // cached plan for fft_size_
   std::vector<cplx> h_spectrum_;
   std::vector<double> history_;  // last taps_-1 inputs from previous block
+  std::vector<cplx> buf_;        // per-block transform scratch, reused
 };
 
 }  // namespace psdacc::dsp

@@ -3,80 +3,10 @@
 #include <cmath>
 #include <numbers>
 
+#include "dsp/fft_plan.hpp"
 #include "support/assert.hpp"
 
 namespace psdacc::dsp {
-namespace {
-
-// Iterative radix-2 Cooley-Tukey; `sign` is -1 for forward, +1 for inverse.
-void fft_pow2(std::vector<cplx>& a, int sign) {
-  const std::size_t n = a.size();
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(a[i], a[j]);
-  }
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle =
-        static_cast<double>(sign) * 2.0 * std::numbers::pi /
-        static_cast<double>(len);
-    const cplx wlen(std::cos(angle), std::sin(angle));
-    for (std::size_t i = 0; i < n; i += len) {
-      cplx w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const cplx u = a[i + k];
-        const cplx v = a[i + k + len / 2] * w;
-        a[i + k] = u + v;
-        a[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
-}
-
-// Bluestein chirp-z transform: expresses an arbitrary-length DFT as a
-// convolution, evaluated with a power-of-two FFT.
-void fft_bluestein(std::vector<cplx>& a, int sign) {
-  const std::size_t n = a.size();
-  const std::size_t m = next_power_of_two(2 * n + 1);
-  std::vector<cplx> chirp(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    // angle = pi * i^2 / n, computed with i^2 mod 2n to avoid overflow for
-    // large i.
-    const std::size_t sq = (i * i) % (2 * n);
-    const double angle = static_cast<double>(sign) * std::numbers::pi *
-                         static_cast<double>(sq) / static_cast<double>(n);
-    chirp[i] = cplx(std::cos(angle), std::sin(angle));
-  }
-  std::vector<cplx> u(m, cplx(0.0, 0.0));
-  std::vector<cplx> v(m, cplx(0.0, 0.0));
-  for (std::size_t i = 0; i < n; ++i) u[i] = a[i] * chirp[i];
-  v[0] = std::conj(chirp[0]);
-  for (std::size_t i = 1; i < n; ++i) {
-    v[i] = std::conj(chirp[i]);
-    v[m - i] = std::conj(chirp[i]);
-  }
-  fft_pow2(u, -1);
-  fft_pow2(v, -1);
-  for (std::size_t i = 0; i < m; ++i) u[i] *= v[i];
-  fft_pow2(u, +1);
-  const double inv_m = 1.0 / static_cast<double>(m);
-  for (std::size_t i = 0; i < n; ++i) a[i] = u[i] * inv_m * chirp[i];
-}
-
-void transform(std::vector<cplx>& data, int sign) {
-  PSDACC_EXPECTS(!data.empty());
-  if (data.size() == 1) return;
-  if (is_power_of_two(data.size())) {
-    fft_pow2(data, sign);
-  } else {
-    fft_bluestein(data, sign);
-  }
-}
-
-}  // namespace
 
 bool is_power_of_two(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
 
@@ -86,12 +16,14 @@ std::size_t next_power_of_two(std::size_t n) {
   return p;
 }
 
-void fft(std::vector<cplx>& data) { transform(data, -1); }
+void fft(std::vector<cplx>& data) {
+  PSDACC_EXPECTS(!data.empty());
+  plan_for(data.size()).forward(data);
+}
 
 void ifft(std::vector<cplx>& data) {
-  transform(data, +1);
-  const double inv_n = 1.0 / static_cast<double>(data.size());
-  for (auto& v : data) v *= inv_n;
+  PSDACC_EXPECTS(!data.empty());
+  plan_for(data.size()).inverse(data);
 }
 
 std::vector<cplx> fft_real(std::span<const double> x) {
@@ -100,11 +32,9 @@ std::vector<cplx> fft_real(std::span<const double> x) {
 
 std::vector<cplx> fft_real(std::span<const double> x, std::size_t n) {
   PSDACC_EXPECTS(n >= 1);
-  std::vector<cplx> data(n, cplx(0.0, 0.0));
-  const std::size_t copy = std::min(n, x.size());
-  for (std::size_t i = 0; i < copy; ++i) data[i] = cplx(x[i], 0.0);
-  fft(data);
-  return data;
+  std::vector<cplx> out;
+  plan_for(n).rfft(x, out);
+  return out;
 }
 
 std::vector<double> ifft_real(std::span<const cplx> spectrum) {

@@ -4,6 +4,10 @@
 // a Bluestein chirp-z fallback for arbitrary sizes, so callers never need to
 // care about the transform length. Conventions: forward transform is
 // X[k] = sum_n x[n] e^{-j 2 pi k n / N}; the inverse divides by N.
+//
+// These free functions delegate to the per-size plan cache in fft_plan.hpp;
+// hot loops that transform one size repeatedly should hold an FftPlan
+// directly to also reuse its output/scratch buffers.
 #pragma once
 
 #include <complex>

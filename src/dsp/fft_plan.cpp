@@ -1,0 +1,173 @@
+#include "dsp/fft_plan.hpp"
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+#include <unordered_map>
+
+#include "support/assert.hpp"
+
+namespace psdacc::dsp {
+
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  PSDACC_EXPECTS(n >= 1);
+  if (is_power_of_two(n_)) {
+    // Bit-reversal permutation, stored as the swap pairs applied in order.
+    for (std::size_t i = 1, j = 0; i < n_; ++i) {
+      std::size_t bit = n_ >> 1;
+      for (; j & bit; bit >>= 1) j ^= bit;
+      j ^= bit;
+      if (i < j) {
+        bitrev_swaps_.push_back(i);
+        bitrev_swaps_.push_back(j);
+      }
+    }
+    // Forward twiddles e^{-j 2 pi k / len}, k = 0..len/2-1, one run per
+    // butterfly stage; the stage with span `len` starts at offset len/2 - 1.
+    twiddle_.reserve(n_ > 1 ? n_ - 1 : 0);
+    for (std::size_t len = 2; len <= n_; len <<= 1) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const double angle = -2.0 * std::numbers::pi *
+                             static_cast<double>(k) /
+                             static_cast<double>(len);
+        twiddle_.emplace_back(std::cos(angle), std::sin(angle));
+      }
+    }
+  } else {
+    // Bluestein: DFT as a convolution with a chirp, via a power-of-two FFT.
+    const std::size_t m = next_power_of_two(2 * n_ + 1);
+    conv_ = &plan_for(m);
+    chirp_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      // angle = -pi * i^2 / n, with i^2 taken mod 2n to avoid overflow.
+      const std::size_t sq = (i * i) % (2 * n_);
+      const double angle = -std::numbers::pi * static_cast<double>(sq) /
+                           static_cast<double>(n_);
+      chirp_[i] = cplx(std::cos(angle), std::sin(angle));
+    }
+    kernel_spectrum_.assign(m, cplx(0.0, 0.0));
+    kernel_spectrum_[0] = std::conj(chirp_[0]);
+    for (std::size_t i = 1; i < n_; ++i) {
+      kernel_spectrum_[i] = std::conj(chirp_[i]);
+      kernel_spectrum_[m - i] = std::conj(chirp_[i]);
+    }
+    conv_->forward(kernel_spectrum_);
+    work_.resize(m);
+  }
+  if (n_ >= 2 && n_ % 2 == 0) {
+    half_ = &plan_for(n_ / 2);
+    rfft_twiddle_.resize(n_ / 2 + 1);
+    for (std::size_t k = 0; k <= n_ / 2; ++k) {
+      const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                           static_cast<double>(n_);
+      rfft_twiddle_[k] = cplx(std::cos(angle), std::sin(angle));
+    }
+    half_work_.resize(n_ / 2);
+  }
+}
+
+void FftPlan::transform_pow2(cplx* a, int sign) const {
+  for (std::size_t p = 0; p < bitrev_swaps_.size(); p += 2)
+    std::swap(a[bitrev_swaps_[p]], a[bitrev_swaps_[p + 1]]);
+  const cplx* stage = twiddle_.data();
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < n_; i += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const cplx w = sign < 0 ? stage[k] : std::conj(stage[k]);
+        const cplx u = a[i + k];
+        const cplx v = a[i + k + half] * w;
+        a[i + k] = u + v;
+        a[i + k + half] = u - v;
+      }
+    }
+    stage += half;
+  }
+}
+
+void FftPlan::forward_bluestein(std::vector<cplx>& data) const {
+  const std::size_t m = work_.size();
+  for (std::size_t i = 0; i < n_; ++i) work_[i] = data[i] * chirp_[i];
+  for (std::size_t i = n_; i < m; ++i) work_[i] = cplx(0.0, 0.0);
+  conv_->transform_pow2(work_.data(), -1);
+  for (std::size_t i = 0; i < m; ++i) work_[i] *= kernel_spectrum_[i];
+  conv_->transform_pow2(work_.data(), +1);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (std::size_t i = 0; i < n_; ++i)
+    data[i] = work_[i] * inv_m * chirp_[i];
+}
+
+void FftPlan::forward(std::vector<cplx>& data) const {
+  PSDACC_EXPECTS(data.size() == n_);
+  if (n_ == 1) return;
+  if (conv_ == nullptr) {
+    transform_pow2(data.data(), -1);
+  } else {
+    forward_bluestein(data);
+  }
+}
+
+void FftPlan::inverse(std::vector<cplx>& data) const {
+  PSDACC_EXPECTS(data.size() == n_);
+  if (n_ == 1) return;
+  if (conv_ == nullptr) {
+    transform_pow2(data.data(), +1);
+    const double inv_n = 1.0 / static_cast<double>(n_);
+    for (auto& v : data) v *= inv_n;
+    return;
+  }
+  // IFFT(x) = conj(FFT(conj(x))) / n keeps the Bluestein tables
+  // forward-only.
+  for (auto& v : data) v = std::conj(v);
+  forward_bluestein(data);
+  const double inv_n = 1.0 / static_cast<double>(n_);
+  for (auto& v : data) v = std::conj(v) * inv_n;
+}
+
+void FftPlan::rfft(std::span<const double> x, std::vector<cplx>& out) const {
+  const std::size_t copy = std::min(n_, x.size());
+  if (half_ == nullptr) {
+    // Size 1 or odd size: plain complex transform of the real signal.
+    out.assign(n_, cplx(0.0, 0.0));
+    for (std::size_t i = 0; i < copy; ++i) out[i] = cplx(x[i], 0.0);
+    forward(out);
+    return;
+  }
+  // Pack pairs of real samples into one half-length complex signal:
+  // z[i] = x[2i] + j x[2i+1].
+  const std::size_t h = n_ / 2;
+  for (std::size_t i = 0; i < h; ++i) {
+    const double re = 2 * i < copy ? x[2 * i] : 0.0;
+    const double im = 2 * i + 1 < copy ? x[2 * i + 1] : 0.0;
+    half_work_[i] = cplx(re, im);
+  }
+  half_->forward(half_work_);
+  // Split Z into the even/odd-sample spectra and recombine:
+  // X[k] = E[k] + W_n^k O[k], with X[n-k] = conj(X[k]).
+  out.resize(n_);
+  const cplx z0 = half_work_[0];
+  out[0] = cplx(z0.real() + z0.imag(), 0.0);
+  out[h] = cplx(z0.real() - z0.imag(), 0.0);
+  for (std::size_t k = 1; k < h; ++k) {
+    const cplx zk = half_work_[k];
+    const cplx zc = std::conj(half_work_[h - k]);
+    const cplx even = 0.5 * (zk + zc);
+    const cplx odd = cplx(0.0, -0.5) * (zk - zc);
+    const cplx xk = even + rfft_twiddle_[k] * odd;
+    out[k] = xk;
+    out[n_ - k] = std::conj(xk);
+  }
+}
+
+const FftPlan& plan_for(std::size_t n) {
+  PSDACC_EXPECTS(n >= 1);
+  static std::unordered_map<std::size_t, std::unique_ptr<FftPlan>> cache;
+  const auto it = cache.find(n);
+  if (it != cache.end()) return *it->second;
+  // Construct before inserting: the constructor may recurse into plan_for()
+  // for its sub-plans (Bluestein convolution size, rfft half size).
+  auto plan = std::make_unique<FftPlan>(n);
+  return *cache.emplace(n, std::move(plan)).first->second;
+}
+
+}  // namespace psdacc::dsp

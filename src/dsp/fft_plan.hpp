@@ -1,0 +1,65 @@
+// Cached FFT plans.
+//
+// An FftPlan precomputes everything about a transform of one size that does
+// not depend on the data: the bit-reversal permutation and per-stage twiddle
+// tables for the radix-2 path, and the chirp sequence plus the kernel
+// spectrum for the Bluestein path. Plans also carry the scratch buffers the
+// transform needs, so a hot loop that transforms the same length repeatedly
+// (Welch segmentation, overlap-save blocks, PSD probes) performs no
+// allocations and no trigonometry after the first call.
+//
+// `plan_for(n)` returns a process-wide cached plan per size. Plans own
+// mutable scratch, so the cache (and each plan) is NOT thread-safe; psdacc
+// is single-threaded throughout.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/fft.hpp"
+
+namespace psdacc::dsp {
+
+/// Reusable transform of one fixed size. Forward convention matches fft():
+/// X[k] = sum_n x[n] e^{-j 2 pi k n / N}; inverse() includes the 1/N.
+class FftPlan {
+ public:
+  explicit FftPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// In-place forward transform; data.size() must equal size().
+  void forward(std::vector<cplx>& data) const;
+  /// In-place inverse transform (includes the 1/N normalization).
+  void inverse(std::vector<cplx>& data) const;
+
+  /// Real-input forward transform: out receives all size() complex bins of
+  /// the FFT of x zero-padded (or truncated) to size(). Even sizes use the
+  /// half-length complex-transform trick (one FFT of size()/2); odd sizes
+  /// fall back to the complex path.
+  void rfft(std::span<const double> x, std::vector<cplx>& out) const;
+
+ private:
+  void transform_pow2(cplx* a, int sign) const;
+  void forward_bluestein(std::vector<cplx>& data) const;
+
+  std::size_t n_;
+  // Radix-2 path (n_ a power of two).
+  std::vector<std::size_t> bitrev_swaps_;  // (i, j) pairs with i < j
+  std::vector<cplx> twiddle_;  // forward twiddles, stages concatenated
+  // Bluestein path (n_ not a power of two): convolution plan of size m.
+  const FftPlan* conv_ = nullptr;
+  std::vector<cplx> chirp_;            // e^{-j pi i^2 / n}, n entries
+  std::vector<cplx> kernel_spectrum_;  // FFT_m of the chirp kernel
+  mutable std::vector<cplx> work_;     // size m scratch
+  // Real-input path (n_ even): half-size plan + post-combine twiddles.
+  const FftPlan* half_ = nullptr;
+  std::vector<cplx> rfft_twiddle_;       // e^{-j 2 pi k / n}, k = 0..n/2
+  mutable std::vector<cplx> half_work_;  // size n/2 scratch
+};
+
+/// Process-wide plan cache, keyed by transform size (not thread-safe).
+const FftPlan& plan_for(std::size_t n);
+
+}  // namespace psdacc::dsp

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dsp/fft.hpp"
+#include "dsp/fft_plan.hpp"
 #include "support/assert.hpp"
 
 namespace psdacc::dsp {
@@ -26,23 +27,32 @@ std::vector<double> periodogram(std::span<const double> x,
                                 std::size_t n_bins) {
   PSDACC_EXPECTS(!x.empty());
   PSDACC_EXPECTS(n_bins >= 1);
-  const auto spectrum = fft_real(x, n_bins);
-  // With a length-N signal folded into n bins by the FFT, the total power is
-  // recovered by dividing |X[k]|^2 by (N * n): Parseval gives
-  // sum_k |X[k]|^2 = n * sum_i x_i^2 when N <= n.
-  const double scale =
-      1.0 / (static_cast<double>(std::min(x.size(), n_bins)) *
-             static_cast<double>(n_bins));
-  std::vector<double> psd(n_bins);
-  for (std::size_t k = 0; k < n_bins; ++k)
-    psd[k] = std::norm(spectrum[k]) * scale;
+  // Bartlett-average consecutive length-n segments so no sample is dropped
+  // when x.size() > n_bins (the old implementation silently truncated).
+  // Per segment, Parseval gives sum_k |Y[k]|^2 = n * sum_i y_i^2 for any
+  // segment length <= n (zero-padded), so accumulating |Y[k]|^2 / (N * n)
+  // over all segments makes sum_k S[k] == mean_square(x) exactly, for every
+  // combination of signal length N and bin count n.
+  const FftPlan& plan = plan_for(n_bins);
+  const double scale = 1.0 / (static_cast<double>(x.size()) *
+                              static_cast<double>(n_bins));
+  std::vector<double> psd(n_bins, 0.0);
+  std::vector<cplx> spectrum;
+  for (std::size_t start = 0; start < x.size(); start += n_bins) {
+    const std::size_t len = std::min(n_bins, x.size() - start);
+    plan.rfft(x.subspan(start, len), spectrum);
+    for (std::size_t k = 0; k < n_bins; ++k)
+      psd[k] += std::norm(spectrum[k]) * scale;
+  }
   return psd;
 }
 
 namespace {
 
 // Shared Welch segmentation: calls `accumulate(xw_fft, yw_fft)` for each
-// windowed 50%-overlapped segment pair.
+// windowed 50%-overlapped segment pair. The auto case (y aliasing x) costs
+// one real FFT per segment; the cross case packs both windowed segments
+// into a single complex transform and splits the spectra afterwards.
 template <typename Accumulate>
 std::size_t welch_segments(std::span<const double> x,
                            std::span<const double> y, std::size_t n_bins,
@@ -54,18 +64,36 @@ std::size_t welch_segments(std::span<const double> x,
   for (double v : w) wpow += v * v;
   wpow /= static_cast<double>(seg);
 
-  std::vector<double> xw(seg), yw(seg);
+  const FftPlan& plan = plan_for(n_bins);
+  const bool same = x.data() == y.data() && x.size() == y.size();
+  std::vector<double> xw(seg);
+  std::vector<cplx> packed, xs, ys;
   std::size_t count = 0;
   for (std::size_t start = 0; start + seg <= x.size(); start += hop) {
-    for (std::size_t i = 0; i < seg; ++i) {
-      xw[i] = x[start + i] * w[i];
-      yw[i] = y[start + i] * w[i];
+    if (same) {
+      for (std::size_t i = 0; i < seg; ++i) xw[i] = x[start + i] * w[i];
+      plan.rfft(xw, xs);
+      accumulate(xs, xs, wpow);
+    } else {
+      packed.resize(n_bins);
+      for (std::size_t i = 0; i < seg; ++i)
+        packed[i] = cplx(x[start + i] * w[i], y[start + i] * w[i]);
+      std::fill(packed.begin() + static_cast<std::ptrdiff_t>(seg),
+                packed.end(), cplx(0.0, 0.0));
+      plan.forward(packed);
+      // Two real spectra from one complex transform: with z = xw + j yw,
+      // X[k] = (Z[k] + conj(Z[n-k])) / 2 and Y[k] = -j (Z[k] - conj(Z[n-k])) / 2.
+      xs.resize(n_bins);
+      ys.resize(n_bins);
+      for (std::size_t k = 0; k < n_bins; ++k) {
+        const cplx zk = packed[k];
+        const cplx zc = std::conj(packed[(n_bins - k) % n_bins]);
+        xs[k] = 0.5 * (zk + zc);
+        ys[k] = cplx(0.0, -0.5) * (zk - zc);
+      }
+      accumulate(xs, ys, wpow);
     }
-    const auto xs = fft_real(xw, n_bins);
-    const auto ys = fft_real(yw, n_bins);
-    accumulate(xs, ys, wpow);
     ++count;
-    if (x.size() < seg + hop) break;  // single segment case
   }
   return count;
 }

@@ -19,8 +19,11 @@ namespace psdacc::dsp {
 std::vector<double> autocorrelation(std::span<const double> x,
                                     std::size_t max_lag);
 
-/// Single periodogram over n_bins: S[k] = |FFT_n(x)|^2 / (N * n), where N is
-/// the signal length (rectangular window). sum_k S[k] ~= E[x^2].
+/// Rectangular-window periodogram over n_bins. Signals longer than n_bins
+/// are split into consecutive length-n segments whose periodograms are
+/// accumulated (Bartlett averaging), so every sample contributes and
+/// sum_k S[k] == mean_square(x) exactly for any N and n. For N <= n this is
+/// the classic S[k] = |FFT_n(x)|^2 / (N * n).
 std::vector<double> periodogram(std::span<const double> x,
                                 std::size_t n_bins);
 

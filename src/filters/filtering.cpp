@@ -44,6 +44,7 @@ FixedPointDirectForm::FixedPointDirectForm(
     std::optional<fxp::FixedPointFormat> coeff_fmt, bool quantize_products)
     : tf_(std::move(tf)),
       data_fmt_(data_fmt),
+      quantizer_(data_fmt),
       quantize_products_(quantize_products) {
   if (coeff_fmt.has_value()) {
     auto b = fxp::quantize(tf_.numerator(), *coeff_fmt);
@@ -65,15 +66,15 @@ double FixedPointDirectForm::step(double x) {
   double acc = 0.0;
   for (std::size_t i = 0; i < b.size(); ++i) {
     double prod = b[i] * x_hist_[i];
-    if (quantize_products_) prod = fxp::quantize(prod, data_fmt_);
+    if (quantize_products_) prod = quantizer_(prod);
     acc += prod;
   }
   for (std::size_t i = 1; i < a.size(); ++i) {
     double prod = a[i] * y_hist_[i - 1];
-    if (quantize_products_) prod = fxp::quantize(prod, data_fmt_);
+    if (quantize_products_) prod = quantizer_(prod);
     acc -= prod;
   }
-  const double y = fxp::quantize(acc, data_fmt_);
+  const double y = quantizer_(acc);
   if (!y_hist_.empty()) {
     std::rotate(y_hist_.rbegin(), y_hist_.rbegin() + 1, y_hist_.rend());
     y_hist_[0] = y;

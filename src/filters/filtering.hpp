@@ -48,6 +48,7 @@ class FixedPointDirectForm {
  private:
   TransferFunction tf_;
   fxp::FixedPointFormat data_fmt_;
+  fxp::QuantizerKernel quantizer_;  // compiled once for data_fmt_
   bool quantize_products_;
   std::vector<double> x_hist_;  // direct-form I input history
   std::vector<double> y_hist_;  // direct-form I output history

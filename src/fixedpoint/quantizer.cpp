@@ -1,59 +1,18 @@
 #include "fixedpoint/quantizer.hpp"
 
-#include <cmath>
-
 #include "support/assert.hpp"
 
 namespace psdacc::fxp {
 
 double quantize(double value, const FixedPointFormat& fmt) {
-  const double q = fmt.step();
-  const double scaled = value / q;
-  double units = 0.0;
-  switch (fmt.rounding) {
-    case RoundingMode::kTruncate:
-      units = std::floor(scaled);
-      break;
-    case RoundingMode::kRoundNearest:
-      units = std::floor(scaled + 0.5);
-      break;
-    case RoundingMode::kConvergent: {
-      // Half-to-even, implemented explicitly so the result does not depend
-      // on the floating-point environment.
-      const double fl = std::floor(scaled);
-      const double frac = scaled - fl;
-      if (frac > 0.5) {
-        units = fl + 1.0;
-      } else if (frac < 0.5) {
-        units = fl;
-      } else {
-        units = (std::fmod(fl, 2.0) == 0.0) ? fl : fl + 1.0;
-      }
-      break;
-    }
-  }
-  double out = units * q;
-  const double lo = fmt.min_value();
-  const double hi = fmt.max_value();
-  if (out >= lo && out <= hi) return out;
-  switch (fmt.overflow) {
-    case OverflowMode::kSaturate:
-      return out < lo ? lo : hi;
-    case OverflowMode::kWrap: {
-      const double range = hi - lo + fmt.step();
-      double wrapped = std::fmod(out - lo, range);
-      if (wrapped < 0.0) wrapped += range;
-      return lo + wrapped;
-    }
-  }
-  return out;  // unreachable
+  return QuantizerKernel(fmt)(value);
 }
 
 std::vector<double> quantize(std::span<const double> values,
                              const FixedPointFormat& fmt) {
+  const QuantizerKernel kernel(fmt);
   std::vector<double> out(values.size());
-  for (std::size_t i = 0; i < values.size(); ++i)
-    out[i] = quantize(values[i], fmt);
+  for (std::size_t i = 0; i < values.size(); ++i) out[i] = kernel(values[i]);
   return out;
 }
 

@@ -5,12 +5,78 @@
 // PQN statistics from noise_model.hpp.
 #pragma once
 
+#include <cmath>
 #include <span>
 #include <vector>
 
 #include "fixedpoint/format.hpp"
 
 namespace psdacc::fxp {
+
+/// Precompiled per-format quantizer: caches the step, its reciprocal, and
+/// the representable range once so the per-sample path is a few inlined
+/// arithmetic ops instead of repeated ldexp calls. Build one outside a
+/// sample loop; `quantize()` below is the one-shot convenience over it.
+class QuantizerKernel {
+ public:
+  explicit QuantizerKernel(const FixedPointFormat& fmt)
+      : step_(fmt.step()),
+        inv_step_(1.0 / fmt.step()),
+        lo_(fmt.min_value()),
+        hi_(fmt.max_value()),
+        rounding_(fmt.rounding),
+        overflow_(fmt.overflow) {}
+
+  double operator()(double value) const {
+    // step is a power of two, so multiplying by the cached reciprocal is
+    // bit-identical to dividing by the step.
+    const double scaled = value * inv_step_;
+    double units = 0.0;
+    switch (rounding_) {
+      case RoundingMode::kTruncate:
+        units = std::floor(scaled);
+        break;
+      case RoundingMode::kRoundNearest:
+        units = std::floor(scaled + 0.5);
+        break;
+      case RoundingMode::kConvergent: {
+        // Half-to-even, implemented explicitly so the result does not
+        // depend on the floating-point environment.
+        const double fl = std::floor(scaled);
+        const double frac = scaled - fl;
+        if (frac > 0.5) {
+          units = fl + 1.0;
+        } else if (frac < 0.5) {
+          units = fl;
+        } else {
+          units = (std::fmod(fl, 2.0) == 0.0) ? fl : fl + 1.0;
+        }
+        break;
+      }
+    }
+    const double out = units * step_;
+    if (out >= lo_ && out <= hi_) return out;
+    switch (overflow_) {
+      case OverflowMode::kSaturate:
+        return out < lo_ ? lo_ : hi_;
+      case OverflowMode::kWrap: {
+        const double range = hi_ - lo_ + step_;
+        double wrapped = std::fmod(out - lo_, range);
+        if (wrapped < 0.0) wrapped += range;
+        return lo_ + wrapped;
+      }
+    }
+    return out;  // unreachable
+  }
+
+ private:
+  double step_;
+  double inv_step_;
+  double lo_;
+  double hi_;
+  RoundingMode rounding_;
+  OverflowMode overflow_;
+};
 
 /// Quantizes `value` to the grid of `fmt` (rounding mode applied first, then
 /// overflow handling).

@@ -79,28 +79,36 @@ OptimizerResult WordlengthOptimizer::uniform() {
 OptimizerResult WordlengthOptimizer::greedy_descent() {
   std::vector<int> bits(variables_.size(), cfg_.max_bits);
   apply(bits);
-  if (evaluate() > cfg_.noise_budget)
+  double current = evaluate();
+  if (current > cfg_.noise_budget)
     return package(std::move(bits));  // infeasible even at max
   for (;;) {
     std::size_t best = variables_.size();
     double best_score = 0.0;
+    double best_noise = current;
     for (std::size_t v = 0; v < variables_.size(); ++v) {
       if (bits[v] <= cfg_.min_bits) continue;
       --bits[v];
       apply(bits);
       const double noise = evaluate();
       if (noise <= cfg_.noise_budget) {
-        // Prefer the cheapest noise increase per unit cost saved.
-        const double score = weight(v) / std::max(noise, 1e-300);
+        // Prefer the cheapest noise increase per unit cost saved: score on
+        // the *marginal* increase over the current noise, not the absolute
+        // level — the absolute level is dominated by the shared noise floor
+        // and would rank candidates purely by weight.
+        const double marginal = std::max(noise - current, 0.0);
+        const double score = weight(v) / std::max(marginal, 1e-300);
         if (best == variables_.size() || score > best_score) {
           best = v;
           best_score = score;
+          best_noise = noise;
         }
       }
       ++bits[v];
     }
     if (best == variables_.size()) break;
     --bits[best];
+    current = best_noise;
   }
   return package(std::move(bits));
 }

@@ -2,7 +2,7 @@
 
 #include "core/metrics.hpp"
 #include "dsp/spectral.hpp"
-#include "sim/executor.hpp"
+#include "sim/execution_plan.hpp"
 #include "support/assert.hpp"
 #include "support/statistics.hpp"
 
@@ -11,8 +11,12 @@ namespace psdacc::sim {
 ErrorMeasurement measure_output_error(const sfg::Graph& g,
                                       std::span<const double> input,
                                       std::size_t discard) {
-  const auto ref = execute_sisos(g, input, Mode::kReference);
-  const auto fx = execute_sisos(g, input, Mode::kFixedPoint);
+  // One compiled plan serves both sweeps; the reference output must be
+  // copied out because the fixed-point run reuses the plan's buffers.
+  ExecutionPlan plan(g);
+  const auto ref_view = plan.run_sisos(input, Mode::kReference);
+  const std::vector<double> ref(ref_view.begin(), ref_view.end());
+  const auto fx = plan.run_sisos(input, Mode::kFixedPoint);
   PSDACC_EXPECTS(ref.size() == fx.size());
   PSDACC_EXPECTS(ref.size() > discard);
 

@@ -1,0 +1,221 @@
+#include "sim/execution_plan.hpp"
+
+#include <algorithm>
+#include <variant>
+
+#include "fixedpoint/quantizer.hpp"
+#include "support/assert.hpp"
+
+namespace psdacc::sim {
+namespace {
+
+// Whole-vector FIR: out[i] = sum_j b[j] x[i-j], zero initial state. Reads
+// straight from the input buffer instead of shifting a history register
+// file, so the dot product vectorizes.
+void run_fir(std::span<const double> b, std::span<const double> x,
+             std::vector<double>& out) {
+  const std::size_t len = x.size();
+  const std::size_t nb = b.size();
+  out.resize(len);
+  const std::size_t head = std::min(len, nb > 0 ? nb - 1 : 0);
+  for (std::size_t i = 0; i < head; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j <= i; ++j) acc += b[j] * x[i - j];
+    out[i] = acc;
+  }
+  for (std::size_t i = head; i < len; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < nb; ++j) acc += b[j] * x[i - j];
+    out[i] = acc;
+  }
+}
+
+// Whole-vector direct-form IIR: out[i] = sum b[j] x[i-j] - sum a[j] out[i-1-j].
+// The warm-up region needs per-sample tap bounds; the steady state runs the
+// full tap counts with no bounds checks.
+void run_iir(std::span<const double> b, std::span<const double> a,
+             std::span<const double> x, std::vector<double>& out) {
+  const std::size_t len = x.size();
+  const std::size_t nb = b.size();
+  const std::size_t na = a.size();
+  out.resize(len);
+  const std::size_t warm = std::min(len, std::max(nb, na + 1));
+  for (std::size_t i = 0; i < warm; ++i) {
+    double acc = 0.0;
+    const std::size_t jb = std::min(nb, i + 1);
+    for (std::size_t j = 0; j < jb; ++j) acc += b[j] * x[i - j];
+    const std::size_t ja = std::min(na, i);
+    for (std::size_t j = 0; j < ja; ++j) acc -= a[j] * out[i - 1 - j];
+    out[i] = acc;
+  }
+  for (std::size_t i = warm; i < len; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < nb; ++j) acc += b[j] * x[i - j];
+    for (std::size_t j = 0; j < na; ++j) acc -= a[j] * out[i - 1 - j];
+    out[i] = acc;
+  }
+}
+
+// Fixed-point block: direct form I with the accumulator quantized to the
+// output format each sample; the feedback taps read the quantized outputs,
+// matching filt::FixedPointDirectForm with zero initial state.
+void run_quantized(std::span<const double> b, std::span<const double> a,
+                   const fxp::FixedPointFormat& fmt, std::span<const double> x,
+                   std::vector<double>& out) {
+  const fxp::QuantizerKernel quantize(fmt);
+  const std::size_t len = x.size();
+  const std::size_t nb = b.size();
+  const std::size_t na = a.size();
+  out.resize(len);
+  const std::size_t warm = std::min(len, std::max(nb, na + 1));
+  for (std::size_t i = 0; i < warm; ++i) {
+    double acc = 0.0;
+    const std::size_t jb = std::min(nb, i + 1);
+    for (std::size_t j = 0; j < jb; ++j) acc += b[j] * x[i - j];
+    const std::size_t ja = std::min(na, i);
+    for (std::size_t j = 0; j < ja; ++j) acc -= a[j] * out[i - 1 - j];
+    out[i] = quantize(acc);
+  }
+  for (std::size_t i = warm; i < len; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < nb; ++j) acc += b[j] * x[i - j];
+    for (std::size_t j = 0; j < na; ++j) acc -= a[j] * out[i - 1 - j];
+    out[i] = quantize(acc);
+  }
+}
+
+}  // namespace
+
+ExecutionPlan::ExecutionPlan(const sfg::Graph& g) : graph_(&g) {
+  PSDACC_EXPECTS(!g.has_cycles());
+  g.validate();
+  order_ = g.topological_order();
+  input_ids_ = g.inputs();
+  output_ids_ = g.outputs();
+  staged_.resize(g.node_count());
+  staged_set_.assign(g.node_count(), 0);
+  signals_.resize(g.node_count());
+  kernels_.resize(g.node_count());
+  for (sfg::NodeId id = 0; id < g.node_count(); ++id) {
+    const auto* block = std::get_if<sfg::BlockNode>(&g.node(id).payload);
+    if (block == nullptr) continue;
+    BlockKernel& k = kernels_[id];
+    k.b.assign(block->tf.numerator().begin(), block->tf.numerator().end());
+    const auto& a = block->tf.denominator();
+    // Feedback taps a[1..]; a[0] is treated as 1, exactly like the
+    // direct-form realizations in filters/filtering.hpp.
+    k.a.assign(a.begin() + (a.empty() ? 0 : 1), a.end());
+  }
+}
+
+void ExecutionPlan::set_input(sfg::NodeId id, std::span<const double> x) {
+  PSDACC_EXPECTS(id < staged_.size());
+  PSDACC_EXPECTS(
+      std::holds_alternative<sfg::InputNode>(graph_->node(id).payload));
+  staged_[id] = x;
+  staged_set_[id] = 1;
+}
+
+void ExecutionPlan::run_node(sfg::NodeId id, Mode mode) {
+  const sfg::Node& node = graph_->node(id);
+  std::vector<double>& out = signals_[id];
+  struct Visitor {
+    ExecutionPlan& self;
+    const sfg::Node& node;
+    sfg::NodeId id;
+    Mode mode;
+    std::vector<double>& out;
+    const std::vector<double>& in(std::size_t port = 0) const {
+      return self.signals_[node.inputs[port]];
+    }
+
+    void operator()(const sfg::InputNode&) const {
+      PSDACC_EXPECTS(self.staged_set_[id] &&
+                     "no signal provided for input node");
+      const auto x = self.staged_[id];
+      out.assign(x.begin(), x.end());
+    }
+    void operator()(const sfg::OutputNode&) const {
+      const auto& x = in();
+      out.assign(x.begin(), x.end());
+    }
+    void operator()(const sfg::BlockNode& block) const {
+      const BlockKernel& k = self.kernels_[id];
+      const auto& x = in();
+      if (mode == Mode::kFixedPoint && block.output_format.has_value()) {
+        run_quantized(k.b, k.a, *block.output_format, x, out);
+      } else if (k.a.empty()) {
+        run_fir(k.b, x, out);
+      } else {
+        run_iir(k.b, k.a, x, out);
+      }
+    }
+    void operator()(const sfg::GainNode& gain) const {
+      const auto& x = in();
+      out.resize(x.size());
+      for (std::size_t i = 0; i < x.size(); ++i) out[i] = gain.gain * x[i];
+    }
+    void operator()(const sfg::DelayNode& delay) const {
+      const auto& x = in();
+      out.assign(x.size(), 0.0);
+      for (std::size_t i = delay.delay; i < x.size(); ++i)
+        out[i] = x[i - delay.delay];
+    }
+    void operator()(const sfg::AdderNode& adder) const {
+      std::size_t len = in(0).size();
+      for (std::size_t p = 1; p < node.inputs.size(); ++p)
+        len = std::min(len, in(p).size());
+      out.assign(len, 0.0);
+      for (std::size_t p = 0; p < node.inputs.size(); ++p) {
+        const auto& x = in(p);
+        const double s = adder.signs[p];
+        for (std::size_t i = 0; i < len; ++i) out[i] += s * x[i];
+      }
+    }
+    void operator()(const sfg::DownsampleNode& d) const {
+      const auto& x = in();
+      out.clear();
+      out.reserve(x.size() / d.factor + 1);
+      for (std::size_t i = 0; i < x.size(); i += d.factor)
+        out.push_back(x[i]);
+    }
+    void operator()(const sfg::UpsampleNode& u) const {
+      const auto& x = in();
+      out.assign(x.size() * u.factor, 0.0);
+      for (std::size_t i = 0; i < x.size(); ++i) out[i * u.factor] = x[i];
+    }
+    void operator()(const sfg::QuantizerNode& q) const {
+      const auto& x = in();
+      if (mode == Mode::kFixedPoint) {
+        const fxp::QuantizerKernel quantize(q.format);
+        out.resize(x.size());
+        for (std::size_t i = 0; i < x.size(); ++i) out[i] = quantize(x[i]);
+      } else {
+        out.assign(x.begin(), x.end());
+      }
+    }
+  };
+  std::visit(Visitor{*this, node, id, mode, out}, node.payload);
+}
+
+const std::vector<std::vector<double>>& ExecutionPlan::run(Mode mode) {
+  if (signals_.size() != graph_->node_count())
+    signals_.resize(graph_->node_count());
+  for (sfg::NodeId id : order_) run_node(id, mode);
+  return signals_;
+}
+
+std::span<const double> ExecutionPlan::run_sisos(std::span<const double> input,
+                                                Mode mode) {
+  PSDACC_EXPECTS(input_ids_.size() == 1);
+  PSDACC_EXPECTS(output_ids_.size() == 1);
+  set_input(input_ids_[0], input);
+  run(mode);
+  return signals_[output_ids_[0]];
+}
+
+std::vector<std::vector<double>> ExecutionPlan::release_signals() {
+  return std::move(signals_);
+}
+
+}  // namespace psdacc::sim

@@ -1,0 +1,77 @@
+// Compiled execution plan for SFG simulation.
+//
+// The free-function executor in executor.hpp re-validates the graph,
+// recomputes the topological order, and allocates a fresh signal vector per
+// node on every call. An ExecutionPlan does that work once: it validates and
+// sorts the graph at construction, caches per-block coefficient arrays, and
+// keeps one signal buffer per node that is reused across run() calls — so a
+// Monte-Carlo loop or an accuracy probe that simulates the same system
+// hundreds of times performs no per-call graph work and (after the first
+// run) no allocations.
+//
+// The plan holds a pointer to the graph: topology and block coefficients
+// must not change after construction, but quantizer formats and block
+// output formats may (they are read live on every run, which is what the
+// word-length optimizer mutates between probes).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sfg/graph.hpp"
+
+namespace psdacc::sim {
+
+enum class Mode { kReference, kFixedPoint };
+
+class ExecutionPlan {
+ public:
+  /// Validates, topologically sorts, and compiles @p g (must be acyclic and
+  /// outlive the plan).
+  explicit ExecutionPlan(const sfg::Graph& g);
+
+  /// Stages the signal for one Input node. Staging persists across runs:
+  /// the span must stay valid until it is re-staged or the plan's last
+  /// run() using it returns (each run copies it into the node's signal
+  /// buffer).
+  void set_input(sfg::NodeId id, std::span<const double> x);
+
+  /// Runs one sweep and returns the signal at every node (indexed by
+  /// NodeId). The buffers are owned by the plan and overwritten by the next
+  /// run().
+  const std::vector<std::vector<double>>& run(Mode mode);
+
+  /// Convenience for single-input single-output graphs: stages @p input on
+  /// the unique Input node and returns a view of the Output node's signal
+  /// (valid until the next run()).
+  std::span<const double> run_sisos(std::span<const double> input, Mode mode);
+
+  /// Moves the per-node signal buffers out of the plan (after a run);
+  /// the plan re-allocates them on its next run().
+  std::vector<std::vector<double>> release_signals();
+
+  const std::vector<sfg::NodeId>& topological_order() const { return order_; }
+  const std::vector<sfg::NodeId>& input_ids() const { return input_ids_; }
+  const std::vector<sfg::NodeId>& output_ids() const { return output_ids_; }
+
+ private:
+  // Coefficients of one LTI block, normalized so a[0] == 1 and ready for
+  // the direct-form whole-vector kernels.
+  struct BlockKernel {
+    std::vector<double> b;
+    std::vector<double> a;  // a[0] stripped; empty for FIR blocks
+  };
+
+  void run_node(sfg::NodeId id, Mode mode);
+
+  const sfg::Graph* graph_;
+  std::vector<sfg::NodeId> order_;
+  std::vector<sfg::NodeId> input_ids_;
+  std::vector<sfg::NodeId> output_ids_;
+  std::vector<BlockKernel> kernels_;             // by NodeId, empty for most
+  std::vector<std::span<const double>> staged_;  // by NodeId (inputs only)
+  std::vector<unsigned char> staged_set_;        // by NodeId: input staged?
+  std::vector<std::vector<double>> signals_;     // by NodeId, reused
+};
+
+}  // namespace psdacc::sim

@@ -1,117 +1,26 @@
 #include "sim/executor.hpp"
 
-#include <algorithm>
+#include <utility>
 
-#include "filters/filtering.hpp"
-#include "fixedpoint/quantizer.hpp"
 #include "support/assert.hpp"
 
 namespace psdacc::sim {
-namespace {
-
-std::vector<double> run_block(const sfg::BlockNode& block,
-                              std::span<const double> x, Mode mode) {
-  if (mode == Mode::kFixedPoint && block.output_format.has_value()) {
-    filt::FixedPointDirectForm f(block.tf, *block.output_format);
-    return f.process(x);
-  }
-  filt::DirectForm2T f(block.tf);
-  return f.process(x);
-}
-
-}  // namespace
 
 std::vector<std::vector<double>> execute(
     const sfg::Graph& g,
     const std::map<sfg::NodeId, std::vector<double>>& inputs, Mode mode) {
-  PSDACC_EXPECTS(!g.has_cycles());
-  g.validate();
-  std::vector<std::vector<double>> signals(g.node_count());
-
-  for (sfg::NodeId id : g.topological_order()) {
-    const sfg::Node& node = g.node(id);
-    auto& out = signals[id];
-    struct Visitor {
-      const sfg::Graph& g;
-      const std::map<sfg::NodeId, std::vector<double>>& inputs;
-      Mode mode;
-      const sfg::Node& node;
-      sfg::NodeId id;
-      std::vector<std::vector<double>>& signals;
-      std::vector<double>& out;
-
-      const std::vector<double>& in(std::size_t port = 0) const {
-        return signals[node.inputs[port]];
-      }
-
-      void operator()(const sfg::InputNode&) const {
-        const auto it = inputs.find(id);
-        PSDACC_EXPECTS(it != inputs.end() &&
-                       "no signal provided for input node");
-        out = it->second;
-      }
-      void operator()(const sfg::OutputNode&) const { out = in(); }
-      void operator()(const sfg::BlockNode& block) const {
-        out = run_block(block, in(), mode);
-      }
-      void operator()(const sfg::GainNode& gain) const {
-        out = in();
-        for (double& v : out) v *= gain.gain;
-      }
-      void operator()(const sfg::DelayNode& delay) const {
-        const auto& x = in();
-        out.assign(x.size(), 0.0);
-        for (std::size_t i = delay.delay; i < x.size(); ++i)
-          out[i] = x[i - delay.delay];
-      }
-      void operator()(const sfg::AdderNode& adder) const {
-        std::size_t len = in(0).size();
-        for (std::size_t p = 1; p < node.inputs.size(); ++p)
-          len = std::min(len, in(p).size());
-        out.assign(len, 0.0);
-        for (std::size_t p = 0; p < node.inputs.size(); ++p) {
-          const auto& x = in(p);
-          const double s = adder.signs[p];
-          for (std::size_t i = 0; i < len; ++i) out[i] += s * x[i];
-        }
-      }
-      void operator()(const sfg::DownsampleNode& d) const {
-        const auto& x = in();
-        out.clear();
-        out.reserve(x.size() / d.factor + 1);
-        for (std::size_t i = 0; i < x.size(); i += d.factor)
-          out.push_back(x[i]);
-      }
-      void operator()(const sfg::UpsampleNode& u) const {
-        const auto& x = in();
-        out.assign(x.size() * u.factor, 0.0);
-        for (std::size_t i = 0; i < x.size(); ++i)
-          out[i * u.factor] = x[i];
-      }
-      void operator()(const sfg::QuantizerNode& q) const {
-        if (mode == Mode::kFixedPoint) {
-          out = fxp::quantize(in(), q.format);
-        } else {
-          out = in();
-        }
-      }
-    };
-    std::visit(Visitor{g, inputs, mode, node, id, signals, out},
-               node.payload);
-  }
-  return signals;
+  ExecutionPlan plan(g);
+  for (const auto& [id, signal] : inputs) plan.set_input(id, signal);
+  plan.run(mode);
+  return plan.release_signals();
 }
 
 std::vector<double> execute_sisos(const sfg::Graph& g,
                                   std::span<const double> input, Mode mode) {
-  const auto ins = g.inputs();
-  const auto outs = g.outputs();
-  PSDACC_EXPECTS(ins.size() == 1);
-  PSDACC_EXPECTS(outs.size() == 1);
-  std::map<sfg::NodeId, std::vector<double>> inputs;
-  inputs.emplace(ins[0], std::vector<double>(input.begin(), input.end()));
-  auto signals = execute(g, inputs, mode);
-  return std::move(signals[outs[0]]);
+  ExecutionPlan plan(g);
+  plan.run_sisos(input, mode);
+  auto signals = plan.release_signals();
+  return std::move(signals[plan.output_ids()[0]]);
 }
 
 }  // namespace psdacc::sim

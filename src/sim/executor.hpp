@@ -10,6 +10,10 @@
 //
 // The error signal err = y_fx - y_ref measured over a long random input is
 // the paper's E[err^2_sim].
+//
+// These free functions compile a fresh ExecutionPlan per call; loops that
+// simulate one graph repeatedly should construct an ExecutionPlan directly
+// (see execution_plan.hpp) to amortize graph analysis and buffer setup.
 #pragma once
 
 #include <map>
@@ -17,10 +21,9 @@
 #include <vector>
 
 #include "sfg/graph.hpp"
+#include "sim/execution_plan.hpp"
 
 namespace psdacc::sim {
-
-enum class Mode { kReference, kFixedPoint };
 
 /// Runs the graph on the given input signals (one per Input node, keyed by
 /// NodeId). Returns the signal at every node.

@@ -1,0 +1,151 @@
+// ExecutionPlan tests: equivalence with the streaming filter realizations,
+// buffer reuse across runs, live re-reading of mutated formats, and the
+// free-function executor wrappers built on top of the plan.
+#include <cmath>
+#include <variant>
+
+#include <gtest/gtest.h>
+
+#include "filters/filtering.hpp"
+#include "filters/fir_design.hpp"
+#include "filters/iir_design.hpp"
+#include "sim/execution_plan.hpp"
+#include "sim/executor.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace psdacc;
+
+TEST(ExecutionPlan, ReferenceBlockMatchesDirectForm2T) {
+  const auto tf = filt::iir_lowpass(filt::IirFamily::kButterworth, 4, 0.2);
+  sfg::Graph g;
+  const auto in = g.add_input();
+  g.add_output(g.add_block(in, tf));
+  Xoshiro256 rng(1);
+  const auto x = uniform_signal(512, 0.9, rng);
+
+  sim::ExecutionPlan plan(g);
+  const auto y = plan.run_sisos(x, sim::Mode::kReference);
+  const auto expected = filt::filter_signal(tf, x);
+  ASSERT_EQ(y.size(), expected.size());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_NEAR(y[i], expected[i], 1e-10) << "n=" << i;
+}
+
+TEST(ExecutionPlan, FixedPointBlockMatchesStreamingRealization) {
+  const auto tf = filt::iir_lowpass(filt::IirFamily::kChebyshev1, 3, 0.25);
+  const auto fmt = fxp::q_format(4, 8);
+  sfg::Graph g;
+  const auto in = g.add_input();
+  g.add_output(g.add_block(in, tf, fmt));
+  Xoshiro256 rng(2);
+  const auto x = uniform_signal(512, 0.9, rng);
+
+  sim::ExecutionPlan plan(g);
+  const auto y = plan.run_sisos(x, sim::Mode::kFixedPoint);
+  filt::FixedPointDirectForm stream(tf, fmt);
+  const auto expected = stream.process(x);
+  ASSERT_EQ(y.size(), expected.size());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_DOUBLE_EQ(y[i], expected[i]) << "n=" << i;
+}
+
+TEST(ExecutionPlan, FixedPointFirMatchesStreamingRealization) {
+  const filt::TransferFunction tf(filt::fir_lowpass(31, 0.2));
+  const auto fmt = fxp::q_format(4, 10);
+  sfg::Graph g;
+  const auto in = g.add_input();
+  g.add_output(g.add_block(in, tf, fmt));
+  Xoshiro256 rng(3);
+  const auto x = uniform_signal(256, 0.9, rng);
+
+  sim::ExecutionPlan plan(g);
+  const auto y = plan.run_sisos(x, sim::Mode::kFixedPoint);
+  filt::FixedPointDirectForm stream(tf, fmt);
+  const auto expected = stream.process(x);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_DOUBLE_EQ(y[i], expected[i]) << "n=" << i;
+}
+
+TEST(ExecutionPlan, RepeatedRunsReuseBuffersAndMatch) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto q = g.add_quantizer(in, fxp::q_format(4, 6));
+  g.add_output(g.add_block(
+      q, filt::iir_lowpass(filt::IirFamily::kButterworth, 3, 0.15),
+      fxp::q_format(4, 6)));
+  Xoshiro256 rng(4);
+  const auto x = uniform_signal(1024, 0.9, rng);
+
+  sim::ExecutionPlan plan(g);
+  const auto first_view = plan.run_sisos(x, sim::Mode::kFixedPoint);
+  const std::vector<double> first(first_view.begin(), first_view.end());
+  // Interleave a reference run (different per-node lengths / values), then
+  // re-run fixed point: the reused buffers must not leak state.
+  plan.run_sisos(x, sim::Mode::kReference);
+  const auto second = plan.run_sisos(x, sim::Mode::kFixedPoint);
+  ASSERT_EQ(second.size(), first.size());
+  for (std::size_t i = 0; i < first.size(); ++i)
+    EXPECT_DOUBLE_EQ(second[i], first[i]) << "n=" << i;
+}
+
+TEST(ExecutionPlan, PicksUpMutatedQuantizerFormat) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto q = g.add_quantizer(in, fxp::q_format(4, 2));
+  g.add_output(q);
+  const std::vector<double> x{0.3, -0.3};
+
+  sim::ExecutionPlan plan(g);
+  const auto coarse = plan.run_sisos(x, sim::Mode::kFixedPoint);
+  EXPECT_DOUBLE_EQ(coarse[0], 0.25);
+  // Formats are read live on each run, so optimizer-style mutation between
+  // runs must take effect without recompiling the plan.
+  std::get<sfg::QuantizerNode>(g.node(q).payload).format =
+      fxp::q_format(4, 8);
+  const auto fine = plan.run_sisos(x, sim::Mode::kFixedPoint);
+  EXPECT_NEAR(fine[0], 0.3, fxp::q_format(4, 8).step());
+  EXPECT_NE(fine[0], 0.25);
+}
+
+TEST(ExecutionPlan, RunSisosShapesAndReleaseSignals) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto down = g.add_downsample(in, 3);
+  const auto out = g.add_output(g.add_upsample(down, 2));
+  sim::ExecutionPlan plan(g);
+  const std::vector<double> long_input(12, 1.0);
+  plan.set_input(in, long_input);
+  plan.run(sim::Mode::kReference);
+  auto signals = plan.release_signals();
+  EXPECT_EQ(signals[down].size(), 4u);
+  EXPECT_EQ(signals[out].size(), 8u);
+  // The plan recovers after release: the next run re-creates its buffers.
+  const std::vector<double> short_input(6, 2.0);
+  plan.set_input(in, short_input);
+  const auto& again = plan.run(sim::Mode::kReference);
+  EXPECT_EQ(again[down].size(), 2u);
+}
+
+TEST(ExecutionPlan, MatchesFreeFunctionExecutor) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto q = g.add_quantizer(in, fxp::q_format(4, 8));
+  const auto b = g.add_block(
+      q, filt::iir_lowpass(filt::IirFamily::kButterworth, 2, 0.3),
+      fxp::q_format(4, 8));
+  const auto d = g.add_delay(b, 2);
+  g.add_output(g.add_adder({b, d}));
+  Xoshiro256 rng(5);
+  const auto x = uniform_signal(300, 0.9, rng);
+
+  const auto via_free = sim::execute_sisos(g, x, sim::Mode::kFixedPoint);
+  sim::ExecutionPlan plan(g);
+  const auto via_plan = plan.run_sisos(x, sim::Mode::kFixedPoint);
+  ASSERT_EQ(via_free.size(), via_plan.size());
+  for (std::size_t i = 0; i < via_free.size(); ++i)
+    EXPECT_DOUBLE_EQ(via_free[i], via_plan[i]);
+}
+
+}  // namespace

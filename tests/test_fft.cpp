@@ -123,6 +123,41 @@ INSTANTIATE_TEST_SUITE_P(Sizes, FftAgainstDft,
                                            31, 32, 45, 64, 100, 128, 255,
                                            256));
 
+TEST(FftAgainstDftLargePrime, BluesteinMatchesReferenceDft) {
+  // A large prime exercises the full Bluestein path (chirp + cached kernel
+  // spectrum) with no radix-2 shortcut anywhere in the size.
+  const std::size_t n = 1009;
+  auto x = random_signal(n, 600);
+  const auto expected = psdacc::dsp::dft_reference(x);
+  psdacc::dsp::fft(x);
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    max_diff = std::max(max_diff, std::abs(x[i] - expected[i]));
+  EXPECT_LT(max_diff, 1e-9 * static_cast<double>(n));
+}
+
+class RealFftAgainstDft : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RealFftAgainstDft, MatchesReferenceDft) {
+  const std::size_t n = GetParam();
+  Xoshiro256 rng(700 + n);
+  const auto x = psdacc::gaussian_signal(n, rng);
+  std::vector<cplx> ref(n);
+  for (std::size_t i = 0; i < n; ++i) ref[i] = cplx(x[i], 0.0);
+  const auto expected = psdacc::dsp::dft_reference(ref);
+  const auto spec = psdacc::dsp::fft_real(x);
+  ASSERT_EQ(spec.size(), n);
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_LT(std::abs(spec[k] - expected[k]), 1e-9)
+        << "n=" << n << " bin " << k;
+}
+
+// Even sizes use the half-size packing trick; odd and prime sizes take the
+// complex fallback; 2 and 6 exercise the tiny half-plans.
+INSTANTIATE_TEST_SUITE_P(Sizes, RealFftAgainstDft,
+                         ::testing::Values(1, 2, 3, 5, 6, 8, 10, 17, 34, 64,
+                                           101, 128, 202, 256));
+
 TEST(RealFft, MatchesComplexPath) {
   Xoshiro256 rng(9);
   const auto x = psdacc::gaussian_signal(64, rng);

@@ -81,6 +81,62 @@ TEST(Quantize, WrapModeWrapsAround) {
   EXPECT_DOUBLE_EQ(quantize(-2.25, fmt), 1.75);
 }
 
+TEST(Quantize, WrapAppliesRoundingBeforeWrapAround) {
+  auto fmt = q_format(2, 4, RoundingMode::kRoundNearest);  // step 0.0625
+  fmt.overflow = OverflowMode::kWrap;
+  // Just below the top of range: rounds up onto 2.0, which wraps to -2.0.
+  EXPECT_DOUBLE_EQ(quantize(fmt.max_value() + fmt.step() / 2.0, fmt), -2.0);
+  // Rounds down to max_value(): stays in range, no wrap.
+  EXPECT_DOUBLE_EQ(quantize(fmt.max_value() + 0.4 * fmt.step(), fmt),
+                   fmt.max_value());
+  // Half-up tie exactly at the wrap boundary.
+  EXPECT_DOUBLE_EQ(quantize(2.0 - fmt.step() / 2.0, fmt), -2.0);
+}
+
+TEST(Quantize, WrapIsPeriodicAcrossMultipleRanges) {
+  auto fmt = q_format(2, 4);  // range [-2, 2), span 4
+  fmt.overflow = OverflowMode::kWrap;
+  for (const double base : {0.5, -1.25, 1.9375}) {
+    for (int k = -3; k <= 3; ++k) {
+      EXPECT_DOUBLE_EQ(quantize(base + 4.0 * k, fmt), quantize(base, fmt))
+          << "base " << base << " period " << k;
+    }
+  }
+}
+
+TEST(Quantize, WrapKeepsResultOnGridAndInRange) {
+  auto fmt = q_format(2, 3, RoundingMode::kRoundNearest);
+  fmt.overflow = OverflowMode::kWrap;
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.uniform(-40.0, 40.0);
+    const double q = quantize(v, fmt);
+    EXPECT_GE(q, fmt.min_value());
+    EXPECT_LE(q, fmt.max_value());
+    const double units = q / fmt.step();
+    EXPECT_NEAR(units, std::round(units), 1e-9);
+  }
+}
+
+TEST(Quantize, KernelMatchesFreeFunction) {
+  // The precompiled kernel must agree with the one-shot form bit for bit in
+  // every rounding/overflow combination.
+  for (const auto rounding :
+       {RoundingMode::kTruncate, RoundingMode::kRoundNearest,
+        RoundingMode::kConvergent}) {
+    for (const auto overflow : {OverflowMode::kSaturate, OverflowMode::kWrap}) {
+      auto fmt = q_format(3, 5, rounding);
+      fmt.overflow = overflow;
+      const QuantizerKernel kernel(fmt);
+      Xoshiro256 rng(17);
+      for (int i = 0; i < 500; ++i) {
+        const double v = rng.uniform(-12.0, 12.0);
+        EXPECT_DOUBLE_EQ(kernel(v), quantize(v, fmt));
+      }
+    }
+  }
+}
+
 TEST(Quantize, IdempotentOnGridValues) {
   const auto fmt = q_format(4, 8);
   Xoshiro256 rng(3);

@@ -1,6 +1,8 @@
 // Word-length optimizer tests: feasibility, strategy quality ordering,
 // cost-weight sensitivity, and verification of the chosen design by
 // simulation.
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "core/metrics.hpp"
@@ -113,6 +115,45 @@ TEST(Optimizer, ResultVerifiedBySimulation) {
   const auto report = sim::evaluate_accuracy(sys.graph, cfg);
   // Simulation within 30% of the budget (estimate error + MC noise).
   EXPECT_LT(report.simulated_power, 1.3 * 2e-7);
+}
+
+TEST(Optimizer, GreedyScoresMarginalNoiseNotAbsoluteNoise) {
+  // Three parallel quantizer->gain branches into one adder. The fixed
+  // branch C sets a noise floor that dominates every candidate's absolute
+  // output noise, so scoring weight/absolute-noise degenerates to ranking
+  // by weight alone: it strips the heavy-weight variable A first, burning
+  // the budget on A's large marginal increases and stranding B at 11 bits
+  // (final bits {3, 11}, cost 46). Scoring weight/marginal-increase trades
+  // the two correctly and ends at {4, 5} with cost 42.
+  const double c_a = 0.0014501723118430063;
+  const double c_b = 0.00790649610142119;
+  const double c_fixed = 2e-5;
+  // Quantizer at d fractional bits injects variance 4^-d / 12; a gain of
+  // sqrt(12 c) scales that to c * 4^-d at the output.
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto qa = g.add_quantizer(in, fxp::q_format(4, 12));
+  const auto ga = g.add_gain(qa, std::sqrt(12.0 * c_a));
+  const auto qb = g.add_quantizer(in, fxp::q_format(4, 12));
+  const auto gb = g.add_gain(qb, std::sqrt(12.0 * c_b));
+  const auto qc = g.add_quantizer(in, fxp::q_format(4, 8));
+  const double var_c = std::ldexp(1.0, -16) / 12.0;
+  const auto gc = g.add_gain(qc, std::sqrt(c_fixed / var_c));
+  g.add_output(g.add_adder({ga, gb, gc}));
+
+  opt::OptimizerConfig cfg;
+  cfg.noise_budget = 4.2663281771083254e-5;
+  cfg.min_bits = 2;
+  cfg.max_bits = 12;
+  cfg.n_psd = 64;
+  cfg.cost_weights = {8.0, 2.0};
+  opt::WordlengthOptimizer optimizer(g, {qa, qb}, cfg);
+  const auto r = optimizer.greedy_descent();
+  EXPECT_TRUE(r.feasible);
+  ASSERT_EQ(r.bits.size(), 2u);
+  EXPECT_EQ(r.bits[0], 4);
+  EXPECT_EQ(r.bits[1], 5);
+  EXPECT_DOUBLE_EQ(r.cost, 42.0);
 }
 
 TEST(Optimizer, InfeasibleBudgetReported) {

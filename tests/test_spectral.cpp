@@ -76,6 +76,46 @@ TEST_P(PsdNormalization, WelchWhiteNoiseIsFlat) {
 INSTANTIATE_TEST_SUITE_P(Bins, PsdNormalization,
                          ::testing::Values(16, 64, 256));
 
+struct ParsevalCase {
+  std::size_t samples;
+  std::size_t n_bins;
+};
+
+class PsdParseval : public ::testing::TestWithParam<ParsevalCase> {};
+
+TEST_P(PsdParseval, PeriodogramTotalsMeanSquareExactly) {
+  // Holds exactly for every (N, n) combination, including N > n (the old
+  // implementation silently truncated the tail) and N not a multiple of n.
+  const auto p = GetParam();
+  Xoshiro256 rng(p.samples * 131 + p.n_bins);
+  const auto x = psdacc::gaussian_signal(p.samples, rng);
+  const auto psd = psdacc::dsp::periodogram(x, p.n_bins);
+  const double ms = psdacc::mean_square(x);
+  EXPECT_NEAR(total(psd), ms, 1e-9 * ms)
+      << "N=" << p.samples << " bins=" << p.n_bins;
+}
+
+TEST_P(PsdParseval, WelchTotalsMeanSquareOfWhiteNoise) {
+  const auto p = GetParam();
+  Xoshiro256 rng(p.samples * 137 + p.n_bins);
+  const auto x = psdacc::gaussian_signal(std::max<std::size_t>(p.samples,
+                                                               1u << 15),
+                                         rng);
+  const auto psd = psdacc::dsp::welch_psd(x, p.n_bins);
+  EXPECT_NEAR(total(psd), 1.0, 0.06)
+      << "N=" << p.samples << " bins=" << p.n_bins;
+}
+
+// Bin counts cover powers of two, odd composites, and primes; sample counts
+// cover shorter-than-bins, exact multiples, and ragged tails.
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PsdParseval,
+    ::testing::Values(ParsevalCase{100, 128}, ParsevalCase{128, 128},
+                      ParsevalCase{1000, 128}, ParsevalCase{4096, 64},
+                      ParsevalCase{5000, 64}, ParsevalCase{4097, 31},
+                      ParsevalCase{997, 16}, ParsevalCase{2048, 45},
+                      ParsevalCase{3001, 101}, ParsevalCase{1u << 14, 1024}));
+
 TEST(PsdShape, SinusoidConcentratesInItsBin) {
   const std::size_t n = 1u << 14;
   const std::size_t bins = 128;
