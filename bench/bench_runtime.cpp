@@ -1,0 +1,134 @@
+// Thread-scaling benchmarks of the parallel evaluation runtime: the
+// optimizer's concurrent candidate probes, the BatchRunner scenario
+// driver, and sharded Monte-Carlo measurement, each swept over worker
+// counts. Real time (not CPU time) is the quantity of interest: the work
+// is fixed, the wall-clock should shrink with workers.
+//
+// Record results in docs/PERFORMANCE.md together with the core count of
+// the machine that produced them — scaling numbers from a 1-core CI
+// container are parity checks, not speedups.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "filters/fir_design.hpp"
+#include "filters/iir_design.hpp"
+#include "opt/wordlength_optimizer.hpp"
+#include "runtime/batch_runner.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sfg/graph.hpp"
+#include "sim/error_measurement.hpp"
+
+namespace {
+
+using namespace psdacc;
+
+struct BenchSystem {
+  sfg::Graph graph;
+  std::vector<sfg::NodeId> variables;
+};
+
+// A chain of quantized stages; every stage is one free word-length
+// variable, so each optimizer iteration scores `stages` candidate probes —
+// the parallel width the thread pool exploits.
+BenchSystem make_chain(int stages) {
+  BenchSystem s;
+  auto head = s.graph.add_input();
+  head = s.graph.add_quantizer(head, fxp::q_format(4, 12));
+  s.variables.push_back(head);
+  for (int i = 0; i < stages; ++i) {
+    head = s.graph.add_block(
+        head,
+        i % 2 == 0
+            ? filt::iir_lowpass(filt::IirFamily::kButterworth, 3, 0.35)
+            : filt::TransferFunction(filt::fir_highpass(15, 0.02)),
+        fxp::q_format(4, 12));
+    s.variables.push_back(head);
+  }
+  s.graph.add_output(head);
+  return s;
+}
+
+void BM_GreedyDescent(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  // Pool hoisted out of the timed loop: thread spawn and the workers'
+  // thread-local FFT plan caches are one-time costs a real search
+  // amortizes, not part of one descent.
+  runtime::ThreadPool pool(workers);
+  for (auto _ : state) {
+    auto sys = make_chain(7);
+    opt::OptimizerConfig cfg;
+    cfg.noise_budget = 1e-7;
+    cfg.min_bits = 4;
+    cfg.max_bits = 20;
+    cfg.n_psd = 1024;
+    cfg.pool = &pool;
+    opt::WordlengthOptimizer optimizer(sys.graph, sys.variables, cfg);
+    const auto result = optimizer.greedy_descent();
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_GreedyDescent)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BatchEvaluate(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  std::vector<runtime::BatchJob> jobs;
+  for (int bits = 6; bits < 18; ++bits) {
+    runtime::BatchJob job;
+    job.name = "q";
+    job.name += std::to_string(bits);
+    job.graph = make_chain(4).graph;
+    job.config.sim_samples = 1u << 14;
+    job.config.discard = 256;
+    job.config.n_psd = 512;
+    job.config.seed = static_cast<std::uint64_t>(bits);
+    jobs.push_back(std::move(job));
+  }
+  runtime::BatchRunner runner(workers);
+  for (auto _ : state) {
+    const auto results = runner.run(jobs);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs.size()));
+}
+BENCHMARK(BM_BatchEvaluate)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShardedMonteCarlo(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  const auto sys = make_chain(4);
+  sim::ShardedErrorConfig cfg;
+  cfg.total_samples = 1u << 17;
+  cfg.shards = 16;  // fixed decomposition: results identical for any worker count
+  cfg.discard = 256;
+  cfg.keep_signal = false;
+  runtime::ThreadPool pool(workers);
+  for (auto _ : state) {
+    const auto m = sim::measure_output_error_sharded(sys.graph, cfg, &pool);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_ShardedMonteCarlo)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -11,6 +11,7 @@
 #include "core/psd_analyzer.hpp"
 #include "filters/fir_design.hpp"
 #include "filters/iir_design.hpp"
+#include "runtime/batch_runner.hpp"
 #include "sfg/graph.hpp"
 #include "sim/error_measurement.hpp"
 
@@ -66,5 +67,36 @@ int main() {
     std::printf("  f = %5.3f : %.3g\n",
                 static_cast<double>(k) / static_cast<double>(spectrum.size()),
                 spectrum.bin(k));
+
+  // 6. Scale out: sweep word-length variants of the same system as one
+  //    concurrent batch. Reports come back in job order and are
+  //    bit-identical for any worker count.
+  std::vector<runtime::BatchJob> jobs;
+  for (const int bits : {8, 12, 16}) {
+    runtime::BatchJob job;
+    job.name = "Q4.";
+    job.name += std::to_string(bits);
+    sfg::Graph variant;
+    const auto vfmt = fxp::q_format(4, bits);
+    const auto vin = variant.add_input("x");
+    const auto vq = variant.add_quantizer(vin, vfmt, "input quantizer");
+    const auto vlp = variant.add_block(
+        vq, filt::iir_lowpass(filt::IirFamily::kButterworth, 4, 0.2), vfmt,
+        "butterworth lp");
+    const auto vhp = variant.add_block(
+        vlp, filt::TransferFunction(filt::fir_highpass(31, 0.05)), vfmt,
+        "fir hp");
+    variant.add_output(vhp, "y");
+    job.graph = std::move(variant);
+    job.config.sim_samples = 1u << 16;
+    jobs.push_back(std::move(job));
+  }
+  runtime::BatchRunner runner;  // one worker per core
+  std::printf("\nbatch sweep over word-lengths (workers: %zu):\n",
+              runner.pool().workers());
+  for (const auto& r : runner.run(jobs))
+    std::printf("  %s : estimated %.3g, simulated %.3g (%.3f s)\n",
+                r.name.c_str(), r.report.psd_power,
+                r.report.simulated_power, r.seconds);
   return 0;
 }

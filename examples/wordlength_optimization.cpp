@@ -3,19 +3,30 @@
 // Fixed-point refinement searches for the cheapest per-block word-length
 // assignment meeting an output-noise budget. The search evaluates
 // thousands of candidate assignments, so evaluation speed decides whether
-// the search is tractable: this example runs a classic greedy descent
-// ("min +1 bit" / "max -1 bit") with the PSD analyzer as the inner-loop
-// oracle, then verifies the final assignment by simulation.
+// the search is tractable. This example drives the full parallel runtime:
+//
+//   * opt::WordlengthOptimizer scores each iteration's candidate probes
+//     concurrently (one PSD evaluation per free variable, one graph clone
+//     per worker);
+//   * runtime::BatchRunner then verifies the candidate designs against
+//     Monte-Carlo simulation as one concurrent batch of scenarios.
+//
+// Run with --jobs N to choose the worker count (default: all cores).
+// Results are bit-identical for any N; only the wall-clock changes.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
-#include "core/metrics.hpp"
 #include "core/psd_analyzer.hpp"
 #include "filters/fir_design.hpp"
 #include "filters/iir_design.hpp"
+#include "opt/wordlength_optimizer.hpp"
+#include "runtime/batch_runner.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sfg/graph.hpp"
 #include "sim/error_measurement.hpp"
-#include "support/random.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
 
@@ -25,100 +36,132 @@ using namespace psdacc;
 
 // A 4-stage channelizer-like chain; each stage has its own word-length.
 struct Design {
-  std::vector<int> frac_bits;  // per stage
+  sfg::Graph graph;
+  std::vector<sfg::NodeId> variables;  // one per stage
 };
 
-sfg::Graph build(const Design& d) {
-  sfg::Graph g;
-  const auto in = g.add_input();
-  auto head = g.add_quantizer(in, fxp::q_format(4, d.frac_bits[0]));
-  head = g.add_block(head,
-                     filt::iir_lowpass(filt::IirFamily::kButterworth, 4,
-                                       0.22),
-                     fxp::q_format(4, d.frac_bits[1]), "lp");
-  head = g.add_block(head,
-                     filt::TransferFunction(filt::fir_bandpass(63, 0.05,
-                                                               0.20)),
-                     fxp::q_format(4, d.frac_bits[2]), "bp");
-  head = g.add_block(head,
-                     filt::iir_highpass(filt::IirFamily::kChebyshev1, 3,
-                                        0.04),
-                     fxp::q_format(4, d.frac_bits[3]), "hp");
-  g.add_output(head);
-  return g;
+Design build(const std::vector<int>& frac_bits) {
+  Design d;
+  const auto in = d.graph.add_input();
+  auto head = d.graph.add_quantizer(in, fxp::q_format(4, frac_bits[0]));
+  d.variables.push_back(head);
+  head = d.graph.add_block(head,
+                           filt::iir_lowpass(filt::IirFamily::kButterworth,
+                                             4, 0.22),
+                           fxp::q_format(4, frac_bits[1]), "lp");
+  d.variables.push_back(head);
+  head = d.graph.add_block(head,
+                           filt::TransferFunction(filt::fir_bandpass(63, 0.05,
+                                                                     0.20)),
+                           fxp::q_format(4, frac_bits[2]), "bp");
+  d.variables.push_back(head);
+  head = d.graph.add_block(head,
+                           filt::iir_highpass(filt::IirFamily::kChebyshev1,
+                                              3, 0.04),
+                           fxp::q_format(4, frac_bits[3]), "hp");
+  d.variables.push_back(head);
+  d.graph.add_output(head);
+  return d;
 }
 
-double estimated_noise(const Design& d) {
-  const auto g = build(d);
-  return core::PsdAnalyzer(g, {.n_psd = 512}).output_noise_power();
-}
-
-// Hardware cost proxy: total fractional bits (linear in multiplier area).
-int cost(const Design& d) {
+int cost_of(const std::vector<int>& bits) {
   int acc = 0;
-  for (int b : d.frac_bits) acc += b;
+  for (int b : bits) acc += b;
   return acc;
+}
+
+std::size_t parse_jobs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") != 0) continue;
+    const long n = i + 1 < argc ? std::atol(argv[i + 1]) : 0;
+    if (n < 1 || n > 1024) {
+      std::fprintf(stderr, "--jobs expects an integer in [1, 1024]\n");
+      std::exit(2);
+    }
+    return static_cast<std::size_t>(n);
+  }
+  return runtime::hardware_workers();
 }
 
 }  // namespace
 
-int main() {
-  // Noise budget: what a uniform 12-bit design would produce.
-  const Design uniform{{12, 12, 12, 12}};
-  const double budget = estimated_noise(uniform);
-  std::printf("noise budget (uniform 12-bit design): %.4g, cost %d bits\n\n",
-              budget, cost(uniform));
+int main(int argc, char** argv) {
+  const std::size_t jobs = parse_jobs(argc, argv);
+  std::printf("workers: %zu (override with --jobs N)\n\n", jobs);
 
-  // Greedy descent: start generous, repeatedly remove one bit from the
-  // stage whose removal keeps the estimate within budget with the most
-  // margin. Every probe is one fast PSD evaluation.
-  Design current{{16, 16, 16, 16}};
+  // Noise budget: what a uniform 12-bit design would produce.
+  const std::vector<int> uniform_bits{12, 12, 12, 12};
+  auto uniform = build(uniform_bits);
+  const double budget =
+      core::PsdAnalyzer(uniform.graph, {.n_psd = 512}).output_noise_power();
+  std::printf("noise budget (uniform 12-bit design): %.4g, cost %d bits\n\n",
+              budget, cost_of(uniform_bits));
+
+  // Greedy descent ("max -1 bit"): each iteration scores one candidate
+  // probe per stage; the probes run concurrently on the worker pool.
+  auto design = build({16, 16, 16, 16});
+  opt::OptimizerConfig cfg;
+  cfg.noise_budget = budget;
+  cfg.min_bits = 4;
+  cfg.max_bits = 16;
+  cfg.n_psd = 512;
+  cfg.workers = jobs;
+  opt::WordlengthOptimizer optimizer(design.graph, design.variables, cfg);
   Stopwatch clock;
-  int evaluations = 0;
-  for (;;) {
-    int best_stage = -1;
-    double best_noise = 0.0;
-    for (std::size_t s = 0; s < current.frac_bits.size(); ++s) {
-      if (current.frac_bits[s] <= 4) continue;
-      Design probe = current;
-      --probe.frac_bits[s];
-      const double noise = estimated_noise(probe);
-      ++evaluations;
-      if (noise <= budget &&
-          (best_stage < 0 || noise < best_noise)) {
-        best_stage = static_cast<int>(s);
-        best_noise = noise;
-      }
-    }
-    if (best_stage < 0) break;
-    --current.frac_bits[static_cast<std::size_t>(best_stage)];
-  }
+  const auto result = optimizer.greedy_descent();
   const double search_time = clock.seconds();
 
   TextTable table({"stage", "uniform bits", "optimized bits"});
   const char* names[] = {"input quant", "iir low-pass", "fir band-pass",
                          "cheby high-pass"};
-  for (std::size_t s = 0; s < current.frac_bits.size(); ++s)
-    table.add_row({names[s], std::to_string(uniform.frac_bits[s]),
-                   std::to_string(current.frac_bits[s])});
+  for (std::size_t s = 0; s < result.bits.size(); ++s)
+    table.add_row({names[s], std::to_string(uniform_bits[s]),
+                   std::to_string(result.bits[s])});
   table.print();
   std::printf(
-      "\ncost: %d -> %d fractional bits; %d PSD evaluations in %.2f s "
-      "(%.2f ms each)\n",
-      cost(uniform), cost(current), evaluations, search_time,
-      1e3 * search_time / evaluations);
+      "\ncost: %d -> %.0f fractional bits; %zu PSD evaluations in %.3f s "
+      "(%.0f evaluations/s)\n",
+      cost_of(uniform_bits), result.cost, result.evaluations, search_time,
+      static_cast<double>(result.evaluations) / search_time);
 
-  // Verify the optimized design against simulation.
-  const auto g = build(current);
-  sim::EvaluationConfig cfg;
-  cfg.sim_samples = 1u << 18;
-  const auto report = sim::evaluate_accuracy(g, cfg);
+  // Verify the candidate designs against simulation — one BatchRunner
+  // sweep instead of one-at-a-time evaluate_accuracy calls.
+  std::vector<runtime::BatchJob> scenarios;
+  auto add_scenario = [&scenarios](std::string name, Design d) {
+    runtime::BatchJob job;
+    job.name = std::move(name);
+    job.graph = std::move(d.graph);
+    job.config.sim_samples = 1u << 18;
+    job.config.shards = 8;  // sharded Monte-Carlo inside each scenario
+    scenarios.push_back(std::move(job));
+  };
+  add_scenario("uniform-12", build(uniform_bits));
+  add_scenario("optimized", build(result.bits));
+  add_scenario("optimized+1", build([&] {
+                 auto bits = result.bits;
+                 for (int& b : bits) ++b;
+                 return bits;
+               }()));
+
+  runtime::BatchRunner runner(jobs);
+  clock.reset();
+  const auto reports = runner.run(scenarios);
+  const double batch_time = clock.seconds();
+
+  TextTable verify({"scenario", "estimated", "simulated", "E_d", "time"});
+  for (const auto& r : reports)
+    verify.add_row({r.name, TextTable::num(r.report.psd_power, 3),
+                    TextTable::num(r.report.simulated_power, 3),
+                    TextTable::percent(r.report.psd_ed, 2),
+                    TextTable::num(r.seconds, 3) + " s"});
+  std::printf("\n");
+  verify.print();
   std::printf(
-      "\noptimized design: estimated %.4g, simulated %.4g (E_d = %.2f%%), "
-      "budget %.4g\n",
-      report.psd_power, report.simulated_power, 100.0 * report.psd_ed,
-      budget);
+      "\nbatch: %zu scenarios in %.3f s (%.2f scenarios/s, workers %zu)\n",
+      reports.size(), batch_time,
+      static_cast<double>(reports.size()) / batch_time, jobs);
   std::printf("within budget by simulation: %s\n",
-              report.simulated_power <= 1.15 * budget ? "yes" : "NO");
+              reports[1].report.simulated_power <= 1.15 * budget ? "yes"
+                                                                 : "NO");
   return 0;
 }

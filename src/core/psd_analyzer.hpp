@@ -28,6 +28,12 @@ struct PsdOptions {
 ///  * evaluate() ("evaluation", tau_eval): one topological sweep applying
 ///    Eqs. 10, 11 and 14 plus the multirate rules — O(N) per node, repeated
 ///    for every word-length assignment being explored.
+///
+/// Thread-safety contract: one analyzer instance carries mutable probe
+/// scratch and must be driven from one thread at a time, but distinct
+/// analyzers over distinct graphs are fully independent — the parallel
+/// runtime (runtime::ThreadPool workloads, the optimizer's concurrent
+/// probes) gives every worker its own graph clone + analyzer.
 class PsdAnalyzer {
  public:
   /// Preprocesses the graph (must be acyclic; run sfg::collapse_loops
@@ -68,7 +74,8 @@ class PsdAnalyzer {
   std::vector<sfg::NodeId> order_;
   std::vector<BlockTables> tables_;  // indexed by NodeId (empty for most)
   // Reused by output_spectrum()/output_noise_power() and the block visitor
-  // so per-probe evaluation is allocation-free (analyzer not thread-safe).
+  // so per-probe evaluation is allocation-free (hence one analyzer may not
+  // be shared across threads; clone the graph and build one per worker).
   mutable std::vector<NoiseSpectrum> workspace_;
   mutable NoiseSpectrum scratch_;
 };

@@ -159,9 +159,23 @@ void FftPlan::rfft(std::span<const double> x, std::vector<cplx>& out) const {
   }
 }
 
+namespace {
+
+using PlanCache = std::unordered_map<std::size_t, std::unique_ptr<FftPlan>>;
+
+// One cache per thread: plans carry mutable scratch, so sharing instances
+// across threads would race. Thread-local duplication trades a little
+// memory (twiddle tables per worker) for lock-free lookups on the hot path.
+PlanCache& thread_cache() {
+  thread_local PlanCache cache;
+  return cache;
+}
+
+}  // namespace
+
 const FftPlan& plan_for(std::size_t n) {
   PSDACC_EXPECTS(n >= 1);
-  static std::unordered_map<std::size_t, std::unique_ptr<FftPlan>> cache;
+  PlanCache& cache = thread_cache();
   const auto it = cache.find(n);
   if (it != cache.end()) return *it->second;
   // Construct before inserting: the constructor may recurse into plan_for()
@@ -169,5 +183,7 @@ const FftPlan& plan_for(std::size_t n) {
   auto plan = std::make_unique<FftPlan>(n);
   return *cache.emplace(n, std::move(plan)).first->second;
 }
+
+void clear_plan_cache() { thread_cache().clear(); }
 
 }  // namespace psdacc::dsp

@@ -8,9 +8,14 @@
 // (Welch segmentation, overlap-save blocks, PSD probes) performs no
 // allocations and no trigonometry after the first call.
 //
-// `plan_for(n)` returns a process-wide cached plan per size. Plans own
-// mutable scratch, so the cache (and each plan) is NOT thread-safe; psdacc
-// is single-threaded throughout.
+// `plan_for(n)` returns a cached plan per size. The cache is thread-local:
+// concurrent `plan_for` calls from different threads are safe and each
+// thread gets its own plan instances (plans own mutable scratch, so a
+// single plan must not be driven from two threads at once). Objects that
+// hold plan pointers (`OverlapSave`, spectral estimators mid-call) are
+// therefore bound to the thread that created them; the `runtime::`
+// ThreadPool workloads respect this by giving every worker its own
+// analyzers and plans.
 #pragma once
 
 #include <cstddef>
@@ -59,7 +64,13 @@ class FftPlan {
   mutable std::vector<cplx> half_work_;  // size n/2 scratch
 };
 
-/// Process-wide plan cache, keyed by transform size (not thread-safe).
+/// Thread-local plan cache, keyed by transform size. Safe to call from any
+/// number of threads concurrently; each thread caches its own plans.
 const FftPlan& plan_for(std::size_t n);
+
+/// Drops the calling thread's cached plans. Test hook only: any live object
+/// still holding a plan reference from this thread (e.g. an OverlapSave)
+/// dangles afterwards.
+void clear_plan_cache();
 
 }  // namespace psdacc::dsp

@@ -26,18 +26,57 @@ void set_bits(sfg::Graph& g, sfg::NodeId id, int bits) {
 
 }  // namespace
 
+// Checks a ProbeContext out of the optimizer's free list for the duration
+// of one probe; contexts are created on demand, so at most one per
+// concurrently running probe ever exists.
+class WordlengthOptimizer::ContextLease {
+ public:
+  explicit ContextLease(WordlengthOptimizer& opt) : opt_(opt) {
+    {
+      std::lock_guard lock(opt_.contexts_mutex_);
+      if (!opt_.free_contexts_.empty()) {
+        context_ = std::move(opt_.free_contexts_.back());
+        opt_.free_contexts_.pop_back();
+      }
+    }
+    // Construct outside the lock: cloning the graph and preprocessing the
+    // analyzer is the expensive part, and serializing it would stall every
+    // worker's first probe. Concurrent construction only reads opt_.graph_.
+    if (context_ == nullptr)
+      context_ =
+          std::make_unique<ProbeContext>(opt_.graph_, opt_.cfg_.n_psd);
+  }
+  ~ContextLease() {
+    std::lock_guard lock(opt_.contexts_mutex_);
+    opt_.free_contexts_.push_back(std::move(context_));
+  }
+
+  ProbeContext& operator*() { return *context_; }
+  ProbeContext* operator->() { return context_.get(); }
+
+ private:
+  WordlengthOptimizer& opt_;
+  std::unique_ptr<ProbeContext> context_;
+};
+
 WordlengthOptimizer::WordlengthOptimizer(sfg::Graph& g,
                                          std::vector<sfg::NodeId> variables,
                                          OptimizerConfig cfg)
     : graph_(g),
       variables_(std::move(variables)),
       cfg_(cfg),
-      analyzer_(g, {.n_psd = cfg.n_psd}) {
+      analyzer_(g, {.n_psd = cfg.n_psd}),
+      owned_pool_(cfg.pool != nullptr
+                      ? nullptr
+                      : std::make_unique<runtime::ThreadPool>(cfg.workers)),
+      pool_(cfg.pool != nullptr ? cfg.pool : owned_pool_.get()) {
   PSDACC_EXPECTS(!variables_.empty());
   PSDACC_EXPECTS(cfg_.min_bits >= 1 && cfg_.min_bits <= cfg_.max_bits);
   PSDACC_EXPECTS(cfg_.cost_weights.empty() ||
                  cfg_.cost_weights.size() == variables_.size());
 }
+
+WordlengthOptimizer::~WordlengthOptimizer() = default;
 
 double WordlengthOptimizer::weight(std::size_t v) const {
   return cfg_.cost_weights.empty() ? 1.0 : cfg_.cost_weights[v];
@@ -52,6 +91,18 @@ void WordlengthOptimizer::apply(const std::vector<int>& bits) {
 double WordlengthOptimizer::evaluate() {
   ++evaluations_;
   return analyzer_.output_noise_power();
+}
+
+double WordlengthOptimizer::probe(const std::vector<int>& bits,
+                                  std::size_t v, int candidate_bits) {
+  ContextLease context(*this);
+  // Stamp the full assignment: a recycled context carries whatever the
+  // previous probe left behind, so the probe result depends only on its
+  // arguments — never on scheduling.
+  for (std::size_t u = 0; u < variables_.size(); ++u)
+    set_bits(context->graph, variables_[u],
+             u == v ? candidate_bits : bits[u]);
+  return context->analyzer.output_noise_power();
 }
 
 OptimizerResult WordlengthOptimizer::package(std::vector<int> bits) {
@@ -82,29 +133,43 @@ OptimizerResult WordlengthOptimizer::greedy_descent() {
   double current = evaluate();
   if (current > cfg_.noise_budget)
     return package(std::move(bits));  // infeasible even at max
+  std::vector<double> probe_noise(variables_.size());
   for (;;) {
+    // Score every candidate single-bit removal concurrently; each probe
+    // runs on an isolated context, so the scores match the serial sweep
+    // bit for bit.
+    pool_->parallel_for(0, variables_.size(), [&](std::size_t v) {
+      if (bits[v] <= cfg_.min_bits) return;
+      probe_noise[v] = probe(bits, v, bits[v] - 1);
+    });
+    // Candidacy is decided by the bit bounds (the same guard the probe
+    // loop used), never by the probe value: entries for non-candidates are
+    // stale and must not be read.
+    for (std::size_t v = 0; v < variables_.size(); ++v)
+      if (bits[v] > cfg_.min_bits) ++evaluations_;
+
+    // Deterministic selection: fixed variable order, same tie-breaking as
+    // the serial loop (strictly-better score wins).
     std::size_t best = variables_.size();
     double best_score = 0.0;
     double best_noise = current;
     for (std::size_t v = 0; v < variables_.size(); ++v) {
       if (bits[v] <= cfg_.min_bits) continue;
-      --bits[v];
-      apply(bits);
-      const double noise = evaluate();
-      if (noise <= cfg_.noise_budget) {
-        // Prefer the cheapest noise increase per unit cost saved: score on
-        // the *marginal* increase over the current noise, not the absolute
-        // level — the absolute level is dominated by the shared noise floor
-        // and would rank candidates purely by weight.
-        const double marginal = std::max(noise - current, 0.0);
-        const double score = weight(v) / std::max(marginal, 1e-300);
-        if (best == variables_.size() || score > best_score) {
-          best = v;
-          best_score = score;
-          best_noise = noise;
-        }
+      const double noise = probe_noise[v];
+      // Negated form so a NaN probe is rejected, as in the serial loop's
+      // `if (noise <= budget)`.
+      if (!(noise <= cfg_.noise_budget)) continue;
+      // Prefer the cheapest noise increase per unit cost saved: score on
+      // the *marginal* increase over the current noise, not the absolute
+      // level — the absolute level is dominated by the shared noise floor
+      // and would rank candidates purely by weight.
+      const double marginal = std::max(noise - current, 0.0);
+      const double score = weight(v) / std::max(marginal, 1e-300);
+      if (best == variables_.size() || score > best_score) {
+        best = v;
+        best_score = score;
+        best_noise = noise;
       }
-      ++bits[v];
     }
     if (best == variables_.size()) break;
     --bits[best];
@@ -116,44 +181,49 @@ OptimizerResult WordlengthOptimizer::greedy_descent() {
 OptimizerResult WordlengthOptimizer::min_plus_one() {
   // Per-variable lower bound: the fewest bits for variable v with all
   // others at max (the standard "minimum word-length" initialization).
-  std::vector<int> bits(variables_.size(), cfg_.max_bits);
+  // Each variable's scan is independent of the others, so they run
+  // concurrently; the evaluation counts are summed in variable order.
+  const std::vector<int> all_max(variables_.size(), cfg_.max_bits);
   std::vector<int> lower(variables_.size(), cfg_.min_bits);
-  for (std::size_t v = 0; v < variables_.size(); ++v) {
+  std::vector<std::size_t> scan_evals(variables_.size(), 0);
+  pool_->parallel_for(0, variables_.size(), [&](std::size_t v) {
     for (int d = cfg_.min_bits; d <= cfg_.max_bits; ++d) {
-      bits[v] = d;
-      apply(bits);
-      if (evaluate() <= cfg_.noise_budget) {
+      ++scan_evals[v];
+      if (probe(all_max, v, d) <= cfg_.noise_budget) {
         lower[v] = d;
-        break;
+        return;
       }
       lower[v] = cfg_.max_bits;
     }
-    bits[v] = cfg_.max_bits;
-  }
+  });
+  for (std::size_t v = 0; v < variables_.size(); ++v)
+    evaluations_ += scan_evals[v];
+
   // Start from the (usually infeasible) lower bounds and add the most
   // effective bit until feasible.
-  bits = lower;
+  std::vector<int> bits = lower;
   apply(bits);
   double noise = evaluate();
+  std::vector<double> probe_noise(variables_.size());
   while (noise > cfg_.noise_budget) {
+    pool_->parallel_for(0, variables_.size(), [&](std::size_t v) {
+      if (bits[v] >= cfg_.max_bits) return;
+      probe_noise[v] = probe(bits, v, bits[v] + 1);
+    });
     std::size_t best = variables_.size();
     double best_gain = 0.0;
     for (std::size_t v = 0; v < variables_.size(); ++v) {
-      if (bits[v] >= cfg_.max_bits) continue;
-      ++bits[v];
-      apply(bits);
-      const double probe = evaluate();
-      const double gain = (noise - probe) / weight(v);
+      if (bits[v] >= cfg_.max_bits) continue;  // saturated, not probed
+      ++evaluations_;
+      const double gain = (noise - probe_noise[v]) / weight(v);
       if (best == variables_.size() || gain > best_gain) {
         best = v;
         best_gain = gain;
       }
-      --bits[v];
     }
     if (best == variables_.size()) break;  // everything saturated
     ++bits[best];
-    apply(bits);
-    noise = evaluate();
+    noise = probe_noise[best];  // the accepted probe already measured this
   }
   return package(std::move(bits));
 }

@@ -1,0 +1,25 @@
+#include "runtime/batch_runner.hpp"
+
+#include "support/timer.hpp"
+
+namespace psdacc::runtime {
+
+BatchRunner::BatchRunner(ThreadPool& pool) : pool_(&pool) {}
+
+BatchRunner::BatchRunner(std::size_t workers)
+    : owned_pool_(std::make_unique<ThreadPool>(workers)),
+      pool_(owned_pool_.get()) {}
+
+std::vector<BatchResult> BatchRunner::run(std::span<const BatchJob> jobs) {
+  return pool_->parallel_map(jobs.size(), [&](std::size_t i) {
+    const BatchJob& job = jobs[i];
+    BatchResult result;
+    result.name = job.name;
+    const Stopwatch clock;
+    result.report = sim::evaluate_accuracy(job.graph, job.config, pool_);
+    result.seconds = clock.seconds();
+    return result;
+  });
+}
+
+}  // namespace psdacc::runtime

@@ -1,0 +1,148 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+
+namespace psdacc::runtime {
+namespace {
+
+// Set for the lifetime of each worker thread so submit() can detect
+// re-entrant scheduling (see header).
+thread_local const ThreadPool* current_pool = nullptr;
+
+}  // namespace
+
+std::size_t hardware_workers() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+// Shared state of one parallel_for: a chunk cursor plus an in-flight count,
+// both guarded by one mutex. Chunks are coarse (an optimizer probe or a
+// Monte-Carlo shard each), so the lock is never contended enough to matter,
+// and the mutex makes the claim + in-flight transition atomic — the waiter
+// can only observe "all claimed and none running" when the loop truly
+// finished.
+struct ThreadPool::ForState {
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t next = 0;
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  std::size_t in_flight = 0;
+  bool stop = false;
+  std::exception_ptr error;
+  const std::function<void(std::size_t)>* body = nullptr;
+};
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  const std::size_t spawn = workers > 1 ? workers - 1 : 0;
+  threads_.reserve(spawn);
+  for (std::size_t t = 0; t < spawn; ++t)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(queue_mutex_);
+    shutting_down_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard lock(queue_mutex_);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+}
+
+bool ThreadPool::on_worker_thread() const { return current_pool == this; }
+
+void ThreadPool::worker_loop() {
+  current_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::run_chunks(ForState& state) {
+  for (;;) {
+    std::size_t chunk_begin = 0;
+    std::size_t chunk_end = 0;
+    {
+      std::lock_guard lock(state.mutex);
+      if (state.stop || state.next >= state.end) break;
+      chunk_begin = state.next;
+      chunk_end = std::min(chunk_begin + state.grain, state.end);
+      state.next = chunk_end;
+      ++state.in_flight;
+    }
+    std::exception_ptr error;
+    try {
+      for (std::size_t i = chunk_begin; i < chunk_end; ++i) (*state.body)(i);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(state.mutex);
+      --state.in_flight;
+      if (error && !state.error) {
+        state.error = error;
+        state.stop = true;
+      }
+      if (state.in_flight == 0 &&
+          (state.stop || state.next >= state.end)) {
+        state.done_cv.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  if (end <= begin) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t total = end - begin;
+  const std::size_t chunks = (total + grain - 1) / grain;
+  if (threads_.empty() || chunks < 2) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  // Offset-free iteration: state counts in [begin, end) directly.
+  auto state = std::make_shared<ForState>();
+  state->next = begin;
+  state->end = end;
+  state->grain = grain;
+  state->body = &body;
+
+  // One helper task per spawned thread (capped by the chunk count); the
+  // caller claims chunks too, so helpers that never get scheduled cost
+  // nothing and cannot stall completion.
+  const std::size_t helpers = std::min(threads_.size(), chunks - 1);
+  for (std::size_t h = 0; h < helpers; ++h)
+    enqueue([state] { run_chunks(*state); });
+  run_chunks(*state);
+
+  std::unique_lock lock(state->mutex);
+  state->done_cv.wait(lock, [&] {
+    return state->in_flight == 0 &&
+           (state->stop || state->next >= state->end);
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace psdacc::runtime

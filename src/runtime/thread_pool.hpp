@@ -1,0 +1,111 @@
+/// @file thread_pool.hpp
+/// Fixed-size worker pool behind psdacc's parallel evaluation runtime.
+///
+/// The paper's selling point — PSD probes cheap enough to score thousands
+/// of word-length candidates per second — multiplies by core count once the
+/// embarrassingly parallel loops (optimizer probes, Monte-Carlo shards,
+/// batch scenarios) run concurrently. This pool is the one primitive they
+/// all share.
+///
+/// Design rules that keep parallel results bit-identical to serial runs:
+///  * `parallel_for`/`parallel_map` assign work by index; callers write
+///    results into per-index slots, so scheduling order never changes what
+///    is computed, only when.
+///  * A pool constructed with `workers == 1` spawns no threads and runs
+///    everything inline on the calling thread — the serial baseline and the
+///    parallel path execute the same code.
+///  * The calling thread participates in `parallel_for`, so nested
+///    parallel sections and pools larger than the machine never deadlock:
+///    whoever waits also works.
+///  * `submit` from inside a pool task of the same pool runs inline
+///    (blocking a worker on a nested future would otherwise deadlock a
+///    single-worker pool).
+///
+/// Exceptions thrown by tasks propagate: through the returned future for
+/// `submit`, and rethrown (first one wins, remaining chunks are skipped)
+/// from `parallel_for`/`parallel_map`.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace psdacc::runtime {
+
+/// Reasonable default worker count: the hardware thread count, at least 1.
+std::size_t hardware_workers();
+
+class ThreadPool {
+ public:
+  /// Creates a pool with total concurrency @p workers (the calling thread
+  /// counts as one: `workers - 1` threads are spawned; 0 is treated as 1).
+  explicit ThreadPool(std::size_t workers = hardware_workers());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (spawned threads + the participating caller).
+  std::size_t workers() const { return threads_.size() + 1; }
+
+  /// Schedules @p f and returns its future. On a 1-worker pool, or when
+  /// called from inside one of this pool's tasks, runs inline.
+  template <class F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>&>> {
+    using R = std::invoke_result_t<std::decay_t<F>&>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    if (threads_.empty() || on_worker_thread()) {
+      (*task)();
+      return future;
+    }
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Runs body(i) for i in [begin, end), split into chunks of @p grain
+  /// indices claimed dynamically by the caller plus the pool workers.
+  /// Blocks until every index ran (or an exception stopped the loop).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 1);
+
+  /// Maps fn over [0, n) into a vector with results in index order
+  /// (deterministic regardless of scheduling). The result type must be
+  /// default-constructible.
+  template <class F>
+  auto parallel_map(std::size_t n, F&& fn, std::size_t grain = 1)
+      -> std::vector<std::invoke_result_t<std::decay_t<F>&, std::size_t>> {
+    using R = std::invoke_result_t<std::decay_t<F>&, std::size_t>;
+    static_assert(!std::is_same_v<R, bool>,
+                  "std::vector<bool> packs bits: concurrent per-index "
+                  "writes would race. Return char/int instead.");
+    std::vector<R> out(n);
+    parallel_for(
+        0, n, [&](std::size_t i) { out[i] = fn(i); }, grain);
+    return out;
+  }
+
+ private:
+  struct ForState;
+
+  void enqueue(std::function<void()> task);
+  bool on_worker_thread() const;
+  void worker_loop();
+  static void run_chunks(ForState& state);
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace psdacc::runtime

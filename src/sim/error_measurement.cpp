@@ -2,6 +2,7 @@
 
 #include "core/metrics.hpp"
 #include "dsp/spectral.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sim/execution_plan.hpp"
 #include "support/assert.hpp"
 #include "support/statistics.hpp"
@@ -35,6 +36,61 @@ ErrorMeasurement measure_output_error(const sfg::Graph& g,
   return m;
 }
 
+ErrorMeasurement measure_output_error_sharded(const sfg::Graph& g,
+                                              const ShardedErrorConfig& cfg,
+                                              runtime::ThreadPool* pool) {
+  PSDACC_EXPECTS(cfg.shards >= 1);
+  PSDACC_EXPECTS(cfg.total_samples >= cfg.shards);
+  // Split total_samples exactly: the first (total mod shards) shards
+  // measure one extra sample, so result.samples == total_samples always.
+  const std::size_t base_samples = cfg.total_samples / cfg.shards;
+  const std::size_t extra_shards = cfg.total_samples % cfg.shards;
+  const Xoshiro256 base(cfg.seed);
+
+  // Shards are fully independent: their own RNG substream, input signal,
+  // and execution plan (the shared graph is only read). Running them via
+  // parallel_map keeps the per-shard work identical for any worker count;
+  // only the reduction below could reorder, and it runs in shard order.
+  auto run_shard = [&](std::size_t s) {
+    const std::size_t samples = base_samples + (s < extra_shards ? 1 : 0);
+    Xoshiro256 rng = base.substream(s);
+    const auto input =
+        uniform_signal(samples + cfg.discard, cfg.input_amplitude, rng);
+    ErrorMeasurement m = measure_output_error(g, input, cfg.discard);
+    if (!cfg.keep_signal) {
+      m.signal.clear();
+      m.signal.shrink_to_fit();
+    }
+    return m;
+  };
+  std::vector<ErrorMeasurement> shards =
+      pool != nullptr ? pool->parallel_map(cfg.shards, run_shard)
+                      : [&] {
+                          std::vector<ErrorMeasurement> out(cfg.shards);
+                          for (std::size_t s = 0; s < cfg.shards; ++s)
+                            out[s] = run_shard(s);
+                          return out;
+                        }();
+
+  // Deterministic ordered reduction: rebuild each shard's Welford state
+  // from its reported moments and merge in shard-index order.
+  ErrorMeasurement total;
+  if (cfg.keep_signal) total.signal.reserve(cfg.total_samples);
+  RunningStats stats;
+  for (const ErrorMeasurement& m : shards) {
+    stats.merge(RunningStats::from_moments(
+        m.samples, m.mean, m.variance * static_cast<double>(m.samples)));
+    if (cfg.keep_signal)
+      total.signal.insert(total.signal.end(), m.signal.begin(),
+                          m.signal.end());
+  }
+  total.power = stats.mean_square();
+  total.mean = stats.mean();
+  total.variance = stats.variance();
+  total.samples = stats.count();
+  return total;
+}
+
 std::vector<double> measured_error_psd(const ErrorMeasurement& m,
                                        std::size_t n_bins) {
   PSDACC_EXPECTS(!m.signal.empty());
@@ -49,14 +105,25 @@ std::vector<double> measured_error_psd(const ErrorMeasurement& m,
 }
 
 AccuracyReport evaluate_accuracy(const sfg::Graph& g,
-                                 const EvaluationConfig& cfg) {
-  Xoshiro256 rng(cfg.seed);
-  const auto input =
-      uniform_signal(cfg.sim_samples, cfg.input_amplitude, rng);
-
+                                 const EvaluationConfig& cfg,
+                                 runtime::ThreadPool* pool) {
   AccuracyReport report;
-  report.simulated_power =
-      measure_output_error(g, input, cfg.discard).power;
+  if (cfg.shards <= 1) {
+    // Single-stream path, unchanged from the serial library: one input of
+    // sim_samples with `discard` output samples dropped.
+    Xoshiro256 rng(cfg.seed);
+    const auto input =
+        uniform_signal(cfg.sim_samples, cfg.input_amplitude, rng);
+    report.simulated_power = measure_output_error(g, input, cfg.discard).power;
+  } else {
+    const ShardedErrorConfig mc{.total_samples = cfg.sim_samples,
+                                .shards = cfg.shards,
+                                .discard = cfg.discard,
+                                .seed = cfg.seed,
+                                .input_amplitude = cfg.input_amplitude,
+                                .keep_signal = false};
+    report.simulated_power = measure_output_error_sharded(g, mc, pool).power;
+  }
 
   const core::PsdAnalyzer psd(g, {.n_psd = cfg.n_psd});
   report.psd_power = psd.output_noise_power();

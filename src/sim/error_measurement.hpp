@@ -10,6 +10,10 @@
 #include "sfg/graph.hpp"
 #include "support/random.hpp"
 
+namespace psdacc::runtime {
+class ThreadPool;
+}
+
 namespace psdacc::sim {
 
 /// What the simulation measured at the output.
@@ -27,6 +31,26 @@ struct ErrorMeasurement {
 ErrorMeasurement measure_output_error(const sfg::Graph& g,
                                       std::span<const double> input,
                                       std::size_t discard = 0);
+
+/// Sharded Monte-Carlo measurement plan: `shards` independent uniform input
+/// streams drawn from non-overlapping RNG substreams of `seed`
+/// (Xoshiro256::substream), each simulated with its own transient discard.
+struct ShardedErrorConfig {
+  std::size_t total_samples = 1u << 20;  ///< Error samples across all shards.
+  std::size_t shards = 1;                ///< Independent streams (not workers).
+  std::size_t discard = 1024;            ///< Transient discard per shard.
+  std::uint64_t seed = 42;
+  double input_amplitude = 0.9;  ///< Uniform input in [-a, a].
+  bool keep_signal = true;       ///< Concatenate shard error signals.
+};
+
+/// Runs the shards (concurrently when @p pool is given) and combines their
+/// statistics with a shard-ordered parallel-Welford reduction. The shard
+/// decomposition is fixed by @p cfg alone, so the result is bit-identical
+/// for any worker count — including serial `pool == nullptr` runs.
+ErrorMeasurement measure_output_error_sharded(
+    const sfg::Graph& g, const ShardedErrorConfig& cfg,
+    runtime::ThreadPool* pool = nullptr);
 
 /// Welch PSD of the simulated error over n_bins, normalized so that
 /// sum(bins) == E[err^2]. For validating the estimated spectrum shape.
@@ -48,10 +72,17 @@ struct EvaluationConfig {
   std::size_t discard = 1024;
   std::uint64_t seed = 42;
   double input_amplitude = 0.9;  // uniform input in [-a, a]
+  /// > 1 splits the simulation into that many independent Monte-Carlo
+  /// shards (see measure_output_error_sharded); 1 keeps the single-stream
+  /// run. Results depend on this value, never on the worker count.
+  std::size_t shards = 1;
 };
 
 /// Runs the full comparison on a SISO graph with a uniform random input.
+/// When @p pool is given, Monte-Carlo shards (cfg.shards > 1) run
+/// concurrently on it.
 AccuracyReport evaluate_accuracy(const sfg::Graph& g,
-                                 const EvaluationConfig& cfg);
+                                 const EvaluationConfig& cfg,
+                                 runtime::ThreadPool* pool = nullptr);
 
 }  // namespace psdacc::sim

@@ -69,6 +69,34 @@ double Xoshiro256::gaussian(double mean, double stddev) {
   return mean + stddev * gaussian();
 }
 
+void Xoshiro256::jump() {
+  // Blackman & Vigna's published jump polynomial for xoshiro256: the new
+  // state is sum_{k in J} T^k s over GF(2), where J is the bit set of these
+  // constants and T the one-step state transition. Verified against an
+  // independent T^(2^128) matrix power in the unit tests.
+  static constexpr std::uint64_t kJump[4] = {
+      0x180ec6d33cfd0abaull, 0xd5a61266f0c9392cull, 0xa9582618e03fc9aaull,
+      0x39abdc4529b1661cull};
+  std::array<std::uint64_t, 4> acc{};
+  for (const std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (1ull << bit)) {
+        for (std::size_t i = 0; i < state_.size(); ++i) acc[i] ^= state_[i];
+      }
+      (*this)();
+    }
+  }
+  state_ = acc;
+  has_cached_gaussian_ = false;
+}
+
+Xoshiro256 Xoshiro256::substream(std::uint64_t i) const {
+  Xoshiro256 stream = *this;
+  stream.has_cached_gaussian_ = false;
+  for (; i > 0; --i) stream.jump();
+  return stream;
+}
+
 std::uint64_t Xoshiro256::below(std::uint64_t n) {
   PSDACC_EXPECTS(n > 0);
   // Rejection sampling to avoid modulo bias.

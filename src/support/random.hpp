@@ -35,6 +35,20 @@ class Xoshiro256 {
   /// Uniform integer in [0, n).
   std::uint64_t below(std::uint64_t n);
 
+  /// Advances the state by 2^128 steps (the standard xoshiro256 jump
+  /// polynomial), discarding any cached Gaussian draw. Equivalent to
+  /// 2^128 calls to operator(); used to carve one seed into
+  /// non-overlapping parallel substreams.
+  void jump();
+
+  /// Stream for parallel shard @p i: a copy of this generator jumped
+  /// i times, so substreams 0..k are pairwise non-overlapping for the
+  /// first 2^128 draws each. substream(0) is the current stream itself.
+  Xoshiro256 substream(std::uint64_t i) const;
+
+  /// The raw 256-bit state (s0..s3); exposed for the jump-constant tests.
+  const std::array<std::uint64_t, 4>& state() const { return state_; }
+
  private:
   std::array<std::uint64_t, 4> state_{};
   double cached_gaussian_ = 0.0;

@@ -25,6 +25,34 @@ void RunningStats::add(std::span<const double> xs) {
   for (double x : xs) add(x);
 }
 
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_total = na + nb;
+  mean_ += delta * (nb / n_total);
+  m2_ += other.m2_ + delta * delta * (na * nb / n_total);
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+RunningStats RunningStats::from_moments(std::size_t n, double mean,
+                                        double m2) {
+  RunningStats s;
+  s.n_ = n;
+  s.mean_ = mean;
+  s.m2_ = m2;
+  s.min_ = mean;
+  s.max_ = mean;
+  return s;
+}
+
 double RunningStats::variance() const {
   return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
 }

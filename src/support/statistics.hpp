@@ -14,6 +14,17 @@ class RunningStats {
   void add(double x);
   void add(std::span<const double> xs);
 
+  /// Folds another accumulator in (Chan's parallel Welford combination).
+  /// Deterministic for a fixed merge order: the sharded Monte-Carlo
+  /// reduction merges shard stats in shard-index order regardless of how
+  /// many workers produced them.
+  void merge(const RunningStats& other);
+
+  /// Rebuilds an accumulator from summary moments (count, mean, and the
+  /// centered sum of squares m2 = n * population variance). min/max are
+  /// not recoverable from moments and are set to the mean.
+  static RunningStats from_moments(std::size_t n, double mean, double m2);
+
   std::size_t count() const { return n_; }
   double mean() const { return n_ > 0 ? mean_ : 0.0; }
   /// Population variance (divides by n).

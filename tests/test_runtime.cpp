@@ -1,0 +1,226 @@
+// Parallel runtime tests: ThreadPool scheduling semantics (futures,
+// exception propagation, nesting, edge cases), thread-safety of the FFT
+// plan cache, and the BatchRunner scenario driver.
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dsp/fft.hpp"
+#include "dsp/fft_plan.hpp"
+#include "filters/fir_design.hpp"
+#include "filters/iir_design.hpp"
+#include "runtime/batch_runner.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sfg/graph.hpp"
+
+namespace {
+
+using namespace psdacc;
+
+// --- ThreadPool -----------------------------------------------------------
+
+TEST(ThreadPool, SubmitReturnsResultThroughFuture) {
+  runtime::ThreadPool pool(4);
+  auto fut = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SingleWorkerPoolRunsInlineAndSpawnsNothing) {
+  runtime::ThreadPool pool(1);
+  EXPECT_EQ(pool.workers(), 1u);
+  const auto caller = std::this_thread::get_id();
+  auto fut = pool.submit([caller] { return std::this_thread::get_id() == caller; });
+  EXPECT_TRUE(fut.get());
+}
+
+TEST(ThreadPool, ZeroWorkersIsTreatedAsOne) {
+  runtime::ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 1u);
+  EXPECT_EQ(pool.submit([] { return 3; }).get(), 3);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  runtime::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroTasksReturnsImmediately) {
+  runtime::ThreadPool pool(4);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(pool.parallel_map(0, [](std::size_t) { return 1; }).empty());
+}
+
+TEST(ThreadPool, ParallelMapPreservesIndexOrder) {
+  runtime::ThreadPool pool(4);
+  const auto out =
+      pool.parallel_map(257, [](std::size_t i) { return 3.0 * static_cast<double>(i); });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], 3.0 * static_cast<double>(i));
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture) {
+  runtime::ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstTaskException) {
+  for (const std::size_t workers : {1u, 4u}) {
+    runtime::ThreadPool pool(workers);
+    EXPECT_THROW(pool.parallel_for(0, 100,
+                                   [](std::size_t i) {
+                                     if (i == 37)
+                                       throw std::invalid_argument("37");
+                                   }),
+                 std::invalid_argument);
+  }
+}
+
+TEST(ThreadPool, PoolIsReusableAfterException) {
+  runtime::ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(0, 10, [](std::size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, NestedSubmitFromTaskRunsInline) {
+  runtime::ThreadPool pool(2);
+  // A task that blocks on a nested submit's future would deadlock unless
+  // the nested task runs inline on the same worker.
+  auto fut = pool.submit([&pool] {
+    auto inner = pool.submit([] { return 19; });
+    return inner.get() + 1;
+  });
+  EXPECT_EQ(fut.get(), 20);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  runtime::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    pool.parallel_for(0, 8, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, OversubscribedPoolStillCompletes) {
+  runtime::ThreadPool pool(16);  // more workers than this machine has cores
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 200, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 200);
+}
+
+// --- FFT plan cache under concurrency -------------------------------------
+
+TEST(PlanCache, ConcurrentPlanForIsSafeAndCorrect) {
+  // Hammer plan_for from several raw threads with overlapping sizes
+  // (including Bluestein sizes that recurse into sub-plans) and check every
+  // thread computes correct transforms. Run under TSan, this is the
+  // cache-safety regression test.
+  const std::vector<std::size_t> sizes = {8, 64, 100, 37, 256, 1000};
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 20; ++round) {
+        for (const std::size_t n : sizes) {
+          // Transform of e_0 is all-ones: easy to verify exactly.
+          std::vector<dsp::cplx> data(n, dsp::cplx(0.0, 0.0));
+          data[0] = dsp::cplx(1.0, 0.0);
+          dsp::plan_for(n).forward(data);
+          for (const auto& v : data) {
+            if (std::abs(v.real() - 1.0) > 1e-9 || std::abs(v.imag()) > 1e-9)
+              failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(PlanCache, ClearPlanCacheRebuildsPlans) {
+  const auto* before = &dsp::plan_for(64);
+  EXPECT_EQ(before, &dsp::plan_for(64));  // cached
+  dsp::clear_plan_cache();
+  const dsp::FftPlan& rebuilt = dsp::plan_for(64);
+  std::vector<dsp::cplx> data(64, dsp::cplx(0.0, 0.0));
+  data[0] = dsp::cplx(1.0, 0.0);
+  rebuilt.forward(data);
+  for (const auto& v : data) EXPECT_NEAR(v.real(), 1.0, 1e-12);
+}
+
+// --- BatchRunner ----------------------------------------------------------
+
+sfg::Graph make_system(int frac_bits) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto q = g.add_quantizer(in, fxp::q_format(4, frac_bits));
+  const auto lp = g.add_block(
+      q, filt::iir_lowpass(filt::IirFamily::kButterworth, 3, 0.2),
+      fxp::q_format(4, frac_bits), "lp");
+  g.add_output(lp);
+  return g;
+}
+
+std::vector<runtime::BatchJob> make_jobs() {
+  std::vector<runtime::BatchJob> jobs;
+  for (const int bits : {8, 10, 12, 14, 16}) {
+    runtime::BatchJob job;
+    job.name = "q";
+    job.name += std::to_string(bits);
+    job.graph = make_system(bits);
+    job.config.sim_samples = 1u << 14;
+    job.config.discard = 256;
+    job.config.n_psd = 256;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+TEST(BatchRunner, ReportsArriveInJobOrderWithSaneValues) {
+  runtime::BatchRunner runner(4);
+  const auto jobs = make_jobs();
+  const auto results = runner.run(jobs);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].name, jobs[i].name);
+    EXPECT_GT(results[i].report.simulated_power, 0.0);
+    EXPECT_GT(results[i].report.psd_power, 0.0);
+    EXPECT_GE(results[i].seconds, 0.0);
+  }
+  // More fractional bits -> less noise, across the batch.
+  for (std::size_t i = 1; i < results.size(); ++i)
+    EXPECT_LT(results[i].report.psd_power, results[i - 1].report.psd_power);
+}
+
+TEST(BatchRunner, SharedPoolConstructorWorks) {
+  runtime::ThreadPool pool(2);
+  runtime::BatchRunner runner(pool);
+  EXPECT_EQ(&runner.pool(), &pool);
+  const auto jobs = make_jobs();
+  EXPECT_EQ(runner.run(jobs).size(), jobs.size());
+}
+
+TEST(BatchRunner, EmptyBatchYieldsEmptyResults) {
+  runtime::BatchRunner runner(2);
+  EXPECT_TRUE(runner.run({}).empty());
+}
+
+}  // namespace

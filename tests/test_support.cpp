@@ -1,6 +1,10 @@
 // Support substrate tests: RNG determinism and distribution moments,
 // running statistics, table rendering.
+#include <array>
 #include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -124,6 +128,146 @@ TEST(Table, NumberFormatting) {
   EXPECT_EQ(TextTable::num(0.000123456, 3), "0.000123");
   EXPECT_EQ(TextTable::percent(0.295, 1), "29.5%");
   EXPECT_EQ(TextTable::percent(-0.0840, 2), "-8.40%");
+}
+
+// --- xoshiro256 jump verification -----------------------------------------
+//
+// The state update of xoshiro256 is linear over GF(2), so "advance by
+// 2^128 steps" is multiplication by T^(2^128) for the 256x256 one-step
+// transition matrix T. The test builds T by stepping basis vectors through
+// an independent encoding of the published update, squares it 128 times,
+// and checks that jump() (which uses the published jump *constants*) lands
+// on exactly the same state. This validates the constants without trusting
+// them.
+
+using StateVec = std::array<std::uint64_t, 4>;
+
+std::uint64_t rotl64(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+StateVec xoshiro_step(StateVec s) {
+  const std::uint64_t t = s[1] << 17;
+  s[2] ^= s[0];
+  s[3] ^= s[1];
+  s[1] ^= s[2];
+  s[0] ^= s[3];
+  s[2] ^= t;
+  s[3] = rotl64(s[3], 45);
+  return s;
+}
+
+// Matrix stored as 256 columns, each a 256-bit state vector.
+using Gf2Matrix = std::vector<StateVec>;
+
+StateVec matvec(const Gf2Matrix& m, const StateVec& v) {
+  StateVec out{};
+  for (std::size_t j = 0; j < 256; ++j) {
+    if ((v[j >> 6] >> (j & 63)) & 1u) {
+      for (std::size_t w = 0; w < 4; ++w) out[w] ^= m[j][w];
+    }
+  }
+  return out;
+}
+
+Gf2Matrix matsquare(const Gf2Matrix& m) {
+  Gf2Matrix out(256);
+  for (std::size_t j = 0; j < 256; ++j) out[j] = matvec(m, m[j]);
+  return out;
+}
+
+TEST(Xoshiro, JumpMatchesTransitionMatrixPower) {
+  Gf2Matrix m(256);
+  for (std::size_t j = 0; j < 256; ++j) {
+    StateVec basis{};
+    basis[j >> 6] = 1ull << (j & 63);
+    m[j] = xoshiro_step(basis);
+  }
+  for (int square = 0; square < 128; ++square) m = matsquare(m);  // T^(2^128)
+
+  Xoshiro256 rng(2026);
+  const StateVec before = rng.state();
+  rng.jump();
+  const StateVec expected = matvec(m, before);
+  for (std::size_t w = 0; w < 4; ++w)
+    EXPECT_EQ(rng.state()[w], expected[w]) << "state word " << w;
+}
+
+TEST(Xoshiro, SubstreamZeroIsTheBaseStream) {
+  const Xoshiro256 base(7);
+  Xoshiro256 a = base.substream(0);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, SubstreamsAreReproducibleAndDistinct) {
+  const Xoshiro256 base(99);
+  Xoshiro256 s2a = base.substream(2);
+  Xoshiro256 s2b = base.substream(2);
+  Xoshiro256 s3 = base.substream(3);
+  bool differs = false;
+  for (int i = 0; i < 64; ++i) {
+    const auto v = s2a();
+    EXPECT_EQ(v, s2b());
+    if (v != s3()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Xoshiro, SubstreamIsIteratedJump) {
+  const Xoshiro256 base(4242);
+  Xoshiro256 jumped(4242);
+  jumped.jump();
+  jumped.jump();
+  const Xoshiro256 stream = base.substream(2);
+  EXPECT_EQ(stream.state(), jumped.state());
+}
+
+TEST(RunningStats, MergeMatchesSequentialAccumulation) {
+  Xoshiro256 rng(5);
+  std::vector<double> xs(2000);
+  for (auto& x : xs) x = rng.gaussian(1.5, 2.0);
+
+  RunningStats whole;
+  whole.add(xs);
+  RunningStats front, back, merged;
+  front.add(std::span<const double>(xs).subspan(0, 700));
+  back.add(std::span<const double>(xs).subspan(700));
+  merged.merge(front);
+  merged.merge(back);
+
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-12);
+  EXPECT_EQ(merged.min(), whole.min());
+  EXPECT_EQ(merged.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySidesIsIdentity) {
+  RunningStats a;
+  a.add(3.0);
+  a.add(5.0);
+  RunningStats empty;
+  RunningStats b = a;
+  b.merge(empty);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 4.0);
+  RunningStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(c.variance(), a.variance());
+}
+
+TEST(RunningStats, FromMomentsRoundTripsThroughMerge) {
+  RunningStats a;
+  for (double x : {1.0, 2.0, 6.0, -3.0}) a.add(x);
+  const RunningStats rebuilt = RunningStats::from_moments(
+      a.count(), a.mean(), a.variance() * static_cast<double>(a.count()));
+  EXPECT_EQ(rebuilt.count(), a.count());
+  EXPECT_DOUBLE_EQ(rebuilt.mean(), a.mean());
+  EXPECT_NEAR(rebuilt.variance(), a.variance(), 1e-15);
+  EXPECT_NEAR(rebuilt.mean_square(), a.mean_square(), 1e-15);
 }
 
 TEST(Stopwatch, MeasuresNonNegativeTime) {
