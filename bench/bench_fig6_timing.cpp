@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "core/psd_analyzer.hpp"
+#include "core/accuracy_engine.hpp"
 #include "freqfilt/freq_filter.hpp"
 #include "imaging/textures.hpp"
 #include "support/random.hpp"
@@ -92,9 +92,12 @@ int main() {
   TextTable table({"N_PSD", "est FF (s)", "est DWT (s)", "speedup FF",
                    "speedup DWT", "log10(FF)", "log10(DWT)"});
   for (std::size_t n = 16; n <= 4096; n *= 2) {
-    core::PsdAnalyzer analyzer(ff_graph, {.n_psd = n});
+    // tau_eval through the unified engine interface (construction outside
+    // the timed lambda is the tau_pp phase, as the paper splits it).
+    const auto engine =
+        core::make_engine(core::EngineKind::kPsd, ff_graph, {.n_psd = n});
     const double est_ff =
-        time_estimation([&] { return analyzer.evaluate(); });
+        time_estimation([&] { return engine->output_noise_power(); });
     const wav::Dwt2dNoiseConfig dwt_cfg{
         .levels = 2, .format = fxp::q_format(4, kFracBits),
         .n_bins = std::min<std::size_t>(std::max<std::size_t>(n, 4), 128),

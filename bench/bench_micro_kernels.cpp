@@ -164,6 +164,18 @@ void BM_MomentEvaluate(benchmark::State& state) {
 }
 BENCHMARK(BM_MomentEvaluate)->Arg(4)->Arg(16)->Arg(64);
 
+// One moment-backed optimizer probe: output_noise_power() into the
+// analyzer's reused workspace — parity with BM_PsdProbe so the
+// allocation-free path of both engine backends is tracked.
+void BM_MomentProbe(benchmark::State& state) {
+  const auto g = chain_graph(16, 12);
+  core::MomentAnalyzer analyzer(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.output_noise_power());
+  }
+}
+BENCHMARK(BM_MomentProbe)->Unit(benchmark::kMicrosecond);
+
 // Flat method: per-source full-graph sweeps — the scalability wall.
 void BM_FlatEvaluate(benchmark::State& state) {
   const auto g = chain_graph(static_cast<int>(state.range(0)), 12);

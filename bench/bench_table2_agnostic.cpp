@@ -7,9 +7,8 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "core/accuracy_engine.hpp"
 #include "core/metrics.hpp"
-#include "core/moment_analyzer.hpp"
-#include "core/psd_analyzer.hpp"
 #include "freqfilt/freq_filter.hpp"
 #include "imaging/textures.hpp"
 #include "support/random.hpp"
@@ -47,14 +46,19 @@ SystemResult freqfilt_case(std::size_t samples) {
   const double simulated = err.mean_square();
 
   const auto g = ff::build_freqfilt_sfg(cfg);
+  // Estimation goes through the unified engine interface: same driver
+  // code, different EngineKind/options per column.
   SystemResult r;
   r.ed_psd_min_npsd = core::mse_deviation(
-      simulated, core::PsdAnalyzer(g, {.n_psd = 16}).output_noise_power());
+      simulated, core::make_engine(core::EngineKind::kPsd, g, {.n_psd = 16})
+                     ->output_noise_power());
   r.ed_psd_max_npsd = core::mse_deviation(
       simulated,
-      core::PsdAnalyzer(g, {.n_psd = 1024}).output_noise_power());
+      core::make_engine(core::EngineKind::kPsd, g, {.n_psd = 1024})
+          ->output_noise_power());
   r.ed_agnostic = core::mse_deviation(
-      simulated, core::MomentAnalyzer(g).output_noise_power());
+      simulated, core::make_engine(core::EngineKind::kMoment, g)
+                     ->output_noise_power());
   return r;
 }
 

@@ -2,11 +2,18 @@
 // realistic parallel topology (band-split, per-band gains, recombination
 // adder) where noises from different branches meet at an adder and the
 // output error spectrum matters perceptually (hiss vs rumble).
+//
+// Run with --engine flat|moment|psd|simulation to pick the accuracy engine
+// producing the estimates (default: psd).
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
+#include "core/accuracy_engine.hpp"
 #include "core/metrics.hpp"
-#include "core/psd_analyzer.hpp"
+#include "example_common.hpp"
 #include "filters/fir_design.hpp"
 #include "filters/iir_design.hpp"
 #include "sfg/graph.hpp"
@@ -51,22 +58,24 @@ sfg::Graph build_equalizer(int d, double low_db, double mid_db,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const core::EngineKind kind = examples::parse_engine_flag(argc, argv);
   std::printf(
       "three-band equalizer (bass +6 dB, mid 0 dB, treble -3 dB):\n"
-      "output noise vs data word-length\n\n");
+      "output noise vs data word-length, %s engine\n\n",
+      std::string(core::to_string(kind)).c_str());
 
   TextTable table({"frac bits d", "est. noise power", "SQNR (dB)",
                    "E_d vs sim"});
   for (int d : {8, 10, 12, 16, 20}) {
     const auto g = build_equalizer(d, 6.0, 0.0, -3.0);
-    core::PsdAnalyzer psd(g, {.n_psd = 1024});
-    const double est = psd.output_noise_power();
-
     sim::EvaluationConfig cfg;
     cfg.sim_samples = 1u << 17;
     cfg.seed = static_cast<std::uint64_t>(d);
+    cfg.engines = {core::EngineKind::kSimulation};
+    if (kind != core::EngineKind::kSimulation) cfg.engines.push_back(kind);
     const auto report = sim::evaluate_accuracy(g, cfg);
+    const double est = report.power(kind);
 
     // Signal power of a full-scale uniform input ~ a^2/3 through the EQ;
     // use the simulated reference output power as the signal reference.
@@ -74,14 +83,22 @@ int main() {
         10.0 * std::log10((0.9 * 0.9 / 3.0) / est);
     table.add_row({std::to_string(d), TextTable::num(est, 4),
                    TextTable::num(sqnr, 4),
-                   TextTable::percent(report.psd_ed)});
+                   TextTable::percent(report.ed(kind))});
   }
   table.print();
 
   // Where does the error live spectrally? (d = 12)
   const auto g = build_equalizer(12, 6.0, 0.0, -3.0);
-  core::PsdAnalyzer psd(g, {.n_psd = 64});
-  const auto spec = psd.output_spectrum();
+  auto engine = core::make_engine(kind, g, {.n_psd = 64,
+                                            .sim_samples = 1u << 16});
+  if (!engine->capabilities().spectrum) {
+    std::printf(
+        "\n(%s engine has no spectrum — rerun with --engine psd, flat, or\n"
+        " simulation to see where the error lives across the band.)\n",
+        std::string(engine->name()).c_str());
+    return 0;
+  }
+  const auto spec = engine->output_spectrum();
   std::printf("\nerror PSD across the band (d = 12), 0..Nyquist:\n");
   double peak = 0.0;
   for (std::size_t k = 0; k < spec.size() / 2; ++k)

@@ -1,0 +1,28 @@
+// Shared argv helpers for the example binaries (included relative to this
+// directory, like bench/bench_common.hpp for the benchmarks).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/accuracy_engine.hpp"
+
+namespace psdacc::examples {
+
+/// The accuracy engine selected by "--engine <name>" (default: psd, the
+/// paper's proposed method). Exits with a usage error on unknown names.
+inline core::EngineKind parse_engine_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--engine") != 0) continue;
+    if (i + 1 < argc)
+      if (const auto kind = core::parse_engine_kind(argv[i + 1]))
+        return *kind;
+    std::fprintf(stderr,
+                 "--engine expects flat | moment | psd | simulation\n");
+    std::exit(2);
+  }
+  return core::EngineKind::kPsd;
+}
+
+}  // namespace psdacc::examples

@@ -1,22 +1,29 @@
 // Quickstart: estimate the output quantization noise of a small fixed-point
-// system with the proposed PSD method, and check it against Monte-Carlo
-// simulation — the 60-second tour of the psdacc API.
+// system through the unified core::AccuracyEngine interface, and check the
+// analytical engines against Monte-Carlo simulation — the 60-second tour of
+// the psdacc API.
 //
 //   system: x --Q(d)--> [IIR low-pass, quantized] --> [FIR high-pass,
 //           quantized] --> y
+//
+// Run with --engine flat|moment|psd|simulation to pick which engine the
+// walk-through spotlights (default: psd, the paper's proposed method).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
-#include "core/metrics.hpp"
-#include "core/moment_analyzer.hpp"
-#include "core/psd_analyzer.hpp"
+#include "core/accuracy_engine.hpp"
+#include "example_common.hpp"
 #include "filters/fir_design.hpp"
 #include "filters/iir_design.hpp"
 #include "runtime/batch_runner.hpp"
 #include "sfg/graph.hpp"
 #include "sim/error_measurement.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psdacc;
+  const core::EngineKind kind = examples::parse_engine_flag(argc, argv);
 
   // 1. Pick a fixed-point format: signed, 4 integer bits, 12 fractional
   //    bits, round-to-nearest, saturating.
@@ -37,45 +44,52 @@ int main() {
       "fir hp");
   g.add_output(hp, "y");
 
-  // 3. Analytical estimate: one preprocessing pass (block responses on the
-  //    N_PSD grid), then an O(N) propagation sweep per evaluation.
-  core::PsdAnalyzer psd(g, {.n_psd = 1024});
-  const auto spectrum = psd.output_spectrum();
-  std::printf("estimated noise power (PSD method):    %.6g\n",
-              spectrum.power());
+  // 3. One factory call binds any accuracy engine to the graph. For the
+  //    analytical engines construction is the one-time preprocessing pass
+  //    (tau_pp) and each evaluation is a cheap sweep (tau_eval).
+  auto engine = core::make_engine(kind, g, {.n_psd = 1024,
+                                            .sim_samples = 1u << 18});
+  std::printf("estimated noise power (%s engine): %.6g\n",
+              std::string(engine->name()).c_str(),
+              engine->output_noise_power());
 
-  // The PSD-agnostic baseline for comparison.
-  core::MomentAnalyzer moments(g);
-  std::printf("estimated noise power (PSD-agnostic):  %.6g\n",
-              moments.output_noise_power());
-
-  // 4. Monte-Carlo reference: run the graph in double and fixed-point and
-  //    measure the output difference.
+  // 4. Compare every engine against the Monte-Carlo reference in one call:
+  //    the report is keyed by engine, with per-engine tau_pp / tau_eval.
   sim::EvaluationConfig cfg;
   cfg.sim_samples = 1u << 18;
   const auto report = sim::evaluate_accuracy(g, cfg);
-  std::printf("simulated noise power:                 %.6g\n",
-              report.simulated_power);
-  std::printf("E_d (proposed) = %.2f%%   E_d (agnostic) = %.2f%%\n",
-              100.0 * report.psd_ed, 100.0 * report.moment_ed);
+  std::printf("\n%-12s %-12s %-8s %-11s %s\n", "engine", "power", "E_d",
+              "tau_pp (s)", "tau_eval (s)");
+  for (const auto& est : report.estimates)
+    std::printf("%-12s %-12.4g %6.2f%% %-11.3g %.3g\n", est.name.c_str(),
+                est.power, 100.0 * est.ed, est.tau_pp, est.tau_eval);
 
-  // 5. The estimated spectrum itself (the information scalar methods lose).
-  std::printf("\nestimated error PSD (8 of %zu bins, f = k/N):\n",
-              spectrum.size());
-  for (std::size_t k = 0; k < spectrum.size() / 2;
-       k += spectrum.size() / 16)
-    std::printf("  f = %5.3f : %.3g\n",
-                static_cast<double>(k) / static_cast<double>(spectrum.size()),
-                spectrum.bin(k));
+  // 5. The estimated spectrum itself (the information scalar methods
+  //    lose). Engines advertise what they can do instead of hard-coding
+  //    per-method special cases.
+  if (engine->capabilities().spectrum) {
+    const auto spectrum = engine->output_spectrum();
+    std::printf("\nestimated error PSD (8 of %zu bins, f = k/N):\n",
+                spectrum.size());
+    for (std::size_t k = 0; k < spectrum.size() / 2;
+         k += spectrum.size() / 16)
+      std::printf("  f = %5.3f : %.3g\n",
+                  static_cast<double>(k) /
+                      static_cast<double>(spectrum.size()),
+                  spectrum.bin(k));
+  } else {
+    std::printf("\n(%s engine has no spectrum: capabilities().spectrum is "
+                "false)\n",
+                std::string(engine->name()).c_str());
+  }
 
   // 6. Scale out: sweep word-length variants of the same system as one
-  //    concurrent batch. Reports come back in job order and are
-  //    bit-identical for any worker count.
+  //    concurrent batch. Jobs are moved, never copied; reports come back
+  //    in job order and are bit-identical for any worker count.
   std::vector<runtime::BatchJob> jobs;
   for (const int bits : {8, 12, 16}) {
     runtime::BatchJob job;
-    job.name = "Q4.";
-    job.name += std::to_string(bits);
+    job.name = "Q4." + std::to_string(bits);
     sfg::Graph variant;
     const auto vfmt = fxp::q_format(4, bits);
     const auto vin = variant.add_input("x");
@@ -89,14 +103,17 @@ int main() {
     variant.add_output(vhp, "y");
     job.graph = std::move(variant);
     job.config.sim_samples = 1u << 16;
+    job.config.engines = {core::EngineKind::kSimulation};
+    if (kind != core::EngineKind::kSimulation)
+      job.config.engines.push_back(kind);
     jobs.push_back(std::move(job));
   }
   runtime::BatchRunner runner;  // one worker per core
   std::printf("\nbatch sweep over word-lengths (workers: %zu):\n",
               runner.pool().workers());
-  for (const auto& r : runner.run(jobs))
+  for (const auto& r : runner.run(std::move(jobs)))
     std::printf("  %s : estimated %.3g, simulated %.3g (%.3f s)\n",
-                r.name.c_str(), r.report.psd_power,
-                r.report.simulated_power, r.seconds);
+                r.name.c_str(), r.report.power(kind),
+                r.report.reference_power, r.seconds);
   return 0;
 }

@@ -13,13 +13,18 @@
 //
 // Run with --jobs N to choose the worker count (default: all cores).
 // Results are bit-identical for any N; only the wall-clock changes.
+// Run with --engine flat|moment|psd|simulation to pick the accuracy
+// engine the optimizer probes with (default: psd) — the same search under
+// a different backend is the paper's Table-II comparison turned into a
+// search-quality experiment.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
-#include "core/psd_analyzer.hpp"
+#include "core/accuracy_engine.hpp"
+#include "example_common.hpp"
 #include "filters/fir_design.hpp"
 #include "filters/iir_design.hpp"
 #include "opt/wordlength_optimizer.hpp"
@@ -87,13 +92,18 @@ std::size_t parse_jobs(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   const std::size_t jobs = parse_jobs(argc, argv);
-  std::printf("workers: %zu (override with --jobs N)\n\n", jobs);
+  const core::EngineKind kind = examples::parse_engine_flag(argc, argv);
+  std::printf("workers: %zu (override with --jobs N), probe engine: %s\n\n",
+              jobs, std::string(core::to_string(kind)).c_str());
 
-  // Noise budget: what a uniform 12-bit design would produce.
+  // Noise budget: what a uniform 12-bit design would produce, measured by
+  // the same engine that will drive the search.
   const std::vector<int> uniform_bits{12, 12, 12, 12};
   auto uniform = build(uniform_bits);
   const double budget =
-      core::PsdAnalyzer(uniform.graph, {.n_psd = 512}).output_noise_power();
+      core::make_engine(kind, uniform.graph,
+                        {.n_psd = 512, .sim_samples = 1u << 14})
+          ->output_noise_power();
   std::printf("noise budget (uniform 12-bit design): %.4g, cost %d bits\n\n",
               budget, cost_of(uniform_bits));
 
@@ -106,6 +116,8 @@ int main(int argc, char** argv) {
   cfg.max_bits = 16;
   cfg.n_psd = 512;
   cfg.workers = jobs;
+  cfg.engine = kind;
+  cfg.engine_opts.sim_samples = 1u << 14;  // for simulation-backed probes
   opt::WordlengthOptimizer optimizer(design.graph, design.variables, cfg);
   Stopwatch clock;
   const auto result = optimizer.greedy_descent();
@@ -119,9 +131,10 @@ int main(int argc, char** argv) {
                    std::to_string(result.bits[s])});
   table.print();
   std::printf(
-      "\ncost: %d -> %.0f fractional bits; %zu PSD evaluations in %.3f s "
-      "(%.0f evaluations/s)\n",
-      cost_of(uniform_bits), result.cost, result.evaluations, search_time,
+      "\ncost: %d -> %.0f fractional bits; %zu %s-engine evaluations in "
+      "%.3f s (%.0f evaluations/s)\n",
+      cost_of(uniform_bits), result.cost, result.evaluations,
+      std::string(core::to_string(kind)).c_str(), search_time,
       static_cast<double>(result.evaluations) / search_time);
 
   // Verify the candidate designs against simulation — one BatchRunner
@@ -145,15 +158,16 @@ int main(int argc, char** argv) {
 
   runtime::BatchRunner runner(jobs);
   clock.reset();
-  const auto reports = runner.run(scenarios);
+  const auto reports = runner.run(std::move(scenarios));
   const double batch_time = clock.seconds();
 
   TextTable verify({"scenario", "estimated", "simulated", "E_d", "time"});
   for (const auto& r : reports)
-    verify.add_row({r.name, TextTable::num(r.report.psd_power, 3),
-                    TextTable::num(r.report.simulated_power, 3),
-                    TextTable::percent(r.report.psd_ed, 2),
-                    TextTable::num(r.seconds, 3) + " s"});
+    verify.add_row(
+        {r.name, TextTable::num(r.report.power(core::EngineKind::kPsd), 3),
+         TextTable::num(r.report.reference_power, 3),
+         TextTable::percent(r.report.ed(core::EngineKind::kPsd), 2),
+         TextTable::num(r.seconds, 3) + " s"});
   std::printf("\n");
   verify.print();
   std::printf(
@@ -161,7 +175,7 @@ int main(int argc, char** argv) {
       reports.size(), batch_time,
       static_cast<double>(reports.size()) / batch_time, jobs);
   std::printf("within budget by simulation: %s\n",
-              reports[1].report.simulated_power <= 1.15 * budget ? "yes"
+              reports[1].report.reference_power <= 1.15 * budget ? "yes"
                                                                  : "NO");
   return 0;
 }

@@ -1,0 +1,208 @@
+#include "core/accuracy_engine.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/flat_analyzer.hpp"
+#include "core/moment_analyzer.hpp"
+#include "core/psd_analyzer.hpp"
+#include "sim/error_measurement.hpp"
+#include "support/random.hpp"
+
+namespace psdacc::core {
+namespace {
+
+// --- Analytical adapters ---------------------------------------------------
+//
+// Each adapter owns its analyzer (construction is the tau_pp phase) and
+// forwards evaluation; options are kept so clone_for_worker() can rebuild
+// an identical engine against a worker's graph clone.
+
+class FlatEngine final : public AccuracyEngine {
+ public:
+  FlatEngine(const sfg::Graph& g, const EngineOptions& opts)
+      : opts_(opts), analyzer_(g, opts.n_psd) {}
+
+  EngineKind kind() const override { return EngineKind::kFlat; }
+  EngineCapabilities capabilities() const override {
+    return {.spectrum = true, .multirate = false, .stochastic = false};
+  }
+  double output_noise_power() override {
+    return analyzer_.output_noise_power();
+  }
+  NoiseSpectrum output_spectrum() override {
+    return analyzer_.output_spectrum();
+  }
+  std::unique_ptr<AccuracyEngine> clone_for_worker(
+      const sfg::Graph& g) const override {
+    return std::make_unique<FlatEngine>(g, opts_);
+  }
+
+ private:
+  EngineOptions opts_;
+  FlatAnalyzer analyzer_;
+};
+
+class MomentEngine final : public AccuracyEngine {
+ public:
+  MomentEngine(const sfg::Graph& g, const EngineOptions& opts)
+      : opts_(opts),
+        analyzer_(g, {.blind_multirate = opts.blind_multirate,
+                      .impulse_len = opts.impulse_len}) {}
+
+  EngineKind kind() const override { return EngineKind::kMoment; }
+  EngineCapabilities capabilities() const override {
+    return {.spectrum = false, .multirate = true, .stochastic = false};
+  }
+  double output_noise_power() override {
+    return analyzer_.output_noise_power();
+  }
+  NoiseSpectrum output_spectrum() override {
+    throw std::logic_error(
+        "moment engine propagates (mu, sigma^2) only; it has no spectrum "
+        "(capabilities().spectrum == false)");
+  }
+  std::unique_ptr<AccuracyEngine> clone_for_worker(
+      const sfg::Graph& g) const override {
+    return std::make_unique<MomentEngine>(g, opts_);
+  }
+
+ private:
+  EngineOptions opts_;
+  MomentAnalyzer analyzer_;
+};
+
+class PsdEngine final : public AccuracyEngine {
+ public:
+  PsdEngine(const sfg::Graph& g, const EngineOptions& opts)
+      : opts_(opts),
+        analyzer_(g, {.n_psd = opts.n_psd, .interp = opts.interp}) {}
+
+  EngineKind kind() const override { return EngineKind::kPsd; }
+  EngineCapabilities capabilities() const override {
+    return {.spectrum = true, .multirate = true, .stochastic = false};
+  }
+  double output_noise_power() override {
+    return analyzer_.output_noise_power();
+  }
+  NoiseSpectrum output_spectrum() override {
+    return analyzer_.output_spectrum();
+  }
+  std::unique_ptr<AccuracyEngine> clone_for_worker(
+      const sfg::Graph& g) const override {
+    return std::make_unique<PsdEngine>(g, opts_);
+  }
+
+ private:
+  EngineOptions opts_;
+  PsdAnalyzer analyzer_;
+};
+
+// --- Simulation adapter ----------------------------------------------------
+//
+// Adapts the Monte-Carlo measurement to the engine contract. There is no
+// meaningful preprocessing (the execution plan is rebuilt per run because
+// every evaluation re-reads the mutated formats anyway), so tau_pp ~ 0 and
+// tau_eval carries the full simulation cost — exactly the asymmetry the
+// paper's Fig. 6 measures. Every evaluation re-runs the same seeded plan,
+// so repeated calls are bit-identical until the graph changes.
+
+class SimulationEngine final : public AccuracyEngine {
+ public:
+  SimulationEngine(const sfg::Graph& g, const EngineOptions& opts)
+      : opts_(opts), graph_(g) {}
+
+  EngineKind kind() const override { return EngineKind::kSimulation; }
+  EngineCapabilities capabilities() const override {
+    return {.spectrum = true, .multirate = true, .stochastic = true};
+  }
+  double output_noise_power() override {
+    return measure(/*keep_signal=*/false).power;
+  }
+  NoiseSpectrum output_spectrum() override {
+    const sim::ErrorMeasurement m = measure(/*keep_signal=*/true);
+    const auto psd = sim::measured_error_psd(m, opts_.n_psd);
+    NoiseSpectrum spectrum(opts_.n_psd);
+    for (std::size_t k = 0; k < psd.size(); ++k) spectrum.bin(k) = psd[k];
+    // measured_error_psd folds the DC (mean^2) power into bin 0; the
+    // NoiseSpectrum convention keeps the mean separate.
+    spectrum.bin(0) -= m.mean * m.mean;
+    spectrum.set_mean(m.mean);
+    return spectrum;
+  }
+  std::unique_ptr<AccuracyEngine> clone_for_worker(
+      const sfg::Graph& g) const override {
+    return std::make_unique<SimulationEngine>(g, opts_);
+  }
+
+ private:
+  sim::ErrorMeasurement measure(bool keep_signal) const {
+    if (opts_.sim_shards <= 1) {
+      // Single-stream plan: one input of sim_samples with the transient
+      // discard dropped from the measured output.
+      Xoshiro256 rng(opts_.sim_seed);
+      const auto input =
+          uniform_signal(opts_.sim_samples, opts_.sim_amplitude, rng);
+      return sim::measure_output_error(graph_, input, opts_.sim_discard,
+                                       keep_signal);
+    }
+    const sim::ShardedErrorConfig mc{.total_samples = opts_.sim_samples,
+                                     .shards = opts_.sim_shards,
+                                     .discard = opts_.sim_discard,
+                                     .seed = opts_.sim_seed,
+                                     .input_amplitude = opts_.sim_amplitude,
+                                     .keep_signal = keep_signal};
+    return sim::measure_output_error_sharded(graph_, mc, opts_.pool);
+  }
+
+  EngineOptions opts_;
+  const sfg::Graph& graph_;
+};
+
+}  // namespace
+
+std::string_view to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kFlat: return "flat";
+    case EngineKind::kMoment: return "moment";
+    case EngineKind::kPsd: return "psd";
+    case EngineKind::kSimulation: return "simulation";
+  }
+  return "?";
+}
+
+std::optional<EngineKind> parse_engine_kind(std::string_view name) {
+  if (name == "flat") return EngineKind::kFlat;
+  if (name == "moment") return EngineKind::kMoment;
+  if (name == "psd") return EngineKind::kPsd;
+  if (name == "simulation" || name == "sim") return EngineKind::kSimulation;
+  return std::nullopt;
+}
+
+bool engine_supports(EngineKind kind, const sfg::Graph& g) {
+  if (kind == EngineKind::kFlat) return g.is_single_rate();
+  return true;
+}
+
+std::unique_ptr<AccuracyEngine> make_engine(EngineKind kind,
+                                            const sfg::Graph& g,
+                                            const EngineOptions& opts) {
+  if (!engine_supports(kind, g)) {
+    throw std::invalid_argument(
+        std::string(to_string(kind)) +
+        " engine does not support this graph: the flat method assumes a "
+        "single-rate LTI system and the graph contains up/down-samplers "
+        "(use the psd, moment, or simulation engine instead)");
+  }
+  switch (kind) {
+    case EngineKind::kFlat: return std::make_unique<FlatEngine>(g, opts);
+    case EngineKind::kMoment:
+      return std::make_unique<MomentEngine>(g, opts);
+    case EngineKind::kPsd: return std::make_unique<PsdEngine>(g, opts);
+    case EngineKind::kSimulation:
+      return std::make_unique<SimulationEngine>(g, opts);
+  }
+  throw std::invalid_argument("unknown engine kind");
+}
+
+}  // namespace psdacc::core

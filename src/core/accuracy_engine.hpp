@@ -1,0 +1,129 @@
+/// @file accuracy_engine.hpp
+/// The unified accuracy-evaluation interface — one polymorphic contract
+/// over every method the paper compares: the flat spectral method (Menard
+/// et al. [8], Eq. 4), the PSD-agnostic moment baseline ([4], [9]), the
+/// proposed hierarchical PSD method (Section III), and bit-true Monte-Carlo
+/// simulation (the ground truth).
+///
+/// The interface captures the paper's two-phase cost contract:
+///  * construction ("preprocessing", tau_pp) — everything that depends only
+///    on topology and block coefficients is computed once by
+///    `make_engine()`;
+///  * `output_noise_power()` ("evaluation", tau_eval) — cheap and
+///    repeatable; re-reads the graph's current quantizer/block formats, so
+///    drivers may mutate word-lengths between calls without rebuilding.
+///
+/// Thread-safety contract: one engine instance carries mutable evaluation
+/// scratch and must be driven from one thread at a time. Parallel drivers
+/// (the optimizer's concurrent probes, runtime::BatchRunner workers) give
+/// every worker its own graph clone plus `clone_for_worker()` engine — the
+/// per-worker-clone pattern the parallel runtime established.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "core/noise_spectrum.hpp"
+#include "sfg/graph.hpp"
+
+namespace psdacc::runtime {
+class ThreadPool;
+}
+
+namespace psdacc::core {
+
+/// The four accuracy-evaluation methods the paper compares.
+enum class EngineKind {
+  kFlat,        ///< flat spectral method, Eq. 4 (exact, scales poorly)
+  kMoment,      ///< PSD-agnostic hierarchical baseline (mu, sigma^2 only)
+  kPsd,         ///< proposed hierarchical PSD propagation (Section III)
+  kSimulation,  ///< bit-true Monte-Carlo simulation (ground truth)
+};
+
+/// All kinds, in the order reports list them (reference first).
+inline constexpr std::array<EngineKind, 4> kAllEngineKinds = {
+    EngineKind::kSimulation, EngineKind::kPsd, EngineKind::kMoment,
+    EngineKind::kFlat};
+
+/// Stable lowercase name ("flat", "moment", "psd", "simulation").
+std::string_view to_string(EngineKind kind);
+
+/// Inverse of to_string(); also accepts "sim". Empty optional on unknown
+/// names — drivers turn that into their own usage error.
+std::optional<EngineKind> parse_engine_kind(std::string_view name);
+
+/// What an engine can honestly do. Drivers query this instead of
+/// hard-coding per-method special cases.
+struct EngineCapabilities {
+  bool spectrum = false;   ///< output_spectrum() is supported
+  bool multirate = false;  ///< accepts graphs with up/down-samplers
+  bool stochastic = false; ///< estimate carries Monte-Carlo noise (seeded)
+};
+
+/// Union of every backend's tuning knobs; each engine reads only its own.
+/// One options struct (rather than a per-kind variant) keeps sweep drivers
+/// trivial: configure once, construct any kind.
+struct EngineOptions {
+  // flat + psd: spectral resolution (the paper's N_PSD).
+  std::size_t n_psd = 1024;
+  // psd: interpolation for fractional bin indices in the multirate fold.
+  NoiseSpectrum::Interp interp = NoiseSpectrum::Interp::kLinear;
+  // moment: blind vs corrected multirate rules, IIR power-gain truncation.
+  bool blind_multirate = true;
+  std::size_t impulse_len = 8192;
+  // simulation: Monte-Carlo plan (see sim::measure_output_error_sharded;
+  // shards > 1 splits the run into independent RNG substreams).
+  std::size_t sim_samples = 1u << 20;
+  std::size_t sim_shards = 1;
+  std::size_t sim_discard = 1024;
+  std::uint64_t sim_seed = 42;
+  double sim_amplitude = 0.9;  ///< uniform input in [-a, a]
+  /// Optional pool for concurrent simulation shards (not owned). The other
+  /// engines are single-threaded by design; results never depend on this.
+  runtime::ThreadPool* pool = nullptr;
+};
+
+/// Polymorphic accuracy engine over one (graph, options) binding.
+class AccuracyEngine {
+ public:
+  virtual ~AccuracyEngine() = default;
+
+  virtual EngineKind kind() const = 0;
+  std::string_view name() const { return to_string(kind()); }
+  virtual EngineCapabilities capabilities() const = 0;
+
+  /// Total estimated (or measured) noise power at the single Output node
+  /// for the graph's *current* word-length assignment. This is the tau_eval
+  /// phase: cheap and repeatable for the analytical engines, a full
+  /// Monte-Carlo run for the simulation engine.
+  virtual double output_noise_power() = 0;
+
+  /// Output noise spectrum at the engine's configured resolution.
+  /// @throws std::logic_error when !capabilities().spectrum (moment engine).
+  virtual NoiseSpectrum output_spectrum() = 0;
+
+  /// A new engine of the same kind and options bound to @p g — a private
+  /// clone of the driver's graph (NodeIds are indices, so ids remain
+  /// valid). @p g must outlive the returned engine.
+  virtual std::unique_ptr<AccuracyEngine> clone_for_worker(
+      const sfg::Graph& g) const = 0;
+};
+
+/// True when @p kind can evaluate @p g (today: the flat engine refuses
+/// multirate graphs; everything else accepts any acyclic SFG).
+bool engine_supports(EngineKind kind, const sfg::Graph& g);
+
+/// Factory: preprocesses @p g (tau_pp) and returns the engine.
+/// @param g    acyclic SFG with exactly one Output; must outlive the engine
+/// @param opts per-backend knobs (each engine reads only its own)
+/// @throws std::invalid_argument when engine_supports(kind, g) is false,
+///         e.g. the flat engine on a multirate graph
+std::unique_ptr<AccuracyEngine> make_engine(EngineKind kind,
+                                            const sfg::Graph& g,
+                                            const EngineOptions& opts = {});
+
+}  // namespace psdacc::core

@@ -28,7 +28,14 @@ MomentAnalyzer::MomentAnalyzer(const sfg::Graph& g, MomentOptions opts)
 }
 
 std::vector<fxp::NoiseMoments> MomentAnalyzer::evaluate() const {
-  std::vector<fxp::NoiseMoments> moments(graph_.node_count());
+  std::vector<fxp::NoiseMoments> moments;
+  evaluate_into(moments);
+  return moments;
+}
+
+void MomentAnalyzer::evaluate_into(
+    std::vector<fxp::NoiseMoments>& moments) const {
+  moments.assign(graph_.node_count(), fxp::NoiseMoments{});
   for (sfg::NodeId id : order_) {
     const sfg::Node& node = graph_.node(id);
     fxp::NoiseMoments& out = moments[id];
@@ -93,14 +100,13 @@ std::vector<fxp::NoiseMoments> MomentAnalyzer::evaluate() const {
     };
     std::visit(Visitor{*this, node, id, moments, out}, node.payload);
   }
-  return moments;
 }
 
 double MomentAnalyzer::output_noise_power() const {
   const auto outputs = graph_.outputs();
   PSDACC_EXPECTS(outputs.size() == 1);
-  const auto moments = evaluate();
-  return moments[outputs[0]].power();
+  evaluate_into(workspace_);
+  return workspace_[outputs[0]].power();
 }
 
 }  // namespace psdacc::core

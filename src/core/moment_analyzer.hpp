@@ -26,6 +26,10 @@ struct MomentOptions {
   std::size_t impulse_len = 8192;
 };
 
+/// Thread-safety contract: one analyzer instance carries mutable probe
+/// scratch (the output_noise_power workspace) and must be driven from one
+/// thread at a time; distinct analyzers over distinct graphs are fully
+/// independent (clone the graph and build one per worker).
 class MomentAnalyzer {
  public:
   /// Preprocesses block power gains. Graph must be acyclic and outlive the
@@ -35,7 +39,14 @@ class MomentAnalyzer {
   /// Per-node noise moments after one topological sweep.
   std::vector<fxp::NoiseMoments> evaluate() const;
 
-  /// Total estimated noise power at the single Output node.
+  /// Propagates into @p moments, reusing its storage. This is the
+  /// allocation-free form optimizer probes use (parity with
+  /// PsdAnalyzer::evaluate_into).
+  void evaluate_into(std::vector<fxp::NoiseMoments>& moments) const;
+
+  /// Total estimated noise power at the single Output node. Evaluates into
+  /// an internal workspace, so repeated probes allocate nothing after the
+  /// first call.
   double output_noise_power() const;
 
  private:
@@ -50,6 +61,9 @@ class MomentAnalyzer {
   MomentOptions opts_;
   std::vector<sfg::NodeId> order_;
   std::vector<BlockGains> gains_;
+  // Reused by output_noise_power() so per-probe evaluation is
+  // allocation-free (hence the one-thread-at-a-time contract above).
+  mutable std::vector<fxp::NoiseMoments> workspace_;
 };
 
 }  // namespace psdacc::core

@@ -40,11 +40,12 @@ class WordlengthOptimizer::ContextLease {
       }
     }
     // Construct outside the lock: cloning the graph and preprocessing the
-    // analyzer is the expensive part, and serializing it would stall every
-    // worker's first probe. Concurrent construction only reads opt_.graph_.
+    // engine is the expensive part, and serializing it would stall every
+    // worker's first probe. Concurrent construction only reads opt_.graph_
+    // and the prototype engine's options.
     if (context_ == nullptr)
       context_ =
-          std::make_unique<ProbeContext>(opt_.graph_, opt_.cfg_.n_psd);
+          std::make_unique<ProbeContext>(opt_.graph_, *opt_.engine_);
   }
   ~ContextLease() {
     std::lock_guard lock(opt_.contexts_mutex_);
@@ -65,7 +66,11 @@ WordlengthOptimizer::WordlengthOptimizer(sfg::Graph& g,
     : graph_(g),
       variables_(std::move(variables)),
       cfg_(cfg),
-      analyzer_(g, {.n_psd = cfg.n_psd}),
+      engine_([&] {
+        core::EngineOptions opts = cfg.engine_opts;
+        opts.n_psd = cfg.n_psd;  // the one resolution knob drivers set
+        return core::make_engine(cfg.engine, g, opts);
+      }()),
       owned_pool_(cfg.pool != nullptr
                       ? nullptr
                       : std::make_unique<runtime::ThreadPool>(cfg.workers)),
@@ -90,7 +95,7 @@ void WordlengthOptimizer::apply(const std::vector<int>& bits) {
 
 double WordlengthOptimizer::evaluate() {
   ++evaluations_;
-  return analyzer_.output_noise_power();
+  return engine_->output_noise_power();
 }
 
 double WordlengthOptimizer::probe(const std::vector<int>& bits,
@@ -102,7 +107,7 @@ double WordlengthOptimizer::probe(const std::vector<int>& bits,
   for (std::size_t u = 0; u < variables_.size(); ++u)
     set_bits(context->graph, variables_[u],
              u == v ? candidate_bits : bits[u]);
-  return context->analyzer.output_noise_power();
+  return context->engine->output_noise_power();
 }
 
 OptimizerResult WordlengthOptimizer::package(std::vector<int> bits) {

@@ -2,12 +2,17 @@
 /// Word-length optimization driver — the design-automation loop the paper's
 /// fast accuracy evaluation exists to serve.
 ///
-/// Every probe is one O(N) PSD evaluation, so thousands of candidates per
-/// second are feasible — the paper's scalability argument made concrete.
-/// With `OptimizerConfig::workers > 1` the candidate probes of one search
+/// The optimizer is engine-agnostic: every probe is one
+/// core::AccuracyEngine evaluation, so the same search runs under the
+/// proposed PSD method (the default), the flat or moment baselines — the
+/// paper's Table-II comparison extended to a *search-quality* axis — or
+/// even bit-true simulation. With the default PSD engine a probe is one
+/// O(N) sweep, so thousands of candidates per second are feasible. With
+/// `OptimizerConfig::workers > 1` the candidate probes of one search
 /// iteration are scored concurrently on a runtime::ThreadPool (each worker
-/// probing its own graph clone + analyzer), multiplying that throughput by
-/// core count while keeping results bit-identical to the serial search.
+/// probing its own graph clone + engine via clone_for_worker), multiplying
+/// that throughput by core count while keeping results bit-identical to
+/// the serial search.
 #pragma once
 
 #include <cstddef>
@@ -15,7 +20,7 @@
 #include <mutex>
 #include <vector>
 
-#include "core/psd_analyzer.hpp"
+#include "core/accuracy_engine.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sfg/graph.hpp"
 
@@ -26,7 +31,7 @@ struct OptimizerConfig {
   double noise_budget = 1e-6;  ///< Max output noise power.
   int min_bits = 2;            ///< Lower bound per variable.
   int max_bits = 24;           ///< Upper bound per variable.
-  std::size_t n_psd = 512;     ///< PSD bins used by the probe analyzer.
+  std::size_t n_psd = 512;     ///< Spectral bins for flat/psd probes.
   /// Per-variable cost weight (e.g. multiplier width); empty = all 1.
   std::vector<double> cost_weights;
   /// Concurrency for candidate probing (1 = serial). Any value produces
@@ -37,6 +42,14 @@ struct OptimizerConfig {
   /// pool across optimizers / a BatchRunner avoids per-optimizer thread
   /// spawns and keeps the workers' thread-local FFT plan caches warm.
   runtime::ThreadPool* pool = nullptr;
+  /// Accuracy backend scoring the probes. Any kind works; psd is the
+  /// paper's proposal, moment/flat turn the search into the baselines'
+  /// version of it, simulation gives a (slow) Monte-Carlo-guided search.
+  core::EngineKind engine = core::EngineKind::kPsd;
+  /// Remaining backend knobs (moment truncation, interpolation, simulation
+  /// plan...). `n_psd` above overrides `engine_opts.n_psd` so existing
+  /// drivers keep one resolution knob.
+  core::EngineOptions engine_opts;
 };
 
 /// Outcome of one optimization strategy.
@@ -49,14 +62,17 @@ struct OptimizerResult {
 };
 
 /// Minimizes hardware cost (weighted fractional bits) subject to an
-/// output-noise budget, probing candidates with the PSD engine.
+/// output-noise budget, probing candidates with any AccuracyEngine.
 class WordlengthOptimizer {
  public:
   /// @param g         the system; mutated in place during the search, with
   ///                  the best found assignment left applied
   /// @param variables node ids of QuantizerNodes or quantized BlockNodes
   ///                  in @p g whose fractional bits are free
-  /// @param cfg       budget, bit bounds, cost weights, and worker count
+  /// @param cfg       budget, bit bounds, cost weights, worker count, and
+  ///                  the accuracy engine scoring the probes
+  /// @throws std::invalid_argument when the configured engine cannot
+  ///         evaluate @p g (core::engine_supports), e.g. flat + multirate
   WordlengthOptimizer(sfg::Graph& g, std::vector<sfg::NodeId> variables,
                       OptimizerConfig cfg);
   ~WordlengthOptimizer();
@@ -77,16 +93,19 @@ class WordlengthOptimizer {
   /// Estimated output noise for the currently applied assignment.
   double evaluate();
   std::size_t evaluations() const { return evaluations_; }
+  /// The accuracy backend scoring this search's probes.
+  const core::AccuracyEngine& engine() const { return *engine_; }
 
  private:
   // One worker's isolated probe state: a private clone of the system plus
-  // an analyzer bound to it. NodeIds are indices, so the optimizer's
-  // variable ids are valid in the clone.
+  // an engine bound to it (clone_for_worker). NodeIds are indices, so the
+  // optimizer's variable ids are valid in the clone.
   struct ProbeContext {
     sfg::Graph graph;
-    core::PsdAnalyzer analyzer;
-    ProbeContext(const sfg::Graph& src, std::size_t n_psd)
-        : graph(src), analyzer(graph, {.n_psd = n_psd}) {}
+    std::unique_ptr<core::AccuracyEngine> engine;
+    ProbeContext(const sfg::Graph& src,
+                 const core::AccuracyEngine& prototype)
+        : graph(src), engine(prototype.clone_for_worker(graph)) {}
   };
   // RAII checkout of a ProbeContext from the shared free list.
   class ContextLease;
@@ -101,7 +120,7 @@ class WordlengthOptimizer {
   sfg::Graph& graph_;
   std::vector<sfg::NodeId> variables_;
   OptimizerConfig cfg_;
-  core::PsdAnalyzer analyzer_;
+  std::unique_ptr<core::AccuracyEngine> engine_;
   std::size_t evaluations_ = 0;
   std::unique_ptr<runtime::ThreadPool> owned_pool_;
   runtime::ThreadPool* pool_;

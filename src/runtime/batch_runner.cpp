@@ -10,6 +10,12 @@ BatchRunner::BatchRunner(std::size_t workers)
     : owned_pool_(std::make_unique<ThreadPool>(workers)),
       pool_(owned_pool_.get()) {}
 
+std::vector<BatchResult> BatchRunner::run(std::vector<BatchJob>&& jobs) {
+  // The vector stays alive (and unmoved) for the whole call; workers only
+  // read the jobs in place, so no graph is ever copied.
+  return run(std::span<const BatchJob>(jobs));
+}
+
 std::vector<BatchResult> BatchRunner::run(std::span<const BatchJob> jobs) {
   return pool_->parallel_map(jobs.size(), [&](std::size_t i) {
     const BatchJob& job = jobs[i];

@@ -22,7 +22,12 @@
 
 namespace psdacc::runtime {
 
-/// One scenario: a system plus how to evaluate it.
+/// One scenario: a system plus how to evaluate it. Movable end to end —
+/// build the graph, `std::move` it into the job, `std::move` the jobs into
+/// `run()` — so batching never copies a graph (asserted by the engine test
+/// suite via sfg::Graph::copies_made). `config.engines` selects which
+/// accuracy engines each scenario runs, so one batch can sweep systems x
+/// engines.
 struct BatchJob {
   std::string name;
   sfg::Graph graph;  ///< Owned: jobs must not share mutable graph state.
@@ -43,9 +48,12 @@ class BatchRunner {
   /// Runs batches on an internally owned pool of @p workers.
   explicit BatchRunner(std::size_t workers = hardware_workers());
 
-  /// Evaluates every job (sim + PSD + moment engines, see
+  /// Evaluates every job (each through its config's engine set, see
   /// sim::evaluate_accuracy) and returns reports in job order.
   std::vector<BatchResult> run(std::span<const BatchJob> jobs);
+  /// Move-friendly form: takes ownership of the job vector for the
+  /// duration of the run, so callers can hand over graphs without copying.
+  std::vector<BatchResult> run(std::vector<BatchJob>&& jobs);
 
   ThreadPool& pool() { return *pool_; }
 

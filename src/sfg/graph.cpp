@@ -1,10 +1,27 @@
 #include "sfg/graph.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "support/assert.hpp"
 
 namespace psdacc::sfg {
+namespace {
+std::atomic<std::size_t> graph_copies{0};
+}  // namespace
+
+Graph::CopyCounter::CopyCounter(const CopyCounter&) {
+  graph_copies.fetch_add(1, std::memory_order_relaxed);
+}
+
+Graph::CopyCounter& Graph::CopyCounter::operator=(const CopyCounter&) {
+  graph_copies.fetch_add(1, std::memory_order_relaxed);
+  return *this;
+}
+
+std::size_t Graph::copies_made() {
+  return graph_copies.load(std::memory_order_relaxed);
+}
 
 const char* node_kind_name(const NodePayload& payload) {
   struct Visitor {

@@ -2,6 +2,7 @@
 /// Signal-flow graph container and builder API.
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <string>
 #include <vector>
@@ -21,6 +22,13 @@ namespace psdacc::sfg {
 /// the handle used for wiring and for indexing analysis results.
 class Graph {
  public:
+  /// Process-wide number of Graph copy constructions/assignments so far
+  /// (monotonic, thread-safe). Copies are legal — the parallel runtime
+  /// clones graphs per worker on purpose — but counted, so tests can
+  /// assert that move-friendly APIs (runtime::BatchRunner's rvalue
+  /// overload, moved-in BatchJobs) never copy a graph.
+  static std::size_t copies_made();
+
   /// External signal input (no noise of its own).
   NodeId add_input(std::string name = "in");
   /// Marks @p src as a system output; analyses report noise here.
@@ -85,8 +93,20 @@ class Graph {
   bool is_single_rate() const;
 
  private:
+  // Bumps the copies_made() counter whenever a Graph is copied while
+  // keeping Graph's own special members implicit (a hand-written Graph
+  // copy constructor would silently drop members added later).
+  struct CopyCounter {
+    CopyCounter() = default;
+    CopyCounter(const CopyCounter&);
+    CopyCounter& operator=(const CopyCounter&);
+    CopyCounter(CopyCounter&&) noexcept = default;
+    CopyCounter& operator=(CopyCounter&&) noexcept = default;
+  };
+
   NodeId append(Node node);
 
+  [[no_unique_address]] CopyCounter copy_counter_;
   std::vector<Node> nodes_;
 };
 

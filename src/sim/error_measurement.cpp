@@ -1,17 +1,22 @@
 #include "sim/error_measurement.hpp"
 
+#include <cmath>
+#include <limits>
+
 #include "core/metrics.hpp"
 #include "dsp/spectral.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sim/execution_plan.hpp"
 #include "support/assert.hpp"
 #include "support/statistics.hpp"
+#include "support/timer.hpp"
 
 namespace psdacc::sim {
 
 ErrorMeasurement measure_output_error(const sfg::Graph& g,
                                       std::span<const double> input,
-                                      std::size_t discard) {
+                                      std::size_t discard,
+                                      bool keep_signal) {
   // One compiled plan serves both sweeps; the reference output must be
   // copied out because the fixed-point run reuses the plan's buffers.
   ExecutionPlan plan(g);
@@ -22,11 +27,11 @@ ErrorMeasurement measure_output_error(const sfg::Graph& g,
   PSDACC_EXPECTS(ref.size() > discard);
 
   ErrorMeasurement m;
-  m.signal.reserve(ref.size() - discard);
+  if (keep_signal) m.signal.reserve(ref.size() - discard);
   RunningStats stats;
   for (std::size_t i = discard; i < ref.size(); ++i) {
     const double e = fx[i] - ref[i];
-    m.signal.push_back(e);
+    if (keep_signal) m.signal.push_back(e);
     stats.add(e);
   }
   m.power = stats.mean_square();
@@ -56,12 +61,7 @@ ErrorMeasurement measure_output_error_sharded(const sfg::Graph& g,
     Xoshiro256 rng = base.substream(s);
     const auto input =
         uniform_signal(samples + cfg.discard, cfg.input_amplitude, rng);
-    ErrorMeasurement m = measure_output_error(g, input, cfg.discard);
-    if (!cfg.keep_signal) {
-      m.signal.clear();
-      m.signal.shrink_to_fit();
-    }
-    return m;
+    return measure_output_error(g, input, cfg.discard, cfg.keep_signal);
   };
   std::vector<ErrorMeasurement> shards =
       pool != nullptr ? pool->parallel_map(cfg.shards, run_shard)
@@ -104,37 +104,59 @@ std::vector<double> measured_error_psd(const ErrorMeasurement& m,
   return psd;
 }
 
+const EngineEstimate* AccuracyReport::find(core::EngineKind kind) const {
+  for (const EngineEstimate& e : estimates)
+    if (e.kind == kind) return &e;
+  return nullptr;
+}
+
+const EngineEstimate& AccuracyReport::at(core::EngineKind kind) const {
+  const EngineEstimate* e = find(kind);
+  PSDACC_EXPECTS(e != nullptr && "engine did not run in this report");
+  return *e;
+}
+
 AccuracyReport evaluate_accuracy(const sfg::Graph& g,
                                  const EvaluationConfig& cfg,
                                  runtime::ThreadPool* pool) {
+  core::EngineOptions opts;
+  opts.n_psd = cfg.n_psd;
+  opts.sim_samples = cfg.sim_samples;
+  opts.sim_shards = cfg.shards;
+  opts.sim_discard = cfg.discard;
+  opts.sim_seed = cfg.seed;
+  opts.sim_amplitude = cfg.input_amplitude;
+  opts.pool = pool;
+
   AccuracyReport report;
-  if (cfg.shards <= 1) {
-    // Single-stream path, unchanged from the serial library: one input of
-    // sim_samples with `discard` output samples dropped.
-    Xoshiro256 rng(cfg.seed);
-    const auto input =
-        uniform_signal(cfg.sim_samples, cfg.input_amplitude, rng);
-    report.simulated_power = measure_output_error(g, input, cfg.discard).power;
-  } else {
-    const ShardedErrorConfig mc{.total_samples = cfg.sim_samples,
-                                .shards = cfg.shards,
-                                .discard = cfg.discard,
-                                .seed = cfg.seed,
-                                .input_amplitude = cfg.input_amplitude,
-                                .keep_signal = false};
-    report.simulated_power = measure_output_error_sharded(g, mc, pool).power;
+  report.estimates.reserve(cfg.engines.size());
+  for (const core::EngineKind kind : cfg.engines) {
+    if (!core::engine_supports(kind, g)) continue;  // e.g. flat, multirate
+    EngineEstimate est;
+    est.kind = kind;
+    est.name = core::to_string(kind);
+    const Stopwatch pp;
+    const auto engine = core::make_engine(kind, g, opts);
+    est.tau_pp = pp.seconds();
+    const Stopwatch eval;
+    est.power = engine->output_noise_power();
+    est.tau_eval = eval.seconds();
+    report.estimates.push_back(std::move(est));
   }
 
-  const core::PsdAnalyzer psd(g, {.n_psd = cfg.n_psd});
-  report.psd_power = psd.output_noise_power();
-
-  const core::MomentAnalyzer moments(g);
-  report.moment_power = moments.output_noise_power();
-
-  report.psd_ed =
-      core::mse_deviation(report.simulated_power, report.psd_power);
-  report.moment_ed =
-      core::mse_deviation(report.simulated_power, report.moment_power);
+  // Score every estimate against the simulated reference (its own ed is 0
+  // by construction). Without a reference — or with a zero-power one,
+  // where Eq. 15 is undefined — the other deviations are NaN.
+  const EngineEstimate* ref = report.find(core::EngineKind::kSimulation);
+  report.reference_power = ref != nullptr ? ref->power : 0.0;
+  for (EngineEstimate& e : report.estimates) {
+    if (&e == ref)
+      e.ed = 0.0;
+    else
+      e.ed = ref != nullptr && ref->power > 0.0
+                 ? core::mse_deviation(ref->power, e.power)
+                 : std::numeric_limits<double>::quiet_NaN();
+  }
   return report;
 }
 

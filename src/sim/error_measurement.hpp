@@ -1,12 +1,13 @@
 // Monte-Carlo measurement of the fixed-point error at a graph output, and
-// the top-level harness tying simulation to the three analytical engines.
+// the top-level harness comparing every core::AccuracyEngine against the
+// simulated ground truth.
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
-#include "core/moment_analyzer.hpp"
-#include "core/psd_analyzer.hpp"
+#include "core/accuracy_engine.hpp"
 #include "sfg/graph.hpp"
 #include "support/random.hpp"
 
@@ -27,10 +28,13 @@ struct ErrorMeasurement {
 
 /// Simulates the graph twice (reference vs fixed-point) on `input` and
 /// returns the statistics of the output difference. `discard` initial
-/// samples are dropped to skip filter transients.
+/// samples are dropped to skip filter transients. With `keep_signal`
+/// false the raw error signal is never materialized — the form repeated
+/// probes (e.g. the simulation engine) use.
 ErrorMeasurement measure_output_error(const sfg::Graph& g,
                                       std::span<const double> input,
-                                      std::size_t discard = 0);
+                                      std::size_t discard = 0,
+                                      bool keep_signal = true);
 
 /// Sharded Monte-Carlo measurement plan: `shards` independent uniform input
 /// streams drawn from non-overlapping RNG substreams of `seed`
@@ -57,13 +61,37 @@ ErrorMeasurement measure_output_error_sharded(
 std::vector<double> measured_error_psd(const ErrorMeasurement& m,
                                        std::size_t n_bins);
 
-/// One-stop comparison of the three estimates against simulation.
+/// One engine's entry in an AccuracyReport: what it estimated (or
+/// measured) and what the two phases cost — the paper's tau_pp / tau_eval
+/// split, reported per engine.
+struct EngineEstimate {
+  core::EngineKind kind = core::EngineKind::kPsd;
+  std::string name;       ///< to_string(kind), for table/report printing
+  double power = 0.0;     ///< estimated output noise power
+  double ed = 0.0;        ///< Eq. 15 deviation vs the simulation reference
+                          ///< (0 for the reference itself); NaN when the
+                          ///< report has no reference or it measured zero
+  double tau_pp = 0.0;    ///< preprocessing seconds (engine construction)
+  double tau_eval = 0.0;  ///< one evaluation pass, seconds
+};
+
+/// Engine-keyed comparison report: one EngineEstimate per engine run, in
+/// the order requested. Replaces the old fixed psd/moment field pair, so a
+/// report can carry any engine set (including future backends) without an
+/// API change.
 struct AccuracyReport {
-  double simulated_power = 0.0;
-  double psd_power = 0.0;       // proposed method
-  double moment_power = 0.0;    // PSD-agnostic baseline
-  double psd_ed = 0.0;          // Eq. 15 deviations
-  double moment_ed = 0.0;
+  /// Simulated ground-truth power (the kSimulation estimate), 0 when the
+  /// simulation engine was not part of the run.
+  double reference_power = 0.0;
+  std::vector<EngineEstimate> estimates;
+
+  /// First estimate of @p kind, or nullptr when that engine did not run
+  /// (not requested, or skipped as unsupported on this graph).
+  const EngineEstimate* find(core::EngineKind kind) const;
+  /// As find(), but asserts the engine ran.
+  const EngineEstimate& at(core::EngineKind kind) const;
+  double power(core::EngineKind kind) const { return at(kind).power; }
+  double ed(core::EngineKind kind) const { return at(kind).ed; }
 };
 
 struct EvaluationConfig {
@@ -76,11 +104,16 @@ struct EvaluationConfig {
   /// shards (see measure_output_error_sharded); 1 keeps the single-stream
   /// run. Results depend on this value, never on the worker count.
   std::size_t shards = 1;
+  /// Engines to run, in report order. Engines that cannot evaluate the
+  /// graph (engine_supports() == false, e.g. flat on a multirate SFG) are
+  /// skipped rather than failing the whole report.
+  std::vector<core::EngineKind> engines{core::kAllEngineKinds.begin(),
+                                        core::kAllEngineKinds.end()};
 };
 
-/// Runs the full comparison on a SISO graph with a uniform random input.
-/// When @p pool is given, Monte-Carlo shards (cfg.shards > 1) run
-/// concurrently on it.
+/// Runs every requested engine on a SISO graph and scores each against the
+/// simulated reference (when kSimulation is among them). When @p pool is
+/// given, Monte-Carlo shards (cfg.shards > 1) run concurrently on it.
 AccuracyReport evaluate_accuracy(const sfg::Graph& g,
                                  const EvaluationConfig& cfg,
                                  runtime::ThreadPool* pool = nullptr);

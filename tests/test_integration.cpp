@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/accuracy_engine.hpp"
 #include "core/flat_analyzer.hpp"
 #include "core/metrics.hpp"
 #include "core/moment_analyzer.hpp"
@@ -43,7 +44,7 @@ TEST(MiniTable1, FirBankWithinOneBit) {
       cfg.sim_samples = 1u << 17;
       cfg.seed = taps + static_cast<std::uint64_t>(cutoff * 100);
       const auto r = sim::evaluate_accuracy(g, cfg);
-      EXPECT_LT(std::abs(r.psd_ed), 0.1)
+      EXPECT_LT(std::abs(r.ed(core::EngineKind::kPsd)), 0.1)
           << "taps=" << taps << " cutoff=" << cutoff;
       ++checked;
     }
@@ -62,8 +63,8 @@ TEST(MiniTable1, IirBankWithinOneBit) {
       cfg.sim_samples = 1u << 17;
       cfg.seed = static_cast<std::uint64_t>(order * 13);
       const auto r = sim::evaluate_accuracy(g, cfg);
-      EXPECT_TRUE(core::within_one_bit(r.psd_ed))
-          << "order=" << order << " E_d=" << r.psd_ed;
+      EXPECT_TRUE(core::within_one_bit(r.ed(core::EngineKind::kPsd)))
+          << "order=" << order << " E_d=" << r.ed(core::EngineKind::kPsd);
       ++checked;
     }
   }
@@ -132,8 +133,9 @@ TEST(MiniTable2, PsdBeatsAgnosticOnShapedCascade) {
   sim::EvaluationConfig cfg;
   cfg.sim_samples = 1u << 18;
   const auto r = sim::evaluate_accuracy(g, cfg);
-  EXPECT_LT(std::abs(r.psd_ed), 0.1);
-  EXPECT_GT(std::abs(r.moment_ed), 4.0 * std::abs(r.psd_ed));
+  EXPECT_LT(std::abs(r.ed(core::EngineKind::kPsd)), 0.1);
+  EXPECT_GT(std::abs(r.ed(core::EngineKind::kMoment)),
+            4.0 * std::abs(r.ed(core::EngineKind::kPsd)));
 }
 
 TEST(MiniFig6, EstimationOrdersOfMagnitudeFasterThanSimulation) {
@@ -183,8 +185,9 @@ TEST(CycleBreaking, QuantizedRecursionViaRationalBlockMatchesSim) {
   sim::EvaluationConfig cfg;
   cfg.sim_samples = 1u << 17;
   const auto r = sim::evaluate_accuracy(g, cfg);
-  EXPECT_TRUE(core::within_one_bit(r.psd_ed)) << "E_d=" << r.psd_ed;
-  EXPECT_LT(std::abs(r.psd_ed), 0.3);
+  EXPECT_TRUE(core::within_one_bit(r.ed(core::EngineKind::kPsd)))
+      << "E_d=" << r.ed(core::EngineKind::kPsd);
+  EXPECT_LT(std::abs(r.ed(core::EngineKind::kPsd)), 0.3);
 }
 
 TEST(FlatEquivalence, FlatMatchesPsdOnElementaryBlocks) {

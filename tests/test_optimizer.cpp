@@ -114,7 +114,7 @@ TEST(Optimizer, ResultVerifiedBySimulation) {
   cfg.sim_samples = 1u << 16;
   const auto report = sim::evaluate_accuracy(sys.graph, cfg);
   // Simulation within 30% of the budget (estimate error + MC noise).
-  EXPECT_LT(report.simulated_power, 1.3 * 2e-7);
+  EXPECT_LT(report.reference_power, 1.3 * 2e-7);
 }
 
 TEST(Optimizer, GreedyScoresMarginalNoiseNotAbsoluteNoise) {

@@ -183,8 +183,7 @@ std::vector<runtime::BatchJob> make_jobs() {
   std::vector<runtime::BatchJob> jobs;
   for (const int bits : {8, 10, 12, 14, 16}) {
     runtime::BatchJob job;
-    job.name = "q";
-    job.name += std::to_string(bits);
+    job.name = "q" + std::to_string(bits);
     job.graph = make_system(bits);
     job.config.sim_samples = 1u << 14;
     job.config.discard = 256;
@@ -201,13 +200,14 @@ TEST(BatchRunner, ReportsArriveInJobOrderWithSaneValues) {
   ASSERT_EQ(results.size(), jobs.size());
   for (std::size_t i = 0; i < results.size(); ++i) {
     EXPECT_EQ(results[i].name, jobs[i].name);
-    EXPECT_GT(results[i].report.simulated_power, 0.0);
-    EXPECT_GT(results[i].report.psd_power, 0.0);
+    EXPECT_GT(results[i].report.reference_power, 0.0);
+    EXPECT_GT(results[i].report.power(core::EngineKind::kPsd), 0.0);
     EXPECT_GE(results[i].seconds, 0.0);
   }
   // More fractional bits -> less noise, across the batch.
   for (std::size_t i = 1; i < results.size(); ++i)
-    EXPECT_LT(results[i].report.psd_power, results[i - 1].report.psd_power);
+    EXPECT_LT(results[i].report.power(core::EngineKind::kPsd),
+              results[i - 1].report.power(core::EngineKind::kPsd));
 }
 
 TEST(BatchRunner, SharedPoolConstructorWorks) {
@@ -220,7 +220,7 @@ TEST(BatchRunner, SharedPoolConstructorWorks) {
 
 TEST(BatchRunner, EmptyBatchYieldsEmptyResults) {
   runtime::BatchRunner runner(2);
-  EXPECT_TRUE(runner.run({}).empty());
+  EXPECT_TRUE(runner.run(std::span<const runtime::BatchJob>{}).empty());
 }
 
 }  // namespace

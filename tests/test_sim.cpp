@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/accuracy_engine.hpp"
 #include "filters/iir_design.hpp"
 #include "sim/error_measurement.hpp"
 #include "sim/executor.hpp"
@@ -91,18 +92,24 @@ TEST(EvaluateAccuracy, ReportFieldsConsistent) {
   cfg.sim_samples = 1u << 16;
   cfg.n_psd = 256;
   const auto report = sim::evaluate_accuracy(g, cfg);
-  EXPECT_GT(report.simulated_power, 0.0);
-  EXPECT_GT(report.psd_power, 0.0);
-  EXPECT_GT(report.moment_power, 0.0);
-  EXPECT_NEAR(report.psd_ed,
-              (report.simulated_power - report.psd_power) /
-                  report.simulated_power,
-              1e-15);
-  EXPECT_NEAR(report.moment_ed,
-              (report.simulated_power - report.moment_power) /
-                  report.simulated_power,
-              1e-15);
-  EXPECT_LT(std::abs(report.psd_ed), 0.5);
+  // Single-rate graph: all four engines must be present, keyed by kind.
+  ASSERT_EQ(report.estimates.size(), 4u);
+  EXPECT_GT(report.reference_power, 0.0);
+  EXPECT_EQ(report.reference_power,
+            report.power(core::EngineKind::kSimulation));
+  EXPECT_DOUBLE_EQ(report.ed(core::EngineKind::kSimulation), 0.0);
+  for (const auto& est : report.estimates) {
+    EXPECT_GT(est.power, 0.0) << est.name;
+    EXPECT_EQ(est.name, core::to_string(est.kind));
+    EXPECT_GE(est.tau_pp, 0.0);
+    EXPECT_GE(est.tau_eval, 0.0);
+    EXPECT_NEAR(est.ed,
+                (report.reference_power - est.power) /
+                    report.reference_power,
+                1e-15)
+        << est.name;
+  }
+  EXPECT_LT(std::abs(report.ed(core::EngineKind::kPsd)), 0.5);
 }
 
 TEST(EvaluateAccuracy, DeterministicGivenSeed) {
@@ -113,7 +120,7 @@ TEST(EvaluateAccuracy, DeterministicGivenSeed) {
   cfg.sim_samples = 1u << 14;
   const auto a = sim::evaluate_accuracy(g, cfg);
   const auto b = sim::evaluate_accuracy(g, cfg);
-  EXPECT_DOUBLE_EQ(a.simulated_power, b.simulated_power);
+  EXPECT_DOUBLE_EQ(a.reference_power, b.reference_power);
 }
 
 TEST(Executor, MultirateChainLengths) {
