@@ -1,6 +1,10 @@
 // Fig. 6 of the paper: execution time of simulation vs PSD estimation, and
 // the speed-up factor, as N_PSD sweeps 16..4096, for both benchmark
-// systems. The paper reports 3-5 orders of magnitude speed-up.
+// systems. The paper reports 3-5 orders of magnitude speed-up. On top of
+// the paper's figure, the incremental section times the word-length
+// optimizer end to end with delta probing on vs off on the largest
+// configuration of the frequency-filtering system, asserting both searches
+// land on identical word-lengths.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -9,6 +13,7 @@
 #include "core/accuracy_engine.hpp"
 #include "freqfilt/freq_filter.hpp"
 #include "imaging/textures.hpp"
+#include "opt/wordlength_optimizer.hpp"
 #include "support/random.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
@@ -69,6 +74,81 @@ double time_estimation(F&& evaluate, int repeats = 7) {
   return times[times.size() / 2];
 }
 
+// Stamps a noise source's fractional bits (set_bits semantics). The timed
+// estimation loops flip a source between evaluations: engines memoize
+// unchanged-graph evaluations on sfg::Graph::revision(), and tau_eval
+// means the cost of a *real* probe — evaluation after a word-length move —
+// not a cache hit.
+void stamp_source_bits(sfg::Graph& g, sfg::NodeId id, int bits) {
+  sfg::Node& node = g.node(id);
+  if (auto* q = std::get_if<sfg::QuantizerNode>(&node.payload)) {
+    q->format.fractional_bits = bits;
+    q->moments = fxp::continuous_quantization_noise(q->format);
+    return;
+  }
+  std::get<sfg::BlockNode>(node.payload).output_format->fractional_bits =
+      bits;
+}
+
+// End-to-end optimizer wall-clock with delta probing on vs off, identical
+// searches asserted. Returns false (and reports) on any mismatch or if the
+// largest system misses the 3x bar.
+bool run_incremental_section() {
+  std::printf(
+      "\n== Incremental probing: greedy_descent wall-clock, delta vs full "
+      "==\n   (frequency-filtering system, psd engine; same final "
+      "word-lengths asserted)\n\n");
+  ff::FreqFilterConfig cfg;
+  cfg.format = fxp::q_format(8, kFracBits);
+
+  bool ok = true;
+  double largest_speedup = 0.0;
+  TextTable table({"N_PSD", "full (s)", "delta (s)", "speedup", "evals",
+                   "bits equal"});
+  for (const std::size_t n : {256u, 1024u, 4096u}) {
+    opt::OptimizerConfig ocfg;
+    ocfg.noise_budget = 5e-10;
+    ocfg.min_bits = 4;
+    ocfg.max_bits = 24;
+    ocfg.n_psd = n;
+
+    ocfg.incremental = false;
+    auto g_full = ff::build_freqfilt_sfg(cfg);
+    opt::WordlengthOptimizer full(g_full, g_full.noise_sources(), ocfg);
+    Stopwatch w_full;
+    const auto r_full = full.greedy_descent();
+    const double t_full = w_full.seconds();
+
+    ocfg.incremental = true;
+    auto g_delta = ff::build_freqfilt_sfg(cfg);
+    opt::WordlengthOptimizer delta(g_delta, g_delta.noise_sources(), ocfg);
+    Stopwatch w_delta;
+    const auto r_delta = delta.greedy_descent();
+    const double t_delta = w_delta.seconds();
+
+    const bool equal = r_full.bits == r_delta.bits &&
+                       r_full.evaluations == r_delta.evaluations;
+    ok = ok && equal;
+    const double speedup = t_full / t_delta;
+    largest_speedup = speedup;  // last row is the largest N_PSD
+    table.add_row({std::to_string(n), TextTable::num(t_full, 4),
+                   TextTable::num(t_delta, 4), TextTable::num(speedup, 2),
+                   std::to_string(r_delta.evaluations),
+                   equal ? "yes" : "NO"});
+  }
+  table.print();
+  if (!ok)
+    std::printf("\nFAIL: delta and full probing diverged (see table)\n");
+  if (largest_speedup < 3.0) {
+    std::printf(
+        "\nFAIL: delta speedup %.2fx on the largest system is below the "
+        "3x bar\n",
+        largest_speedup);
+    ok = false;
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main() {
@@ -87,17 +167,24 @@ int main() {
 
   ff::FreqFilterConfig cfg;
   cfg.format = fxp::q_format(8, kFracBits);
-  const auto ff_graph = ff::build_freqfilt_sfg(cfg);
+  auto ff_graph = ff::build_freqfilt_sfg(cfg);
+  const auto ff_probe_node = ff_graph.noise_sources().front();
 
   TextTable table({"N_PSD", "est FF (s)", "est DWT (s)", "speedup FF",
                    "speedup DWT", "log10(FF)", "log10(DWT)"});
   for (std::size_t n = 16; n <= 4096; n *= 2) {
     // tau_eval through the unified engine interface (construction outside
-    // the timed lambda is the tau_pp phase, as the paper splits it).
+    // the timed lambda is the tau_pp phase, as the paper splits it). Each
+    // timed evaluation follows a word-length move — see stamp_source_bits.
     const auto engine =
         core::make_engine(core::EngineKind::kPsd, ff_graph, {.n_psd = n});
-    const double est_ff =
-        time_estimation([&] { return engine->output_noise_power(); });
+    bool flip = false;
+    const double est_ff = time_estimation([&] {
+      flip = !flip;
+      stamp_source_bits(ff_graph, ff_probe_node,
+                        flip ? kFracBits + 1 : kFracBits);
+      return engine->output_noise_power();
+    });
     const wav::Dwt2dNoiseConfig dwt_cfg{
         .levels = 2, .format = fxp::q_format(4, kFracBits),
         .n_bins = std::min<std::size_t>(std::max<std::size_t>(n, 4), 128),
@@ -115,5 +202,6 @@ int main() {
   std::printf(
       "\n(2-D DWT estimation bins are per axis, capped at 128 -> 16384\n"
       " total bins; its cost grows with N_PSD^2 as the 2-D grid does.)\n");
-  return 0;
+
+  return run_incremental_section() ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "core/accuracy_engine.hpp"
 #include "core/flat_analyzer.hpp"
 #include "core/moment_analyzer.hpp"
 #include "core/psd_analyzer.hpp"
@@ -175,6 +176,38 @@ void BM_MomentProbe(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MomentProbe)->Unit(benchmark::kMicrosecond);
+
+// One incremental optimizer probe (AccuracyEngine::evaluate_delta):
+// re-derives a single source's noise contribution and combines the other
+// sources' contributions from the engine's cache — O(sources) scalar work
+// instead of a full O(nodes x N) propagation sweep. Counterpart to
+// BM_PsdProbe / BM_MomentProbe on the same 16-block chain; the gap between
+// them is the per-probe win the incremental optimizer path banks.
+// engine: 0 = psd, 1 = moment, 2 = flat.
+void BM_DeltaProbe(benchmark::State& state) {
+  const auto g = chain_graph(16, 12);
+  const auto kind = state.range(0) == 0   ? core::EngineKind::kPsd
+                    : state.range(0) == 1 ? core::EngineKind::kMoment
+                                          : core::EngineKind::kFlat;
+  const auto engine = core::make_engine(kind, g, {.n_psd = 512});
+  const auto v = g.noise_sources().front();
+  const auto coarse = fxp::q_format(4, 11);
+  const auto fine = fxp::q_format(4, 13);
+  // Warm the lazily built per-source unit responses (one-time cost, the
+  // delta analog of analyzer construction).
+  engine->evaluate_delta(v, coarse);
+  bool flip = false;
+  for (auto _ : state) {
+    flip = !flip;
+    benchmark::DoNotOptimize(engine->evaluate_delta(v, flip ? fine : coarse));
+  }
+}
+BENCHMARK(BM_DeltaProbe)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->ArgNames({"engine"})
+    ->Unit(benchmark::kNanosecond);
 
 // Flat method: per-source full-graph sweeps — the scalability wall.
 void BM_FlatEvaluate(benchmark::State& state) {

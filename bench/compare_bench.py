@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Gate google-benchmark results against a committed baseline.
+
+Usage:
+    compare_bench.py --baseline BENCH_baseline.json \
+        --current micro.json runtime.json [--threshold 1.30] [--no-normalize]
+
+Reads one or more --benchmark_format=json outputs, matches benchmarks to the
+baseline by name, and fails (exit 1) when any kernel's cpu_time regressed by
+more than the threshold (default 1.30 = +30%).
+
+Cross-machine tolerance: the committed baseline comes from a 1-core
+container while CI runs on hosted runners of a different speed class, so
+absolute times are not comparable. By default every per-benchmark ratio
+current/baseline is divided by the *median* ratio across all matched
+benchmarks before gating — a uniformly faster or slower machine cancels
+out, and only kernels that regressed *relative to the rest of the suite*
+fail. A genuine regression in one kernel barely moves the median as long
+as the suite is reasonably large; a regression in *every* kernel at once
+is indistinguishable from a slow machine and will not be caught (that is
+the price of machine independence — refresh the baseline on the CI runner
+class if that ever matters). --no-normalize compares raw ratios for
+same-machine runs.
+
+The 30% default threshold is deliberately loose: 1-core runners time-slice
+the benchmark against the harness itself, and nanosecond-scale kernels
+(BM_DeltaProbe) jitter by a few percent run to run. Tighten it only with a
+quieter runner.
+
+Aggregate rows (BigO / RMS from ->Complexity()) are skipped. Benchmarks
+present only in the current run are reported as new (not gated); baseline
+entries missing from the current run are reported loudly but do not fail
+the job, so partial reruns and renames stay usable — refresh the baseline
+when removing or renaming benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+
+_UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path: str) -> dict[str, float]:
+    """name -> cpu_time in ns for every real (non-aggregate) benchmark."""
+    with open(path) as f:
+        data = json.load(f)
+    times: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue  # BigO / RMS aggregates
+        name = bench["name"]
+        unit = _UNIT_TO_NS[bench.get("time_unit", "ns")]
+        times[name] = float(bench["cpu_time"]) * unit
+    return times
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True, nargs="+")
+    parser.add_argument("--threshold", type=float, default=1.30,
+                        help="fail when normalized ratio exceeds this "
+                             "(default 1.30 = +30%%)")
+    parser.add_argument("--no-normalize", action="store_true",
+                        help="gate on raw ratios (same-machine runs only)")
+    args = parser.parse_args()
+
+    baseline = load_times(args.baseline)
+    current: dict[str, float] = {}
+    for path in args.current:
+        current.update(load_times(path))
+
+    matched = sorted(set(baseline) & set(current))
+    new = sorted(set(current) - set(baseline))
+    missing = sorted(set(baseline) - set(current))
+    if not matched:
+        print("error: no benchmarks in common with the baseline")
+        return 1
+
+    ratios = {name: current[name] / baseline[name] for name in matched}
+    scale = 1.0 if args.no_normalize else statistics.median(ratios.values())
+    print(f"{len(matched)} benchmarks matched against {args.baseline}; "
+          f"median machine-speed ratio {scale:.3f} "
+          f"({'not ' if args.no_normalize else ''}normalized out)")
+
+    failures = []
+    for name in matched:
+        norm = ratios[name] / scale
+        marker = ""
+        if norm > args.threshold:
+            failures.append(name)
+            marker = f"  REGRESSION (> {args.threshold:.2f}x)"
+        elif norm < 1.0 / args.threshold:
+            marker = "  (improved)"
+        print(f"  {name:<50} base {baseline[name]:>12.1f} ns  "
+              f"cur {current[name]:>12.1f} ns  norm x{norm:.3f}{marker}")
+
+    for name in new:
+        print(f"  {name:<50} NEW (no baseline entry; add it on the next "
+              "baseline refresh)")
+    for name in missing:
+        print(f"  {name:<50} MISSING from the current run — the gate no "
+              "longer covers it; refresh the baseline if it was removed")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} kernel(s) regressed beyond "
+              f"{args.threshold:.2f}x: " + ", ".join(failures))
+        return 1
+    print("\nOK: no kernel regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,7 @@
 #include <string_view>
 
 #include "core/noise_spectrum.hpp"
+#include "fixedpoint/format.hpp"
 #include "sfg/graph.hpp"
 
 namespace psdacc::runtime {
@@ -62,6 +63,14 @@ struct EngineCapabilities {
   bool spectrum = false;   ///< output_spectrum() is supported
   bool multirate = false;  ///< accepts graphs with up/down-samplers
   bool stochastic = false; ///< estimate carries Monte-Carlo noise (seeded)
+  /// evaluate_delta() is supported *on the bound graph*. Per-instance on
+  /// purpose: the analytical engines decompose the output noise per
+  /// source, which is exact only where propagation is linear in each
+  /// source's (variance, mean) — upsamplers break it for the psd engine
+  /// (and for the moment engine under corrected multirate rules), and the
+  /// simulation engine has no decomposition at all. Drivers that find
+  /// delta == false fall back to full evaluation.
+  bool delta = false;
 };
 
 /// Union of every backend's tuning knobs; each engine reads only its own.
@@ -90,6 +99,15 @@ struct EngineOptions {
 /// Polymorphic accuracy engine over one (graph, options) binding.
 class AccuracyEngine {
  public:
+  /// Per-instance evaluation accounting — the probe-counter hook tests
+  /// and drivers use to assert cache behavior (cache-warm repeated
+  /// evaluation, delta probes actually taking the delta path).
+  struct EvalCounters {
+    std::size_t full = 0;    ///< full output_noise_power() recomputations
+    std::size_t cached = 0;  ///< revision-cache hits (graph unchanged)
+    std::size_t delta = 0;   ///< evaluate_delta() probes
+  };
+
   virtual ~AccuracyEngine() = default;
 
   virtual EngineKind kind() const = 0;
@@ -99,8 +117,28 @@ class AccuracyEngine {
   /// Total estimated (or measured) noise power at the single Output node
   /// for the graph's *current* word-length assignment. This is the tau_eval
   /// phase: cheap and repeatable for the analytical engines, a full
-  /// Monte-Carlo run for the simulation engine.
+  /// Monte-Carlo run for the simulation engine. Every engine's evaluation
+  /// is a pure function of the graph state, so results are memoized on
+  /// sfg::Graph::revision(): re-evaluating an unchanged graph is a cache
+  /// hit (eval_counters().cached) returning the identical bits.
   virtual double output_noise_power() = 0;
+
+  /// Incremental probe: total output noise power as if noise source @p v
+  /// carried the word-length format @p format (PQN moments re-derived from
+  /// it, exactly as applying the assignment would), every other node
+  /// unchanged. The graph is not mutated. Combines cached per-source
+  /// noise contributions with one re-derived term, so a probe is
+  /// O(sources) instead of O(graph) — the optimizer's inner loop lives on
+  /// this. Exact up to floating-point reordering against
+  /// apply-then-output_noise_power().
+  /// @throws std::logic_error when !capabilities().delta (the simulation
+  ///         engine always; psd/moment engines on graphs where the
+  ///         per-source decomposition would be dishonest) — callers check
+  ///         the capability and fall back to full evaluation.
+  virtual double evaluate_delta(sfg::NodeId v,
+                                const fxp::FixedPointFormat& format);
+
+  const EvalCounters& eval_counters() const { return counters_; }
 
   /// Output noise spectrum at the engine's configured resolution.
   /// @throws std::logic_error when !capabilities().spectrum (moment engine).
@@ -111,6 +149,9 @@ class AccuracyEngine {
   /// valid). @p g must outlive the returned engine.
   virtual std::unique_ptr<AccuracyEngine> clone_for_worker(
       const sfg::Graph& g) const = 0;
+
+ protected:
+  EvalCounters counters_;
 };
 
 /// True when @p kind can evaluate @p g (today: the flat engine refuses

@@ -1,0 +1,150 @@
+/// @file delta_terms.hpp
+/// Decomposed per-source noise-contribution cache shared by the three
+/// analytical analyzers (Psd / Moment / Flat) behind their
+/// output_noise_power_delta() probes.
+///
+/// Each analyzer's hypothesis is the same linear-decomposition argument:
+/// the output power splits into one term per noise source, each the
+/// source's current PQN moments scaled by a format-independent *unit
+/// response* (output contribution per unit source variance / per unit
+/// source mean). What differs per analyzer is only how a unit response is
+/// derived (a cone-restricted PSD sweep, a cone-restricted moment sweep,
+/// or a reduction of the flat per-source complex response), so that part
+/// is a callback and everything else — lazy build, revision-keyed
+/// re-scaling, invalidation, and the fixed-order combine — lives here
+/// once.
+///
+/// Invalidation rules (keyed on sfg::Graph's counters):
+///  * a *source* node's revision moving re-scales that one cached term —
+///    O(1); source nodes mutate through word-length stamps, which the
+///    unit responses are independent of by construction;
+///  * any *non-source* node's revision moving (a gain retuned, a delay
+///    resized, an adder sign edited through the mutable accessor) drops
+///    every unit response, because such nodes only carry propagation
+///    state the units were derived from. Detected via a watermark summed
+///    over the non-source nodes' revisions, so the common probe loop
+///    (only source formats move) never rebuilds;
+///  * topology edits are asserted away — analyzers freeze topology at
+///    construction, as ever.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fixedpoint/noise_model.hpp"
+#include "sfg/graph.hpp"
+#include "support/assert.hpp"
+
+namespace psdacc::core {
+
+/// One analyzer-specific unit response: the output contribution of a
+/// source per unit injected variance (`power`) and per unit injected mean
+/// (`dc`). Both are pure functions of topology and coefficients.
+struct UnitResponse {
+  double power = 0.0;
+  double dc = 0.0;
+};
+
+/// The cache itself. Analyzers hold one as a `mutable` member (it is lazy
+/// evaluation scratch under the same one-thread-at-a-time contract as
+/// their workspaces) and call power_delta() with their unit-response
+/// builder.
+class SourceTermCache {
+ public:
+  /// Output noise power as if source @p v injected the continuous-PQN
+  /// moments of @p format, every other source at its current graph state.
+  /// @param g        the analyzer's graph
+  /// @param topology_at_build  the analyzer's frozen topology revision
+  /// @param build    callable sfg::NodeId -> UnitResponse, invoked lazily
+  ///                 once per source (and again only after a non-source
+  ///                 node mutation)
+  template <typename Build>
+  double power_delta(const sfg::Graph& g, std::uint64_t topology_at_build,
+                     sfg::NodeId v, const fxp::FixedPointFormat& format,
+                     Build&& build) {
+    sync(g, topology_at_build, build);
+    const auto m = fxp::continuous_quantization_noise(format);
+    // Fixed ascending-source summation order: the result is a pure
+    // function of (graph formats, v, format), never of probe history —
+    // that is what keeps delta-probing bit-identical across worker
+    // counts and probe schedules.
+    double power = 0.0;
+    double mean = 0.0;
+    bool found = false;
+    for (const Term& term : terms_) {
+      if (term.id == v) {
+        found = true;
+        power += m.variance * term.unit.power;
+        mean += m.mean * term.unit.dc;
+      } else {
+        power += term.power;
+        mean += term.mean;
+      }
+    }
+    PSDACC_EXPECTS(found && "delta target must be a noise source");
+    return mean * mean + power;
+  }
+
+ private:
+  struct Term {
+    sfg::NodeId id = 0;
+    bool unit_ready = false;
+    UnitResponse unit;
+    std::uint64_t seen = ~std::uint64_t{0};
+    double power = 0.0;  ///< scaled: contribution to the output power sum
+    double mean = 0.0;   ///< scaled: contribution to the output mean
+  };
+
+  template <typename Build>
+  void sync(const sfg::Graph& g, std::uint64_t topology_at_build,
+            Build&& build) {
+    PSDACC_EXPECTS(g.topology_revision() == topology_at_build &&
+                   "graph topology must not change under an analyzer");
+    if (!built_) {
+      is_source_.assign(g.node_count(), 0);
+      for (sfg::NodeId src : g.noise_sources()) {
+        Term term;
+        term.id = src;
+        terms_.push_back(term);
+        is_source_[src] = 1;
+      }
+      built_ = true;
+    }
+    if (synced_revision_ == g.revision()) return;
+    // Non-source mutations (a gain retuned between probes, say) change
+    // the propagation the unit responses were derived from: drop them
+    // all. Word-length stamps only ever move source revisions, so the
+    // watermark is static across a whole optimizer search.
+    std::uint64_t watermark = 0;
+    for (sfg::NodeId id = 0; id < g.node_count(); ++id)
+      if (!is_source_[id]) watermark += g.node_revision(id);
+    if (watermark != non_source_watermark_) {
+      for (Term& term : terms_) {
+        term.unit_ready = false;
+        term.seen = ~std::uint64_t{0};
+      }
+      non_source_watermark_ = watermark;
+    }
+    for (Term& term : terms_) {
+      if (term.unit_ready && term.seen == g.node_revision(term.id))
+        continue;
+      if (!term.unit_ready) {
+        term.unit = build(term.id);
+        term.unit_ready = true;
+      }
+      const auto m = sfg::noise_source_moments(g.node(term.id));
+      term.power = m.variance * term.unit.power;
+      term.mean = m.mean * term.unit.dc;
+      term.seen = g.node_revision(term.id);
+    }
+    synced_revision_ = g.revision();
+  }
+
+  std::vector<Term> terms_;
+  std::vector<char> is_source_;
+  bool built_ = false;
+  std::uint64_t synced_revision_ = ~std::uint64_t{0};
+  std::uint64_t non_source_watermark_ = ~std::uint64_t{0};
+};
+
+}  // namespace psdacc::core

@@ -16,6 +16,7 @@ FlatAnalyzer::FlatAnalyzer(const sfg::Graph& g, std::size_t n_psd)
   PSDACC_EXPECTS(g.is_single_rate());
   g.validate();
   order_ = g.topological_order();
+  topology_at_build_ = g.topology_revision();
   const auto outputs = g.outputs();
   PSDACC_EXPECTS(outputs.size() == 1);
   output_ = outputs[0];
@@ -115,14 +116,7 @@ NoiseSpectrum FlatAnalyzer::output_spectrum() const {
   NoiseSpectrum total(n_psd_);
   double total_mean = 0.0;
   for (sfg::NodeId src : graph_.noise_sources()) {
-    const sfg::Node& node = graph_.node(src);
-    fxp::NoiseMoments moments;
-    if (const auto* q = std::get_if<sfg::QuantizerNode>(&node.payload)) {
-      moments = q->moments;
-    } else {
-      const auto& block = std::get<sfg::BlockNode>(node.payload);
-      moments = fxp::continuous_quantization_noise(*block.output_format);
-    }
+    const auto moments = sfg::noise_source_moments(graph_.node(src));
     const auto g = source_response(src);
     const double per_bin = moments.variance / static_cast<double>(n_psd_);
     for (std::size_t k = 0; k < n_psd_; ++k)
@@ -135,6 +129,24 @@ NoiseSpectrum FlatAnalyzer::output_spectrum() const {
 
 double FlatAnalyzer::output_noise_power() const {
   return output_spectrum().power();
+}
+
+// Scalar reduction of the per-source complex response — one full sweep,
+// re-derived only when the shared SourceTermCache says the propagation
+// state moved (the response depends only on topology and coefficients).
+UnitResponse FlatAnalyzer::unit_response(sfg::NodeId source) const {
+  const auto g = source_response(source);
+  double acc = 0.0;
+  for (const cplx& v : g) acc += std::norm(v);
+  return UnitResponse{.power = acc / static_cast<double>(n_psd_),
+                      .dc = g[0].real()};
+}
+
+double FlatAnalyzer::output_noise_power_delta(
+    sfg::NodeId v, const fxp::FixedPointFormat& format) const {
+  return delta_terms_.power_delta(
+      graph_, topology_at_build_, v, format,
+      [this](sfg::NodeId source) { return unit_response(source); });
 }
 
 }  // namespace psdacc::core

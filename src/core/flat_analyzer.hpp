@@ -10,8 +10,10 @@
 
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "core/delta_terms.hpp"
 #include "core/noise_spectrum.hpp"
 #include "sfg/graph.hpp"
 
@@ -29,15 +31,36 @@ class FlatAnalyzer {
   /// (by NodeId); exposed for tests and the reconvergence ablation.
   std::vector<std::complex<double>> source_response(sfg::NodeId source) const;
 
+  /// The flat method is per-source by construction, and its responses
+  /// depend only on topology and coefficients — the decomposition is
+  /// always exact (the analyzer is single-rate to begin with).
+  bool supports_delta() const { return true; }
+
+  /// Incremental probe, mirroring PsdAnalyzer::output_noise_power_delta:
+  /// output power as if source @p v injected the continuous-PQN moments of
+  /// @p format, all else unchanged; graph not mutated. O(sources) per call
+  /// after the lazily cached per-source response norms — which also turns
+  /// the flat method's O(sources x nodes x N) per-evaluation wall into a
+  /// one-time preprocessing cost on the delta path.
+  double output_noise_power_delta(sfg::NodeId v,
+                                  const fxp::FixedPointFormat& format) const;
+
  private:
+  UnitResponse unit_response(sfg::NodeId source) const;
+
   const sfg::Graph& graph_;
   std::size_t n_psd_;
   std::vector<sfg::NodeId> order_;
   sfg::NodeId output_;
+  std::uint64_t topology_at_build_ = 0;
   // Preprocessing cache: complex response grids of Block nodes (and their
   // noise transfer functions), computed once instead of per source.
   std::vector<std::vector<std::complex<double>>> block_grids_;
   std::vector<std::vector<std::complex<double>>> ntf_grids_;
+  // Delta-probe cache (see PsdAnalyzer): per-source scalar reductions of
+  // source_response(), lazily built. Mutable lazy state under the same
+  // one-thread-at-a-time contract as the other analyzers' workspaces.
+  mutable SourceTermCache delta_terms_;
 };
 
 }  // namespace psdacc::core

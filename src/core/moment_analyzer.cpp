@@ -10,6 +10,13 @@ MomentAnalyzer::MomentAnalyzer(const sfg::Graph& g, MomentOptions opts)
   PSDACC_EXPECTS(!g.has_cycles());
   g.validate();
   order_ = g.topological_order();
+  topology_at_build_ = g.topology_revision();
+  delta_supported_ = true;
+  if (!opts_.blind_multirate) {
+    for (sfg::NodeId id = 0; id < g.node_count(); ++id)
+      if (std::holds_alternative<sfg::UpsampleNode>(g.node(id).payload))
+        delta_supported_ = false;  // see supports_delta() for why
+  }
   gains_.resize(g.node_count());
   for (sfg::NodeId id = 0; id < g.node_count(); ++id) {
     const auto* block = std::get_if<sfg::BlockNode>(&g.node(id).payload);
@@ -107,6 +114,83 @@ double MomentAnalyzer::output_noise_power() const {
   PSDACC_EXPECTS(outputs.size() == 1);
   evaluate_into(workspace_);
   return workspace_[outputs[0]].power();
+}
+
+// Unit-injection sweep along the signal path only (no other source
+// injects), restricted to the downstream cone; the moment analog of
+// PsdAnalyzer::unit_response. Blocks pre-shape the injection by their
+// noise gains, exactly as evaluate_into injects own noise.
+UnitResponse MomentAnalyzer::unit_response(sfg::NodeId source) const {
+  const auto& cone = graph_.downstream_cone(source);
+  std::vector<char> in_cone(graph_.node_count(), 0);
+  for (sfg::NodeId id : cone) in_cone[id] = 1;
+
+  workspace_.assign(graph_.node_count(), fxp::NoiseMoments{});
+  fxp::NoiseMoments& injected = workspace_[source];
+  injected = fxp::NoiseMoments{1.0, 1.0};
+  if (std::holds_alternative<sfg::BlockNode>(graph_.node(source).payload)) {
+    const auto& bg = gains_[source];
+    injected.variance *= bg.noise_power_gain;
+    injected.mean *= bg.noise_dc;
+  }
+
+  for (sfg::NodeId id : order_) {
+    if (!in_cone[id] || id == source) continue;
+    const sfg::Node& node = graph_.node(id);
+    fxp::NoiseMoments& out = workspace_[id];
+    struct Visitor {
+      const MomentAnalyzer& self;
+      const sfg::Node& node;
+      sfg::NodeId id;
+      fxp::NoiseMoments& out;
+
+      const fxp::NoiseMoments& in(std::size_t port = 0) const {
+        return self.workspace_[node.inputs[port]];
+      }
+
+      void operator()(const sfg::InputNode&) const {}
+      void operator()(const sfg::OutputNode&) const { out = in(); }
+      void operator()(const sfg::BlockNode&) const {
+        const auto& bg = self.gains_[id];
+        out.variance = in().variance * bg.signal_power_gain;
+        out.mean = in().mean * bg.signal_dc;
+      }
+      void operator()(const sfg::GainNode& gain) const {
+        out.variance = in().variance * gain.gain * gain.gain;
+        out.mean = in().mean * gain.gain;
+      }
+      void operator()(const sfg::DelayNode&) const { out = in(); }
+      void operator()(const sfg::AdderNode& adder) const {
+        out = fxp::NoiseMoments{};
+        for (std::size_t p = 0; p < node.inputs.size(); ++p) {
+          out.variance += in(p).variance;
+          out.mean += adder.signs[p] * in(p).mean;
+        }
+      }
+      void operator()(const sfg::DownsampleNode&) const { out = in(); }
+      void operator()(const sfg::UpsampleNode&) const {
+        // Only reachable under blind rules (see supports_delta()), where
+        // the expander is transparent.
+        PSDACC_EXPECTS(self.opts_.blind_multirate);
+        out = in();
+      }
+      void operator()(const sfg::QuantizerNode&) const { out = in(); }
+    };
+    std::visit(Visitor{*this, node, id, out}, node.payload);
+  }
+
+  const auto outputs = graph_.outputs();
+  PSDACC_EXPECTS(outputs.size() == 1);
+  return UnitResponse{.power = workspace_[outputs[0]].variance,
+                      .dc = workspace_[outputs[0]].mean};
+}
+
+double MomentAnalyzer::output_noise_power_delta(
+    sfg::NodeId v, const fxp::FixedPointFormat& format) const {
+  PSDACC_EXPECTS(delta_supported_);
+  return delta_terms_.power_delta(
+      graph_, topology_at_build_, v, format,
+      [this](sfg::NodeId source) { return unit_response(source); });
 }
 
 }  // namespace psdacc::core

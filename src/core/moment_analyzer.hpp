@@ -8,8 +8,10 @@
 // in Table II isolates the spectral information alone.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "core/delta_terms.hpp"
 #include "fixedpoint/noise_model.hpp"
 #include "sfg/graph.hpp"
 
@@ -49,6 +51,23 @@ class MomentAnalyzer {
   /// first call.
   double output_noise_power() const;
 
+  /// True when incremental (per-source decomposed) evaluation is exact.
+  /// Blind (mu, sigma^2) propagation is linear per source; the *corrected*
+  /// upsample rule (blind_multirate == false) derives the output variance
+  /// from the total second moment E[x^2]/L - E[y]^2, which is quadratic in
+  /// the total mean at the expander, so per-source terms no longer add.
+  /// Graphs with upsamplers under corrected rules honestly report
+  /// unsupported.
+  bool supports_delta() const { return delta_supported_; }
+
+  /// Incremental probe, mirroring PsdAnalyzer::output_noise_power_delta:
+  /// output power as if source @p v injected the continuous-PQN moments of
+  /// @p format, all else unchanged; graph not mutated. O(sources) per call
+  /// after lazily built per-source unit gains (one downstream-cone sweep
+  /// each). Requires supports_delta().
+  double output_noise_power_delta(sfg::NodeId v,
+                                  const fxp::FixedPointFormat& format) const;
+
  private:
   struct BlockGains {
     double signal_power_gain = 1.0;
@@ -57,13 +76,20 @@ class MomentAnalyzer {
     double noise_dc = 1.0;
   };
 
+  UnitResponse unit_response(sfg::NodeId source) const;
+
   const sfg::Graph& graph_;
   MomentOptions opts_;
   std::vector<sfg::NodeId> order_;
   std::vector<BlockGains> gains_;
+  bool delta_supported_ = false;
+  std::uint64_t topology_at_build_ = 0;
   // Reused by output_noise_power() so per-probe evaluation is
   // allocation-free (hence the one-thread-at-a-time contract above).
   mutable std::vector<fxp::NoiseMoments> workspace_;
+  // Decomposed per-source delta-probe cache (lazy scratch, same
+  // one-thread-at-a-time contract as the workspace).
+  mutable SourceTermCache delta_terms_;
 };
 
 }  // namespace psdacc::core

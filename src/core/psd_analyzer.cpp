@@ -10,6 +10,11 @@ PsdAnalyzer::PsdAnalyzer(const sfg::Graph& g, PsdOptions opts)
   PSDACC_EXPECTS(!g.has_cycles());
   g.validate();
   order_ = g.topological_order();
+  topology_at_build_ = g.topology_revision();
+  delta_supported_ = true;
+  for (sfg::NodeId id = 0; id < g.node_count(); ++id)
+    if (std::holds_alternative<sfg::UpsampleNode>(g.node(id).payload))
+      delta_supported_ = false;  // see supports_delta() for why
   tables_.resize(g.node_count());
   for (sfg::NodeId id = 0; id < g.node_count(); ++id) {
     const auto* block = std::get_if<sfg::BlockNode>(&g.node(id).payload);
@@ -114,6 +119,88 @@ double PsdAnalyzer::output_noise_power() const {
   PSDACC_EXPECTS(outputs.size() == 1);
   evaluate_into(workspace_);
   return workspace_[outputs[0]].power();
+}
+
+// Propagates a unit injection (mean 1, variance 1; blocks shape it through
+// their noise transfer table first, exactly as evaluate_into injects own
+// noise) from the source to the output, along the signal path only — no
+// other source injects. Restricted to the downstream cone: nodes outside
+// it keep zero spectra. The resulting scalars are format-independent; the
+// shared SourceTermCache decides when they must be re-derived.
+UnitResponse PsdAnalyzer::unit_response(sfg::NodeId source) const {
+  const auto& cone = graph_.downstream_cone(source);
+  std::vector<char> in_cone(graph_.node_count(), 0);
+  for (sfg::NodeId id : cone) in_cone[id] = 1;
+
+  if (workspace_.size() != graph_.node_count())
+    workspace_.resize(graph_.node_count(), NoiseSpectrum(opts_.n_psd));
+  for (auto& s : workspace_) s.reset(opts_.n_psd);
+
+  NoiseSpectrum& injected = workspace_[source];
+  injected.add_white(fxp::NoiseMoments{1.0, 1.0});
+  if (std::holds_alternative<sfg::BlockNode>(graph_.node(source).payload)) {
+    const auto& t = tables_[source];
+    PSDACC_EXPECTS(!t.noise_power.empty());
+    injected.apply_power_response(t.noise_power, t.noise_dc);
+  }
+
+  for (sfg::NodeId id : order_) {
+    if (!in_cone[id] || id == source) continue;
+    const sfg::Node& node = graph_.node(id);
+    NoiseSpectrum& out = workspace_[id];
+    struct Visitor {
+      const PsdAnalyzer& self;
+      const sfg::Node& node;
+      sfg::NodeId id;
+      NoiseSpectrum& out;
+
+      const NoiseSpectrum& in(std::size_t port = 0) const {
+        return self.workspace_[node.inputs[port]];
+      }
+
+      void operator()(const sfg::InputNode&) const {}
+      void operator()(const sfg::OutputNode&) const { out = in(); }
+      void operator()(const sfg::BlockNode&) const {
+        // Signal transfer only: this block's own noise belongs to its own
+        // SourceTerm, never to another source's response.
+        const auto& t = self.tables_[id];
+        out = in();
+        out.apply_power_response(t.signal_power, t.signal_dc);
+      }
+      void operator()(const sfg::GainNode& gain) const {
+        out = in();
+        out.apply_gain(gain.gain);
+      }
+      void operator()(const sfg::DelayNode&) const { out = in(); }
+      void operator()(const sfg::AdderNode& adder) const {
+        for (std::size_t p = 0; p < node.inputs.size(); ++p)
+          out.add_uncorrelated(in(p), adder.signs[p]);
+      }
+      void operator()(const sfg::DownsampleNode& d) const {
+        out = in();
+        out.decimate(d.factor, self.opts_.interp);
+      }
+      void operator()(const sfg::UpsampleNode&) const {
+        PSDACC_EXPECTS(false && "delta path is gated off for upsamplers");
+      }
+      void operator()(const sfg::QuantizerNode&) const { out = in(); }
+    };
+    std::visit(Visitor{*this, node, id, out}, node.payload);
+  }
+
+  const auto outputs = graph_.outputs();
+  PSDACC_EXPECTS(outputs.size() == 1);
+  // A source that never reaches the output leaves an all-zero response.
+  return UnitResponse{.power = workspace_[outputs[0]].variance(),
+                      .dc = workspace_[outputs[0]].mean()};
+}
+
+double PsdAnalyzer::output_noise_power_delta(
+    sfg::NodeId v, const fxp::FixedPointFormat& format) const {
+  PSDACC_EXPECTS(delta_supported_);
+  return delta_terms_.power_delta(
+      graph_, topology_at_build_, v, format,
+      [this](sfg::NodeId source) { return unit_response(source); });
 }
 
 }  // namespace psdacc::core

@@ -4,8 +4,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "core/delta_terms.hpp"
 #include "core/noise_spectrum.hpp"
 #include "sfg/graph.hpp"
 
@@ -59,6 +61,30 @@ class PsdAnalyzer {
   /// Convenience: total noise power at the single Output node.
   double output_noise_power() const;
 
+  /// True when incremental (per-source decomposed) evaluation is exact for
+  /// this graph. Hierarchical PSD propagation is linear in each source's
+  /// (variance, mean) *except* through zero-stuffing expanders, whose
+  /// folded image lines carry (mean/L)^2 of the *total* mean at the
+  /// expander (NoiseSpectrum::expand) — quadratic, so per-source terms no
+  /// longer add. Graphs with upsamplers therefore honestly report
+  /// unsupported; downsamplers (linear PSD fold) are fine.
+  bool supports_delta() const { return delta_supported_; }
+
+  /// Incremental probe: total output noise power as if source @p v
+  /// injected the continuous-PQN moments of @p format (the same moments a
+  /// word-length assignment would install), every other node unchanged.
+  /// The graph is not mutated. Exact up to floating-point reordering
+  /// against mutate-then-output_noise_power().
+  ///
+  /// Cost: O(sources) scalar work per call, after a lazily built
+  /// per-source unit response (one sweep restricted to
+  /// sfg::Graph::downstream_cone(v) each, cached until a non-source node
+  /// mutates — see core::SourceTermCache for the invalidation rules).
+  /// Cached contributions re-derive only for sources whose node revision
+  /// moved since the last call. Requires supports_delta().
+  double output_noise_power_delta(sfg::NodeId v,
+                                  const fxp::FixedPointFormat& format) const;
+
   const PsdOptions& options() const { return opts_; }
 
  private:
@@ -69,15 +95,22 @@ class PsdAnalyzer {
     double noise_dc = 1.0;
   };
 
+  UnitResponse unit_response(sfg::NodeId source) const;
+
   const sfg::Graph& graph_;
   PsdOptions opts_;
   std::vector<sfg::NodeId> order_;
   std::vector<BlockTables> tables_;  // indexed by NodeId (empty for most)
+  bool delta_supported_ = false;
+  std::uint64_t topology_at_build_ = 0;
   // Reused by output_spectrum()/output_noise_power() and the block visitor
   // so per-probe evaluation is allocation-free (hence one analyzer may not
   // be shared across threads; clone the graph and build one per worker).
   mutable std::vector<NoiseSpectrum> workspace_;
   mutable NoiseSpectrum scratch_;
+  // Decomposed per-source delta-probe cache (lazy scratch, same
+  // one-thread-at-a-time contract as the workspaces).
+  mutable SourceTermCache delta_terms_;
 };
 
 }  // namespace psdacc::core

@@ -1,11 +1,19 @@
 #include "core/range_analysis.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "support/assert.hpp"
 
 namespace psdacc::core {
+namespace {
+std::atomic<std::size_t> range_calls{0};
+}  // namespace
+
+std::size_t analyze_ranges_calls() {
+  return range_calls.load(std::memory_order_relaxed);
+}
 
 double Range::max_abs() const { return std::max(std::abs(lo), std::abs(hi)); }
 
@@ -35,6 +43,7 @@ Range hull(const Range& a, double v) {
 
 std::vector<Range> analyze_ranges(const sfg::Graph& g, Range input,
                                   RangeOptions opts) {
+  range_calls.fetch_add(1, std::memory_order_relaxed);
   PSDACC_EXPECTS(input.lo <= input.hi);
   PSDACC_EXPECTS(!g.has_cycles());
   g.validate();

@@ -11,6 +11,7 @@
 // loop on full fixed-point format selection.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "fixedpoint/format.hpp"
@@ -45,5 +46,11 @@ int required_integer_bits(const Range& r);
 
 /// L1 norm of a transfer function's impulse response (truncated for IIR).
 double l1_norm(const filt::TransferFunction& tf, std::size_t impulse_len);
+
+/// Process-wide count of analyze_ranges() invocations (monotonic,
+/// thread-safe) — the probe-counter hook regression tests use to assert
+/// the analysis is hoisted, not re-run, by drivers that cache it behind
+/// the graph's topology revision (opt::WordlengthOptimizer).
+std::size_t analyze_ranges_calls();
 
 }  // namespace psdacc::core

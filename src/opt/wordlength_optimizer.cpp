@@ -1,6 +1,7 @@
 #include "opt/wordlength_optimizer.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "fixedpoint/noise_model.hpp"
 #include "support/assert.hpp"
@@ -8,20 +9,54 @@
 namespace psdacc::opt {
 namespace {
 
-// Sets the fractional bits of a word-length variable node.
+// Sets the fractional bits of a word-length variable node. Reads through
+// the const accessor first and mutates only on a real change: an unchanged
+// stamp must not bump the graph's revision counters, or re-stamping a
+// recycled probe context would needlessly invalidate its engine's cached
+// per-source contributions and power memo.
 void set_bits(sfg::Graph& g, sfg::NodeId id, int bits) {
-  sfg::Node& node = g.node(id);
-  if (auto* q = std::get_if<sfg::QuantizerNode>(&node.payload)) {
-    q->format.fractional_bits = bits;
-    q->moments = fxp::continuous_quantization_noise(q->format);
+  const sfg::Node& node = std::as_const(g).node(id);
+  if (const auto* q = std::get_if<sfg::QuantizerNode>(&node.payload)) {
+    auto format = q->format;
+    format.fractional_bits = bits;
+    const auto moments = fxp::continuous_quantization_noise(format);
+    // Moments are compared too, not just bits: a quantizer built with
+    // caller-supplied moments must still have them replaced by the derived
+    // PQN moments the first time the optimizer touches it, exactly as the
+    // unconditional assignment always did.
+    if (q->format == format && q->moments.mean == moments.mean &&
+        q->moments.variance == moments.variance)
+      return;
+    auto& mut = std::get<sfg::QuantizerNode>(g.node(id).payload);
+    mut.format = format;
+    mut.moments = moments;
     return;
   }
-  if (auto* b = std::get_if<sfg::BlockNode>(&node.payload)) {
+  if (const auto* b = std::get_if<sfg::BlockNode>(&node.payload)) {
     PSDACC_EXPECTS(b->output_format.has_value());
-    b->output_format->fractional_bits = bits;
+    if (b->output_format->fractional_bits == bits) return;
+    std::get<sfg::BlockNode>(g.node(id).payload)
+        .output_format->fractional_bits = bits;
     return;
   }
   PSDACC_EXPECTS(false && "variable must be a quantizer or quantized block");
+}
+
+// The format a word-length assignment of `bits` would install at `id` —
+// what AccuracyEngine::evaluate_delta needs to probe hypothetically.
+fxp::FixedPointFormat candidate_format(const sfg::Graph& g, sfg::NodeId id,
+                                       int bits) {
+  const sfg::Node& node = g.node(id);
+  fxp::FixedPointFormat format;
+  if (const auto* q = std::get_if<sfg::QuantizerNode>(&node.payload)) {
+    format = q->format;
+  } else {
+    const auto* b = std::get_if<sfg::BlockNode>(&node.payload);
+    PSDACC_EXPECTS(b != nullptr && b->output_format.has_value());
+    format = *b->output_format;
+  }
+  format.fractional_bits = bits;
+  return format;
 }
 
 }  // namespace
@@ -79,6 +114,10 @@ WordlengthOptimizer::WordlengthOptimizer(sfg::Graph& g,
   PSDACC_EXPECTS(cfg_.min_bits >= 1 && cfg_.min_bits <= cfg_.max_bits);
   PSDACC_EXPECTS(cfg_.cost_weights.empty() ||
                  cfg_.cost_weights.size() == variables_.size());
+  delta_probes_ = cfg_.incremental && engine_->capabilities().delta;
+  // Before any probe context clones the graph: integer bits sized here are
+  // inherited by every clone, so probes only ever vary fractional bits.
+  ensure_integer_bits();
 }
 
 WordlengthOptimizer::~WordlengthOptimizer() = default;
@@ -87,15 +126,55 @@ double WordlengthOptimizer::weight(std::size_t v) const {
   return cfg_.cost_weights.empty() ? 1.0 : cfg_.cost_weights[v];
 }
 
+void WordlengthOptimizer::ensure_integer_bits() {
+  if (!cfg_.input_range.has_value()) return;
+  if (ranges_topology_ == graph_.topology_revision()) return;
+  // One range-analysis pass per topology: the bounds depend only on the
+  // structure and coefficients, never on the fractional bits the search
+  // sweeps, so repeated evaluate()/apply() calls stay cache-warm.
+  const auto ranges = core::analyze_ranges(graph_, *cfg_.input_range);
+  for (const sfg::NodeId id : variables_) {
+    const int integer_bits = core::required_integer_bits(ranges[id]);
+    const sfg::Node& node = std::as_const(graph_).node(id);
+    if (const auto* q = std::get_if<sfg::QuantizerNode>(&node.payload)) {
+      if (q->format.integer_bits != integer_bits)
+        std::get<sfg::QuantizerNode>(graph_.node(id).payload)
+            .format.integer_bits = integer_bits;
+    } else {
+      const auto* b = std::get_if<sfg::BlockNode>(&node.payload);
+      PSDACC_EXPECTS(b != nullptr && b->output_format.has_value());
+      if (b->output_format->integer_bits != integer_bits)
+        std::get<sfg::BlockNode>(graph_.node(id).payload)
+            .output_format->integer_bits = integer_bits;
+    }
+  }
+  ranges_topology_ = graph_.topology_revision();
+}
+
 void WordlengthOptimizer::apply(const std::vector<int>& bits) {
   PSDACC_EXPECTS(bits.size() == variables_.size());
+  ensure_integer_bits();
   for (std::size_t v = 0; v < variables_.size(); ++v)
     set_bits(graph_, variables_[v], bits[v]);
 }
 
 double WordlengthOptimizer::evaluate() {
+  ensure_integer_bits();
   ++evaluations_;
   return engine_->output_noise_power();
+}
+
+core::AccuracyEngine::EvalCounters WordlengthOptimizer::probe_counters()
+    const {
+  std::lock_guard lock(contexts_mutex_);
+  core::AccuracyEngine::EvalCounters total = engine_->eval_counters();
+  for (const auto& context : free_contexts_) {
+    const auto& c = context->engine->eval_counters();
+    total.full += c.full;
+    total.cached += c.cached;
+    total.delta += c.delta;
+  }
+  return total;
 }
 
 double WordlengthOptimizer::probe(const std::vector<int>& bits,
@@ -103,10 +182,21 @@ double WordlengthOptimizer::probe(const std::vector<int>& bits,
   ContextLease context(*this);
   // Stamp the full assignment: a recycled context carries whatever the
   // previous probe left behind, so the probe result depends only on its
-  // arguments — never on scheduling.
+  // arguments — never on scheduling. set_bits early-outs on unchanged
+  // variables, so within one search iteration a recycled context's
+  // revision counters move only where the assignment really differs.
   for (std::size_t u = 0; u < variables_.size(); ++u)
-    set_bits(context->graph, variables_[u],
-             u == v ? candidate_bits : bits[u]);
+    if (u != v) set_bits(context->graph, variables_[u], bits[u]);
+  if (delta_probes_) {
+    // Delta path: hold the context at the iteration's baseline and probe
+    // the candidate hypothetically — the engine re-derives one source's
+    // contribution and combines the rest from its cache.
+    set_bits(context->graph, variables_[v], bits[v]);
+    return context->engine->evaluate_delta(
+        variables_[v],
+        candidate_format(context->graph, variables_[v], candidate_bits));
+  }
+  set_bits(context->graph, variables_[v], candidate_bits);
   return context->engine->output_noise_power();
 }
 

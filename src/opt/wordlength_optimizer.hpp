@@ -7,7 +7,10 @@
 /// proposed PSD method (the default), the flat or moment baselines — the
 /// paper's Table-II comparison extended to a *search-quality* axis — or
 /// even bit-true simulation. With the default PSD engine a probe is one
-/// O(N) sweep, so thousands of candidates per second are feasible. With
+/// O(N) sweep — and with incremental probing (the default where the
+/// engine's capabilities().delta holds) a probe shrinks further to
+/// O(sources): only the changed variable's noise contribution is
+/// re-derived, the rest combines from the probe context's cache. With
 /// `OptimizerConfig::workers > 1` the candidate probes of one search
 /// iteration are scored concurrently on a runtime::ThreadPool (each worker
 /// probing its own graph clone + engine via clone_for_worker), multiplying
@@ -16,11 +19,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "core/accuracy_engine.hpp"
+#include "core/range_analysis.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sfg/graph.hpp"
 
@@ -50,6 +56,24 @@ struct OptimizerConfig {
   /// plan...). `n_psd` above overrides `engine_opts.n_psd` so existing
   /// drivers keep one resolution knob.
   core::EngineOptions engine_opts;
+  /// Probe candidates through AccuracyEngine::evaluate_delta when the
+  /// engine supports it (capabilities().delta): a probe then re-derives
+  /// only the noise contribution of the changed variable and combines the
+  /// rest from the per-worker probe context's cache — O(sources) instead
+  /// of O(graph). Engines without the capability (simulation always, psd
+  /// with upsamplers, moment under corrected multirate rules) fall back
+  /// to full evaluation automatically. Off = always full probes (the
+  /// pre-incremental behavior, kept for A/B timing); both settings find
+  /// identical word-lengths.
+  bool incremental = true;
+  /// When set, integer bits of every variable are sized from dynamic-range
+  /// analysis (core::analyze_ranges with this input range +
+  /// core::required_integer_bits) instead of left at their construction
+  /// values. The analysis depends only on topology and coefficients, so it
+  /// is hoisted behind the graph's topology revision: computed once and
+  /// reused across every apply()/evaluate()/probe of the search
+  /// (regression-tested via core::analyze_ranges_calls()).
+  std::optional<core::Range> input_range;
 };
 
 /// Outcome of one optimization strategy.
@@ -95,6 +119,11 @@ class WordlengthOptimizer {
   std::size_t evaluations() const { return evaluations_; }
   /// The accuracy backend scoring this search's probes.
   const core::AccuracyEngine& engine() const { return *engine_; }
+  /// Evaluation accounting aggregated over the prototype engine and every
+  /// probe context's engine — the probe-counter hook tests use to assert
+  /// probes really took the delta path (or the cache-warm full path). Call
+  /// between searches, when no probe is in flight.
+  core::AccuracyEngine::EvalCounters probe_counters() const;
 
  private:
   // One worker's isolated probe state: a private clone of the system plus
@@ -113,18 +142,28 @@ class WordlengthOptimizer {
   double weight(std::size_t v) const;
   OptimizerResult package(std::vector<int> bits);
   /// Noise of `bits` with bits[v] replaced by `candidate_bits`, evaluated
-  /// on a checked-out probe context (safe to call concurrently).
+  /// on a checked-out probe context (safe to call concurrently). Takes the
+  /// engine's delta path when enabled (see OptimizerConfig::incremental):
+  /// the context graph is stamped to the `bits` baseline and the candidate
+  /// is evaluated hypothetically, so the context's per-source caches stay
+  /// warm across the whole iteration.
   double probe(const std::vector<int>& bits, std::size_t v,
                int candidate_bits);
+  /// Range-analysis hoist: sizes variable integer bits from
+  /// cfg_.input_range once per topology revision (no-op when unset or
+  /// already current).
+  void ensure_integer_bits();
 
   sfg::Graph& graph_;
   std::vector<sfg::NodeId> variables_;
   OptimizerConfig cfg_;
   std::unique_ptr<core::AccuracyEngine> engine_;
+  bool delta_probes_ = false;
+  std::uint64_t ranges_topology_ = ~std::uint64_t{0};
   std::size_t evaluations_ = 0;
   std::unique_ptr<runtime::ThreadPool> owned_pool_;
   runtime::ThreadPool* pool_;
-  std::mutex contexts_mutex_;
+  mutable std::mutex contexts_mutex_;
   std::vector<std::unique_ptr<ProbeContext>> free_contexts_;
 };
 

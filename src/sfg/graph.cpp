@@ -40,6 +40,9 @@ const char* node_kind_name(const NodePayload& payload) {
 
 NodeId Graph::append(Node node) {
   nodes_.push_back(std::move(node));
+  node_revisions_.push_back(0);
+  ++topology_revision_;
+  ++revision_;
   return nodes_.size() - 1;
 }
 
@@ -127,6 +130,9 @@ void Graph::add_adder_input(NodeId adder, NodeId src, double sign) {
   PSDACC_EXPECTS(payload != nullptr);
   nodes_[adder].inputs.push_back(src);
   payload->signs.push_back(sign);
+  ++node_revisions_[adder];
+  ++topology_revision_;
+  ++revision_;
 }
 
 const Node& Graph::node(NodeId id) const {
@@ -136,7 +142,43 @@ const Node& Graph::node(NodeId id) const {
 
 Node& Graph::node(NodeId id) {
   PSDACC_EXPECTS(id < nodes_.size());
+  // Conservative: the caller may mutate through this reference, so the
+  // revision moves now, before any edit happens.
+  ++node_revisions_[id];
+  ++revision_;
   return nodes_[id];
+}
+
+std::uint64_t Graph::node_revision(NodeId id) const {
+  PSDACC_EXPECTS(id < nodes_.size());
+  return node_revisions_[id];
+}
+
+const std::vector<NodeId>& Graph::downstream_cone(NodeId v) const {
+  PSDACC_EXPECTS(v < nodes_.size());
+  if (cone_topology_ != topology_revision_) {
+    cone_cache_.assign(nodes_.size(), {});
+    cone_consumers_ = consumers();
+    cone_topology_ = topology_revision_;
+  }
+  std::vector<NodeId>& cone = cone_cache_[v];
+  if (!cone.empty()) return cone;  // cones always contain v: empty == unset
+  std::vector<char> seen(nodes_.size(), 0);
+  std::vector<NodeId> frontier{v};
+  seen[v] = 1;
+  cone.push_back(v);
+  while (!frontier.empty()) {
+    const NodeId id = frontier.back();
+    frontier.pop_back();
+    for (NodeId c : cone_consumers_[id]) {
+      if (seen[c]) continue;
+      seen[c] = 1;
+      cone.push_back(c);
+      frontier.push_back(c);
+    }
+  }
+  std::sort(cone.begin(), cone.end());
+  return cone;
 }
 
 namespace {
@@ -249,6 +291,14 @@ void Graph::validate() const {
     };
     std::visit(ArityVisitor{n.inputs.size()}, n.payload);
   }
+}
+
+fxp::NoiseMoments noise_source_moments(const Node& node) {
+  if (const auto* q = std::get_if<QuantizerNode>(&node.payload))
+    return q->moments;
+  const auto* block = std::get_if<BlockNode>(&node.payload);
+  PSDACC_EXPECTS(block != nullptr && block->output_format.has_value());
+  return fxp::continuous_quantization_noise(*block->output_format);
 }
 
 bool Graph::is_single_rate() const {

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -68,7 +69,32 @@ class Graph {
 
   std::size_t node_count() const { return nodes_.size(); }
   const Node& node(NodeId id) const;
+  /// Mutable access. Handing out a mutable node conservatively bumps the
+  /// graph revision and the node's revision counter — the caller may be
+  /// about to edit a format — so revision-keyed caches (engine power
+  /// caches, per-source delta contributions) invalidate exactly the state
+  /// that could have changed. Read through a const Graph& when no
+  /// mutation is intended.
   Node& node(NodeId id);
+
+  /// Monotonic counter covering *every* mutation: structural edits and
+  /// each mutable node() access. Evaluation caches key on it: equal
+  /// revisions guarantee an unchanged graph.
+  std::uint64_t revision() const { return revision_; }
+  /// Monotonic counter covering structural edits only (add_* /
+  /// add_adder_input). Reachability memos and analyzer preprocessing key
+  /// on it; format edits leave it untouched.
+  std::uint64_t topology_revision() const { return topology_revision_; }
+  /// Per-node counter: bumped whenever node(id) is handed out mutably (or
+  /// the node gains a fan-in edge). Lets per-source caches re-derive only
+  /// the contributions whose source actually moved.
+  std::uint64_t node_revision(NodeId id) const;
+
+  /// All nodes reachable from @p v along signal-flow edges, @p v included,
+  /// in ascending NodeId order — the "dirty cone" a word-length change at
+  /// @p v can perturb. Memoized per node; the memo is invalidated by
+  /// topology edits (format edits keep it valid).
+  const std::vector<NodeId>& downstream_cone(NodeId v) const;
 
   /// Ids of all Input / Output / noise-injecting nodes.
   std::vector<NodeId> inputs() const;
@@ -108,6 +134,21 @@ class Graph {
 
   [[no_unique_address]] CopyCounter copy_counter_;
   std::vector<Node> nodes_;
+  std::uint64_t revision_ = 0;
+  std::uint64_t topology_revision_ = 0;
+  std::vector<std::uint64_t> node_revisions_;
+  // downstream_cone memo (and the consumer lists it walks), valid while
+  // cone_topology_ matches topology_revision_. Mutable lazy state: like
+  // the analyzers' workspaces, lazy queries follow the one-writer
+  // contract (graphs are cloned per worker, never mutated concurrently).
+  mutable std::uint64_t cone_topology_ = ~std::uint64_t{0};
+  mutable std::vector<std::vector<NodeId>> cone_cache_;
+  mutable std::vector<std::vector<NodeId>> cone_consumers_;
 };
+
+/// PQN moments a noise source injects: the stored (possibly overridden)
+/// moments of a QuantizerNode, or the continuous-amplitude moments of a
+/// quantized BlockNode's output format. Asserts @p node is a source.
+fxp::NoiseMoments noise_source_moments(const Node& node);
 
 }  // namespace psdacc::sfg

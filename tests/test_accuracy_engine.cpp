@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -128,6 +129,30 @@ TEST_P(EngineContractTest, SpectrumCapabilityIsHonest) {
   // simulation engine's Welch estimate carries windowing leakage.
   const double tol = engine->capabilities().stochastic ? 0.15 : 1e-9;
   EXPECT_NEAR(spectrum.power(), power, tol * power);
+}
+
+TEST_P(EngineContractTest, DeltaCapabilityIsHonest) {
+  auto g = make_chain();
+  const auto engine = core::make_engine(GetParam(), g, test_options());
+  const auto sources = g.noise_sources();
+  const auto& q =
+      std::get<sfg::QuantizerNode>(std::as_const(g).node(sources[0]).payload);
+  if (!engine->capabilities().delta) {
+    EXPECT_THROW(engine->evaluate_delta(sources[0], q.format),
+                 std::logic_error);
+    return;
+  }
+  // Null delta: hypothesizing the format a source already carries must
+  // reproduce the full evaluation (up to summation reordering).
+  const double full = engine->output_noise_power();
+  const double null_delta = engine->evaluate_delta(sources[0], q.format);
+  EXPECT_NEAR(null_delta, full, 1e-12 * full);
+  // A hypothetical probe must not mutate the graph or the evaluation.
+  auto finer = q.format;
+  finer.fractional_bits += 4;
+  const double probed = engine->evaluate_delta(sources[0], finer);
+  EXPECT_LT(probed, full);
+  EXPECT_EQ(engine->output_noise_power(), full);  // bitwise
 }
 
 TEST_P(EngineContractTest, NameRoundTripsThroughParse) {

@@ -125,6 +125,40 @@ TEST(Determinism, MinPlusOneIsWorkerCountInvariant) {
   }
 }
 
+TEST(Determinism, DeltaProbingIsWorkerCountInvariant) {
+  // Incremental probes combine cached per-source contributions inside each
+  // worker's probe context; the caches are pure functions of the stamped
+  // assignment (fixed-order summation, format-independent unit responses),
+  // so which worker probed what — and in which order contexts were
+  // recycled — must never show in the result. Asserted explicitly per
+  // analytical engine and for both search strategies.
+  for (const core::EngineKind kind :
+       {core::EngineKind::kPsd, core::EngineKind::kMoment,
+        core::EngineKind::kFlat}) {
+    for (const bool greedy : {true, false}) {
+      auto cfg = optimizer_config(1);
+      cfg.engine = kind;
+      cfg.incremental = true;
+      auto serial_sys = make_chain();
+      opt::WordlengthOptimizer serial(serial_sys.graph,
+                                      serial_sys.variables, cfg);
+      const auto serial_result =
+          greedy ? serial.greedy_descent() : serial.min_plus_one();
+      ASSERT_TRUE(serial.engine().capabilities().delta);
+      EXPECT_GT(serial.probe_counters().delta, 0u);
+
+      for (const std::size_t workers : {2u, 4u}) {
+        cfg.workers = workers;
+        auto sys = make_chain();
+        opt::WordlengthOptimizer parallel(sys.graph, sys.variables, cfg);
+        expect_identical(greedy ? parallel.greedy_descent()
+                                : parallel.min_plus_one(),
+                         serial_result);
+      }
+    }
+  }
+}
+
 TEST(Determinism, SharedPoolMatchesOwnedPool) {
   auto owned_sys = make_chain();
   opt::WordlengthOptimizer owned(owned_sys.graph, owned_sys.variables,

@@ -1,0 +1,479 @@
+// Incremental (delta) evaluation layer: graph revision counters and the
+// downstream-cone query, randomized incremental-vs-full parity across every
+// engine kind that supports delta on SISO, multirate, and reconvergent
+// topologies, honest capability reporting with full-evaluation fallback,
+// and the cache-warm contracts (revision-keyed power memo, hoisted range
+// analysis) asserted through the probe-counter hooks.
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/accuracy_engine.hpp"
+#include "core/range_analysis.hpp"
+#include "filters/fir_design.hpp"
+#include "filters/iir_design.hpp"
+#include "opt/wordlength_optimizer.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace psdacc;
+using core::EngineKind;
+
+// --- Graph revision counters and the downstream cone -----------------------
+
+TEST(GraphRevision, StructuralEditsBumpTopologyAndGraphRevision) {
+  sfg::Graph g;
+  const auto r0 = g.revision();
+  const auto t0 = g.topology_revision();
+  const auto in = g.add_input();
+  EXPECT_GT(g.revision(), r0);
+  EXPECT_GT(g.topology_revision(), t0);
+  const auto q = g.add_quantizer(in, fxp::q_format(4, 12));
+  g.add_output(q);
+  EXPECT_EQ(g.node_revision(q), 0u);
+}
+
+TEST(GraphRevision, MutableNodeAccessBumpsNodeAndGraphRevisionOnly) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto q = g.add_quantizer(in, fxp::q_format(4, 12));
+  g.add_output(q);
+  const auto r0 = g.revision();
+  const auto t0 = g.topology_revision();
+  const auto n0 = g.node_revision(q);
+  g.node(q);  // mutable handout: conservative bump
+  EXPECT_EQ(g.revision(), r0 + 1);
+  EXPECT_EQ(g.node_revision(q), n0 + 1);
+  EXPECT_EQ(g.topology_revision(), t0);
+  // Const access never bumps.
+  std::as_const(g).node(q);
+  EXPECT_EQ(g.revision(), r0 + 1);
+}
+
+TEST(DownstreamCone, CoversExactlyTheReachableSetOnReconvergence) {
+  // in -> q -> {left, right} -> add -> out, plus a dead-end gain off `in`.
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto q = g.add_quantizer(in, fxp::q_format(4, 12));
+  const auto left = g.add_gain(q, 0.5);
+  const auto right = g.add_delay(q, 2);
+  const auto add = g.add_adder({left, right});
+  const auto out = g.add_output(add);
+  const auto side = g.add_gain(in, 2.0);  // not downstream of q
+
+  const auto& cone = g.downstream_cone(q);
+  EXPECT_EQ(cone, (std::vector<sfg::NodeId>{q, left, right, add, out}));
+  EXPECT_EQ(g.downstream_cone(side),
+            (std::vector<sfg::NodeId>{side}));
+  // Memoized: the same object comes back while the topology is unchanged,
+  // and format edits (mutable node access) do not invalidate it.
+  const auto* first = &g.downstream_cone(q);
+  g.node(q);
+  EXPECT_EQ(&g.downstream_cone(q), first);
+}
+
+TEST(DownstreamCone, TopologyEditsInvalidateTheMemo) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto q = g.add_quantizer(in, fxp::q_format(4, 12));
+  const auto add = g.add_adder({q});
+  g.add_output(add);
+  ASSERT_EQ(g.downstream_cone(in).size(), 4u);
+
+  // New branch into the adder: `side` must appear in in's cone afterwards.
+  const auto side = g.add_gain(in, 0.25);
+  g.add_adder_input(add, side);
+  const auto& cone = g.downstream_cone(in);
+  EXPECT_NE(std::find(cone.begin(), cone.end(), side), cone.end());
+  EXPECT_EQ(cone.size(), 5u);
+}
+
+// --- Randomized incremental-vs-full parity ---------------------------------
+
+// Random LTI block, as in test_random_graphs.
+filt::TransferFunction random_block(Xoshiro256& rng) {
+  switch (rng.below(4)) {
+    case 0:
+      return filt::TransferFunction(filt::fir_lowpass(
+          9 + 2 * rng.below(12), rng.uniform(0.08, 0.4)));
+    case 1:
+      return filt::iir_lowpass(filt::IirFamily::kButterworth,
+                               2 + static_cast<int>(rng.below(3)),
+                               rng.uniform(0.1, 0.35));
+    case 2:
+      return filt::iir_highpass(filt::IirFamily::kChebyshev1, 2,
+                                rng.uniform(0.1, 0.3));
+    default:
+      return filt::TransferFunction::gain(rng.uniform(0.3, 1.5));
+  }
+}
+
+enum class Topology { kSiso, kReconvergent, kMultirate };
+
+// Random acyclic SFG of the requested family. Truncation rounding on
+// purpose: nonzero source means exercise the coherent-mean bookkeeping of
+// the decomposition, which round-nearest (mean 0) would leave untested.
+sfg::Graph random_graph(Topology topology, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const auto bits = [&](int base) {
+    return base + static_cast<int>(rng.below(4));
+  };
+  const auto fmt = [](int d) {
+    return fxp::q_format(5, d, fxp::RoundingMode::kTruncate);
+  };
+  sfg::Graph g;
+  const auto in = g.add_input();
+  sfg::NodeId head = g.add_quantizer(in, fmt(bits(10)));
+  const int stages = 3 + static_cast<int>(rng.below(3));
+  for (int stage = 0; stage < stages; ++stage) {
+    switch (rng.below(4)) {
+      case 0:
+        if (topology == Topology::kReconvergent) {
+          const auto left =
+              g.add_block(head, random_block(rng), fmt(bits(11)));
+          const auto right =
+              g.add_block(g.add_delay(head, 1 + rng.below(4)),
+                          random_block(rng), fmt(bits(11)));
+          head = g.add_adder({left, right});
+          break;
+        }
+        [[fallthrough]];
+      case 1:
+        head = g.add_block(head, random_block(rng), fmt(bits(11)));
+        break;
+      case 2:
+        if (topology == Topology::kMultirate) {
+          // Downsample only: expanders break the decomposition and are
+          // gated off (covered by CapabilityHonesty below).
+          head = g.add_downsample(head, 2);
+          break;
+        }
+        head = g.add_gain(head, rng.uniform(0.4, 1.3));
+        break;
+      default:
+        head = g.add_quantizer(head, fmt(bits(9)));
+        break;
+    }
+  }
+  g.add_output(head);
+  g.validate();
+  return g;
+}
+
+core::EngineOptions small_options() {
+  core::EngineOptions opts;
+  opts.n_psd = 128;
+  return opts;
+}
+
+// For every engine kind that reports delta support on the graph: probing
+// any source at any candidate format through evaluate_delta must equal
+// applying the format and fully re-evaluating, to 1e-12 (relative).
+void expect_delta_matches_full(const sfg::Graph& g, std::uint64_t seed) {
+  Xoshiro256 rng(seed ^ 0x9e3779b97f4a7c15ull);
+  for (const EngineKind kind : core::kAllEngineKinds) {
+    if (!core::engine_supports(kind, g)) continue;
+    if (kind == EngineKind::kSimulation) continue;  // delta == false always
+    const auto engine = core::make_engine(kind, g, small_options());
+    if (!engine->capabilities().delta) continue;
+    for (const sfg::NodeId src : g.noise_sources()) {
+      const int bits = 6 + static_cast<int>(rng.below(12));
+      // Truncation: a nonzero mean exercises the coherent-mean terms.
+      const auto format =
+          fxp::q_format(5, bits, fxp::RoundingMode::kTruncate);
+      const double delta = engine->evaluate_delta(src, format);
+
+      // Reference: a private copy with the format actually applied (same
+      // moments evaluate_delta hypothesizes), fully re-evaluated fresh.
+      sfg::Graph applied = g;
+      sfg::Node& node = applied.node(src);
+      if (auto* q = std::get_if<sfg::QuantizerNode>(&node.payload)) {
+        q->format = format;
+        q->moments = fxp::continuous_quantization_noise(format);
+      } else {
+        std::get<sfg::BlockNode>(node.payload).output_format = format;
+      }
+      const double full = core::make_engine(kind, applied, small_options())
+                              ->output_noise_power();
+      EXPECT_NEAR(delta, full, 1e-12 * std::max(std::abs(full), 1e-30))
+          << core::to_string(kind) << " src=" << src << " bits=" << bits
+          << " seed=" << seed;
+    }
+  }
+}
+
+class IncrementalParity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalParity, SisoChains) {
+  expect_delta_matches_full(random_graph(Topology::kSiso, GetParam()),
+                            GetParam());
+}
+
+TEST_P(IncrementalParity, ReconvergentGraphs) {
+  expect_delta_matches_full(
+      random_graph(Topology::kReconvergent, GetParam()), GetParam());
+}
+
+TEST_P(IncrementalParity, MultirateGraphs) {
+  expect_delta_matches_full(random_graph(Topology::kMultirate, GetParam()),
+                            GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalParity,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+TEST(IncrementalParity, DeltaTracksBaselineMutationsIncrementally) {
+  // Mutate one source at a time between delta probes: the cache must
+  // re-derive exactly the moved contribution and stay in lockstep with
+  // full evaluation throughout.
+  auto g = random_graph(Topology::kReconvergent, 4242);
+  const auto engine =
+      core::make_engine(EngineKind::kPsd, g, small_options());
+  ASSERT_TRUE(engine->capabilities().delta);
+  const auto sources = g.noise_sources();
+  int bits = 8;
+  for (const sfg::NodeId src : sources) {
+    sfg::Node& node = g.node(src);  // bumps src's revision
+    const auto format = fxp::q_format(5, bits++,
+                                      fxp::RoundingMode::kTruncate);
+    if (auto* q = std::get_if<sfg::QuantizerNode>(&node.payload)) {
+      q->format = format;
+      q->moments = fxp::continuous_quantization_noise(format);
+    } else {
+      std::get<sfg::BlockNode>(node.payload).output_format = format;
+    }
+    const sfg::NodeId probe = sources.front();
+    const double current_format_delta = engine->evaluate_delta(
+        probe, std::get_if<sfg::QuantizerNode>(
+                   &std::as_const(g).node(probe).payload)
+                   ->format);
+    const double full = engine->output_noise_power();
+    EXPECT_NEAR(current_format_delta, full, 1e-12 * full);
+  }
+}
+
+TEST(IncrementalParity, NonSourceCoefficientEditsInvalidateUnitResponses) {
+  // Retuning a non-source node (a gain) through the tracked mutable
+  // accessor changes the propagation the cached unit responses were
+  // derived from: the cache must drop and rebuild them, keeping
+  // evaluate_delta in lockstep with full evaluation (regression: a stale
+  // cache silently returned the pre-edit value).
+  for (const EngineKind kind :
+       {EngineKind::kPsd, EngineKind::kMoment, EngineKind::kFlat}) {
+    sfg::Graph g;
+    const auto in = g.add_input();
+    const auto format =
+        fxp::q_format(4, 10, fxp::RoundingMode::kTruncate);
+    const auto q = g.add_quantizer(in, format);
+    const auto gain = g.add_gain(q, 1.0);
+    g.add_output(gain);
+
+    const auto engine = core::make_engine(kind, g, small_options());
+    ASSERT_TRUE(engine->capabilities().delta);
+    const double before = engine->evaluate_delta(q, format);
+    EXPECT_NEAR(before, engine->output_noise_power(),
+                1e-12 * before);
+
+    std::get<sfg::GainNode>(g.node(gain).payload).gain = 2.0;
+    const double full = engine->output_noise_power();
+    EXPECT_NEAR(full, 4.0 * before, 1e-9 * full);  // power scales by g^2
+    EXPECT_NEAR(engine->evaluate_delta(q, format), full, 1e-12 * full)
+        << core::to_string(kind)
+        << ": stale unit responses survived a gain edit";
+  }
+}
+
+// --- Capability honesty and fallback ---------------------------------------
+
+TEST(CapabilityHonesty, SimulationEngineReportsNoDeltaAndThrows) {
+  const auto g = random_graph(Topology::kSiso, 7);
+  const auto engine = core::make_engine(EngineKind::kSimulation, g, [] {
+    auto o = core::EngineOptions{};
+    o.sim_samples = 1u << 10;
+    o.sim_discard = 64;
+    return o;
+  }());
+  EXPECT_FALSE(engine->capabilities().delta);
+  EXPECT_THROW(
+      engine->evaluate_delta(g.noise_sources().front(), fxp::q_format(4, 8)),
+      std::logic_error);
+}
+
+sfg::Graph upsampler_graph() {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto q = g.add_quantizer(
+      in, fxp::q_format(4, 10, fxp::RoundingMode::kTruncate));
+  const auto up = g.add_upsample(q, 2);
+  const auto lp = g.add_block(
+      up, filt::TransferFunction(filt::fir_lowpass(16, 0.2)),
+      fxp::q_format(4, 10, fxp::RoundingMode::kTruncate));
+  g.add_output(lp);
+  return g;
+}
+
+TEST(CapabilityHonesty, PsdEngineGatesDeltaOffForUpsamplers) {
+  // Zero-stuffing folds (mean/L)^2 of the *total* mean into the bins —
+  // quadratic, so per-source contributions no longer add and the engine
+  // must refuse rather than be subtly wrong.
+  const auto g = upsampler_graph();
+  const auto engine = core::make_engine(EngineKind::kPsd, g, small_options());
+  EXPECT_FALSE(engine->capabilities().delta);
+  EXPECT_THROW(
+      engine->evaluate_delta(g.noise_sources().front(), fxp::q_format(4, 8)),
+      std::logic_error);
+}
+
+TEST(CapabilityHonesty, MomentEngineGatesDeltaOnMultirateRules) {
+  const auto g = upsampler_graph();
+  auto opts = small_options();
+  opts.blind_multirate = true;  // expander transparent: decomposition exact
+  EXPECT_TRUE(core::make_engine(EngineKind::kMoment, g, opts)
+                  ->capabilities()
+                  .delta);
+  opts.blind_multirate = false;  // corrected rule: quadratic in total mean
+  EXPECT_FALSE(core::make_engine(EngineKind::kMoment, g, opts)
+                   ->capabilities()
+                   .delta);
+}
+
+TEST(CapabilityHonesty, OptimizerFallsBackToFullProbesAndMatches) {
+  // psd engine on an upsampler graph: capabilities().delta == false, so
+  // cfg.incremental = true silently takes the full-probe path and must
+  // land on the identical result.
+  auto make_cfg = [](bool incremental) {
+    opt::OptimizerConfig cfg;
+    cfg.noise_budget = 2e-6;
+    cfg.min_bits = 4;
+    cfg.max_bits = 18;
+    cfg.n_psd = 128;
+    cfg.incremental = incremental;
+    return cfg;
+  };
+  auto g_full = upsampler_graph();
+  opt::WordlengthOptimizer full(g_full, g_full.noise_sources(),
+                                make_cfg(false));
+  const auto r_full = full.greedy_descent();
+
+  auto g_delta = upsampler_graph();
+  opt::WordlengthOptimizer fallback(g_delta, g_delta.noise_sources(),
+                                    make_cfg(true));
+  EXPECT_FALSE(fallback.engine().capabilities().delta);
+  const auto r_fallback = fallback.greedy_descent();
+  EXPECT_EQ(r_full.bits, r_fallback.bits);
+  EXPECT_EQ(r_full.noise, r_fallback.noise);  // bitwise
+  EXPECT_EQ(r_full.evaluations, r_fallback.evaluations);
+}
+
+// --- Incremental vs full search equivalence --------------------------------
+
+sfg::Graph optimizer_chain() {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto q = g.add_quantizer(in, fxp::q_format(4, 12));
+  const auto b1 = g.add_block(
+      q, filt::iir_lowpass(filt::IirFamily::kButterworth, 3, 0.2),
+      fxp::q_format(4, 12));
+  const auto b2 = g.add_block(
+      b1, filt::TransferFunction(filt::fir_highpass(31, 0.05)),
+      fxp::q_format(4, 12));
+  g.add_output(b2);
+  return g;
+}
+
+TEST(IncrementalSearch, DeltaAndFullProbesFindIdenticalWordlengths) {
+  for (const EngineKind kind :
+       {EngineKind::kPsd, EngineKind::kMoment, EngineKind::kFlat}) {
+    for (const bool greedy : {true, false}) {
+      opt::OptimizerConfig cfg;
+      cfg.noise_budget = 1e-6;
+      cfg.min_bits = 4;
+      cfg.max_bits = 20;
+      cfg.n_psd = 256;
+      cfg.engine = kind;
+
+      cfg.incremental = false;
+      auto g_full = optimizer_chain();
+      opt::WordlengthOptimizer full(g_full, g_full.noise_sources(), cfg);
+      const auto r_full = greedy ? full.greedy_descent() : full.min_plus_one();
+
+      cfg.incremental = true;
+      auto g_delta = optimizer_chain();
+      opt::WordlengthOptimizer delta(g_delta, g_delta.noise_sources(), cfg);
+      EXPECT_TRUE(delta.engine().capabilities().delta);
+      const auto r_delta =
+          greedy ? delta.greedy_descent() : delta.min_plus_one();
+
+      EXPECT_EQ(r_full.bits, r_delta.bits)
+          << core::to_string(kind) << (greedy ? " greedy" : " min+1");
+      EXPECT_EQ(r_full.noise, r_delta.noise);  // bitwise: same final apply
+      EXPECT_EQ(r_full.evaluations, r_delta.evaluations);
+      // The probes really took the delta path.
+      EXPECT_GT(delta.probe_counters().delta, 0u);
+      EXPECT_EQ(full.probe_counters().delta, 0u);
+    }
+  }
+}
+
+// --- Cache-warm contracts (probe-counter hooks) ----------------------------
+
+TEST(CacheWarm, RepeatedEvaluateOnUnchangedGraphHitsThePowerMemo) {
+  for (const EngineKind kind :
+       {EngineKind::kPsd, EngineKind::kMoment, EngineKind::kFlat}) {
+    auto g = optimizer_chain();
+    opt::OptimizerConfig cfg;
+    cfg.noise_budget = 1e-6;
+    cfg.n_psd = 128;
+    cfg.engine = kind;
+    opt::WordlengthOptimizer optimizer(g, g.noise_sources(), cfg);
+    const double first = optimizer.evaluate();
+    const auto after_first = optimizer.engine().eval_counters();
+    const double second = optimizer.evaluate();
+    const double third = optimizer.evaluate();
+    const auto after_third = optimizer.engine().eval_counters();
+    EXPECT_EQ(first, second);  // bitwise
+    EXPECT_EQ(first, third);
+    EXPECT_EQ(after_third.full, after_first.full)
+        << core::to_string(kind) << ": unchanged graph must not re-analyze";
+    EXPECT_EQ(after_third.cached, after_first.cached + 2);
+    // A real change invalidates the memo.
+    optimizer.apply(std::vector<int>(g.noise_sources().size(), 9));
+    optimizer.evaluate();
+    EXPECT_EQ(optimizer.engine().eval_counters().full, after_first.full + 1);
+  }
+}
+
+TEST(CacheWarm, RangeAnalysisIsHoistedBehindTheTopologyRevision) {
+  auto g = optimizer_chain();
+  opt::OptimizerConfig cfg;
+  cfg.noise_budget = 1e-6;
+  cfg.n_psd = 128;
+  cfg.input_range = core::Range{-0.9, 0.9};
+  const auto calls_before = core::analyze_ranges_calls();
+  opt::WordlengthOptimizer optimizer(g, g.noise_sources(), cfg);
+  EXPECT_EQ(core::analyze_ranges_calls(), calls_before + 1);
+  optimizer.evaluate();
+  optimizer.evaluate();
+  optimizer.apply({10, 12, 14});
+  optimizer.evaluate();
+  const auto r = optimizer.greedy_descent();
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(core::analyze_ranges_calls(), calls_before + 1)
+      << "range analysis must run once per topology, not per evaluate()";
+  // The analysis actually sized the variables' integer bits.
+  for (const sfg::NodeId id : g.noise_sources()) {
+    const sfg::Node& node = std::as_const(g).node(id);
+    const auto format =
+        std::holds_alternative<sfg::QuantizerNode>(node.payload)
+            ? std::get<sfg::QuantizerNode>(node.payload).format
+            : *std::get<sfg::BlockNode>(node.payload).output_format;
+    EXPECT_GE(format.integer_bits, 1);
+  }
+}
+
+}  // namespace
