@@ -51,6 +51,9 @@ class TransferFunction {
   /// test on the denominator). FIR systems are always stable.
   bool is_stable() const;
 
+  /// Exact coefficient equality (serialization round-trip contract).
+  bool operator==(const TransferFunction&) const = default;
+
   /// Series connection: this followed by other (polynomial products).
   TransferFunction cascade(const TransferFunction& other) const;
   /// Parallel connection: this + other.

@@ -29,6 +29,8 @@ struct NoiseMoments {
 
   /// Total noise power mu^2 + sigma^2.
   double power() const { return mean * mean + variance; }
+
+  bool operator==(const NoiseMoments&) const = default;
 };
 
 /// Moments for quantizing a continuous-amplitude signal to @p fmt.

@@ -5,11 +5,31 @@
 namespace psdacc::sfg {
 namespace {
 
+// Escapes a string for use inside a double-quoted DOT string. Quotes and
+// backslashes get the usual backslash escape; newline/CR become graphviz
+// line breaks (\n); other control characters have no DOT escape syntax and
+// would corrupt the emitted file, so they are rendered as visible \xHH
+// text instead.
 std::string escape(const std::string& s) {
+  static const char* hex = "0123456789abcdef";
   std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\n"; break;
+      case '\t': out += "  "; break;
+      default:
+        if (c < 0x20 || c == 0x7f) {
+          out += "\\\\x";  // renders as literal \xHH
+          out += hex[c >> 4];
+          out += hex[c & 0xf];
+        } else {
+          out += raw;
+        }
+    }
   }
   return out;
 }

@@ -135,6 +135,17 @@ void Graph::add_adder_input(NodeId adder, NodeId src, double sign) {
   ++revision_;
 }
 
+Graph Graph::from_nodes(std::vector<Node> nodes) {
+  Graph g;
+  g.nodes_ = std::move(nodes);
+  g.node_revisions_.assign(g.nodes_.size(), 0);
+  // As if every node had been appended through the builders.
+  g.revision_ = g.nodes_.size();
+  g.topology_revision_ = g.nodes_.size();
+  g.validate();
+  return g;
+}
+
 const Node& Graph::node(NodeId id) const {
   PSDACC_EXPECTS(id < nodes_.size());
   return nodes_[id];

@@ -67,6 +67,15 @@ class Graph {
   /// Adds a (possibly feedback) input edge to an existing adder.
   void add_adder_input(NodeId adder, NodeId src, double sign = 1.0);
 
+  /// Rebuilds a graph from a complete node list — the deserialization
+  /// path. Unlike the incremental add_* builders this accepts forward
+  /// edges anywhere they are representable (feedback adder inputs), so a
+  /// parsed graph reproduces the original byte-for-byte. The node list
+  /// must already be structurally sound: `validate()` runs on the result
+  /// (contract abort on violation), so parsers diagnose malformed input
+  /// *before* calling this.
+  static Graph from_nodes(std::vector<Node> nodes);
+
   std::size_t node_count() const { return nodes_.size(); }
   const Node& node(NodeId id) const;
   /// Mutable access. Handing out a mutable node conservatively bumps the

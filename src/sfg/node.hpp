@@ -29,36 +29,55 @@ namespace psdacc::sfg {
 
 using NodeId = std::size_t;
 
-struct InputNode {};
+// Every payload is exactly-comparable so a deserialized graph can be
+// checked field-for-field against the original (serialization round-trip
+// contract; doubles compare bitwise through ==).
+struct InputNode {
+  bool operator==(const InputNode&) const = default;
+};
 
-struct OutputNode {};
+struct OutputNode {
+  bool operator==(const OutputNode&) const = default;
+};
 
 struct BlockNode {
   filt::TransferFunction tf;
   /// When set, the block output is re-quantized each sample; analytically
   /// this injects PQN noise shaped by 1/A(z).
   std::optional<fxp::FixedPointFormat> output_format;
+
+  bool operator==(const BlockNode&) const = default;
 };
 
 struct GainNode {
   double gain = 1.0;
+
+  bool operator==(const GainNode&) const = default;
 };
 
 struct DelayNode {
   std::size_t delay = 1;
+
+  bool operator==(const DelayNode&) const = default;
 };
 
 /// Adds its inputs with per-input signs (+1/-1 typically).
 struct AdderNode {
   std::vector<double> signs;
+
+  bool operator==(const AdderNode&) const = default;
 };
 
 struct DownsampleNode {
   std::size_t factor = 2;
+
+  bool operator==(const DownsampleNode&) const = default;
 };
 
 struct UpsampleNode {
   std::size_t factor = 2;
+
+  bool operator==(const UpsampleNode&) const = default;
 };
 
 /// Pass-through quantizer: rounds the signal to `format` and is the
@@ -68,6 +87,8 @@ struct UpsampleNode {
 struct QuantizerNode {
   fxp::FixedPointFormat format;
   fxp::NoiseMoments moments;
+
+  bool operator==(const QuantizerNode&) const = default;
 };
 
 using NodePayload =
@@ -78,6 +99,8 @@ struct Node {
   NodePayload payload;
   std::vector<NodeId> inputs;  // producer ids, ordered
   std::string name;
+
+  bool operator==(const Node&) const = default;
 };
 
 /// Human-readable payload tag, for diagnostics.

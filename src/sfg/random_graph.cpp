@@ -1,0 +1,142 @@
+#include "sfg/random_graph.hpp"
+
+#include <string_view>
+
+#include "filters/fir_design.hpp"
+#include "filters/iir_design.hpp"
+
+namespace psdacc::sfg {
+
+filt::TransferFunction random_transfer_function(Xoshiro256& rng,
+                                                int max_taps) {
+  // Historical zoo (max_taps == 47 reproduces the original
+  // test_random_graphs.cpp draw: taps in {9, 11, ..., 47}).
+  const std::uint64_t tap_choices =
+      max_taps >= 11 ? static_cast<std::uint64_t>((max_taps - 9) / 2 + 1)
+                     : 1;
+  switch (rng.below(5)) {
+    case 0:
+      return filt::TransferFunction(filt::fir_lowpass(
+          9 + 2 * rng.below(tap_choices), rng.uniform(0.08, 0.4)));
+    case 1:
+      return filt::TransferFunction(filt::fir_highpass(
+          9 + 2 * rng.below(tap_choices), rng.uniform(0.08, 0.4)));
+    case 2:
+      return filt::iir_lowpass(filt::IirFamily::kButterworth,
+                               2 + static_cast<int>(rng.below(4)),
+                               rng.uniform(0.1, 0.35));
+    case 3:
+      return filt::iir_highpass(filt::IirFamily::kChebyshev1,
+                                2 + static_cast<int>(rng.below(3)),
+                                rng.uniform(0.1, 0.3));
+    default:
+      return filt::TransferFunction::gain(rng.uniform(0.3, 1.5));
+  }
+}
+
+std::string random_hostile_name(Xoshiro256& rng) {
+  using namespace std::string_view_literals;
+  // Everything the serializer's string escaping must survive; sv literals
+  // keep embedded NUL and control bytes.
+  static constexpr std::string_view kPieces[] = {
+      "plain"sv,        "with space"sv,  "quote\"q"sv,   "back\\slash"sv,
+      "line\nbreak"sv,  "tab\tsep"sv,    "cr\rret"sv,    "#comment"sv,
+      "key=value"sv,    "[list]"sv,      "{brace}"sv,    "trailing "sv,
+      " leading"sv,     "utf8-\xc3\xa9"sv, "ctrl-\x01\x02"sv,
+      "del-\x7f"sv,     "nul-\0-byte"sv,
+  };
+  constexpr std::uint64_t kCount = sizeof(kPieces) / sizeof(kPieces[0]);
+  std::string out;
+  const std::uint64_t pieces = rng.below(4);  // 0..3: empty names are legal
+  for (std::uint64_t i = 0; i < pieces; ++i)
+    out += kPieces[rng.below(kCount)];
+  if (rng.below(8) == 0) out.append(200 + rng.below(100), 'x');
+  return out;
+}
+
+namespace {
+
+// Boundary graphs the serializer must round-trip even though the engines
+// cannot evaluate them.
+Graph degenerate_graph(Xoshiro256& rng) {
+  Graph g;
+  switch (rng.below(4)) {
+    case 0:  // empty
+      break;
+    case 1:  // a single dangling input
+      g.add_input();
+      break;
+    case 2:  // source-free pass-through
+      g.add_output(g.add_input());
+      break;
+    default: {  // source-free with an exact node in between
+      const auto in = g.add_input();
+      g.add_output(g.add_delay(in, 1 + rng.below(4)));
+      break;
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+Graph random_graph(std::uint64_t seed, const RandomGraphOptions& opts) {
+  Xoshiro256 rng(seed);
+  if (opts.degenerate && rng.below(8) == 0) return degenerate_graph(rng);
+
+  const auto name = [&](const char* plain) {
+    return opts.hostile_names ? random_hostile_name(rng)
+                              : std::string(plain);
+  };
+  const auto fmt = fxp::q_format(5, 12);
+  Graph g;
+  const auto in = g.add_input(name("in"));
+  NodeId head = g.add_quantizer(in, fmt, name("quant"));
+  // Draws are hoisted into locals so the RNG call sequence is fixed by the
+  // code, not by argument evaluation order (hostile names draw too).
+  const auto random_block = [&]() {
+    return random_transfer_function(rng, opts.max_block_taps);
+  };
+  const std::uint64_t choices = opts.multirate ? 6 : 4;
+  for (int stage = 0; stage < opts.depth; ++stage) {
+    const auto choice = rng.below(choices);
+    if (choice == 0) {
+      // Branch: two differently-filtered quantized paths, re-joined. The
+      // common upstream noise reconverges with a decorrelating delay.
+      auto left_tf = random_block();
+      const auto left = g.add_block(head, std::move(left_tf), fmt,
+                                    name("block"));
+      const auto right_delay = 1 + rng.below(8);
+      const auto right_d = g.add_delay(head, right_delay, name("delay"));
+      auto right_tf = random_block();
+      const auto right = g.add_block(right_d, std::move(right_tf), fmt,
+                                     name("block"));
+      head = g.add_adder({left, right}, name("add"));
+    } else if (choice == 1) {
+      const double gain = rng.uniform(0.4, 1.2);
+      head = g.add_gain(head, gain, name("gain"));
+    } else if (choice == 2) {
+      const auto delay = 1 + rng.below(4);
+      head = g.add_delay(head, delay, name("delay"));
+    } else if (choice == 3) {
+      auto tf = random_block();
+      head = g.add_block(head, std::move(tf), fmt, name("block"));
+    } else if (choice == 4) {
+      // Anti-alias filter then decimate (the paper's multirate shape).
+      auto tf = random_block();
+      head = g.add_block(head, std::move(tf), fmt, name("block"));
+      const auto factor = 2 + rng.below(2);
+      head = g.add_downsample(head, factor, name("down"));
+    } else {
+      // Expand then interpolate.
+      head = g.add_upsample(head, 2, name("up"));
+      auto tf = random_block();
+      head = g.add_block(head, std::move(tf), fmt, name("block"));
+    }
+  }
+  g.add_output(head, name("out"));
+  g.validate();
+  return g;
+}
+
+}  // namespace psdacc::sfg

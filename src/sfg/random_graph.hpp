@@ -1,0 +1,65 @@
+/// @file random_graph.hpp
+/// Structure-aware random SFG generation — the shared generator behind the
+/// randomized property tests (tests/test_random_graphs.cpp), the
+/// round-trip serialization suite, and the `psdacc-verify fuzz`
+/// differential fuzzer. Deterministic: one Xoshiro256 seed fully fixes the
+/// graph.
+///
+/// With default options the generator reproduces the historical
+/// test_random_graphs.cpp population exactly (same RNG call sequence), so
+/// the tolerance bands those tests pinned remain valid. The extra knobs
+/// grow the population along axes the serializer and engines must survive:
+///
+///  * `multirate`   — down/upsampler trunk stages (psd/moment-only
+///                    territory; the flat engine refuses these graphs);
+///  * `hostile_names` — parser-hostile node names: quotes, backslashes,
+///                    newlines, tabs, control bytes, '#'/'='/brackets,
+///                    very long names, leading/trailing spaces;
+///  * `degenerate`  — occasionally emit boundary graphs (empty, a single
+///                    input, a source-free pass-through) that exercise the
+///                    serializer but are not evaluable by the engines;
+///  * `max_block_taps` — raises the FIR design order up to "max-order"
+///                    transfer functions for long-coefficient-list lines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "filters/transfer_function.hpp"
+#include "sfg/graph.hpp"
+#include "support/random.hpp"
+
+namespace psdacc::sfg {
+
+struct RandomGraphOptions {
+  /// Trunk stages (branch / gain / delay / block, plus multirate stages
+  /// when enabled).
+  int depth = 6;
+  /// Insert downsample/upsample trunk stages (multirate population).
+  bool multirate = false;
+  /// Draw node names from a parser-hostile alphabet.
+  bool hostile_names = false;
+  /// Roughly 1 in 8 seeds produce a boundary graph (empty / single node /
+  /// no noise source) instead of a trunk graph.
+  bool degenerate = false;
+  /// Upper bound on random FIR block length (default matches the
+  /// historical zoo: 9 + 2*19 = 47 taps).
+  int max_block_taps = 47;
+};
+
+/// Random LTI block from the design zoo (FIR low/high-pass, Butterworth /
+/// Chebyshev-I IIR, pure gain). `max_taps` bounds the FIR length.
+filt::TransferFunction random_transfer_function(Xoshiro256& rng,
+                                                int max_taps = 47);
+
+/// A parser-hostile node name: quotes, escapes, control bytes, '#', '=',
+/// brackets, long runs — everything the serializer must escape.
+std::string random_hostile_name(Xoshiro256& rng);
+
+/// Builds a random acyclic SFG: a trunk of quantized blocks with
+/// occasional two-branch fan-out/fan-in (distinct sources per branch with
+/// a decorrelating delay, so Eq. 14 is applicable) and delays. Exactly one
+/// input and one output except for `degenerate` draws.
+Graph random_graph(std::uint64_t seed, const RandomGraphOptions& opts = {});
+
+}  // namespace psdacc::sfg

@@ -1,0 +1,854 @@
+#include "sfg/serialize.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <system_error>
+
+namespace psdacc::sfg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Canonical emission
+// ---------------------------------------------------------------------------
+
+// Shortest representation that round-trips (std::to_chars default): the
+// emitted text parses back to the identical double, and re-emitting that
+// double reproduces the identical text — the byte-identity contract.
+void append_double(std::string& out, double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+void append_uint(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+void append_quoted(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20 || c == 0x7f) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\x";
+          out += hex[c >> 4];
+          out += hex[c & 0xf];
+        } else {
+          out += raw;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double_list(std::string& out, const char* key,
+                        std::span<const double> values) {
+  out += ' ';
+  out += key;
+  out += "=[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ' ';
+    append_double(out, values[i]);
+  }
+  out += ']';
+}
+
+void append_format(std::string& out, const fxp::FixedPointFormat& fmt) {
+  out += " format=";
+  out += fmt.to_string();  // canonical: [su]Q<i>.<f>/<round>/<ovf>
+}
+
+void append_node(std::string& out, NodeId id, const Node& node) {
+  out += "  node ";
+  append_uint(out, id);
+  out += ' ';
+  out += node_kind_name(node.payload);
+  if (!node.inputs.empty()) {
+    out += " in=[";
+    for (std::size_t i = 0; i < node.inputs.size(); ++i) {
+      if (i != 0) out += ' ';
+      append_uint(out, node.inputs[i]);
+    }
+    out += ']';
+  }
+  struct PayloadWriter {
+    std::string& out;
+    void operator()(const InputNode&) const {}
+    void operator()(const OutputNode&) const {}
+    void operator()(const BlockNode& b) const {
+      append_double_list(out, "b", b.tf.numerator());
+      append_double_list(out, "a", b.tf.denominator());
+      if (b.output_format.has_value()) append_format(out, *b.output_format);
+    }
+    void operator()(const GainNode& g) const {
+      out += " gain=";
+      append_double(out, g.gain);
+    }
+    void operator()(const DelayNode& d) const {
+      out += " delay=";
+      append_uint(out, d.delay);
+    }
+    void operator()(const AdderNode& a) const {
+      append_double_list(out, "signs", a.signs);
+    }
+    void operator()(const DownsampleNode& d) const {
+      out += " factor=";
+      append_uint(out, d.factor);
+    }
+    void operator()(const UpsampleNode& u) const {
+      out += " factor=";
+      append_uint(out, u.factor);
+    }
+    void operator()(const QuantizerNode& q) const {
+      append_format(out, q.format);
+      out += " moments=[";
+      append_double(out, q.moments.mean);
+      out += ' ';
+      append_double(out, q.moments.variance);
+      out += ']';
+    }
+  };
+  std::visit(PayloadWriter{out}, node.payload);
+  out += " name=";
+  append_quoted(out, node.name);
+  out += '\n';
+}
+
+void append_header(std::string& out) {
+  out += "psdacc-sfg v";
+  append_uint(out, kSerializeFormatVersion);
+  out += '\n';
+}
+
+void append_graph_section(std::string& out, const Graph& g) {
+  out += "graph {\n";
+  for (NodeId id = 0; id < g.node_count(); ++id)
+    append_node(out, id, g.node(id));
+  out += "}\n";
+}
+
+void append_config_section(std::string& out,
+                           const sim::EvaluationConfig& cfg) {
+  out += "config {\n  n_psd=";
+  append_uint(out, cfg.n_psd);
+  out += "\n  sim_samples=";
+  append_uint(out, cfg.sim_samples);
+  out += "\n  discard=";
+  append_uint(out, cfg.discard);
+  out += "\n  seed=";
+  append_uint(out, cfg.seed);
+  out += "\n  input_amplitude=";
+  append_double(out, cfg.input_amplitude);
+  out += "\n  shards=";
+  append_uint(out, cfg.shards);
+  out += "\n  engines=[";
+  for (std::size_t i = 0; i < cfg.engines.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += to_string(cfg.engines[i]);
+  }
+  out += "]\n}\n";
+}
+
+void append_expect_section(
+    std::string& out,
+    const std::vector<std::pair<core::EngineKind, double>>& expected) {
+  if (expected.empty()) return;
+  out += "expect {\n";
+  // Canonical order regardless of how the caller filled the vector.
+  for (const core::EngineKind kind : core::kAllEngineKinds) {
+    for (const auto& [k, v] : expected) {
+      if (k != kind) continue;
+      out += "  ";
+      out += to_string(kind);
+      out += '=';
+      append_double(out, v);
+      out += '\n';
+      break;
+    }
+  }
+  out += "}\n";
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kEnd, kPunct, kWord, kString };
+  Kind kind = Kind::kEnd;
+  std::string_view word;  // kWord: raw text; kPunct: the single character
+  std::string str;        // kString: unescaped contents
+  std::size_t line = 1;
+  std::size_t column = 1;
+};
+
+[[noreturn]] void fail_at(const std::string& message, std::size_t line,
+                          std::size_t column) {
+  throw ParseError(message, line, column);
+}
+
+[[noreturn]] void fail_at(const std::string& message, const Token& tok) {
+  fail_at(message, tok.line, tok.column);
+}
+
+bool is_punct(char c) {
+  return c == '{' || c == '}' || c == '[' || c == ']' || c == '=';
+}
+
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// Tokenizes the whole document up front; the parser then has free
+// lookahead. Whitespace separates tokens; '#' comments run to end of line.
+std::vector<Token> tokenize(std::string_view text) {
+  std::vector<Token> out;
+  std::size_t line = 1, column = 1;
+  std::size_t i = 0;
+  const auto bump = [&](char c) {
+    if (c == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+  };
+  while (i < text.size()) {
+    const char c = text[i];
+    if (is_space(c)) {
+      bump(c);
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < text.size() && text[i] != '\n') {
+        bump(text[i]);
+        ++i;
+      }
+      continue;
+    }
+    Token tok;
+    tok.line = line;
+    tok.column = column;
+    if (is_punct(c)) {
+      tok.kind = Token::Kind::kPunct;
+      tok.word = text.substr(i, 1);
+      bump(c);
+      ++i;
+    } else if (c == '"') {
+      tok.kind = Token::Kind::kString;
+      bump(c);
+      ++i;
+      bool closed = false;
+      while (i < text.size()) {
+        const char s = text[i];
+        if (s == '"') {
+          bump(s);
+          ++i;
+          closed = true;
+          break;
+        }
+        if (s == '\n')
+          fail_at("unterminated string literal (newline before closing "
+                  "quote)",
+                  tok);
+        if (s == '\\') {
+          if (i + 1 >= text.size())
+            fail_at("unterminated escape sequence", line, column);
+          const char e = text[i + 1];
+          switch (e) {
+            case '"': tok.str += '"'; break;
+            case '\\': tok.str += '\\'; break;
+            case 'n': tok.str += '\n'; break;
+            case 't': tok.str += '\t'; break;
+            case 'r': tok.str += '\r'; break;
+            case 'x': {
+              if (i + 3 >= text.size() || hex_digit(text[i + 2]) < 0 ||
+                  hex_digit(text[i + 3]) < 0)
+                fail_at("bad \\x escape (expected two hex digits)", line,
+                        column);
+              tok.str += static_cast<char>(hex_digit(text[i + 2]) * 16 +
+                                           hex_digit(text[i + 3]));
+              bump(text[i]);
+              bump(text[i + 1]);
+              i += 2;
+              break;
+            }
+            default:
+              fail_at(std::string("unknown escape sequence '\\") + e + "'",
+                      line, column);
+          }
+          bump(text[i]);
+          bump(text[i + 1]);
+          i += 2;
+          continue;
+        }
+        tok.str += s;
+        bump(s);
+        ++i;
+      }
+      if (!closed) fail_at("unterminated string literal", tok);
+    } else {
+      tok.kind = Token::Kind::kWord;
+      const std::size_t start = i;
+      while (i < text.size() && !is_space(text[i]) && !is_punct(text[i]) &&
+             text[i] != '"' && text[i] != '#') {
+        bump(text[i]);
+        ++i;
+      }
+      tok.word = text.substr(start, i - start);
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = Token::Kind::kEnd;
+  end.line = line;
+  end.column = column;
+  out.push_back(std::move(end));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : tokens_(tokenize(text)) {}
+
+  Scenario parse_document() {
+    parse_header();
+    Scenario out;
+    bool have_graph = false;
+    while (cur().kind != Token::Kind::kEnd) {
+      const Token& section = cur();
+      if (section.kind != Token::Kind::kWord)
+        fail_at("expected a section name", section);
+      if (section.word == "graph") {
+        if (have_graph) fail_at("duplicate graph section", section);
+        advance();
+        out.graph = parse_graph_section();
+        have_graph = true;
+      } else if (section.word == "config") {
+        advance();
+        parse_config_section(out.config);
+      } else if (section.word == "expect") {
+        advance();
+        parse_expect_section(out.expected);
+      } else {
+        // Forward compatibility: an unknown section is skipped wholesale.
+        advance();
+        skip_braced_block();
+      }
+    }
+    if (!have_graph) fail_at("missing graph section", cur());
+    return out;
+  }
+
+ private:
+  const Token& cur() const { return tokens_[pos_]; }
+  const Token& ahead() const {
+    return tokens_[std::min(pos_ + 1, tokens_.size() - 1)];
+  }
+  void advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  bool cur_is_punct(char c) const {
+    return cur().kind == Token::Kind::kPunct && cur().word[0] == c;
+  }
+
+  void expect_punct(char c) {
+    if (!cur_is_punct(c))
+      fail_at(std::string("expected '") + c + "'", cur());
+    advance();
+  }
+
+  std::string_view expect_word(const char* what) {
+    if (cur().kind != Token::Kind::kWord)
+      fail_at(std::string("expected ") + what, cur());
+    const std::string_view w = cur().word;
+    advance();
+    return w;
+  }
+
+  double parse_double_value(const char* what) {
+    if (cur().kind != Token::Kind::kWord)
+      fail_at(std::string("expected ") + what, cur());
+    const std::string_view w = cur().word;
+    double v = 0.0;
+    const auto res = std::from_chars(w.data(), w.data() + w.size(), v);
+    if (res.ec != std::errc{} || res.ptr != w.data() + w.size())
+      fail_at("expected a number, got '" + std::string(w) + "'", cur());
+    if (!std::isfinite(v))
+      fail_at("non-finite value '" + std::string(w) + "'", cur());
+    advance();
+    return v;
+  }
+
+  std::uint64_t parse_uint_value(const char* what) {
+    if (cur().kind != Token::Kind::kWord)
+      fail_at(std::string("expected ") + what, cur());
+    const std::string_view w = cur().word;
+    std::uint64_t v = 0;
+    const auto res = std::from_chars(w.data(), w.data() + w.size(), v);
+    if (res.ec != std::errc{} || res.ptr != w.data() + w.size())
+      fail_at("expected a non-negative integer, got '" + std::string(w) +
+                  "'",
+              cur());
+    advance();
+    return v;
+  }
+
+  std::vector<double> parse_double_list() {
+    expect_punct('[');
+    std::vector<double> out;
+    while (!cur_is_punct(']')) {
+      if (cur().kind == Token::Kind::kEnd)
+        fail_at("unterminated list (missing ']')", cur());
+      out.push_back(parse_double_value("a number"));
+    }
+    advance();  // ']'
+    return out;
+  }
+
+  std::vector<NodeId> parse_id_list() {
+    expect_punct('[');
+    std::vector<NodeId> out;
+    while (!cur_is_punct(']')) {
+      if (cur().kind == Token::Kind::kEnd)
+        fail_at("unterminated list (missing ']')", cur());
+      out.push_back(static_cast<NodeId>(parse_uint_value("a node id")));
+    }
+    advance();
+    return out;
+  }
+
+  std::vector<core::EngineKind> parse_engine_list() {
+    expect_punct('[');
+    std::vector<core::EngineKind> out;
+    while (!cur_is_punct(']')) {
+      const Token& tok = cur();
+      const std::string_view w = expect_word("an engine name");
+      const auto kind = core::parse_engine_kind(w);
+      if (!kind.has_value())
+        fail_at("unknown engine '" + std::string(w) + "'", tok);
+      out.push_back(*kind);
+    }
+    advance();
+    return out;
+  }
+
+  std::string parse_string_value(const char* what) {
+    if (cur().kind != Token::Kind::kString)
+      fail_at(std::string("expected a quoted string for ") + what, cur());
+    std::string s = cur().str;
+    advance();
+    return s;
+  }
+
+  fxp::FixedPointFormat parse_format_value() {
+    const Token& tok = cur();
+    const std::string_view w = expect_word("a fixed-point format");
+    fxp::FixedPointFormat fmt;
+    const char* p = w.data();
+    const char* end = w.data() + w.size();
+    const auto bad = [&]() -> ParseError {
+      return ParseError("bad fixed-point format '" + std::string(w) +
+                            "' (expected "
+                            "[su]Q<int>.<frac>/<trunc|round|conv>/"
+                            "<sat|wrap>)",
+                        tok.line, tok.column);
+    };
+    if (p == end || (*p != 's' && *p != 'u')) throw bad();
+    fmt.is_signed = *p == 's';
+    ++p;
+    if (p == end || *p != 'Q') throw bad();
+    ++p;
+    auto res = std::from_chars(p, end, fmt.integer_bits);
+    if (res.ec != std::errc{} || res.ptr == end || *res.ptr != '.')
+      throw bad();
+    p = res.ptr + 1;
+    res = std::from_chars(p, end, fmt.fractional_bits);
+    if (res.ec != std::errc{} || res.ptr == end || *res.ptr != '/')
+      throw bad();
+    std::string_view rest(res.ptr + 1, end - res.ptr - 1);
+    const std::size_t slash = rest.find('/');
+    if (slash == std::string_view::npos) throw bad();
+    const std::string_view round = rest.substr(0, slash);
+    const std::string_view ovf = rest.substr(slash + 1);
+    if (round == "trunc") {
+      fmt.rounding = fxp::RoundingMode::kTruncate;
+    } else if (round == "round") {
+      fmt.rounding = fxp::RoundingMode::kRoundNearest;
+    } else if (round == "conv") {
+      fmt.rounding = fxp::RoundingMode::kConvergent;
+    } else {
+      throw bad();
+    }
+    if (ovf == "sat") {
+      fmt.overflow = fxp::OverflowMode::kSaturate;
+    } else if (ovf == "wrap") {
+      fmt.overflow = fxp::OverflowMode::kWrap;
+    } else {
+      throw bad();
+    }
+    return fmt;
+  }
+
+  // Skips the value of an attribute or config entry we do not understand:
+  // a single scalar/string token or a balanced (possibly nested) list.
+  void skip_value() {
+    if (cur_is_punct('[')) {
+      advance();
+      std::size_t depth = 1;
+      while (depth > 0) {
+        if (cur().kind == Token::Kind::kEnd)
+          fail_at("unterminated list (missing ']')", cur());
+        if (cur_is_punct('[')) ++depth;
+        if (cur_is_punct(']')) --depth;
+        advance();
+      }
+      return;
+    }
+    if (cur().kind == Token::Kind::kWord ||
+        cur().kind == Token::Kind::kString) {
+      advance();
+      return;
+    }
+    fail_at("expected a value", cur());
+  }
+
+  void skip_braced_block() {
+    expect_punct('{');
+    std::size_t depth = 1;
+    while (depth > 0) {
+      if (cur().kind == Token::Kind::kEnd)
+        fail_at("unterminated section (missing '}')", cur());
+      if (cur_is_punct('{')) ++depth;
+      if (cur_is_punct('}')) --depth;
+      advance();
+    }
+  }
+
+  void parse_header() {
+    const Token& magic = cur();
+    if (magic.kind != Token::Kind::kWord || magic.word != "psdacc-sfg")
+      fail_at("expected 'psdacc-sfg v" +
+                  std::to_string(kSerializeFormatVersion) + "' header",
+              magic);
+    advance();
+    const Token& ver = cur();
+    if (ver.kind != Token::Kind::kWord || ver.word.size() < 2 ||
+        ver.word[0] != 'v')
+      fail_at("expected a format version after 'psdacc-sfg'", ver);
+    int version = 0;
+    const auto res = std::from_chars(ver.word.data() + 1,
+                                     ver.word.data() + ver.word.size(),
+                                     version);
+    if (res.ec != std::errc{} ||
+        res.ptr != ver.word.data() + ver.word.size())
+      fail_at("expected a format version after 'psdacc-sfg'", ver);
+    if (version != kSerializeFormatVersion)
+      fail_at("unsupported format version " + std::to_string(version) +
+                  " (this reader supports v" +
+                  std::to_string(kSerializeFormatVersion) + ")",
+              ver);
+    advance();
+  }
+
+  // One parsed node line, with enough position info for post-hoc
+  // diagnostics (dangling edges are only detectable once the whole graph
+  // section is read, since feedback edges reference later nodes).
+  struct ParsedNode {
+    Node node;
+    std::size_t line = 1;
+    std::size_t column = 1;
+  };
+
+  Graph parse_graph_section() {
+    expect_punct('{');
+    std::vector<ParsedNode> parsed;
+    while (!cur_is_punct('}')) {
+      const Token& tok = cur();
+      if (tok.kind != Token::Kind::kWord || tok.word != "node")
+        fail_at("expected 'node' or '}'", tok);
+      advance();
+      parsed.push_back(parse_node(parsed.size(), tok));
+    }
+    advance();  // '}'
+
+    // Cross-node validation with per-node positions.
+    std::vector<Node> nodes;
+    nodes.reserve(parsed.size());
+    for (const ParsedNode& pn : parsed) {
+      for (const NodeId src : pn.node.inputs)
+        if (src >= parsed.size())
+          fail_at("edge to undefined node " + std::to_string(src), pn.line,
+                  pn.column);
+      nodes.push_back(pn.node);
+    }
+    return Graph::from_nodes(std::move(nodes));
+  }
+
+  ParsedNode parse_node(std::size_t expected_id, const Token& node_tok) {
+    const Token& id_tok = cur();
+    const std::uint64_t id = parse_uint_value("a node id");
+    if (id != expected_id)
+      fail_at("node id " + std::to_string(id) + " out of order (expected " +
+                  std::to_string(expected_id) + ")",
+              id_tok);
+    const Token& kind_tok = cur();
+    const std::string_view kind = expect_word("a node kind");
+
+    // Collected attributes; each kind picks what it needs below.
+    std::vector<NodeId> in;
+    std::string name;
+    bool have_name = false;
+    std::vector<double> b, a, signs;
+    bool have_b = false, have_a = false, have_signs = false;
+    std::optional<fxp::FixedPointFormat> format;
+    std::optional<fxp::NoiseMoments> moments;
+    double gain = GainNode{}.gain;
+    std::uint64_t delay = DelayNode{}.delay;
+    std::uint64_t factor = DownsampleNode{}.factor;
+
+    while (cur().kind == Token::Kind::kWord &&
+           ahead().kind == Token::Kind::kPunct && ahead().word[0] == '=') {
+      const Token& key_tok = cur();
+      const std::string_view key = expect_word("an attribute key");
+      advance();  // '='
+      if (key == "in") {
+        in = parse_id_list();
+      } else if (key == "name") {
+        name = parse_string_value("name");
+        have_name = true;
+      } else if (key == "b") {
+        b = parse_double_list();
+        have_b = true;
+      } else if (key == "a") {
+        a = parse_double_list();
+        have_a = true;
+      } else if (key == "signs") {
+        signs = parse_double_list();
+        have_signs = true;
+      } else if (key == "format") {
+        format = parse_format_value();
+      } else if (key == "moments") {
+        const auto list = parse_double_list();
+        if (list.size() != 2)
+          fail_at("moments expects [mean variance]", key_tok);
+        moments = fxp::NoiseMoments{list[0], list[1]};
+      } else if (key == "gain") {
+        gain = parse_double_value("a gain");
+      } else if (key == "delay") {
+        delay = parse_uint_value("a delay");
+      } else if (key == "factor") {
+        factor = parse_uint_value("a factor");
+        if (factor < 1) fail_at("factor must be >= 1", key_tok);
+      } else {
+        skip_value();  // forward compatibility: unknown attribute
+      }
+    }
+
+    const auto require_fan_in = [&](std::size_t n) {
+      if (in.size() != n)
+        fail_at(std::string(kind) + " node expects " + std::to_string(n) +
+                    " input(s), got " + std::to_string(in.size()),
+                node_tok);
+    };
+
+    ParsedNode out;
+    out.line = node_tok.line;
+    out.column = node_tok.column;
+    if (kind == "input") {
+      require_fan_in(0);
+      out.node.payload = InputNode{};
+    } else if (kind == "output") {
+      require_fan_in(1);
+      out.node.payload = OutputNode{};
+    } else if (kind == "block") {
+      require_fan_in(1);
+      if (!have_b || b.empty())
+        fail_at("block node requires a non-empty numerator b=[...]",
+                node_tok);
+      if (!have_a) a = {1.0};
+      if (a.empty() || a[0] == 0.0)
+        fail_at("block denominator leading coefficient must be nonzero",
+                node_tok);
+      out.node.payload =
+          BlockNode{filt::TransferFunction(std::move(b), std::move(a)),
+                    format};
+    } else if (kind == "gain") {
+      require_fan_in(1);
+      out.node.payload = GainNode{gain};
+    } else if (kind == "delay") {
+      require_fan_in(1);
+      out.node.payload = DelayNode{static_cast<std::size_t>(delay)};
+    } else if (kind == "adder") {
+      if (in.empty()) fail_at("adder node expects at least 1 input", node_tok);
+      if (!have_signs) signs.assign(in.size(), 1.0);
+      if (signs.size() != in.size())
+        fail_at("adder has " + std::to_string(in.size()) + " input(s) but " +
+                    std::to_string(signs.size()) + " sign(s)",
+                node_tok);
+      out.node.payload = AdderNode{std::move(signs)};
+    } else if (kind == "down") {
+      require_fan_in(1);
+      out.node.payload = DownsampleNode{static_cast<std::size_t>(factor)};
+    } else if (kind == "up") {
+      require_fan_in(1);
+      out.node.payload = UpsampleNode{static_cast<std::size_t>(factor)};
+    } else if (kind == "quant") {
+      require_fan_in(1);
+      if (!format.has_value())
+        fail_at("quant node requires format=...", node_tok);
+      out.node.payload = QuantizerNode{
+          *format, moments.has_value()
+                       ? *moments
+                       : fxp::continuous_quantization_noise(*format)};
+    } else {
+      fail_at("unknown node kind '" + std::string(kind) + "'", kind_tok);
+    }
+    out.node.inputs = std::move(in);
+    out.node.name = have_name ? std::move(name)
+                              : std::string(node_kind_name(out.node.payload));
+    return out;
+  }
+
+  void parse_config_section(sim::EvaluationConfig& cfg) {
+    expect_punct('{');
+    while (!cur_is_punct('}')) {
+      if (cur().kind == Token::Kind::kEnd)
+        fail_at("unterminated config section (missing '}')", cur());
+      const std::string_view key = expect_word("a config key");
+      expect_punct('=');
+      if (key == "n_psd") {
+        cfg.n_psd = static_cast<std::size_t>(parse_uint_value("n_psd"));
+      } else if (key == "sim_samples") {
+        cfg.sim_samples =
+            static_cast<std::size_t>(parse_uint_value("sim_samples"));
+      } else if (key == "discard") {
+        cfg.discard = static_cast<std::size_t>(parse_uint_value("discard"));
+      } else if (key == "seed") {
+        cfg.seed = parse_uint_value("seed");
+      } else if (key == "input_amplitude") {
+        cfg.input_amplitude = parse_double_value("input_amplitude");
+      } else if (key == "shards") {
+        cfg.shards = static_cast<std::size_t>(parse_uint_value("shards"));
+      } else if (key == "engines") {
+        cfg.engines = parse_engine_list();
+      } else {
+        skip_value();  // forward compatibility: unknown config key
+      }
+    }
+    advance();
+  }
+
+  void parse_expect_section(
+      std::vector<std::pair<core::EngineKind, double>>& expected) {
+    expect_punct('{');
+    while (!cur_is_punct('}')) {
+      if (cur().kind == Token::Kind::kEnd)
+        fail_at("unterminated expect section (missing '}')", cur());
+      const Token& key_tok = cur();
+      const std::string_view key = expect_word("an engine name");
+      const auto kind = core::parse_engine_kind(key);
+      if (!kind.has_value())
+        fail_at("unknown engine '" + std::string(key) + "'", key_tok);
+      expect_punct('=');
+      const double value = parse_double_value("an expected power");
+      for (const auto& [k, v] : expected)
+        if (k == *kind)
+          fail_at("duplicate expect entry for '" + std::string(key) + "'",
+                  key_tok);
+      expected.emplace_back(*kind, value);
+    }
+    advance();
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ParseError::ParseError(const std::string& message, std::size_t line,
+                       std::size_t column)
+    : std::runtime_error("line " + std::to_string(line) + ", column " +
+                         std::to_string(column) + ": " + message),
+      message_(message),
+      line_(line),
+      column_(column) {}
+
+std::string serialize(const Graph& g) {
+  std::string out;
+  append_header(out);
+  append_graph_section(out, g);
+  return out;
+}
+
+std::string serialize(const Scenario& s) {
+  std::string out;
+  append_header(out);
+  append_graph_section(out, s.graph);
+  append_config_section(out, s.config);
+  append_expect_section(out, s.expected);
+  return out;
+}
+
+Graph parse_graph(std::string_view text) {
+  return Parser(text).parse_document().graph;
+}
+
+Scenario parse_scenario(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+bool graphs_equal(const Graph& a, const Graph& b) {
+  if (a.node_count() != b.node_count()) return false;
+  for (NodeId id = 0; id < a.node_count(); ++id)
+    if (!(a.node(id) == b.node(id))) return false;
+  return true;
+}
+
+Scenario load_scenario(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof())
+    throw std::runtime_error("error reading '" + path + "'");
+  return parse_scenario(buf.str());
+}
+
+void save_scenario(const std::string& path, const Scenario& s) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open '" + path + "' for write");
+  const std::string text = serialize(s);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out.good()) throw std::runtime_error("error writing '" + path + "'");
+}
+
+}  // namespace psdacc::sfg

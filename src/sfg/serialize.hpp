@@ -1,0 +1,121 @@
+/// @file serialize.hpp
+/// Versioned text serialization for signal-flow graphs and evaluation
+/// scenarios — the persistence layer behind the golden corpus, the
+/// `psdacc-verify` CLI, and every future replay/serve pipeline.
+///
+/// ## Format (version 1)
+///
+/// A document is a version header followed by named sections:
+///
+///     psdacc-sfg v1
+///     graph {
+///       node 0 input name="in"
+///       node 1 quant in=[0] format=sQ4.12/round/sat
+///           moments=[0 2.02e-08] name="q"       (one line in a real file)
+///       node 2 block in=[1] b=[1 0.5] a=[1 -0.25]
+///           format=sQ4.12/round/sat name="h"    (one line in a real file)
+///       node 3 output in=[2] name="out"
+///     }
+///     config {
+///       n_psd=1024
+///       ...
+///       engines=[simulation psd moment flat]
+///     }
+///     expect {
+///       psd=1.234e-08
+///     }
+///
+/// (shown wrapped; real documents keep one node per line). The `graph`
+/// section is mandatory; `config` (a sim::EvaluationConfig) and `expect`
+/// (golden per-engine output noise powers) are optional. See
+/// docs/SERIALIZATION.md for the full grammar and the versioning policy.
+///
+/// ## Contracts
+///
+///  * **Round-trip exactness.** Doubles are emitted with shortest
+///    round-trip formatting (std::to_chars), so parse(serialize(x))
+///    reproduces every field bit-for-bit, including overridden quantizer
+///    noise moments and feedback (forward) adder edges.
+///  * **Canonical emission.** serialize() output is canonical: fixed key
+///    order, single spaces, LF endings. serialize(parse(serialize(x)))
+///    is byte-identical to serialize(x), and a canonical document
+///    re-serializes to itself — the property the corpus and fuzzer pin.
+///  * **Strict, diagnosable errors.** Malformed input throws ParseError
+///    carrying 1-based line/column and a message (truncated documents,
+///    unsupported versions, dangling edges, NaN/inf coefficients, arity
+///    violations, bad escapes) — never UB, never a contract abort.
+///  * **Forward compatibility.** Unknown node attributes, unknown
+///    config/expect keys, and unknown sections are skipped, so a v1
+///    parser reads documents written by later minor revisions.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sfg/graph.hpp"
+#include "sim/error_measurement.hpp"
+
+namespace psdacc::sfg {
+
+/// Version emitted in the header and accepted by the parser.
+inline constexpr int kSerializeFormatVersion = 1;
+
+/// Parse failure with 1-based source position. what() is
+/// "line L, column C: message".
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t line,
+             std::size_t column);
+
+  std::size_t line() const { return line_; }
+  std::size_t column() const { return column_; }
+  /// The message without the position prefix.
+  const std::string& message() const { return message_; }
+
+ private:
+  std::string message_;
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// A serializable evaluation scenario: the graph, how to evaluate it, and
+/// (for golden-corpus entries) the expected output noise power per engine.
+struct Scenario {
+  Graph graph;
+  sim::EvaluationConfig config;
+  /// Golden `output_noise_power()` per engine, in emission order
+  /// (kAllEngineKinds order when written by serialize()). Empty for
+  /// non-corpus documents.
+  std::vector<std::pair<core::EngineKind, double>> expected;
+};
+
+/// Canonical graph-only document (header + graph section).
+std::string serialize(const Graph& g);
+/// Canonical scenario document (header + graph + config [+ expect]).
+std::string serialize(const Scenario& s);
+
+/// Parses a document and returns its graph, ignoring config/expect.
+/// @throws ParseError on malformed input
+Graph parse_graph(std::string_view text);
+
+/// Parses a full document. A missing config section yields a
+/// default-constructed sim::EvaluationConfig; a missing expect section
+/// yields an empty expectation list.
+/// @throws ParseError on malformed input
+Scenario parse_scenario(std::string_view text);
+
+/// Exact structural equality: same node count and, per node, identical
+/// payload (bitwise doubles), input edges, and name. Revision counters and
+/// lazy caches are ignored — equality is about what would serialize.
+bool graphs_equal(const Graph& a, const Graph& b);
+
+/// File helpers. load_scenario throws std::runtime_error on I/O failure
+/// and ParseError (with the file's line/column) on malformed content.
+Scenario load_scenario(const std::string& path);
+void save_scenario(const std::string& path, const Scenario& s);
+
+}  // namespace psdacc::sfg

@@ -1,0 +1,70 @@
+// Golden-corpus regression suite: every checked-in tests/corpus/*.sfg
+// document must parse, re-serialize byte-identically, reproduce its
+// recorded per-engine noise powers to 1e-9 relative, and satisfy the
+// delta-vs-full parity and cross-engine agreement contracts.
+//
+// To refresh expectations after an intentional engine change:
+//   build/psdacc-verify regen tests/corpus/*.sfg   (then inspect the diff)
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sfg/verify.hpp"
+
+#ifndef PSDACC_CORPUS_DIR
+#error "PSDACC_CORPUS_DIR must point at the checked-in corpus"
+#endif
+
+namespace {
+
+using namespace psdacc;
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(PSDACC_CORPUS_DIR)) {
+    if (entry.path().extension() == ".sfg")
+      files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+class CorpusFile : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorpusFile, PassesFullVerification) {
+  const auto issues = sfg::verify_scenario_text(read_file(GetParam()));
+  for (const auto& issue : issues)
+    ADD_FAILURE() << "[" << issue.check << "] " << issue.detail;
+}
+
+std::string test_name_for(const ::testing::TestParamInfo<std::string>& info) {
+  // GoogleTest names must be alphanumeric/underscore only.
+  std::string stem = std::filesystem::path(info.param).stem().string();
+  for (char& c : stem)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return stem;
+}
+
+INSTANTIATE_TEST_SUITE_P(Golden, CorpusFile,
+                         ::testing::ValuesIn(corpus_files()),
+                         test_name_for);
+
+TEST(Corpus, HasTheFullPopulation) {
+  // The corpus is a regression anchor: losing files silently weakens it.
+  EXPECT_GE(corpus_files().size(), 20u);
+}
+
+}  // namespace

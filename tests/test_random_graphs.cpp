@@ -3,7 +3,11 @@
 // to PQN assumptions), (2) the hierarchical PSD method must stay within
 // the one-bit band of simulation, and (3) all engines must agree on
 // graphs without reconvergence. Also covers DOT export on arbitrary
-// graphs.
+// graphs, including parser-hostile node names.
+//
+// The generator itself lives in the library (sfg/random_graph.hpp) so the
+// serializer round-trip suite and the `psdacc-verify fuzz` differential
+// fuzzer draw from the same population.
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -12,9 +16,8 @@
 #include "core/metrics.hpp"
 #include "core/moment_analyzer.hpp"
 #include "core/psd_analyzer.hpp"
-#include "filters/fir_design.hpp"
-#include "filters/iir_design.hpp"
 #include "sfg/dot.hpp"
+#include "sfg/random_graph.hpp"
 #include "sim/error_measurement.hpp"
 #include "support/random.hpp"
 
@@ -24,60 +27,8 @@ using namespace psdacc;
 using sfg::Graph;
 using sfg::NodeId;
 
-// Random LTI block from a small design zoo.
-filt::TransferFunction random_block(Xoshiro256& rng) {
-  switch (rng.below(5)) {
-    case 0:
-      return filt::TransferFunction(
-          filt::fir_lowpass(9 + 2 * rng.below(20),
-                            rng.uniform(0.08, 0.4)));
-    case 1:
-      return filt::TransferFunction(
-          filt::fir_highpass(9 + 2 * rng.below(20),
-                             rng.uniform(0.08, 0.4)));
-    case 2:
-      return filt::iir_lowpass(filt::IirFamily::kButterworth,
-                               2 + static_cast<int>(rng.below(4)),
-                               rng.uniform(0.1, 0.35));
-    case 3:
-      return filt::iir_highpass(filt::IirFamily::kChebyshev1,
-                                2 + static_cast<int>(rng.below(3)),
-                                rng.uniform(0.1, 0.3));
-    default:
-      return filt::TransferFunction::gain(rng.uniform(0.3, 1.5));
-  }
-}
-
-// Builds a random acyclic single-rate SFG: a trunk of quantized blocks
-// with occasional two-branch fan-out/fan-in (distinct sources per branch,
-// so Eq. 14 is applicable) and delays.
 Graph random_graph(std::uint64_t seed, int depth) {
-  Xoshiro256 rng(seed);
-  Graph g;
-  const auto in = g.add_input();
-  NodeId head = g.add_quantizer(in, fxp::q_format(5, 12));
-  for (int stage = 0; stage < depth; ++stage) {
-    const auto choice = rng.below(4);
-    if (choice == 0) {
-      // Branch: two differently-filtered quantized paths, re-joined. The
-      // common upstream noise reconverges with a decorrelating delay.
-      const auto left = g.add_block(head, random_block(rng),
-                                    fxp::q_format(5, 12));
-      const auto right_d = g.add_delay(head, 1 + rng.below(8));
-      const auto right = g.add_block(right_d, random_block(rng),
-                                     fxp::q_format(5, 12));
-      head = g.add_adder({left, right});
-    } else if (choice == 1) {
-      head = g.add_gain(head, rng.uniform(0.4, 1.2));
-    } else if (choice == 2) {
-      head = g.add_delay(head, 1 + rng.below(4));
-    } else {
-      head = g.add_block(head, random_block(rng), fxp::q_format(5, 12));
-    }
-  }
-  g.add_output(head);
-  g.validate();
-  return g;
+  return sfg::random_graph(seed, {.depth = depth});
 }
 
 class RandomGraphProperty : public ::testing::TestWithParam<std::uint64_t> {
@@ -129,7 +80,8 @@ TEST_P(RandomGraphProperty, EnginesAgreeOnPureChains) {
   const auto in = g.add_input();
   NodeId head = g.add_quantizer(in, fxp::q_format(5, 10));
   for (int i = 0; i < 4; ++i)
-    head = g.add_block(head, random_block(rng), fxp::q_format(5, 10));
+    head = g.add_block(head, sfg::random_transfer_function(rng),
+                       fxp::q_format(5, 10));
   g.add_output(head);
   const double flat = core::FlatAnalyzer(g, 256).output_noise_power();
   const double psd =
@@ -167,6 +119,57 @@ TEST(DotExport, QuantizersAreDoubleCircles) {
   g.add_output(g.add_quantizer(in, fxp::q_format(4, 8)));
   const auto dot = sfg::to_dot(g);
   EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+}
+
+// Regression: escape() used to handle only '"' and '\\', so a node name
+// containing a newline emitted a raw line break inside a quoted DOT string
+// (broken DOT). Newlines must come out as the \n line-break escape and
+// other control characters must not survive raw.
+TEST(DotExport, EscapesNewlinesAndControlCharacters) {
+  sfg::Graph g;
+  const auto in = g.add_input("line\nbreak");
+  g.add_output(g.add_quantizer(in, fxp::q_format(4, 8), "ctrl\x01\x7fname"),
+               "cr\rname");
+  const auto dot = sfg::to_dot(g, "title\nwith newline");
+
+  // No raw control characters anywhere in the emitted document (the
+  // structural '\n' line ends are fine; check inside quotes only by
+  // scanning quoted spans).
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < dot.size(); ++i) {
+    const char c = dot[i];
+    if (c == '"' && (i == 0 || dot[i - 1] != '\\')) in_quotes = !in_quotes;
+    if (in_quotes) {
+      EXPECT_NE(c, '\n') << "raw newline inside quoted string at " << i;
+      EXPECT_NE(c, '\r') << "raw CR inside quoted string at " << i;
+      EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != ' ')
+          << "raw control char inside quoted string at " << i;
+    }
+  }
+  EXPECT_FALSE(in_quotes) << "unbalanced quotes in DOT output";
+  // The newline became a DOT \n escape.
+  EXPECT_NE(dot.find("line\\nbreak"), std::string::npos);
+  // Control characters render as visible \xHH text.
+  EXPECT_NE(dot.find("\\\\x01"), std::string::npos);
+  EXPECT_NE(dot.find("\\\\x7f"), std::string::npos);
+}
+
+TEST(DotExport, HostileRandomNamesStayQuoted) {
+  for (const std::uint64_t seed : {7u, 17u, 27u, 37u}) {
+    const auto g = sfg::random_graph(seed,
+                                     {.depth = 4, .hostile_names = true});
+    const auto dot = sfg::to_dot(g, "hostile");
+    bool in_quotes = false;
+    for (std::size_t i = 0; i < dot.size(); ++i) {
+      const char c = dot[i];
+      if (c == '"' && (i == 0 || dot[i - 1] != '\\')) in_quotes = !in_quotes;
+      if (in_quotes) {
+        ASSERT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != ' ')
+            << "seed=" << seed << " raw control char at " << i;
+      }
+    }
+    ASSERT_FALSE(in_quotes) << "seed=" << seed;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,434 @@
+// Property tests for the versioned SFG text format: round-trips over
+// realistic and randomized graphs, canonical byte-identity, forward
+// compatibility, and diagnostics (not UB) on malformed input.
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "filters/fir_design.hpp"
+#include "filters/iir_design.hpp"
+#include "filters/sos.hpp"
+#include "sfg/random_graph.hpp"
+#include "sfg/realizations.hpp"
+#include "sfg/serialize.hpp"
+#include "wavelet/dwt_sfg.hpp"
+
+namespace {
+
+using namespace psdacc;
+
+void expect_round_trip(const sfg::Graph& g) {
+  const std::string text = sfg::serialize(g);
+  const sfg::Graph parsed = sfg::parse_graph(text);
+  EXPECT_TRUE(sfg::graphs_equal(g, parsed)) << text;
+  // Canonical: emitting the parsed graph reproduces the bytes exactly.
+  EXPECT_EQ(sfg::serialize(parsed), text);
+}
+
+// Matcher-style helper: parsing must throw a ParseError whose diagnostic
+// carries the expected substring and a plausible position.
+void expect_parse_error(const std::string& text, const std::string& needle,
+                        int expected_line = 0) {
+  try {
+    (void)sfg::parse_scenario(text);
+    FAIL() << "expected ParseError(" << needle << ") on:\n" << text;
+  } catch (const sfg::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "wanted '" << needle << "', got: " << e.what();
+    EXPECT_GE(e.line(), 1);
+    EXPECT_GE(e.column(), 1);
+    if (expected_line > 0) {
+      EXPECT_EQ(e.line(), expected_line) << e.what();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Round-trips
+// ---------------------------------------------------------------------------
+
+TEST(SerializeRoundTrip, RealizationForms) {
+  const auto fmt = fxp::q_format(4, 12);
+  const auto h = filt::iir_lowpass(filt::IirFamily::kButterworth, 4, 0.2);
+  expect_round_trip(sfg::build_direct_form(h, fmt));
+  expect_round_trip(sfg::build_cascade_form(
+      filt::design_sos_lowpass(filt::IirFamily::kButterworth, 6, 0.25),
+      fmt));
+  expect_round_trip(sfg::build_parallel_form(
+      filt::zpk_to_parallel(filt::bilinear(filt::lp_to_lp(
+          filt::analog_prototype(filt::IirFamily::kButterworth, 4),
+          std::tan(3.14159265358979323846 * 0.2)))),
+      fmt));
+}
+
+TEST(SerializeRoundTrip, DwtCodecs) {
+  expect_round_trip(wav::build_dwt1d_codec({1, fxp::q_format(4, 12)}));
+  expect_round_trip(wav::build_dwt1d_codec({2, fxp::q_format(3, 10)}));
+  expect_round_trip(wav::build_dwt1d_codec({2, {}}));  // reference mode
+}
+
+TEST(SerializeRoundTrip, RandomDefaultProfile) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed)
+    expect_round_trip(sfg::random_graph(seed, {.depth = 6}));
+}
+
+TEST(SerializeRoundTrip, RandomMultirateProfile) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed)
+    expect_round_trip(
+        sfg::random_graph(seed, {.depth = 6, .multirate = true}));
+}
+
+TEST(SerializeRoundTrip, RandomHostileNames) {
+  // Names with quotes, backslashes, newlines, NUL bytes, control chars,
+  // '#', '=', brackets, leading/trailing spaces, 200+-char runs.
+  for (std::uint64_t seed = 1; seed <= 60; ++seed)
+    expect_round_trip(
+        sfg::random_graph(seed, {.depth = 5, .hostile_names = true}));
+}
+
+TEST(SerializeRoundTrip, DegenerateBoundaryGraphs) {
+  expect_round_trip(sfg::Graph{});  // empty graph
+  {
+    sfg::Graph g;
+    g.add_input("only");
+    expect_round_trip(g);  // single node
+  }
+  for (std::uint64_t seed = 1; seed <= 40; ++seed)
+    expect_round_trip(sfg::random_graph(
+        seed, {.depth = 3, .hostile_names = true, .degenerate = true}));
+}
+
+TEST(SerializeRoundTrip, FeedbackLoop) {
+  // add_adder_input is the only way to create a forward (feedback) edge;
+  // the parser must rebuild it via Graph::from_nodes.
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto add = g.add_adder({in});
+  const auto q = g.add_quantizer(add, fxp::q_format(4, 12));
+  const auto d = g.add_delay(q, 1);
+  const auto gain = g.add_gain(d, -0.5, "fb");
+  g.add_adder_input(add, gain);
+  g.add_output(q);
+  ASSERT_TRUE(g.has_cycles());
+  expect_round_trip(g);
+}
+
+TEST(SerializeRoundTrip, QuantizerWithOverriddenMoments) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto q = g.add_quantizer(in, fxp::q_format(4, 12),
+                                 fxp::NoiseMoments{1e-4, 5e-9}, "measured");
+  g.add_output(q);
+  const auto parsed = sfg::parse_graph(sfg::serialize(g));
+  ASSERT_TRUE(sfg::graphs_equal(g, parsed));
+  const auto* qn =
+      std::get_if<sfg::QuantizerNode>(&parsed.node(1).payload);
+  ASSERT_NE(qn, nullptr);
+  EXPECT_EQ(qn->moments.mean, 1e-4);
+  EXPECT_EQ(qn->moments.variance, 5e-9);
+}
+
+TEST(SerializeRoundTrip, AllFormatVariants) {
+  sfg::Graph g;
+  auto head = g.add_input();
+  int i = 0;
+  for (const bool is_signed : {true, false})
+    for (const auto rounding :
+         {fxp::RoundingMode::kTruncate, fxp::RoundingMode::kRoundNearest,
+          fxp::RoundingMode::kConvergent})
+      for (const auto overflow :
+           {fxp::OverflowMode::kSaturate, fxp::OverflowMode::kWrap}) {
+        fxp::FixedPointFormat f{2 + (i % 3), 8 + i, is_signed, rounding,
+                                overflow};
+        std::string qname = "q";
+        qname += std::to_string(i++);
+        head = g.add_quantizer(head, f, std::move(qname));
+      }
+  g.add_output(head);
+  expect_round_trip(g);
+}
+
+TEST(SerializeRoundTrip, ScenarioWithConfigAndExpect) {
+  sfg::Scenario s;
+  const auto in = s.graph.add_input();
+  s.graph.add_output(s.graph.add_quantizer(in, fxp::q_format(4, 12)));
+  s.config.n_psd = 256;
+  s.config.sim_samples = 1u << 18;
+  s.config.discard = 512;
+  s.config.seed = 99;
+  s.config.input_amplitude = 0.75;
+  s.config.shards = 4;
+  s.config.engines = {core::EngineKind::kPsd, core::EngineKind::kFlat};
+  s.expected = {{core::EngineKind::kPsd, 1.25e-8},
+                {core::EngineKind::kFlat, 1.25e-8}};
+
+  const std::string text = sfg::serialize(s);
+  const sfg::Scenario parsed = sfg::parse_scenario(text);
+  EXPECT_TRUE(sfg::graphs_equal(s.graph, parsed.graph));
+  EXPECT_EQ(parsed.config.n_psd, 256u);
+  EXPECT_EQ(parsed.config.sim_samples, 1u << 18);
+  EXPECT_EQ(parsed.config.discard, 512u);
+  EXPECT_EQ(parsed.config.seed, 99u);
+  EXPECT_EQ(parsed.config.input_amplitude, 0.75);
+  EXPECT_EQ(parsed.config.shards, 4u);
+  ASSERT_EQ(parsed.config.engines.size(), 2u);
+  EXPECT_EQ(parsed.config.engines[0], core::EngineKind::kPsd);
+  EXPECT_EQ(parsed.config.engines[1], core::EngineKind::kFlat);
+  ASSERT_EQ(parsed.expected.size(), 2u);
+  EXPECT_EQ(parsed.expected[0].second, 1.25e-8);
+  EXPECT_EQ(sfg::serialize(parsed), text);
+}
+
+TEST(SerializeRoundTrip, GraphOnlyDocumentGetsDefaultConfig) {
+  sfg::Graph g;
+  g.add_output(g.add_input());
+  const sfg::Scenario s = sfg::parse_scenario(sfg::serialize(g));
+  const sim::EvaluationConfig defaults;
+  EXPECT_EQ(s.config.n_psd, defaults.n_psd);
+  EXPECT_EQ(s.config.seed, defaults.seed);
+  EXPECT_TRUE(s.expected.empty());
+}
+
+TEST(SerializeRoundTrip, DoublesSurviveExactly) {
+  // Shortest-round-trip emission: gnarly doubles must come back bitwise.
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto gn = g.add_gain(in, 0.1 + 0.2);  // 0.30000000000000004
+  const auto g2 = g.add_gain(gn, 1.0 / 3.0);
+  const auto g3 = g.add_gain(g2, 4.967053731282552e-09);
+  g.add_output(g3);
+  const auto parsed = sfg::parse_graph(sfg::serialize(g));
+  for (sfg::NodeId id : {gn, g2, g3}) {
+    const auto* a = std::get_if<sfg::GainNode>(&g.node(id).payload);
+    const auto* b = std::get_if<sfg::GainNode>(&parsed.node(id).payload);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->gain, b->gain);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Forward compatibility and input tolerance
+// ---------------------------------------------------------------------------
+
+TEST(SerializeCompat, UnknownKeysAndSectionsAreSkipped) {
+  const std::string text =
+      "psdacc-sfg v1\n"
+      "# a future writer added things this reader does not know\n"
+      "graph {\n"
+      "  node 0 input future_flag=7 name=\"in\" future_list=[1 2 [3]]\n"
+      "  node 1 output in=[0] name=\"out\" future_str=\"x\"\n"
+      "}\n"
+      "metadata {\n"
+      "  author=\"someone\"\n"
+      "  nested { deeper { key=[1 2 3] } }\n"
+      "}\n"
+      "config {\n"
+      "  n_psd=128\n"
+      "  future_knob=3.5\n"
+      "}\n";
+  const sfg::Scenario s = sfg::parse_scenario(text);
+  EXPECT_EQ(s.graph.node_count(), 2u);
+  EXPECT_EQ(s.config.n_psd, 128u);
+}
+
+TEST(SerializeCompat, CommentsAndWhitespaceAreFree) {
+  const std::string text =
+      "psdacc-sfg v1   # header comment\n"
+      "\n"
+      "graph {   # graph\n"
+      "\tnode 0 input\tname=\"in\"\n"
+      "  # a full-line comment\n"
+      "  node 1 output in=[ 0 ] name=\"out\"\n"
+      "}\n";
+  const sfg::Graph g = sfg::parse_graph(text);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.node(0).name, "in");
+}
+
+TEST(SerializeCompat, MissingOptionalNodeFieldsGetDefaults) {
+  // a=[...] defaults to [1]; adder signs default to +1; names default to
+  // the node kind.
+  const std::string text =
+      "psdacc-sfg v1\n"
+      "graph {\n"
+      "  node 0 input\n"
+      "  node 1 block in=[0] b=[0.5 0.5]\n"
+      "  node 2 adder in=[0 1]\n"
+      "  node 3 output in=[2]\n"
+      "}\n";
+  const sfg::Graph g = sfg::parse_graph(text);
+  const auto* b = std::get_if<sfg::BlockNode>(&g.node(1).payload);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->tf.denominator(), std::vector<double>{1.0});
+  EXPECT_FALSE(b->output_format.has_value());
+  const auto* a = std::get_if<sfg::AdderNode>(&g.node(2).payload);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->signs, (std::vector<double>{1.0, 1.0}));
+  EXPECT_EQ(g.node(0).name, "input");
+}
+
+// ---------------------------------------------------------------------------
+// Malformed input: diagnostics, never UB
+// ---------------------------------------------------------------------------
+
+TEST(SerializeErrors, EmptyAndTruncatedDocuments) {
+  expect_parse_error("", "expected 'psdacc-sfg");
+  expect_parse_error("psdacc-sfg", "expected a format version");
+  expect_parse_error("psdacc-sfg v1\n", "missing graph section");
+  expect_parse_error("psdacc-sfg v1\ngraph {\n", "expected 'node' or '}'");
+  expect_parse_error("psdacc-sfg v1\ngraph {\n  node 0 input\n",
+                     "expected 'node' or '}'");
+  expect_parse_error(
+      "psdacc-sfg v1\ngraph { node 0 input }\nconfig {\n  n_psd=4\n",
+      "unterminated config section");
+}
+
+TEST(SerializeErrors, BadVersions) {
+  expect_parse_error("psdacc-sfg v2\ngraph { }\n",
+                     "unsupported format version 2", 1);
+  expect_parse_error("psdacc-sfg vx\ngraph { }\n",
+                     "expected a format version", 1);
+  expect_parse_error("not-psdacc\n", "expected 'psdacc-sfg", 1);
+}
+
+TEST(SerializeErrors, DanglingEdge) {
+  expect_parse_error(
+      "psdacc-sfg v1\n"
+      "graph {\n"
+      "  node 0 input\n"
+      "  node 1 output in=[99]\n"
+      "}\n",
+      "edge to undefined node 99", 4);
+}
+
+TEST(SerializeErrors, NonFiniteCoefficients) {
+  expect_parse_error(
+      "psdacc-sfg v1\n"
+      "graph {\n"
+      "  node 0 input\n"
+      "  node 1 block in=[0] b=[nan]\n"
+      "  node 2 output in=[1]\n"
+      "}\n",
+      "non-finite value", 4);
+  expect_parse_error(
+      "psdacc-sfg v1\n"
+      "graph {\n"
+      "  node 0 input\n"
+      "  node 1 gain in=[0] gain=inf\n"
+      "  node 2 output in=[1]\n"
+      "}\n",
+      "non-finite value", 4);
+}
+
+TEST(SerializeErrors, StructuralNodeProblems) {
+  // Out-of-order node id.
+  expect_parse_error(
+      "psdacc-sfg v1\ngraph {\n  node 1 input\n}\n",
+      "out of order", 3);
+  // Unknown node kind.
+  expect_parse_error(
+      "psdacc-sfg v1\ngraph {\n  node 0 widget\n}\n",
+      "unknown node kind 'widget'", 3);
+  // Input-arity mismatch.
+  expect_parse_error(
+      "psdacc-sfg v1\ngraph {\n  node 0 input\n  node 1 input\n"
+      "  node 2 gain in=[0 1] gain=2\n}\n",
+      "expects 1 input(s), got 2", 5);
+  // Adder signs arity mismatch.
+  expect_parse_error(
+      "psdacc-sfg v1\ngraph {\n  node 0 input\n"
+      "  node 1 adder in=[0] signs=[1 -1]\n  node 2 output in=[1]\n}\n",
+      "1 input(s) but 2 sign(s)", 4);
+  // Quantizer without a format.
+  expect_parse_error(
+      "psdacc-sfg v1\ngraph {\n  node 0 input\n  node 1 quant in=[0]\n}\n",
+      "quant node requires format=", 4);
+  // Zero resampling factor.
+  expect_parse_error(
+      "psdacc-sfg v1\ngraph {\n  node 0 input\n"
+      "  node 1 down in=[0] factor=0\n}\n",
+      "factor must be >= 1", 4);
+  // Empty block numerator.
+  expect_parse_error(
+      "psdacc-sfg v1\ngraph {\n  node 0 input\n"
+      "  node 1 block in=[0] b=[]\n}\n",
+      "non-empty numerator", 4);
+  // Unstable denominator head.
+  expect_parse_error(
+      "psdacc-sfg v1\ngraph {\n  node 0 input\n"
+      "  node 1 block in=[0] b=[1] a=[0 1]\n}\n",
+      "leading coefficient must be nonzero", 4);
+}
+
+TEST(SerializeErrors, LexicalProblems) {
+  expect_parse_error(
+      "psdacc-sfg v1\ngraph {\n  node 0 input name=\"oops\n}\n",
+      "unterminated string literal", 3);
+  expect_parse_error(
+      "psdacc-sfg v1\ngraph {\n  node 0 input name=\"bad \\q esc\"\n}\n",
+      "unknown escape sequence", 3);
+  expect_parse_error(
+      "psdacc-sfg v1\ngraph {\n  node 0 input name=\"bad \\xZZ\"\n}\n",
+      "bad \\x escape", 3);
+  expect_parse_error(
+      "psdacc-sfg v1\ngraph {\n  node 0 gain gain=abc in=[]\n}\n",
+      "expected a number");
+  expect_parse_error(
+      "psdacc-sfg v1\ngraph {\n  node 0 quant format=Q4.12 in=[]\n}\n",
+      "bad fixed-point format");
+}
+
+TEST(SerializeErrors, ExpectSectionProblems) {
+  const std::string prefix =
+      "psdacc-sfg v1\ngraph {\n  node 0 input\n  node 1 output in=[0]\n}\n";
+  expect_parse_error(prefix + "expect {\n  warp=1e-9\n}\n",
+                     "unknown engine 'warp'", 7);
+  expect_parse_error(prefix + "expect {\n  psd=1e-9\n  psd=2e-9\n}\n",
+                     "duplicate expect entry", 8);
+  expect_parse_error(prefix + "config {\n  engines=[psd warp]\n}\n",
+                     "unknown engine 'warp'", 7);
+}
+
+TEST(SerializeErrors, DuplicateGraphSection) {
+  expect_parse_error(
+      "psdacc-sfg v1\ngraph { }\ngraph { }\n", "duplicate graph section", 3);
+}
+
+TEST(SerializeErrors, PositionsPointAtTheOffendingStatement) {
+  // Dangling edges are only detectable after the whole section is read;
+  // the diagnostic anchors back at the offending node statement.
+  try {
+    (void)sfg::parse_graph(
+        "psdacc-sfg v1\ngraph {\n  node 0 input\n  node 1 output in=[99]\n}\n");
+    FAIL() << "expected ParseError";
+  } catch (const sfg::ParseError& e) {
+    EXPECT_EQ(e.line(), 4);
+    EXPECT_EQ(e.column(), 3);  // the "node" keyword, past the indent
+    EXPECT_NE(std::string(e.what()).find("line 4, column 3"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// graphs_equal sanity
+// ---------------------------------------------------------------------------
+
+TEST(GraphsEqual, DistinguishesStructureAndParameters) {
+  sfg::Graph a;
+  a.add_output(a.add_gain(a.add_input(), 0.5));
+  sfg::Graph b;
+  b.add_output(b.add_gain(b.add_input(), 0.5));
+  EXPECT_TRUE(sfg::graphs_equal(a, b));
+
+  sfg::Graph c;
+  c.add_output(c.add_gain(c.add_input(), 0.5000001));
+  EXPECT_FALSE(sfg::graphs_equal(a, c));
+
+  sfg::Graph d;
+  d.add_output(d.add_delay(d.add_input(), 1));
+  EXPECT_FALSE(sfg::graphs_equal(a, d));
+}
+
+}  // namespace

@@ -1,0 +1,474 @@
+// psdacc-verify: corpus checking, golden regeneration, and structure-aware
+// differential fuzzing over the versioned SFG text format.
+//
+//   psdacc-verify check <file.sfg>...
+//       Parse each document, verify canonical byte-identity, recompute every
+//       engine named in its `expect` section against the recorded golden
+//       value (1e-9 rel), check delta-vs-full parity (1e-12 rel) and
+//       cross-engine agreement. Exit 1 on any issue.
+//
+//   psdacc-verify regen <file.sfg>...
+//       Re-evaluate every engine in each document's config and rewrite the
+//       file canonically with fresh `expect` values. Use after an
+//       intentional engine change, then inspect the diff.
+//
+//   psdacc-verify emit-corpus <dir>
+//       Write the standard golden corpus (the tests/corpus/ population)
+//       into <dir>, expectations freshly evaluated.
+//
+//   psdacc-verify fuzz [--seeds N] [--seed-base B] [--sim-every K]
+//       Deterministic structure-aware fuzzing: for each seed build a random
+//       SFG (profiles default / multirate / hostile-names / degenerate,
+//       cycled by seed), round-trip it through the serializer, and require
+//       bit-identical engine results on the parsed copy plus delta parity
+//       and cross-engine agreement. Every K-th seed (default 997) also runs
+//       the Monte-Carlo simulation band check. Exit 1 on any finding.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "filters/fir_design.hpp"
+#include "filters/iir_design.hpp"
+#include "filters/sos.hpp"
+#include "sfg/random_graph.hpp"
+#include "sfg/realizations.hpp"
+#include "sfg/serialize.hpp"
+#include "sfg/verify.hpp"
+#include "wavelet/dwt_sfg.hpp"
+
+namespace {
+
+using namespace psdacc;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: psdacc-verify check <file.sfg>...\n"
+               "       psdacc-verify regen <file.sfg>...\n"
+               "       psdacc-verify emit-corpus <dir>\n"
+               "       psdacc-verify fuzz [--seeds N] [--seed-base B]"
+               " [--sim-every K]\n");
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void print_issues(const std::string& subject,
+                  const std::vector<sfg::VerifyIssue>& issues) {
+  for (const auto& issue : issues)
+    std::fprintf(stderr, "FAIL %s [%s] %s\n", subject.c_str(),
+                 issue.check.c_str(), issue.detail.c_str());
+}
+
+int cmd_check(const std::vector<std::string>& files) {
+  if (files.empty()) return usage();
+  int failures = 0;
+  for (const auto& path : files) {
+    std::vector<sfg::VerifyIssue> issues;
+    try {
+      issues = sfg::verify_scenario_text(read_file(path));
+    } catch (const std::exception& e) {
+      issues.push_back({"io", e.what()});
+    }
+    if (issues.empty()) {
+      std::printf("ok   %s\n", path.c_str());
+    } else {
+      print_issues(path, issues);
+      ++failures;
+    }
+  }
+  if (failures > 0)
+    std::fprintf(stderr, "%d of %zu file(s) failed\n", failures,
+                 files.size());
+  return failures == 0 ? 0 : 1;
+}
+
+int cmd_regen(const std::vector<std::string>& files) {
+  if (files.empty()) return usage();
+  for (const auto& path : files) {
+    try {
+      sfg::Scenario s = sfg::parse_scenario(read_file(path));
+      s.expected = sfg::evaluate_expected(s);
+      sfg::save_scenario(path, s);
+      std::printf("regen %s (%zu expectation(s))\n", path.c_str(),
+                  s.expected.size());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "FAIL %s: %s\n", path.c_str(), e.what());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// The standard corpus
+// ---------------------------------------------------------------------------
+
+struct CorpusEntry {
+  std::string name;
+  sfg::Scenario scenario;
+};
+
+sim::EvaluationConfig analytic_config() {
+  sim::EvaluationConfig cfg;
+  cfg.n_psd = 512;
+  cfg.engines = {core::EngineKind::kPsd, core::EngineKind::kMoment,
+                 core::EngineKind::kFlat};
+  return cfg;
+}
+
+sim::EvaluationConfig multirate_config() {
+  sim::EvaluationConfig cfg = analytic_config();
+  cfg.engines = {core::EngineKind::kPsd, core::EngineKind::kMoment};
+  return cfg;
+}
+
+sim::EvaluationConfig simulation_config(std::uint64_t seed) {
+  sim::EvaluationConfig cfg = analytic_config();
+  cfg.engines.insert(cfg.engines.begin(), core::EngineKind::kSimulation);
+  cfg.sim_samples = 1u << 16;
+  cfg.discard = 1024;
+  cfg.seed = seed;
+  return cfg;
+}
+
+sfg::Graph quantized_filter(const filt::TransferFunction& tf,
+                            const fxp::FixedPointFormat& fmt) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto q = g.add_quantizer(in, fmt);
+  const auto h = g.add_block(q, tf, fmt, "h");
+  g.add_output(h);
+  return g;
+}
+
+sfg::Graph two_path_graph(std::size_t delay,
+                          const fxp::FixedPointFormat& fmt) {
+  // Reconvergent fan-out: the quantizer's noise reaches the adder along
+  // two differently-filtered paths; the decorrelating delay controls how
+  // wrong the uncorrelated-sources assumption is.
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto q = g.add_quantizer(in, fmt);
+  const auto left =
+      g.add_block(q, filt::TransferFunction(filt::fir_lowpass(15, 0.3)),
+                  fmt, "left");
+  const auto d = g.add_delay(q, delay);
+  const auto right =
+      g.add_block(d, filt::TransferFunction(filt::fir_highpass(15, 0.25)),
+                  fmt, "right");
+  g.add_output(g.add_adder({left, right}));
+  return g;
+}
+
+std::vector<CorpusEntry> standard_corpus() {
+  using filt::IirFamily;
+  using filt::TransferFunction;
+  const auto q412 = fxp::q_format(4, 12);
+  const auto q310 = fxp::q_format(3, 10);
+
+  std::vector<CorpusEntry> corpus;
+  const auto add = [&](std::string name, sfg::Graph g,
+                       sim::EvaluationConfig cfg) {
+    corpus.push_back({std::move(name),
+                      sfg::Scenario{std::move(g), std::move(cfg), {}}});
+  };
+
+  // Table-I-style single quantized filters.
+  add("fir_lp_direct",
+      quantized_filter(TransferFunction(filt::fir_lowpass(31, 0.25)), q412),
+      analytic_config());
+  add("fir_hp_direct",
+      quantized_filter(TransferFunction(filt::fir_highpass(21, 0.2)), q310),
+      analytic_config());
+  add("fir_bp_direct",
+      quantized_filter(TransferFunction(filt::fir_bandpass(27, 0.12, 0.34)),
+                       q412),
+      analytic_config());
+  add("iir_butter_lp_direct",
+      quantized_filter(filt::iir_lowpass(IirFamily::kButterworth, 4, 0.2),
+                       q412),
+      analytic_config());
+  add("iir_cheby_hp_direct",
+      quantized_filter(filt::iir_highpass(IirFamily::kChebyshev1, 3, 0.3),
+                       q310),
+      analytic_config());
+
+  // Jackson realization-form comparison: the same H(z) in three forms.
+  const auto h = filt::iir_lowpass(IirFamily::kButterworth, 4, 0.2);
+  add("realization_direct", sfg::build_direct_form(h, q412),
+      analytic_config());
+  add("realization_cascade",
+      sfg::build_cascade_form(
+          filt::design_sos_lowpass(IirFamily::kButterworth, 6, 0.25), q412),
+      analytic_config());
+  add("realization_parallel",
+      sfg::build_parallel_form(
+          filt::zpk_to_parallel(filt::bilinear(filt::lp_to_lp(
+              filt::analog_prototype(IirFamily::kButterworth, 4),
+              std::tan(3.14159265358979323846 * 0.2)))),
+          q412),
+      analytic_config());
+
+  // Reconvergent fan-out at several decorrelation delays.
+  add("two_path_d1", two_path_graph(1, q412), analytic_config());
+  add("two_path_d5", two_path_graph(5, q412), analytic_config());
+  add("two_path_d9", two_path_graph(9, q412), analytic_config());
+
+  // Wavelet codecs (deep reconvergence, compensating delays).
+  add("dwt1d_level1", wav::build_dwt1d_codec({1, q412}), analytic_config());
+  add("dwt1d_level2", wav::build_dwt1d_codec({2, q310}), analytic_config());
+
+  // Multirate shapes (flat engine unsupported; psd + moment only).
+  {
+    sfg::Graph g;
+    const auto in = g.add_input();
+    const auto q = g.add_quantizer(in, q412);
+    const auto aa = g.add_block(
+        q, TransferFunction(filt::fir_lowpass(23, 0.2)), q412, "antialias");
+    const auto dn = g.add_downsample(aa, 2);
+    const auto post = g.add_block(
+        dn, TransferFunction(filt::fir_lowpass(11, 0.3)), q412, "post");
+    g.add_output(post);
+    add("multirate_decimator", std::move(g), multirate_config());
+  }
+  {
+    sfg::Graph g;
+    const auto in = g.add_input();
+    const auto q = g.add_quantizer(in, q412);
+    const auto up = g.add_upsample(q, 2);
+    const auto interp = g.add_block(
+        up, TransferFunction(filt::fir_lowpass(23, 0.2)), q412, "interp");
+    g.add_output(interp);
+    add("multirate_interpolator", std::move(g), multirate_config());
+  }
+  {
+    sfg::Graph g;
+    const auto in = g.add_input();
+    const auto q = g.add_quantizer(in, q412);
+    const auto aa = g.add_block(
+        q, TransferFunction(filt::fir_lowpass(19, 0.22)), q412, "antialias");
+    // Up-sampling requires n_psd divisible by the factor; stick to 2/4.
+    const auto dn = g.add_downsample(aa, 4);
+    const auto up = g.add_upsample(dn, 4);
+    const auto interp = g.add_block(
+        up, TransferFunction(filt::fir_lowpass(19, 0.22)), q412, "interp");
+    g.add_output(interp);
+    add("multirate_cascade", std::move(g), multirate_config());
+  }
+
+  // Every rounding/overflow/sign combination in one chain.
+  {
+    sfg::Graph g;
+    const auto in = g.add_input();
+    fxp::FixedPointFormat f1 = q412;
+    fxp::FixedPointFormat f2{3, 9, true, fxp::RoundingMode::kTruncate,
+                             fxp::OverflowMode::kWrap};
+    fxp::FixedPointFormat f3{2, 10, false, fxp::RoundingMode::kConvergent,
+                             fxp::OverflowMode::kSaturate};
+    auto head = g.add_quantizer(in, f1, "q-round-sat");
+    head = g.add_block(head, TransferFunction(filt::fir_lowpass(11, 0.3)),
+                       f2, "h-trunc-wrap");
+    head = g.add_quantizer(head, f3, "q-conv-unsigned");
+    g.add_output(head);
+    add("formats_zoo", std::move(g), analytic_config());
+  }
+
+  // Caller-supplied (non-PQN) noise moments: delta parity is skipped here
+  // by design; goldens still pin the evaluated powers.
+  {
+    sfg::Graph g;
+    const auto in = g.add_input();
+    const auto q = g.add_quantizer(in, q412,
+                                   fxp::NoiseMoments{1e-4, 5e-9},
+                                   "measured");
+    g.add_output(g.add_block(
+        q, TransferFunction(filt::fir_lowpass(15, 0.28)), {}, "h"));
+    add("moments_override", std::move(g), analytic_config());
+  }
+
+  // Parser-hostile node names (escaping stress).
+  add("hostile_names",
+      sfg::random_graph(7, {.depth = 4, .hostile_names = true}),
+      analytic_config());
+
+  // Pure chain: no reconvergence, flat == psd to golden precision.
+  {
+    sfg::Graph g;
+    const auto in = g.add_input();
+    auto head = g.add_quantizer(in, q412);
+    head = g.add_block(head, TransferFunction(filt::fir_lowpass(15, 0.3)),
+                       q412, "h1");
+    head = g.add_gain(head, 0.8);
+    head = g.add_delay(head, 3);
+    head = g.add_block(head,
+                       filt::iir_lowpass(IirFamily::kButterworth, 2, 0.25),
+                       q412, "h2");
+    g.add_output(head);
+    add("pure_chain", std::move(g), analytic_config());
+  }
+
+  // Subtracting adder (signs round-trip).
+  {
+    sfg::Graph g;
+    const auto in = g.add_input();
+    const auto q = g.add_quantizer(in, q412);
+    const auto direct = g.add_gain(q, 1.0, "direct");
+    const auto lp = g.add_block(
+        q, TransferFunction(filt::fir_lowpass(15, 0.2)), q412, "lp");
+    const sfg::NodeId srcs[] = {direct, lp};
+    const double signs[] = {1.0, -1.0};
+    g.add_output(g.add_adder(srcs, signs, "diff"));
+    add("adder_signs", std::move(g), analytic_config());
+  }
+
+  // Monte-Carlo cross-checked entries (simulation golden is seed-pinned).
+  add("sim_fir",
+      quantized_filter(TransferFunction(filt::fir_lowpass(31, 0.25)), q412),
+      simulation_config(1234));
+  add("sim_iir",
+      quantized_filter(filt::iir_lowpass(IirFamily::kButterworth, 4, 0.2),
+                       q412),
+      simulation_config(5678));
+
+  return corpus;
+}
+
+int cmd_emit_corpus(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  const std::string& dir = args[0];
+  auto corpus = standard_corpus();
+  for (auto& entry : corpus) {
+    entry.scenario.expected = sfg::evaluate_expected(entry.scenario);
+    const std::string path = dir + "/" + entry.name + ".sfg";
+    try {
+      sfg::save_scenario(path, entry.scenario);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "FAIL %s: %s\n", path.c_str(), e.what());
+      return 1;
+    }
+    std::printf("wrote %s (%zu expectation(s))\n", path.c_str(),
+                entry.scenario.expected.size());
+  }
+  std::printf("%zu corpus file(s) written to %s\n", corpus.size(),
+              dir.c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Fuzzing
+// ---------------------------------------------------------------------------
+
+sfg::RandomGraphOptions fuzz_profile(std::uint64_t seed) {
+  // Cycle the generator profiles so every run covers single-rate,
+  // multirate, hostile-name, and boundary-shape populations.
+  switch (seed % 4) {
+    case 0: return {.depth = 6};
+    case 1: return {.depth = 6, .multirate = true};
+    case 2: return {.depth = 5, .hostile_names = true};
+    default:
+      return {.depth = 4, .multirate = true, .hostile_names = true,
+              .degenerate = true};
+  }
+}
+
+int cmd_fuzz(const std::vector<std::string>& args) {
+  std::uint64_t seeds = 10000;
+  std::uint64_t seed_base = 1;
+  std::uint64_t sim_every = 997;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const auto need_value = [&]() -> const char* {
+      if (i + 1 >= args.size()) return nullptr;
+      return args[++i].c_str();
+    };
+    const char* value = nullptr;
+    if (args[i] == "--seeds" && (value = need_value()) != nullptr)
+      seeds = std::strtoull(value, nullptr, 10);
+    else if (args[i] == "--seed-base" && (value = need_value()) != nullptr)
+      seed_base = std::strtoull(value, nullptr, 10);
+    else if (args[i] == "--sim-every" && (value = need_value()) != nullptr)
+      sim_every = std::strtoull(value, nullptr, 10);
+    else
+      return usage();
+  }
+
+  // Hard contracts (round-trip, canonical bytes, bit-identical engine
+  // differential, delta parity, chain exactness) are zero-tolerance.
+  // "band:" issues — one-bit agreement on reconvergent graphs — are the
+  // paper's statistical claim, so they gate on the aggregate rate: at
+  // most 1% of seeds may fall outside the band.
+  std::uint64_t failures = 0;
+  std::uint64_t band_violations = 0;
+  for (std::uint64_t i = 0; i < seeds; ++i) {
+    const std::uint64_t seed = seed_base + i;
+    sfg::DifferentialOptions opts;
+    opts.with_simulation = sim_every != 0 && i % sim_every == sim_every - 1;
+    const auto issues =
+        sfg::differential_check(sfg::random_graph(seed, fuzz_profile(seed)),
+                                opts);
+    std::vector<sfg::VerifyIssue> hard;
+    bool out_of_band = false;
+    for (const auto& issue : issues) {
+      if (issue.check.rfind("band:", 0) == 0)
+        out_of_band = true;
+      else
+        hard.push_back(issue);
+    }
+    if (out_of_band) ++band_violations;
+    if (!hard.empty()) {
+      print_issues("seed " + std::to_string(seed), hard);
+      ++failures;
+    }
+    if ((i + 1) % 1000 == 0)
+      std::printf("fuzz: %llu/%llu seeds, %llu failure(s), %llu out of "
+                  "band\n",
+                  static_cast<unsigned long long>(i + 1),
+                  static_cast<unsigned long long>(seeds),
+                  static_cast<unsigned long long>(failures),
+                  static_cast<unsigned long long>(band_violations));
+  }
+  const std::uint64_t band_budget = std::max<std::uint64_t>(1, seeds / 100);
+  if (band_violations > band_budget)
+    std::fprintf(stderr,
+                 "FAIL band rate: %llu of %llu seed(s) outside the one-bit "
+                 "band (budget %llu)\n",
+                 static_cast<unsigned long long>(band_violations),
+                 static_cast<unsigned long long>(seeds),
+                 static_cast<unsigned long long>(band_budget));
+  std::printf("fuzz: done, %llu seed(s), %llu failure(s), %llu out of band "
+              "(budget %llu)\n",
+              static_cast<unsigned long long>(seeds),
+              static_cast<unsigned long long>(failures),
+              static_cast<unsigned long long>(band_violations),
+              static_cast<unsigned long long>(band_budget));
+  return failures == 0 && band_violations <= band_budget ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "check") return cmd_check(args);
+    if (cmd == "regen") return cmd_regen(args);
+    if (cmd == "emit-corpus") return cmd_emit_corpus(args);
+    if (cmd == "fuzz") return cmd_fuzz(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "psdacc-verify: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
