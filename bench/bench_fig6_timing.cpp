@@ -80,14 +80,16 @@ double time_estimation(F&& evaluate, int repeats = 7) {
 // means the cost of a *real* probe — evaluation after a word-length move —
 // not a cache hit.
 void stamp_source_bits(sfg::Graph& g, sfg::NodeId id, int bits) {
-  sfg::Node& node = g.node(id);
-  if (auto* q = std::get_if<sfg::QuantizerNode>(&node.payload)) {
-    q->format.fractional_bits = bits;
-    q->moments = fxp::continuous_quantization_noise(q->format);
+  const sfg::NodeView node = g.node(id);
+  if (const auto* q = std::get_if<sfg::QuantizerNode>(&node.payload)) {
+    auto format = q->format;
+    format.fractional_bits = bits;
+    g.set_format(id, format);
     return;
   }
-  std::get<sfg::BlockNode>(node.payload).output_format->fractional_bits =
-      bits;
+  auto format = *std::get<sfg::BlockNode>(node.payload).output_format;
+  format.fractional_bits = bits;
+  g.set_format(id, format);
 }
 
 // End-to-end optimizer wall-clock with delta probing on vs off, identical

@@ -1,0 +1,299 @@
+// Arena/SoA graph-core scaling harness: constructs chains, adder trees,
+// reconvergent meshes, and multirate cascades up to 10^5+ nodes and times
+// construction, engine preprocessing, and incremental delta probes.
+//
+// Beyond the google-benchmark sweeps (gated against BENCH_baseline.json by
+// bench/compare_bench.py like the other suites), main() runs a hard
+// complexity gate and exits nonzero when it fails:
+//   * constructing a 10^5-node chain must take < 1 s on one core, and
+//   * the median edit+probe cycle (set_format on a source with an O(1)-size
+//     downstream cone, then evaluate_delta) on a 10^5-node chain must stay
+//     within 3x of the same cycle on a 10^3-node chain. An implementation
+//     that re-derives per-source state by sweeping the whole graph scales
+//     this cycle by ~100x between the two sizes; O(|cone|) sweeps keep it
+//     flat.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/accuracy_engine.hpp"
+#include "fixedpoint/format.hpp"
+#include "sfg/graph.hpp"
+#include "sfg/serialize.hpp"
+
+namespace {
+
+using namespace psdacc;
+
+fxp::FixedPointFormat fmt(int d) { return fxp::q_format(4, d); }
+
+// Every generator plants ~127 evenly spaced quantizers (so the delta-term
+// cache takes its segment-tree probe path at every size) plus one "probe"
+// quantizer a fixed 8 nodes before the output. The probe source's
+// downstream cone is the same size at every N, which is what makes the
+// edit+probe cycle a clean O(|cone|)-vs-O(|graph|) discriminator.
+constexpr std::size_t kSpacedSources = 127;
+constexpr std::size_t kProbeTailNodes = 8;
+
+struct SizedGraph {
+  sfg::Graph g;
+  sfg::NodeId probe = 0;  // the fixed-size-cone quantizer near the output
+};
+
+// in -> [gain/delay, quantizer every N/127] -> probe Q -> 8 gains -> out.
+SizedGraph chain_graph(std::size_t n) {
+  SizedGraph out;
+  sfg::Graph& g = out.g;
+  g.reserve(n, n);
+  const std::size_t body = n - kProbeTailNodes - 3;
+  const std::size_t stride = std::max<std::size_t>(2, body / kSpacedSources);
+  sfg::NodeId head = g.add_input();
+  for (std::size_t i = 0; g.node_count() < body; ++i) {
+    if (i % stride == stride - 1)
+      head = g.add_quantizer(head, fmt(12));
+    else if (i % 5 == 4)
+      head = g.add_delay(head, 1);
+    else
+      head = g.add_gain(head, 0.9999);
+  }
+  out.probe = head = g.add_quantizer(head, fmt(12));
+  for (std::size_t i = 0; i < kProbeTailNodes; ++i)
+    head = g.add_gain(head, 1.0001);
+  g.add_output(head);
+  return out;
+}
+
+// Balanced adder tree: quantized gain branches off the input, summed
+// pairwise; the probe quantizer sits between the root and the output.
+SizedGraph tree_graph(std::size_t n) {
+  SizedGraph out;
+  sfg::Graph& g = out.g;
+  g.reserve(n, n + n / 2);
+  const auto in = g.add_input();
+  const std::size_t leaves = std::max<std::size_t>(2, n / 3);
+  const std::size_t stride = std::max<std::size_t>(2, leaves / kSpacedSources);
+  std::vector<sfg::NodeId> level;
+  level.reserve(leaves);
+  for (std::size_t i = 0; i < leaves; ++i) {
+    sfg::NodeId leaf = g.add_gain(in, 0.25 + 0.5 / static_cast<double>(i + 1));
+    if (i % stride == stride - 1) leaf = g.add_quantizer(leaf, fmt(12));
+    level.push_back(leaf);
+  }
+  std::vector<sfg::NodeId> next;
+  while (level.size() > 1) {
+    next.clear();
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back(g.add_adder({level[i], level[i + 1]}));
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level.swap(next);
+  }
+  out.probe = g.add_quantizer(level[0], fmt(12));
+  sfg::NodeId head = out.probe;
+  for (std::size_t i = 0; i < kProbeTailNodes; ++i)
+    head = g.add_gain(head, 1.0001);
+  g.add_output(head);
+  return out;
+}
+
+// Reconvergent mesh: repeated diamonds head -> {gain, delay} -> adder, a
+// quantizer every few stages — every source's paths re-join downstream.
+SizedGraph mesh_graph(std::size_t n) {
+  SizedGraph out;
+  sfg::Graph& g = out.g;
+  g.reserve(n, n + n / 3);
+  const std::size_t body = n - kProbeTailNodes - 3;
+  sfg::NodeId head = g.add_input();
+  const std::size_t stride =
+      std::max<std::size_t>(2, (body / 3) / kSpacedSources);
+  for (std::size_t stage = 0; g.node_count() + 3 <= body; ++stage) {
+    const auto left = g.add_gain(head, 0.5);
+    const auto right = g.add_delay(head, 1);
+    head = g.add_adder({left, right});
+    if (stage % stride == stride - 1)
+      head = g.add_quantizer(head, fmt(12));
+  }
+  out.probe = head = g.add_quantizer(head, fmt(12));
+  for (std::size_t i = 0; i < kProbeTailNodes; ++i)
+    head = g.add_gain(head, 1.0001);
+  g.add_output(head);
+  return out;
+}
+
+// Multirate cascade: the chain with a factor-2 decimator between source
+// segments (downsample-only keeps every engine's delta decomposition
+// exact; see CapabilityHonesty in test_incremental).
+SizedGraph multirate_graph(std::size_t n) {
+  SizedGraph out;
+  sfg::Graph& g = out.g;
+  g.reserve(n, n);
+  const std::size_t body = n - kProbeTailNodes - 3;
+  const std::size_t stride = std::max<std::size_t>(3, body / kSpacedSources);
+  sfg::NodeId head = g.add_input();
+  for (std::size_t i = 0; g.node_count() < body; ++i) {
+    if (i % stride == stride - 1)
+      head = g.add_quantizer(head, fmt(12));
+    else if (i % stride == stride / 2)
+      head = g.add_downsample(head, 2);
+    else
+      head = g.add_gain(head, 0.9999);
+  }
+  out.probe = head = g.add_quantizer(head, fmt(12));
+  for (std::size_t i = 0; i < kProbeTailNodes; ++i)
+    head = g.add_gain(head, 1.0001);
+  g.add_output(head);
+  return out;
+}
+
+SizedGraph make_graph(int family, std::size_t n) {
+  switch (family) {
+    case 0: return chain_graph(n);
+    case 1: return tree_graph(n);
+    case 2: return mesh_graph(n);
+    default: return multirate_graph(n);
+  }
+}
+
+// --- google-benchmark sweeps ----------------------------------------------
+
+void BM_Construct(benchmark::State& state) {
+  const auto family = static_cast<int>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    auto sized = make_graph(family, n);
+    benchmark::DoNotOptimize(sized.g.node_count());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Construct)
+    ->ArgNames({"family", "nodes"})
+    ->Args({0, 1 << 12})
+    ->Args({0, 1 << 15})
+    ->Args({0, 1 << 17})
+    ->Args({1, 1 << 15})
+    ->Args({2, 1 << 15})
+    ->Args({3, 1 << 15})
+    ->Unit(benchmark::kMicrosecond);
+
+// Serialize round-trip at scale: canonical emission plus the reserving
+// two-pass parser.
+void BM_SerializeRoundTrip(benchmark::State& state) {
+  const auto sized = chain_graph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto text = sfg::serialize(sized.g);
+    auto parsed = sfg::parse_graph(text);
+    benchmark::DoNotOptimize(parsed.node_count());
+  }
+}
+BENCHMARK(BM_SerializeRoundTrip)
+    ->Arg(1 << 12)
+    ->Arg(1 << 15)
+    ->Unit(benchmark::kMicrosecond);
+
+// Warm incremental probe: the O(1) (segment-tree) path — no graph edit, the
+// per-source cache stays synced.
+void BM_WarmDeltaProbe(benchmark::State& state) {
+  const auto sized = chain_graph(static_cast<std::size_t>(state.range(0)));
+  const auto engine =
+      core::make_engine(core::EngineKind::kMoment, sized.g, {});
+  benchmark::DoNotOptimize(engine->evaluate_delta(sized.probe, fmt(10)));
+  bool flip = false;
+  for (auto _ : state) {
+    flip = !flip;
+    benchmark::DoNotOptimize(
+        engine->evaluate_delta(sized.probe, fmt(flip ? 10 : 14)));
+  }
+}
+BENCHMARK(BM_WarmDeltaProbe)
+    ->Arg(1 << 10)
+    ->Arg(1 << 14)
+    ->Arg(1 << 17)
+    ->Unit(benchmark::kNanosecond);
+
+// Edit+probe cycle: set_format moves one source whose downstream cone has
+// the same fixed size at every N, then evaluate_delta re-derives exactly
+// that source's contribution. O(|cone|), so the series must stay flat in N.
+void BM_TailEditProbe(benchmark::State& state) {
+  auto sized = chain_graph(static_cast<std::size_t>(state.range(0)));
+  const auto engine =
+      core::make_engine(core::EngineKind::kMoment, sized.g, {});
+  benchmark::DoNotOptimize(engine->evaluate_delta(sized.probe, fmt(10)));
+  int bits = 10;
+  for (auto _ : state) {
+    bits = bits == 10 ? 14 : 10;
+    sized.g.set_format(sized.probe, fmt(bits));
+    benchmark::DoNotOptimize(engine->evaluate_delta(sized.probe, fmt(12)));
+  }
+}
+BENCHMARK(BM_TailEditProbe)
+    ->Arg(1 << 10)
+    ->Arg(1 << 14)
+    ->Arg(1 << 17)
+    ->Unit(benchmark::kNanosecond);
+
+// --- hard complexity gate --------------------------------------------------
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Median wall-clock of one set_format + evaluate_delta cycle.
+double median_edit_probe_seconds(SizedGraph& sized) {
+  const auto engine =
+      core::make_engine(core::EngineKind::kMoment, sized.g, {});
+  benchmark::DoNotOptimize(engine->evaluate_delta(sized.probe, fmt(10)));
+  constexpr int kReps = 41;
+  std::vector<double> times;
+  times.reserve(kReps);
+  int bits = 10;
+  for (int r = 0; r < kReps; ++r) {
+    bits = bits == 10 ? 14 : 10;
+    const auto t0 = std::chrono::steady_clock::now();
+    sized.g.set_format(sized.probe, fmt(bits));
+    benchmark::DoNotOptimize(engine->evaluate_delta(sized.probe, fmt(12)));
+    times.push_back(seconds_since(t0));
+  }
+  std::nth_element(times.begin(), times.begin() + kReps / 2, times.end());
+  return times[kReps / 2];
+}
+
+bool run_complexity_gate() {
+  bool ok = true;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto large = chain_graph(100000);
+  const double construct_s = seconds_since(t0);
+  std::printf("[gate] 10^5-node chain construction: %.3f s (budget 1.0 s)\n",
+              construct_s);
+  if (construct_s >= 1.0) {
+    std::printf("[gate] FAIL: construction exceeded 1 s\n");
+    ok = false;
+  }
+
+  auto small = chain_graph(1000);
+  const double t_small = median_edit_probe_seconds(small);
+  const double t_large = median_edit_probe_seconds(large);
+  const double ratio = t_large / t_small;
+  std::printf(
+      "[gate] median edit+probe: 10^3 chain %.3f us, 10^5 chain %.3f us, "
+      "ratio %.2fx (budget 3x; O(|graph|) sweeps would be ~100x)\n",
+      t_small * 1e6, t_large * 1e6, ratio);
+  if (ratio >= 3.0) {
+    std::printf("[gate] FAIL: delta-probe cost scales with graph size\n");
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return run_complexity_gate() ? 0 : 1;
+}

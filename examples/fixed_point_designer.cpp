@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
       std::string(core::to_string(kind)).c_str(), result.noise, budget);
   TextTable bits_table({"noise source", "fractional bits"});
   for (std::size_t v = 0; v < variables.size(); ++v)
-    bits_table.add_row({g.node(variables[v]).name,
+    bits_table.add_row({std::string(g.node(variables[v]).name),
                         std::to_string(result.bits[v])});
   bits_table.print();
 

@@ -15,17 +15,25 @@
 /// once.
 ///
 /// Invalidation rules (keyed on sfg::Graph's counters):
-///  * a *source* node's revision moving re-scales that one cached term —
-///    O(1); source nodes mutate through word-length stamps, which the
-///    unit responses are independent of by construction;
-///  * any *non-source* node's revision moving (a gain retuned, a delay
-///    resized, an adder sign edited through the mutable accessor) drops
-///    every unit response, because such nodes only carry propagation
-///    state the units were derived from. Detected via a watermark summed
-///    over the non-source nodes' revisions, so the common probe loop
-///    (only source formats move) never rebuilds;
+///  * a format edit (`Graph::set_format`) re-scales only the edited
+///    source's term, discovered by replaying the graph's bounded
+///    format-edit journal — O(edits), independent of both graph and
+///    source count. If the journal window has lapsed, a per-term revision
+///    scan (O(S), never O(N)) recovers;
+///  * `propagation_revision()` moving (a gain retuned via set_payload,
+///    say) drops every unit response, because non-format edits change the
+///    propagation the units were derived from;
 ///  * topology edits are asserted away — analyzers freeze topology at
 ///    construction, as ever.
+///
+/// Probe cost: with <= 64 sources the probe is the historical exact
+/// linear walk in ascending source order (bit-identical to prior
+/// releases). Past that, terms are additionally folded into a fixed-shape
+/// pairwise summation tree (power-of-two padded, zero-filled), and a probe
+/// reads root - leaf + hypothesis in O(1). Both forms are pure functions
+/// of the current graph state — never of probe or edit history — which is
+/// what keeps delta-probing bit-identical across worker counts and probe
+/// schedules.
 #pragma once
 
 #include <cstdint>
@@ -56,44 +64,94 @@ class SourceTermCache {
   /// @param g        the analyzer's graph
   /// @param topology_at_build  the analyzer's frozen topology revision
   /// @param build    callable sfg::NodeId -> UnitResponse, invoked lazily
-  ///                 once per source (and again only after a non-source
-  ///                 node mutation)
+  ///                 once per source (and again only after a
+  ///                 propagation-affecting mutation)
   template <typename Build>
   double power_delta(const sfg::Graph& g, std::uint64_t topology_at_build,
                      sfg::NodeId v, const fxp::FixedPointFormat& format,
                      Build&& build) {
     sync(g, topology_at_build, build);
     const auto m = fxp::continuous_quantization_noise(format);
-    // Fixed ascending-source summation order: the result is a pure
-    // function of (graph formats, v, format), never of probe history —
-    // that is what keeps delta-probing bit-identical across worker
-    // counts and probe schedules.
-    double power = 0.0;
-    double mean = 0.0;
-    bool found = false;
-    for (const Term& term : terms_) {
-      if (term.id == v) {
-        found = true;
-        power += m.variance * term.unit.power;
-        mean += m.mean * term.unit.dc;
-      } else {
-        power += term.power;
-        mean += term.mean;
+    PSDACC_EXPECTS(v < term_index_.size() && term_index_[v] != kNoTerm &&
+                   "delta target must be a noise source");
+    if (terms_.size() <= kLinearProbeLimit) {
+      // Fixed ascending-source summation order (the historical exact
+      // form, kept bit-identical for small graphs).
+      double power = 0.0;
+      double mean = 0.0;
+      for (const Term& term : terms_) {
+        if (term.id == v) {
+          power += m.variance * term.unit.power;
+          mean += m.mean * term.unit.dc;
+        } else {
+          power += term.power;
+          mean += term.mean;
+        }
       }
+      return mean * mean + power;
     }
-    PSDACC_EXPECTS(found && "delta target must be a noise source");
+    // Root - leaf + hypothesis: O(1), and a pure function of the current
+    // leaf values because the tree shape is fixed.
+    const Term& term = terms_[term_index_[v]];
+    const double power = tree_[1].power - term.power + m.variance * term.unit.power;
+    const double mean = tree_[1].mean - term.mean + m.mean * term.unit.dc;
     return mean * mean + power;
   }
 
  private:
+  static constexpr std::uint32_t kNoTerm = ~std::uint32_t{0};
+  static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+  /// Up to this many sources a probe walks all terms exactly as prior
+  /// releases did; beyond it the pairwise tree takes over.
+  static constexpr std::size_t kLinearProbeLimit = 64;
+
   struct Term {
     sfg::NodeId id = 0;
     bool unit_ready = false;
     UnitResponse unit;
-    std::uint64_t seen = ~std::uint64_t{0};
+    std::uint64_t seen = kNever;
     double power = 0.0;  ///< scaled: contribution to the output power sum
     double mean = 0.0;   ///< scaled: contribution to the output mean
   };
+
+  struct PowerMean {
+    double power = 0.0;
+    double mean = 0.0;
+  };
+
+  template <typename Build>
+  void refresh_term(const sfg::Graph& g, Term& term, Build&& build) {
+    if (!term.unit_ready) {
+      term.unit = build(term.id);
+      term.unit_ready = true;
+    }
+    const auto m = sfg::noise_source_moments(g.node(term.id));
+    term.power = m.variance * term.unit.power;
+    term.mean = m.mean * term.unit.dc;
+    term.seen = g.node_revision(term.id);
+  }
+
+  void rebuild_tree() {
+    if (terms_.size() <= kLinearProbeLimit) return;
+    std::size_t leaves = 1;
+    while (leaves < terms_.size()) leaves <<= 1;
+    tree_leaves_ = leaves;
+    tree_.assign(2 * leaves, PowerMean{});
+    for (std::size_t i = 0; i < terms_.size(); ++i)
+      tree_[leaves + i] = {terms_[i].power, terms_[i].mean};
+    for (std::size_t i = leaves - 1; i >= 1; --i)
+      tree_[i] = {tree_[2 * i].power + tree_[2 * i + 1].power,
+                  tree_[2 * i].mean + tree_[2 * i + 1].mean};
+  }
+
+  void update_tree_leaf(std::size_t idx) {
+    if (tree_leaves_ == 0) return;
+    std::size_t i = tree_leaves_ + idx;
+    tree_[i] = {terms_[idx].power, terms_[idx].mean};
+    for (i >>= 1; i >= 1; i >>= 1)
+      tree_[i] = {tree_[2 * i].power + tree_[2 * i + 1].power,
+                  tree_[2 * i].mean + tree_[2 * i + 1].mean};
+  }
 
   template <typename Build>
   void sync(const sfg::Graph& g, std::uint64_t topology_at_build,
@@ -101,50 +159,68 @@ class SourceTermCache {
     PSDACC_EXPECTS(g.topology_revision() == topology_at_build &&
                    "graph topology must not change under an analyzer");
     if (!built_) {
-      is_source_.assign(g.node_count(), 0);
-      for (sfg::NodeId src : g.noise_sources()) {
+      term_index_.assign(g.node_count(), kNoTerm);
+      const auto& sources = g.noise_sources();
+      terms_.reserve(sources.size());
+      for (sfg::NodeId src : sources) {
+        term_index_[src] = static_cast<std::uint32_t>(terms_.size());
         Term term;
         term.id = src;
         terms_.push_back(term);
-        is_source_[src] = 1;
       }
       built_ = true;
     }
     if (synced_revision_ == g.revision()) return;
-    // Non-source mutations (a gain retuned between probes, say) change
-    // the propagation the unit responses were derived from: drop them
-    // all. Word-length stamps only ever move source revisions, so the
-    // watermark is static across a whole optimizer search.
-    std::uint64_t watermark = 0;
-    for (sfg::NodeId id = 0; id < g.node_count(); ++id)
-      if (!is_source_[id]) watermark += g.node_revision(id);
-    if (watermark != non_source_watermark_) {
+    if (synced_propagation_ != g.propagation_revision()) {
+      // Non-format payload edits change the propagation the unit
+      // responses were derived from: drop and rebuild them all.
       for (Term& term : terms_) {
         term.unit_ready = false;
-        term.seen = ~std::uint64_t{0};
+        term.seen = kNever;
+        refresh_term(g, term, build);
       }
-      non_source_watermark_ = watermark;
-    }
-    for (Term& term : terms_) {
-      if (term.unit_ready && term.seen == g.node_revision(term.id))
-        continue;
-      if (!term.unit_ready) {
-        term.unit = build(term.id);
-        term.unit_ready = true;
+      rebuild_tree();
+      synced_propagation_ = g.propagation_revision();
+    } else {
+      scratch_ids_.clear();
+      if (g.format_edits_since(synced_format_count_, scratch_ids_)) {
+        // Replay the journal: only the edited sources re-scale.
+        for (sfg::NodeId id : scratch_ids_) {
+          const std::uint32_t idx =
+              id < term_index_.size() ? term_index_[id] : kNoTerm;
+          if (idx == kNoTerm) continue;
+          Term& term = terms_[idx];
+          if (term.unit_ready && term.seen == g.node_revision(term.id))
+            continue;
+          refresh_term(g, term, build);
+          update_tree_leaf(idx);
+        }
+      } else {
+        // Journal window lapsed: per-term revision scan (O(S), no O(N)).
+        bool any = false;
+        for (std::size_t i = 0; i < terms_.size(); ++i) {
+          Term& term = terms_[i];
+          if (term.unit_ready && term.seen == g.node_revision(term.id))
+            continue;
+          refresh_term(g, term, build);
+          any = true;
+        }
+        if (any) rebuild_tree();
       }
-      const auto m = sfg::noise_source_moments(g.node(term.id));
-      term.power = m.variance * term.unit.power;
-      term.mean = m.mean * term.unit.dc;
-      term.seen = g.node_revision(term.id);
     }
+    synced_format_count_ = g.format_edit_count();
     synced_revision_ = g.revision();
   }
 
   std::vector<Term> terms_;
-  std::vector<char> is_source_;
+  std::vector<std::uint32_t> term_index_;  ///< NodeId -> index in terms_
+  std::vector<sfg::NodeId> scratch_ids_;
+  std::vector<PowerMean> tree_;  ///< fixed-shape pairwise sum, root at [1]
+  std::size_t tree_leaves_ = 0;  ///< padded leaf count; 0 = linear mode
   bool built_ = false;
-  std::uint64_t synced_revision_ = ~std::uint64_t{0};
-  std::uint64_t non_source_watermark_ = ~std::uint64_t{0};
+  std::uint64_t synced_revision_ = kNever;
+  std::uint64_t synced_propagation_ = kNever;
+  std::uint64_t synced_format_count_ = 0;
 };
 
 }  // namespace psdacc::core

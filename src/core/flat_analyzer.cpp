@@ -1,5 +1,6 @@
 #include "core/flat_analyzer.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -10,14 +11,17 @@ namespace psdacc::core {
 using cplx = std::complex<double>;
 
 FlatAnalyzer::FlatAnalyzer(const sfg::Graph& g, std::size_t n_psd)
-    : graph_(g), n_psd_(n_psd) {
+    : graph_(g), n_psd_(n_psd), zero_row_(n_psd, cplx(0.0, 0.0)) {
   PSDACC_EXPECTS(n_psd >= 2);
   PSDACC_EXPECTS(!g.has_cycles());
   PSDACC_EXPECTS(g.is_single_rate());
   g.validate();
   order_ = g.topological_order();
+  topo_pos_.resize(g.node_count());
+  for (std::size_t pos = 0; pos < order_.size(); ++pos)
+    topo_pos_[order_[pos]] = pos;
   topology_at_build_ = g.topology_revision();
-  const auto outputs = g.outputs();
+  const auto& outputs = g.outputs();
   PSDACC_EXPECTS(outputs.size() == 1);
   output_ = outputs[0];
   block_grids_.resize(g.node_count());
@@ -35,14 +39,35 @@ FlatAnalyzer::FlatAnalyzer(const sfg::Graph& g, std::size_t n_psd)
 }
 
 std::vector<cplx> FlatAnalyzer::source_response(sfg::NodeId source) const {
+  return sweep_response(source);  // public form: copies out of the workspace
+}
+
+// responses[id][k]: complex transfer from the source's injection point to
+// node id at frequency k/n. Zero until the source is reached — which is
+// why the sweep can restrict itself to the source's downstream cone: every
+// node outside it provably keeps an all-zero row, so only cone members are
+// visited (in topological order), only rows the previous sweep touched are
+// re-zeroed, and out-of-cone adder operands read the shared zero row.
+const std::vector<cplx>& FlatAnalyzer::sweep_response(
+    sfg::NodeId source) const {
   const std::size_t n = n_psd_;
-  // responses[id][k]: complex transfer from the source's injection point to
-  // node id at frequency k/n. Zero until the source is reached.
-  std::vector<std::vector<cplx>> responses(
-      graph_.node_count(), std::vector<cplx>(n, cplx(0.0, 0.0)));
+  const sfg::ConeView cone = graph_.downstream_cone(source);
+  if (resp_ws_.size() != graph_.node_count()) {
+    resp_ws_.assign(graph_.node_count(),
+                    std::vector<cplx>(n, cplx(0.0, 0.0)));
+    resp_touched_.clear();
+  } else {
+    for (sfg::NodeId id : resp_touched_)
+      std::fill(resp_ws_[id].begin(), resp_ws_[id].end(), cplx(0.0, 0.0));
+  }
+  resp_touched_.assign(cone.begin(), cone.end());
+  std::sort(resp_touched_.begin(), resp_touched_.end(),
+            [this](sfg::NodeId a, sfg::NodeId b) {
+              return topo_pos_[a] < topo_pos_[b];
+            });
 
   auto injection = [&](sfg::NodeId id) -> std::vector<cplx> {
-    const sfg::Node& node = graph_.node(id);
+    const sfg::NodeView node = graph_.node(id);
     if (const auto* block = std::get_if<sfg::BlockNode>(&node.payload)) {
       PSDACC_EXPECTS(block->output_format.has_value());
       if (!block->tf.is_fir()) return ntf_grids_[id];
@@ -53,19 +78,20 @@ std::vector<cplx> FlatAnalyzer::source_response(sfg::NodeId source) const {
     return std::vector<cplx>(n, cplx(1.0, 0.0));
   };
 
-  for (sfg::NodeId id : order_) {
-    const sfg::Node& node = graph_.node(id);
-    auto& out = responses[id];
+  for (sfg::NodeId id : resp_touched_) {
+    const sfg::NodeView node = graph_.node(id);
+    auto& out = resp_ws_[id];
     struct Visitor {
       const FlatAnalyzer& self;
-      const sfg::Node& node;
+      const sfg::ConeView& cone;
+      sfg::NodeView node;
       sfg::NodeId id;
-      std::vector<std::vector<cplx>>& responses;
       std::vector<cplx>& out;
       std::size_t n;
 
       const std::vector<cplx>& in(std::size_t port = 0) const {
-        return responses[node.inputs[port]];
+        const sfg::NodeId src = node.inputs[port];
+        return cone.contains(src) ? self.resp_ws_[src] : self.zero_row_;
       }
 
       void operator()(const sfg::InputNode&) const {}
@@ -102,14 +128,15 @@ std::vector<cplx> FlatAnalyzer::source_response(sfg::NodeId source) const {
         out = in();
       }
     };
-    std::visit(Visitor{*this, node, id, responses, out, n}, node.payload);
+    std::visit(Visitor{*this, cone, node, id, out, n}, node.payload);
     if (id == source) {
       // Inject after the node's own transfer: the noise appears at the
       // node's *output*.
       out = injection(id);
     }
   }
-  return responses[output_];
+  // A source that never reaches the output has an all-zero response.
+  return cone.contains(output_) ? resp_ws_[output_] : zero_row_;
 }
 
 NoiseSpectrum FlatAnalyzer::output_spectrum() const {
@@ -117,7 +144,7 @@ NoiseSpectrum FlatAnalyzer::output_spectrum() const {
   double total_mean = 0.0;
   for (sfg::NodeId src : graph_.noise_sources()) {
     const auto moments = sfg::noise_source_moments(graph_.node(src));
-    const auto g = source_response(src);
+    const auto& g = sweep_response(src);
     const double per_bin = moments.variance / static_cast<double>(n_psd_);
     for (std::size_t k = 0; k < n_psd_; ++k)
       total.bin(k) += per_bin * std::norm(g[k]);
@@ -135,7 +162,7 @@ double FlatAnalyzer::output_noise_power() const {
 // re-derived only when the shared SourceTermCache says the propagation
 // state moved (the response depends only on topology and coefficients).
 UnitResponse FlatAnalyzer::unit_response(sfg::NodeId source) const {
-  const auto g = source_response(source);
+  const auto& g = sweep_response(source);
   double acc = 0.0;
   for (const cplx& v : g) acc += std::norm(v);
   return UnitResponse{.power = acc / static_cast<double>(n_psd_),

@@ -47,12 +47,23 @@ class FlatAnalyzer {
 
  private:
   UnitResponse unit_response(sfg::NodeId source) const;
+  /// Cone-restricted sweep into the persistent response workspace; returns
+  /// the output node's row (a shared zero row when the source never
+  /// reaches the output).
+  const std::vector<std::complex<double>>& sweep_response(
+      sfg::NodeId source) const;
 
   const sfg::Graph& graph_;
   std::size_t n_psd_;
   std::vector<sfg::NodeId> order_;
+  std::vector<std::size_t> topo_pos_;  // NodeId -> position in order_
   sfg::NodeId output_;
   std::uint64_t topology_at_build_ = 0;
+  std::vector<std::complex<double>> zero_row_;  // out-of-cone stand-in
+  // Persistent per-node response workspace: sweeps touch only the cone of
+  // the probed source and re-zero only what the previous sweep touched.
+  mutable std::vector<std::vector<std::complex<double>>> resp_ws_;
+  mutable std::vector<sfg::NodeId> resp_touched_;
   // Preprocessing cache: complex response grids of Block nodes (and their
   // noise transfer functions), computed once instead of per source.
   std::vector<std::vector<std::complex<double>>> block_grids_;

@@ -1,5 +1,7 @@
 #include "core/moment_analyzer.hpp"
 
+#include <algorithm>
+
 #include "support/assert.hpp"
 
 namespace psdacc::core {
@@ -10,6 +12,9 @@ MomentAnalyzer::MomentAnalyzer(const sfg::Graph& g, MomentOptions opts)
   PSDACC_EXPECTS(!g.has_cycles());
   g.validate();
   order_ = g.topological_order();
+  topo_pos_.resize(g.node_count());
+  for (std::size_t pos = 0; pos < order_.size(); ++pos)
+    topo_pos_[order_[pos]] = pos;
   topology_at_build_ = g.topology_revision();
   delta_supported_ = true;
   if (!opts_.blind_multirate) {
@@ -43,12 +48,13 @@ std::vector<fxp::NoiseMoments> MomentAnalyzer::evaluate() const {
 void MomentAnalyzer::evaluate_into(
     std::vector<fxp::NoiseMoments>& moments) const {
   moments.assign(graph_.node_count(), fxp::NoiseMoments{});
+  if (&moments == &workspace_) workspace_dirty_all_ = true;
   for (sfg::NodeId id : order_) {
-    const sfg::Node& node = graph_.node(id);
+    const sfg::NodeView node = graph_.node(id);
     fxp::NoiseMoments& out = moments[id];
     struct Visitor {
       const MomentAnalyzer& self;
-      const sfg::Node& node;
+      sfg::NodeView node;
       sfg::NodeId id;
       std::vector<fxp::NoiseMoments>& moments;
       fxp::NoiseMoments& out;
@@ -110,7 +116,7 @@ void MomentAnalyzer::evaluate_into(
 }
 
 double MomentAnalyzer::output_noise_power() const {
-  const auto outputs = graph_.outputs();
+  const auto& outputs = graph_.outputs();
   PSDACC_EXPECTS(outputs.size() == 1);
   evaluate_into(workspace_);
   return workspace_[outputs[0]].power();
@@ -119,13 +125,28 @@ double MomentAnalyzer::output_noise_power() const {
 // Unit-injection sweep along the signal path only (no other source
 // injects), restricted to the downstream cone; the moment analog of
 // PsdAnalyzer::unit_response. Blocks pre-shape the injection by their
-// noise gains, exactly as evaluate_into injects own noise.
+// noise gains, exactly as evaluate_into injects own noise. Only cone
+// members are swept (in topological order), only entries the previous
+// sweep touched are re-zeroed, and out-of-cone adder operands read a
+// zero constant — O(|cone|) work, not O(|graph|).
 UnitResponse MomentAnalyzer::unit_response(sfg::NodeId source) const {
-  const auto& cone = graph_.downstream_cone(source);
-  std::vector<char> in_cone(graph_.node_count(), 0);
-  for (sfg::NodeId id : cone) in_cone[id] = 1;
+  const sfg::ConeView cone = graph_.downstream_cone(source);
 
-  workspace_.assign(graph_.node_count(), fxp::NoiseMoments{});
+  if (workspace_.size() != graph_.node_count()) {
+    workspace_.assign(graph_.node_count(), fxp::NoiseMoments{});
+    workspace_dirty_all_ = false;
+  } else if (workspace_dirty_all_) {
+    workspace_.assign(graph_.node_count(), fxp::NoiseMoments{});
+    workspace_dirty_all_ = false;
+  } else {
+    for (sfg::NodeId id : unit_touched_) workspace_[id] = fxp::NoiseMoments{};
+  }
+  unit_touched_.assign(cone.begin(), cone.end());
+  std::sort(unit_touched_.begin(), unit_touched_.end(),
+            [this](sfg::NodeId a, sfg::NodeId b) {
+              return topo_pos_[a] < topo_pos_[b];
+            });
+
   fxp::NoiseMoments& injected = workspace_[source];
   injected = fxp::NoiseMoments{1.0, 1.0};
   if (std::holds_alternative<sfg::BlockNode>(graph_.node(source).payload)) {
@@ -134,18 +155,21 @@ UnitResponse MomentAnalyzer::unit_response(sfg::NodeId source) const {
     injected.mean *= bg.noise_dc;
   }
 
-  for (sfg::NodeId id : order_) {
-    if (!in_cone[id] || id == source) continue;
-    const sfg::Node& node = graph_.node(id);
+  for (sfg::NodeId id : unit_touched_) {
+    if (id == source) continue;
+    const sfg::NodeView node = graph_.node(id);
     fxp::NoiseMoments& out = workspace_[id];
     struct Visitor {
       const MomentAnalyzer& self;
-      const sfg::Node& node;
+      const sfg::ConeView& cone;
+      sfg::NodeView node;
       sfg::NodeId id;
       fxp::NoiseMoments& out;
 
       const fxp::NoiseMoments& in(std::size_t port = 0) const {
-        return self.workspace_[node.inputs[port]];
+        static constexpr fxp::NoiseMoments kZero{};
+        const sfg::NodeId src = node.inputs[port];
+        return cone.contains(src) ? self.workspace_[src] : kZero;
       }
 
       void operator()(const sfg::InputNode&) const {}
@@ -176,13 +200,16 @@ UnitResponse MomentAnalyzer::unit_response(sfg::NodeId source) const {
       }
       void operator()(const sfg::QuantizerNode&) const { out = in(); }
     };
-    std::visit(Visitor{*this, node, id, out}, node.payload);
+    std::visit(Visitor{*this, cone, node, id, out}, node.payload);
   }
 
-  const auto outputs = graph_.outputs();
+  const auto& outputs = graph_.outputs();
   PSDACC_EXPECTS(outputs.size() == 1);
-  return UnitResponse{.power = workspace_[outputs[0]].variance,
-                      .dc = workspace_[outputs[0]].mean};
+  // A source that never reaches the output leaves an all-zero response.
+  const sfg::NodeId out_id = outputs[0];
+  if (!cone.contains(out_id)) return UnitResponse{};
+  return UnitResponse{.power = workspace_[out_id].variance,
+                      .dc = workspace_[out_id].mean};
 }
 
 double MomentAnalyzer::output_noise_power_delta(

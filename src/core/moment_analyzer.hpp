@@ -62,9 +62,10 @@ class MomentAnalyzer {
 
   /// Incremental probe, mirroring PsdAnalyzer::output_noise_power_delta:
   /// output power as if source @p v injected the continuous-PQN moments of
-  /// @p format, all else unchanged; graph not mutated. O(sources) per call
-  /// after lazily built per-source unit gains (one downstream-cone sweep
-  /// each). Requires supports_delta().
+  /// @p format, all else unchanged; graph not mutated. O(1) per call past
+  /// the first (O(sources) for small graphs) after lazily built per-source
+  /// unit gains (one O(|cone|) downstream-cone sweep each). Requires
+  /// supports_delta().
   double output_noise_power_delta(sfg::NodeId v,
                                   const fxp::FixedPointFormat& format) const;
 
@@ -81,12 +82,17 @@ class MomentAnalyzer {
   const sfg::Graph& graph_;
   MomentOptions opts_;
   std::vector<sfg::NodeId> order_;
+  std::vector<std::size_t> topo_pos_;  // NodeId -> position in order_
   std::vector<BlockGains> gains_;
   bool delta_supported_ = false;
   std::uint64_t topology_at_build_ = 0;
   // Reused by output_noise_power() so per-probe evaluation is
   // allocation-free (hence the one-thread-at-a-time contract above).
   mutable std::vector<fxp::NoiseMoments> workspace_;
+  // Cone-restricted unit sweeps zero only what the previous sweep touched;
+  // a full evaluate_into in between soils everything and sets the flag.
+  mutable std::vector<sfg::NodeId> unit_touched_;
+  mutable bool workspace_dirty_all_ = true;
   // Decomposed per-source delta-probe cache (lazy scratch, same
   // one-thread-at-a-time contract as the workspace).
   mutable SourceTermCache delta_terms_;

@@ -1,15 +1,20 @@
 #include "core/psd_analyzer.hpp"
 
+#include <algorithm>
+
 #include "support/assert.hpp"
 
 namespace psdacc::core {
 
 PsdAnalyzer::PsdAnalyzer(const sfg::Graph& g, PsdOptions opts)
-    : graph_(g), opts_(opts), scratch_(opts.n_psd) {
+    : graph_(g), opts_(opts), scratch_(opts.n_psd), zero_(opts.n_psd) {
   PSDACC_EXPECTS(opts_.n_psd >= 2);
   PSDACC_EXPECTS(!g.has_cycles());
   g.validate();
   order_ = g.topological_order();
+  topo_pos_.resize(g.node_count());
+  for (std::size_t pos = 0; pos < order_.size(); ++pos)
+    topo_pos_[order_[pos]] = pos;
   topology_at_build_ = g.topology_revision();
   delta_supported_ = true;
   for (sfg::NodeId id = 0; id < g.node_count(); ++id)
@@ -40,12 +45,13 @@ void PsdAnalyzer::evaluate_into(std::vector<NoiseSpectrum>& spectra) const {
   if (spectra.size() != graph_.node_count())
     spectra.resize(graph_.node_count(), NoiseSpectrum(opts_.n_psd));
   for (auto& s : spectra) s.reset(opts_.n_psd);
+  if (&spectra == &workspace_) workspace_dirty_all_ = true;
   for (sfg::NodeId id : order_) {
-    const sfg::Node& node = graph_.node(id);
+    const sfg::NodeView node = graph_.node(id);
     NoiseSpectrum& out = spectra[id];
     struct Visitor {
       const PsdAnalyzer& self;
-      const sfg::Node& node;
+      sfg::NodeView node;
       sfg::NodeId id;
       std::vector<NoiseSpectrum>& spectra;
       NoiseSpectrum& out;
@@ -108,14 +114,14 @@ std::vector<NoiseSpectrum> PsdAnalyzer::evaluate() const {
 }
 
 NoiseSpectrum PsdAnalyzer::output_spectrum() const {
-  const auto outputs = graph_.outputs();
+  const auto& outputs = graph_.outputs();
   PSDACC_EXPECTS(outputs.size() == 1);
   evaluate_into(workspace_);
   return workspace_[outputs[0]];
 }
 
 double PsdAnalyzer::output_noise_power() const {
-  const auto outputs = graph_.outputs();
+  const auto& outputs = graph_.outputs();
   PSDACC_EXPECTS(outputs.size() == 1);
   evaluate_into(workspace_);
   return workspace_[outputs[0]].power();
@@ -124,17 +130,30 @@ double PsdAnalyzer::output_noise_power() const {
 // Propagates a unit injection (mean 1, variance 1; blocks shape it through
 // their noise transfer table first, exactly as evaluate_into injects own
 // noise) from the source to the output, along the signal path only — no
-// other source injects. Restricted to the downstream cone: nodes outside
-// it keep zero spectra. The resulting scalars are format-independent; the
-// shared SourceTermCache decides when they must be re-derived.
+// other source injects. Restricted to the downstream cone: only its
+// members are swept (in topological order), only spectra the previous
+// sweep touched are re-zeroed, and out-of-cone adder operands read a
+// shared zero spectrum — O(|cone|) work, not O(|graph|). The resulting
+// scalars are format-independent; the shared SourceTermCache decides when
+// they must be re-derived.
 UnitResponse PsdAnalyzer::unit_response(sfg::NodeId source) const {
-  const auto& cone = graph_.downstream_cone(source);
-  std::vector<char> in_cone(graph_.node_count(), 0);
-  for (sfg::NodeId id : cone) in_cone[id] = 1;
+  const sfg::ConeView cone = graph_.downstream_cone(source);
 
-  if (workspace_.size() != graph_.node_count())
+  if (workspace_.size() != graph_.node_count()) {
     workspace_.resize(graph_.node_count(), NoiseSpectrum(opts_.n_psd));
-  for (auto& s : workspace_) s.reset(opts_.n_psd);
+    workspace_dirty_all_ = true;
+  }
+  if (workspace_dirty_all_) {
+    for (auto& s : workspace_) s.reset(opts_.n_psd);
+    workspace_dirty_all_ = false;
+  } else {
+    for (sfg::NodeId id : unit_touched_) workspace_[id].reset(opts_.n_psd);
+  }
+  unit_touched_.assign(cone.begin(), cone.end());
+  std::sort(unit_touched_.begin(), unit_touched_.end(),
+            [this](sfg::NodeId a, sfg::NodeId b) {
+              return topo_pos_[a] < topo_pos_[b];
+            });
 
   NoiseSpectrum& injected = workspace_[source];
   injected.add_white(fxp::NoiseMoments{1.0, 1.0});
@@ -144,18 +163,20 @@ UnitResponse PsdAnalyzer::unit_response(sfg::NodeId source) const {
     injected.apply_power_response(t.noise_power, t.noise_dc);
   }
 
-  for (sfg::NodeId id : order_) {
-    if (!in_cone[id] || id == source) continue;
-    const sfg::Node& node = graph_.node(id);
+  for (sfg::NodeId id : unit_touched_) {
+    if (id == source) continue;
+    const sfg::NodeView node = graph_.node(id);
     NoiseSpectrum& out = workspace_[id];
     struct Visitor {
       const PsdAnalyzer& self;
-      const sfg::Node& node;
+      const sfg::ConeView& cone;
+      sfg::NodeView node;
       sfg::NodeId id;
       NoiseSpectrum& out;
 
       const NoiseSpectrum& in(std::size_t port = 0) const {
-        return self.workspace_[node.inputs[port]];
+        const sfg::NodeId src = node.inputs[port];
+        return cone.contains(src) ? self.workspace_[src] : self.zero_;
       }
 
       void operator()(const sfg::InputNode&) const {}
@@ -185,14 +206,16 @@ UnitResponse PsdAnalyzer::unit_response(sfg::NodeId source) const {
       }
       void operator()(const sfg::QuantizerNode&) const { out = in(); }
     };
-    std::visit(Visitor{*this, node, id, out}, node.payload);
+    std::visit(Visitor{*this, cone, node, id, out}, node.payload);
   }
 
-  const auto outputs = graph_.outputs();
+  const auto& outputs = graph_.outputs();
   PSDACC_EXPECTS(outputs.size() == 1);
   // A source that never reaches the output leaves an all-zero response.
-  return UnitResponse{.power = workspace_[outputs[0]].variance(),
-                      .dc = workspace_[outputs[0]].mean()};
+  const sfg::NodeId out_id = outputs[0];
+  if (!cone.contains(out_id)) return UnitResponse{};
+  return UnitResponse{.power = workspace_[out_id].variance(),
+                      .dc = workspace_[out_id].mean()};
 }
 
 double PsdAnalyzer::output_noise_power_delta(

@@ -76,10 +76,11 @@ class PsdAnalyzer {
   /// The graph is not mutated. Exact up to floating-point reordering
   /// against mutate-then-output_noise_power().
   ///
-  /// Cost: O(sources) scalar work per call, after a lazily built
-  /// per-source unit response (one sweep restricted to
-  /// sfg::Graph::downstream_cone(v) each, cached until a non-source node
-  /// mutates — see core::SourceTermCache for the invalidation rules).
+  /// Cost: O(1) scalar work per call past the first (O(sources) for small
+  /// graphs), after a lazily built per-source unit response — one sweep
+  /// restricted to sfg::Graph::downstream_cone(v), touching O(|cone|)
+  /// spectra rather than O(|graph|), cached until a propagation-affecting
+  /// mutation (see core::SourceTermCache for the invalidation rules).
   /// Cached contributions re-derive only for sources whose node revision
   /// moved since the last call. Requires supports_delta().
   double output_noise_power_delta(sfg::NodeId v,
@@ -100,6 +101,7 @@ class PsdAnalyzer {
   const sfg::Graph& graph_;
   PsdOptions opts_;
   std::vector<sfg::NodeId> order_;
+  std::vector<std::size_t> topo_pos_;  // NodeId -> position in order_
   std::vector<BlockTables> tables_;  // indexed by NodeId (empty for most)
   bool delta_supported_ = false;
   std::uint64_t topology_at_build_ = 0;
@@ -108,6 +110,12 @@ class PsdAnalyzer {
   // be shared across threads; clone the graph and build one per worker).
   mutable std::vector<NoiseSpectrum> workspace_;
   mutable NoiseSpectrum scratch_;
+  // Cone-restricted unit sweeps zero only what the previous sweep touched;
+  // a full evaluate_into in between soils everything and sets the flag.
+  mutable std::vector<sfg::NodeId> unit_touched_;
+  mutable bool workspace_dirty_all_ = true;
+  // Shared all-zero spectrum standing in for out-of-cone adder operands.
+  NoiseSpectrum zero_;
   // Decomposed per-source delta-probe cache (lazy scratch, same
   // one-thread-at-a-time contract as the workspaces).
   mutable SourceTermCache delta_terms_;

@@ -49,11 +49,11 @@ std::vector<Range> analyze_ranges(const sfg::Graph& g, Range input,
   g.validate();
   std::vector<Range> ranges(g.node_count());
   for (sfg::NodeId id : g.topological_order()) {
-    const sfg::Node& node = g.node(id);
+    const sfg::NodeView node = g.node(id);
     Range& out = ranges[id];
     struct Visitor {
       const sfg::Graph& g;
-      const sfg::Node& node;
+      sfg::NodeView node;
       const Range& input;
       const RangeOptions& opts;
       std::vector<Range>& ranges;

@@ -10,12 +10,12 @@ namespace psdacc::opt {
 namespace {
 
 // Sets the fractional bits of a word-length variable node. Reads through
-// the const accessor first and mutates only on a real change: an unchanged
-// stamp must not bump the graph's revision counters, or re-stamping a
-// recycled probe context would needlessly invalidate its engine's cached
-// per-source contributions and power memo.
+// the const accessor first and stamps via Graph::set_format only on a real
+// change: an unchanged stamp must not bump the graph's revision counters,
+// or re-stamping a recycled probe context would needlessly invalidate its
+// engine's cached per-source contributions and power memo.
 void set_bits(sfg::Graph& g, sfg::NodeId id, int bits) {
-  const sfg::Node& node = std::as_const(g).node(id);
+  const sfg::NodeView node = g.node(id);
   if (const auto* q = std::get_if<sfg::QuantizerNode>(&node.payload)) {
     auto format = q->format;
     format.fractional_bits = bits;
@@ -27,16 +27,15 @@ void set_bits(sfg::Graph& g, sfg::NodeId id, int bits) {
     if (q->format == format && q->moments.mean == moments.mean &&
         q->moments.variance == moments.variance)
       return;
-    auto& mut = std::get<sfg::QuantizerNode>(g.node(id).payload);
-    mut.format = format;
-    mut.moments = moments;
+    g.set_format(id, format);
     return;
   }
   if (const auto* b = std::get_if<sfg::BlockNode>(&node.payload)) {
     PSDACC_EXPECTS(b->output_format.has_value());
     if (b->output_format->fractional_bits == bits) return;
-    std::get<sfg::BlockNode>(g.node(id).payload)
-        .output_format->fractional_bits = bits;
+    auto format = *b->output_format;
+    format.fractional_bits = bits;
+    g.set_format(id, format);
     return;
   }
   PSDACC_EXPECTS(false && "variable must be a quantizer or quantized block");
@@ -46,7 +45,7 @@ void set_bits(sfg::Graph& g, sfg::NodeId id, int bits) {
 // what AccuracyEngine::evaluate_delta needs to probe hypothetically.
 fxp::FixedPointFormat candidate_format(const sfg::Graph& g, sfg::NodeId id,
                                        int bits) {
-  const sfg::Node& node = g.node(id);
+  const sfg::NodeView node = g.node(id);
   fxp::FixedPointFormat format;
   if (const auto* q = std::get_if<sfg::QuantizerNode>(&node.payload)) {
     format = q->format;
@@ -135,17 +134,21 @@ void WordlengthOptimizer::ensure_integer_bits() {
   const auto ranges = core::analyze_ranges(graph_, *cfg_.input_range);
   for (const sfg::NodeId id : variables_) {
     const int integer_bits = core::required_integer_bits(ranges[id]);
-    const sfg::Node& node = std::as_const(graph_).node(id);
+    const sfg::NodeView node = graph_.node(id);
     if (const auto* q = std::get_if<sfg::QuantizerNode>(&node.payload)) {
-      if (q->format.integer_bits != integer_bits)
-        std::get<sfg::QuantizerNode>(graph_.node(id).payload)
-            .format.integer_bits = integer_bits;
+      if (q->format.integer_bits != integer_bits) {
+        auto format = q->format;
+        format.integer_bits = integer_bits;
+        graph_.set_format(id, format);
+      }
     } else {
       const auto* b = std::get_if<sfg::BlockNode>(&node.payload);
       PSDACC_EXPECTS(b != nullptr && b->output_format.has_value());
-      if (b->output_format->integer_bits != integer_bits)
-        std::get<sfg::BlockNode>(graph_.node(id).payload)
-            .output_format->integer_bits = integer_bits;
+      if (b->output_format->integer_bits != integer_bits) {
+        auto format = *b->output_format;
+        format.integer_bits = integer_bits;
+        graph_.set_format(id, format);
+      }
     }
   }
   ranges_topology_ = graph_.topology_revision();

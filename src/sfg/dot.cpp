@@ -1,5 +1,7 @@
 #include "sfg/dot.hpp"
 
+#include <algorithm>
+#include <ostream>
 #include <sstream>
 
 namespace psdacc::sfg {
@@ -10,7 +12,7 @@ namespace {
 // line breaks (\n); other control characters have no DOT escape syntax and
 // would corrupt the emitted file, so they are rendered as visible \xHH
 // text instead.
-std::string escape(const std::string& s) {
+std::string escape(std::string_view s) {
   static const char* hex = "0123456789abcdef";
   std::string out;
   for (const char raw : s) {
@@ -34,17 +36,18 @@ std::string escape(const std::string& s) {
   return out;
 }
 
-std::string node_label(const Node& node) {
+std::string node_label(const NodeView& node) {
   struct Visitor {
-    const Node& node;
+    const NodeView& node;
+    std::string name() const { return std::string(node.name); }
     std::string operator()(const InputNode&) const {
-      return node.name + "\\n(input)";
+      return name() + "\\n(input)";
     }
     std::string operator()(const OutputNode&) const {
-      return node.name + "\\n(output)";
+      return name() + "\\n(output)";
     }
     std::string operator()(const BlockNode& b) const {
-      std::string s = node.name + "\\nH(z) order " +
+      std::string s = name() + "\\nH(z) order " +
                       std::to_string(std::max(b.tf.numerator().size(),
                                               b.tf.denominator().size()) -
                                      1);
@@ -53,22 +56,22 @@ std::string node_label(const Node& node) {
       return s;
     }
     std::string operator()(const GainNode& g) const {
-      return node.name + "\\nx " + std::to_string(g.gain);
+      return name() + "\\nx " + std::to_string(g.gain);
     }
     std::string operator()(const DelayNode& d) const {
-      return node.name + "\\nz^-" + std::to_string(d.delay);
+      return name() + "\\nz^-" + std::to_string(d.delay);
     }
     std::string operator()(const AdderNode&) const {
-      return node.name + "\\n(+)";
+      return name() + "\\n(+)";
     }
     std::string operator()(const DownsampleNode& d) const {
-      return node.name + "\\nv " + std::to_string(d.factor);
+      return name() + "\\nv " + std::to_string(d.factor);
     }
     std::string operator()(const UpsampleNode& u) const {
-      return node.name + "\\n^ " + std::to_string(u.factor);
+      return name() + "\\n^ " + std::to_string(u.factor);
     }
     std::string operator()(const QuantizerNode& q) const {
-      return node.name + "\\nQ " + q.format.to_string();
+      return name() + "\\nQ " + q.format.to_string();
     }
   };
   return std::visit(Visitor{node}, node.payload);
@@ -87,20 +90,42 @@ const char* node_shape(const NodePayload& payload) {
 
 }  // namespace
 
-std::string to_dot(const Graph& g, const std::string& title) {
-  std::ostringstream out;
+namespace dot {
+
+void to_dot(std::ostream& out, const Graph& g, std::string_view title,
+            const DotOptions& opts) {
+  const std::size_t shown = std::min<std::size_t>(g.node_count(),
+                                                  opts.max_nodes);
   out << "digraph \"" << escape(title) << "\" {\n"
       << "  rankdir=LR;\n  node [fontsize=10];\n";
-  for (NodeId id = 0; id < g.node_count(); ++id) {
-    const Node& node = g.node(id);
+  for (NodeId id = 0; id < shown; ++id) {
+    const NodeView node = g.node(id);
     out << "  n" << id << " [label=\"" << escape(node_label(node))
         << "\", shape=" << node_shape(node.payload) << "];\n";
   }
+  std::size_t elided_edges = 0;
   for (NodeId id = 0; id < g.node_count(); ++id) {
-    for (NodeId src : g.node(id).inputs)
-      out << "  n" << src << " -> n" << id << ";\n";
+    for (NodeId src : g.node(id).inputs) {
+      if (id < shown && src < shown) {
+        out << "  n" << src << " -> n" << id << ";\n";
+      } else {
+        ++elided_edges;
+      }
+    }
+  }
+  if (shown < g.node_count()) {
+    out << "  // elided " << (g.node_count() - shown) << " of "
+        << g.node_count() << " nodes and " << elided_edges
+        << " incident edge(s) (max_nodes=" << opts.max_nodes << ")\n";
   }
   out << "}\n";
+}
+
+}  // namespace dot
+
+std::string to_dot(const Graph& g, const std::string& title) {
+  std::ostringstream out;
+  dot::to_dot(out, g, title);
   return out.str();
 }
 

@@ -2,14 +2,37 @@
 // documentation of generated systems.
 #pragma once
 
+#include <cstddef>
+#include <iosfwd>
+#include <limits>
 #include <string>
+#include <string_view>
 
 #include "sfg/graph.hpp"
 
 namespace psdacc::sfg {
 
-/// Renders the graph in DOT syntax. Noise-injecting nodes are drawn as
-/// double circles; blocks are boxes labelled with name and order.
+namespace dot {
+
+struct DotOptions {
+  /// Nodes beyond this count are elided: the emitted document covers the
+  /// first `max_nodes` node ids (and only the edges between them) and ends
+  /// with a comment footer summarizing how much was left out. Graphviz
+  /// itself stops being useful long before 10^5 nodes, so capped renders
+  /// keep to_dot usable for diagnosing huge generated graphs.
+  std::size_t max_nodes = std::numeric_limits<std::size_t>::max();
+};
+
+/// Streams the graph in DOT syntax. Noise-injecting nodes are drawn as
+/// double circles; blocks are boxes labelled with name and order. Writes
+/// straight to @p out — no intermediate whole-document string — so huge
+/// graphs render in O(1) memory.
+void to_dot(std::ostream& out, const Graph& g,
+            std::string_view title = "sfg", const DotOptions& opts = {});
+
+}  // namespace dot
+
+/// Whole-document convenience wrapper over dot::to_dot.
 std::string to_dot(const Graph& g, const std::string& title = "sfg");
 
 }  // namespace psdacc::sfg

@@ -2,12 +2,39 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 
 #include "support/assert.hpp"
 
 namespace psdacc::sfg {
 namespace {
+
 std::atomic<std::size_t> graph_copies{0};
+
+// Fan-in arity legality per payload kind, shared by validate() and
+// set_payload().
+struct ArityVisitor {
+  std::size_t fan_in;
+  void operator()(const InputNode&) const { PSDACC_EXPECTS(fan_in == 0); }
+  void operator()(const OutputNode&) const { PSDACC_EXPECTS(fan_in == 1); }
+  void operator()(const BlockNode&) const { PSDACC_EXPECTS(fan_in == 1); }
+  void operator()(const GainNode&) const { PSDACC_EXPECTS(fan_in == 1); }
+  void operator()(const DelayNode&) const { PSDACC_EXPECTS(fan_in == 1); }
+  void operator()(const AdderNode& a) const {
+    PSDACC_EXPECTS(fan_in >= 1);
+    PSDACC_EXPECTS(a.signs.size() == fan_in);
+  }
+  void operator()(const DownsampleNode& d) const {
+    PSDACC_EXPECTS(fan_in == 1);
+    PSDACC_EXPECTS(d.factor >= 1);
+  }
+  void operator()(const UpsampleNode& u) const {
+    PSDACC_EXPECTS(fan_in == 1);
+    PSDACC_EXPECTS(u.factor >= 1);
+  }
+  void operator()(const QuantizerNode&) const { PSDACC_EXPECTS(fan_in == 1); }
+};
+
 }  // namespace
 
 Graph::CopyCounter::CopyCounter(const CopyCounter&) {
@@ -38,44 +65,84 @@ const char* node_kind_name(const NodePayload& payload) {
   return std::visit(Visitor{}, payload);
 }
 
-NodeId Graph::append(Node node) {
-  nodes_.push_back(std::move(node));
+void Graph::reserve(std::size_t nodes, std::size_t edges) {
+  payloads_.reserve(nodes);
+  name_ids_.reserve(nodes);
+  fanin_begin_.reserve(nodes);
+  fanin_count_.reserve(nodes);
+  node_revisions_.reserve(nodes);
+  edge_pool_.reserve(edges != 0 ? edges : nodes);
+}
+
+std::uint32_t Graph::intern(std::string_view name) {
+  const auto it = name_lookup_.find(name);
+  if (it != name_lookup_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(name_pool_.size());
+  name_pool_.emplace_back(name);
+  name_lookup_.emplace(name_pool_.back(), id);
+  return id;
+}
+
+void Graph::note_new_edge_tail(NodeId tail) {
+  if (cone_pending_overflow_) return;
+  if (cone_pending_tails_.size() >= kMaxPendingTails) {
+    cone_pending_overflow_ = true;
+    cone_pending_tails_.clear();
+    return;
+  }
+  cone_pending_tails_.push_back(tail);
+}
+
+NodeId Graph::append(NodePayload payload, std::span<const NodeId> inputs,
+                     std::string_view name) {
+  PSDACC_EXPECTS(edge_pool_.size() + inputs.size() <
+                 std::numeric_limits<std::uint32_t>::max());
+  const NodeId id = payloads_.size();
+  payloads_.push_back(std::move(payload));
+  name_ids_.push_back(intern(name));
+  fanin_begin_.push_back(static_cast<std::uint32_t>(edge_pool_.size()));
+  fanin_count_.push_back(static_cast<std::uint32_t>(inputs.size()));
+  edge_pool_.insert(edge_pool_.end(), inputs.begin(), inputs.end());
   node_revisions_.push_back(0);
+  for (NodeId src : inputs) note_new_edge_tail(src);
   ++topology_revision_;
+  ++propagation_revision_;
   ++revision_;
-  return nodes_.size() - 1;
+  return id;
 }
 
-NodeId Graph::add_input(std::string name) {
-  return append(Node{InputNode{}, {}, std::move(name)});
+NodeId Graph::add_input(std::string_view name) {
+  return append(InputNode{}, {}, name);
 }
 
-NodeId Graph::add_output(NodeId src, std::string name) {
-  PSDACC_EXPECTS(src < nodes_.size());
-  return append(Node{OutputNode{}, {src}, std::move(name)});
+NodeId Graph::add_output(NodeId src, std::string_view name) {
+  PSDACC_EXPECTS(src < node_count());
+  return append(OutputNode{}, {&src, 1}, name);
 }
 
 NodeId Graph::add_block(NodeId src, filt::TransferFunction tf,
                         std::optional<fxp::FixedPointFormat> output_format,
-                        std::string name) {
-  PSDACC_EXPECTS(src < nodes_.size());
-  return append(
-      Node{BlockNode{std::move(tf), output_format}, {src}, std::move(name)});
+                        std::string_view name) {
+  PSDACC_EXPECTS(src < node_count());
+  return append(BlockNode{std::move(tf), output_format}, {&src, 1}, name);
 }
 
-NodeId Graph::add_gain(NodeId src, double gain, std::string name) {
-  PSDACC_EXPECTS(src < nodes_.size());
-  return append(Node{GainNode{gain}, {src}, std::move(name)});
+NodeId Graph::add_gain(NodeId src, double gain, std::string_view name) {
+  PSDACC_EXPECTS(src < node_count());
+  return append(GainNode{gain}, {&src, 1}, name);
 }
 
-NodeId Graph::add_delay(NodeId src, std::size_t delay, std::string name) {
-  PSDACC_EXPECTS(src < nodes_.size());
-  return append(Node{DelayNode{delay}, {src}, std::move(name)});
+NodeId Graph::add_delay(NodeId src, std::size_t delay,
+                        std::string_view name) {
+  PSDACC_EXPECTS(src < node_count());
+  return append(DelayNode{delay}, {&src, 1}, name);
 }
 
 NodeId Graph::add_adder(std::span<const NodeId> srcs,
-                        std::span<const double> signs, std::string name) {
+                        std::span<const double> signs,
+                        std::string_view name) {
   PSDACC_EXPECTS(srcs.size() >= 1);
+  for (NodeId s : srcs) PSDACC_EXPECTS(s < node_count());
   AdderNode adder;
   if (signs.empty()) {
     adder.signs.assign(srcs.size(), 1.0);
@@ -83,228 +150,338 @@ NodeId Graph::add_adder(std::span<const NodeId> srcs,
     PSDACC_EXPECTS(signs.size() == srcs.size());
     adder.signs.assign(signs.begin(), signs.end());
   }
-  Node node{std::move(adder), {}, std::move(name)};
-  for (NodeId s : srcs) {
-    PSDACC_EXPECTS(s < nodes_.size());
-    node.inputs.push_back(s);
-  }
-  return append(std::move(node));
+  return append(std::move(adder), srcs, name);
 }
 
 NodeId Graph::add_adder(std::initializer_list<NodeId> srcs,
-                        std::string name) {
+                        std::string_view name) {
   std::vector<NodeId> v(srcs);
-  return add_adder(std::span<const NodeId>(v), {}, std::move(name));
+  return add_adder(std::span<const NodeId>(v), {}, name);
 }
 
 NodeId Graph::add_downsample(NodeId src, std::size_t factor,
-                             std::string name) {
-  PSDACC_EXPECTS(src < nodes_.size());
+                             std::string_view name) {
+  PSDACC_EXPECTS(src < node_count());
   PSDACC_EXPECTS(factor >= 1);
-  return append(Node{DownsampleNode{factor}, {src}, std::move(name)});
+  return append(DownsampleNode{factor}, {&src, 1}, name);
 }
 
-NodeId Graph::add_upsample(NodeId src, std::size_t factor, std::string name) {
-  PSDACC_EXPECTS(src < nodes_.size());
+NodeId Graph::add_upsample(NodeId src, std::size_t factor,
+                           std::string_view name) {
+  PSDACC_EXPECTS(src < node_count());
   PSDACC_EXPECTS(factor >= 1);
-  return append(Node{UpsampleNode{factor}, {src}, std::move(name)});
+  return append(UpsampleNode{factor}, {&src, 1}, name);
 }
 
 NodeId Graph::add_quantizer(NodeId src, fxp::FixedPointFormat format,
-                            std::string name) {
-  return add_quantizer(src, format, fxp::continuous_quantization_noise(format),
-                       std::move(name));
+                            std::string_view name) {
+  return add_quantizer(src, format,
+                       fxp::continuous_quantization_noise(format), name);
 }
 
 NodeId Graph::add_quantizer(NodeId src, fxp::FixedPointFormat format,
-                            fxp::NoiseMoments moments, std::string name) {
-  PSDACC_EXPECTS(src < nodes_.size());
-  return append(
-      Node{QuantizerNode{format, moments}, {src}, std::move(name)});
+                            fxp::NoiseMoments moments, std::string_view name) {
+  PSDACC_EXPECTS(src < node_count());
+  return append(QuantizerNode{format, moments}, {&src, 1}, name);
 }
 
 void Graph::add_adder_input(NodeId adder, NodeId src, double sign) {
-  PSDACC_EXPECTS(adder < nodes_.size());
-  PSDACC_EXPECTS(src < nodes_.size());
-  auto* payload = std::get_if<AdderNode>(&nodes_[adder].payload);
+  PSDACC_EXPECTS(adder < node_count());
+  PSDACC_EXPECTS(src < node_count());
+  auto* payload = std::get_if<AdderNode>(&payloads_[adder]);
   PSDACC_EXPECTS(payload != nullptr);
-  nodes_[adder].inputs.push_back(src);
+  const std::uint32_t begin = fanin_begin_[adder];
+  const std::uint32_t count = fanin_count_[adder];
+  PSDACC_EXPECTS(edge_pool_.size() + count + 1 <
+                 std::numeric_limits<std::uint32_t>::max());
+  if (begin + count != edge_pool_.size()) {
+    // Relocate this node's fan-in run to the pool tail so it can grow in
+    // place; the old run becomes a hole.
+    edge_pool_.reserve(edge_pool_.size() + count + 1);
+    fanin_begin_[adder] = static_cast<std::uint32_t>(edge_pool_.size());
+    for (std::uint32_t k = 0; k < count; ++k)
+      edge_pool_.push_back(edge_pool_[begin + k]);
+  }
+  edge_pool_.push_back(src);
+  ++fanin_count_[adder];
   payload->signs.push_back(sign);
+  note_new_edge_tail(src);
   ++node_revisions_[adder];
   ++topology_revision_;
+  ++propagation_revision_;
   ++revision_;
 }
 
 Graph Graph::from_nodes(std::vector<Node> nodes) {
   Graph g;
-  g.nodes_ = std::move(nodes);
-  g.node_revisions_.assign(g.nodes_.size(), 0);
+  std::size_t edges = 0;
+  for (const Node& n : nodes) edges += n.inputs.size();
+  g.reserve(nodes.size(), edges);
+  for (Node& n : nodes) {
+    g.payloads_.push_back(std::move(n.payload));
+    g.name_ids_.push_back(g.intern(n.name));
+    g.fanin_begin_.push_back(static_cast<std::uint32_t>(g.edge_pool_.size()));
+    g.fanin_count_.push_back(static_cast<std::uint32_t>(n.inputs.size()));
+    g.edge_pool_.insert(g.edge_pool_.end(), n.inputs.begin(),
+                        n.inputs.end());
+    g.node_revisions_.push_back(0);
+  }
   // As if every node had been appended through the builders.
-  g.revision_ = g.nodes_.size();
-  g.topology_revision_ = g.nodes_.size();
+  g.revision_ = g.node_count();
+  g.topology_revision_ = g.node_count();
+  g.propagation_revision_ = g.node_count();
   g.validate();
   return g;
 }
 
-const Node& Graph::node(NodeId id) const {
-  PSDACC_EXPECTS(id < nodes_.size());
-  return nodes_[id];
+std::vector<Node> Graph::to_nodes() const {
+  std::vector<Node> out;
+  out.reserve(node_count());
+  for (NodeId i = 0; i < node_count(); ++i) {
+    const auto fi = fan_in(i);
+    out.push_back(Node{payloads_[i], std::vector<NodeId>(fi.begin(), fi.end()),
+                       name_pool_[name_ids_[i]]});
+  }
+  return out;
 }
 
-Node& Graph::node(NodeId id) {
-  PSDACC_EXPECTS(id < nodes_.size());
-  // Conservative: the caller may mutate through this reference, so the
-  // revision moves now, before any edit happens.
+NodeView Graph::node(NodeId id) const {
+  PSDACC_EXPECTS(id < node_count());
+  return NodeView(payloads_[id], fan_in(id), name_pool_[name_ids_[id]]);
+}
+
+std::string_view Graph::name(NodeId id) const {
+  PSDACC_EXPECTS(id < node_count());
+  return name_pool_[name_ids_[id]];
+}
+
+void Graph::set_format(NodeId id, fxp::FixedPointFormat format) {
+  PSDACC_EXPECTS(id < node_count());
+  if (auto* q = std::get_if<QuantizerNode>(&payloads_[id])) {
+    q->format = format;
+    q->moments = fxp::continuous_quantization_noise(format);
+  } else {
+    auto* b = std::get_if<BlockNode>(&payloads_[id]);
+    PSDACC_EXPECTS(b != nullptr && b->output_format.has_value());
+    b->output_format = format;
+  }
   ++node_revisions_[id];
   ++revision_;
-  return nodes_[id];
+  format_journal_[format_edit_count_ % kFormatJournalSize] = id;
+  ++format_edit_count_;
+}
+
+void Graph::set_payload(NodeId id, NodePayload payload) {
+  PSDACC_EXPECTS(id < node_count());
+  std::visit(ArityVisitor{fanin_count_[id]}, payload);
+  payloads_[id] = std::move(payload);
+  ++node_revisions_[id];
+  ++propagation_revision_;
+  ++revision_;
 }
 
 std::uint64_t Graph::node_revision(NodeId id) const {
-  PSDACC_EXPECTS(id < nodes_.size());
+  PSDACC_EXPECTS(id < node_count());
   return node_revisions_[id];
 }
 
-const std::vector<NodeId>& Graph::downstream_cone(NodeId v) const {
-  PSDACC_EXPECTS(v < nodes_.size());
-  if (cone_topology_ != topology_revision_) {
-    cone_cache_.assign(nodes_.size(), {});
-    cone_consumers_ = consumers();
-    cone_topology_ = topology_revision_;
+bool Graph::format_edits_since(std::uint64_t seen,
+                               std::vector<NodeId>& out) const {
+  PSDACC_EXPECTS(seen <= format_edit_count_);
+  if (format_edit_count_ - seen > kFormatJournalSize) return false;
+  for (std::uint64_t i = seen; i < format_edit_count_; ++i)
+    out.push_back(format_journal_[i % kFormatJournalSize]);
+  return true;
+}
+
+void Graph::sync_consumers() const {
+  if (rev_csr_topology_ == topology_revision_) return;
+  const std::size_t n = node_count();
+  rev_count_.assign(n, 0);
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId src : fan_in(i)) ++rev_count_[src];
+  rev_begin_.resize(n);
+  std::uint32_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    rev_begin_[i] = acc;
+    acc += rev_count_[i];
   }
-  std::vector<NodeId>& cone = cone_cache_[v];
-  if (!cone.empty()) return cone;  // cones always contain v: empty == unset
-  std::vector<char> seen(nodes_.size(), 0);
+  rev_pool_.resize(acc);
+  std::vector<std::uint32_t> cursor(rev_begin_.begin(), rev_begin_.end());
+  // Filling in ascending consumer id keeps each consumer list ascending —
+  // the order the rebuild-on-call predecessor produced, so traversal
+  // orders (and thus floating-point summation orders downstream) are
+  // unchanged.
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId src : fan_in(i)) rev_pool_[cursor[src]++] = i;
+  rev_csr_topology_ = topology_revision_;
+}
+
+std::span<const NodeId> Graph::consumers(NodeId v) const {
+  PSDACC_EXPECTS(v < node_count());
+  sync_consumers();
+  return {rev_pool_.data() + rev_begin_[v], rev_count_[v]};
+}
+
+void Graph::sync_cones() const {
+  if (cone_topology_ == topology_revision_) return;
+  const std::size_t n = node_count();
+  if (cone_topology_ == kNeverSynced || cone_pending_overflow_) {
+    cone_rows_.assign(n, {});
+    cone_sizes_.assign(n, 0);
+  } else {
+    // Batched invalidation: row u is stale iff u reaches the tail of an
+    // edge added since the last sync — i.e. u lies in the upstream cone
+    // of a recorded tail. One reverse BFS over fan-in edges finds every
+    // such u; all other rows provably still hold (nothing reachable from
+    // them changed).
+    std::vector<char> affected(n, 0);
+    std::vector<NodeId> frontier;
+    for (NodeId t : cone_pending_tails_) {
+      if (t < n && !affected[t]) {
+        affected[t] = 1;
+        frontier.push_back(t);
+      }
+    }
+    while (!frontier.empty()) {
+      const NodeId id = frontier.back();
+      frontier.pop_back();
+      for (NodeId src : fan_in(id)) {
+        if (affected[src]) continue;
+        affected[src] = 1;
+        frontier.push_back(src);
+      }
+    }
+    cone_rows_.resize(n);
+    cone_sizes_.resize(n, 0);
+    for (NodeId u = 0; u < n; ++u) {
+      if (affected[u]) {
+        cone_rows_[u].clear();
+        cone_sizes_[u] = 0;
+      }
+    }
+  }
+  cone_pending_tails_.clear();
+  cone_pending_overflow_ = false;
+  cone_topology_ = topology_revision_;
+}
+
+void Graph::build_cone_row(NodeId v) const {
+  sync_consumers();
+  auto& row = cone_rows_[v];
+  row.assign((node_count() + 63) / 64, 0);
+  std::uint32_t size = 0;
   std::vector<NodeId> frontier{v};
-  seen[v] = 1;
-  cone.push_back(v);
+  row[v >> 6] |= std::uint64_t{1} << (v & 63);
+  ++size;
   while (!frontier.empty()) {
     const NodeId id = frontier.back();
     frontier.pop_back();
-    for (NodeId c : cone_consumers_[id]) {
-      if (seen[c]) continue;
-      seen[c] = 1;
-      cone.push_back(c);
+    for (NodeId c : consumers(id)) {
+      auto& word = row[c >> 6];
+      const std::uint64_t bit = std::uint64_t{1} << (c & 63);
+      if ((word & bit) != 0) continue;
+      word |= bit;
+      ++size;
       frontier.push_back(c);
     }
   }
-  std::sort(cone.begin(), cone.end());
-  return cone;
+  cone_sizes_[v] = size;
 }
 
-namespace {
-
-template <typename Predicate>
-std::vector<NodeId> collect(const std::vector<Node>& nodes, Predicate pred) {
-  std::vector<NodeId> out;
-  for (NodeId i = 0; i < nodes.size(); ++i)
-    if (pred(nodes[i])) out.push_back(i);
-  return out;
+ConeView Graph::downstream_cone(NodeId v) const {
+  PSDACC_EXPECTS(v < node_count());
+  sync_cones();
+  const std::vector<std::uint64_t>& row = cone_rows_[v];
+  if (row.empty()) build_cone_row(v);  // cones always contain v: empty==unset
+  return ConeView(row.data(), row.size(), cone_sizes_[v]);
 }
 
-}  // namespace
-
-std::vector<NodeId> Graph::inputs() const {
-  return collect(nodes_, [](const Node& n) {
-    return std::holds_alternative<InputNode>(n.payload);
-  });
+void Graph::sync_roles() const {
+  if (role_propagation_ == propagation_revision_) return;
+  inputs_memo_.clear();
+  outputs_memo_.clear();
+  noise_sources_memo_.clear();
+  for (NodeId i = 0; i < node_count(); ++i) {
+    const NodePayload& p = payloads_[i];
+    if (std::holds_alternative<InputNode>(p)) {
+      inputs_memo_.push_back(i);
+    } else if (std::holds_alternative<OutputNode>(p)) {
+      outputs_memo_.push_back(i);
+    } else if (std::holds_alternative<QuantizerNode>(p)) {
+      noise_sources_memo_.push_back(i);
+    } else if (const auto* block = std::get_if<BlockNode>(&p);
+               block != nullptr && block->output_format.has_value()) {
+      noise_sources_memo_.push_back(i);
+    }
+  }
+  role_propagation_ = propagation_revision_;
 }
 
-std::vector<NodeId> Graph::outputs() const {
-  return collect(nodes_, [](const Node& n) {
-    return std::holds_alternative<OutputNode>(n.payload);
-  });
+const std::vector<NodeId>& Graph::inputs() const {
+  sync_roles();
+  return inputs_memo_;
 }
 
-std::vector<NodeId> Graph::noise_sources() const {
-  return collect(nodes_, [](const Node& n) {
-    if (std::holds_alternative<QuantizerNode>(n.payload)) return true;
-    if (const auto* block = std::get_if<BlockNode>(&n.payload))
-      return block->output_format.has_value();
-    return false;
-  });
+const std::vector<NodeId>& Graph::outputs() const {
+  sync_roles();
+  return outputs_memo_;
 }
 
-std::vector<std::vector<NodeId>> Graph::consumers() const {
-  std::vector<std::vector<NodeId>> out(nodes_.size());
-  for (NodeId i = 0; i < nodes_.size(); ++i)
-    for (NodeId src : nodes_[i].inputs) out[src].push_back(i);
-  return out;
+const std::vector<NodeId>& Graph::noise_sources() const {
+  sync_roles();
+  return noise_sources_memo_;
 }
 
 bool Graph::has_cycles() const {
   // Kahn's algorithm: cycle iff not all nodes are drained.
-  std::vector<std::size_t> indegree(nodes_.size(), 0);
-  for (NodeId i = 0; i < nodes_.size(); ++i)
-    indegree[i] = nodes_[i].inputs.size();
-  const auto cons = consumers();
+  const std::size_t n = node_count();
+  sync_consumers();
+  std::vector<std::size_t> indegree(n, 0);
+  for (NodeId i = 0; i < n; ++i) indegree[i] = fanin_count_[i];
   std::vector<NodeId> ready;
-  for (NodeId i = 0; i < nodes_.size(); ++i)
+  for (NodeId i = 0; i < n; ++i)
     if (indegree[i] == 0) ready.push_back(i);
   std::size_t drained = 0;
   while (!ready.empty()) {
     const NodeId id = ready.back();
     ready.pop_back();
     ++drained;
-    for (NodeId c : cons[id])
+    for (NodeId c : consumers(id))
       if (--indegree[c] == 0) ready.push_back(c);
   }
-  return drained != nodes_.size();
+  return drained != n;
 }
 
 std::vector<NodeId> Graph::topological_order() const {
-  std::vector<std::size_t> indegree(nodes_.size(), 0);
-  for (NodeId i = 0; i < nodes_.size(); ++i)
-    indegree[i] = nodes_[i].inputs.size();
-  const auto cons = consumers();
+  const std::size_t n = node_count();
+  sync_consumers();
+  std::vector<std::size_t> indegree(n, 0);
+  for (NodeId i = 0; i < n; ++i) indegree[i] = fanin_count_[i];
   std::vector<NodeId> ready;
-  for (NodeId i = 0; i < nodes_.size(); ++i)
+  for (NodeId i = 0; i < n; ++i)
     if (indegree[i] == 0) ready.push_back(i);
   std::vector<NodeId> order;
-  order.reserve(nodes_.size());
+  order.reserve(n);
   while (!ready.empty()) {
     const NodeId id = ready.back();
     ready.pop_back();
     order.push_back(id);
-    for (NodeId c : cons[id])
+    for (NodeId c : consumers(id))
       if (--indegree[c] == 0) ready.push_back(c);
   }
-  PSDACC_ENSURES(order.size() == nodes_.size());  // acyclic
+  PSDACC_ENSURES(order.size() == n);  // acyclic
   return order;
 }
 
 void Graph::validate() const {
-  for (NodeId i = 0; i < nodes_.size(); ++i) {
-    const Node& n = nodes_[i];
-    for (NodeId src : n.inputs) PSDACC_EXPECTS(src < nodes_.size());
-    struct ArityVisitor {
-      std::size_t fan_in;
-      void operator()(const InputNode&) const { PSDACC_EXPECTS(fan_in == 0); }
-      void operator()(const OutputNode&) const { PSDACC_EXPECTS(fan_in == 1); }
-      void operator()(const BlockNode&) const { PSDACC_EXPECTS(fan_in == 1); }
-      void operator()(const GainNode&) const { PSDACC_EXPECTS(fan_in == 1); }
-      void operator()(const DelayNode&) const { PSDACC_EXPECTS(fan_in == 1); }
-      void operator()(const AdderNode& a) const {
-        PSDACC_EXPECTS(fan_in >= 1);
-        PSDACC_EXPECTS(a.signs.size() == fan_in);
-      }
-      void operator()(const DownsampleNode& d) const {
-        PSDACC_EXPECTS(fan_in == 1);
-        PSDACC_EXPECTS(d.factor >= 1);
-      }
-      void operator()(const UpsampleNode& u) const {
-        PSDACC_EXPECTS(fan_in == 1);
-        PSDACC_EXPECTS(u.factor >= 1);
-      }
-      void operator()(const QuantizerNode&) const {
-        PSDACC_EXPECTS(fan_in == 1);
-      }
-    };
-    std::visit(ArityVisitor{n.inputs.size()}, n.payload);
+  for (NodeId i = 0; i < node_count(); ++i) {
+    for (NodeId src : fan_in(i)) PSDACC_EXPECTS(src < node_count());
+    std::visit(ArityVisitor{fan_in(i).size()}, payloads_[i]);
   }
 }
 
-fxp::NoiseMoments noise_source_moments(const Node& node) {
+fxp::NoiseMoments noise_source_moments(const NodeView& node) {
   if (const auto* q = std::get_if<QuantizerNode>(&node.payload))
     return q->moments;
   const auto* block = std::get_if<BlockNode>(&node.payload);
@@ -313,10 +490,11 @@ fxp::NoiseMoments noise_source_moments(const Node& node) {
 }
 
 bool Graph::is_single_rate() const {
-  return std::none_of(nodes_.begin(), nodes_.end(), [](const Node& n) {
-    return std::holds_alternative<DownsampleNode>(n.payload) ||
-           std::holds_alternative<UpsampleNode>(n.payload);
-  });
+  return std::none_of(payloads_.begin(), payloads_.end(),
+                      [](const NodePayload& p) {
+                        return std::holds_alternative<DownsampleNode>(p) ||
+                               std::holds_alternative<UpsampleNode>(p);
+                      });
 }
 
 }  // namespace psdacc::sfg

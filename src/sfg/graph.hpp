@@ -1,16 +1,102 @@
 /// @file graph.hpp
-/// Signal-flow graph container and builder API.
+/// Signal-flow graph container and builder API (arena/SoA storage).
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <span>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "sfg/node.hpp"
 
 namespace psdacc::sfg {
+
+/// Read-only view of a memoized downstream cone: the node set a word-length
+/// change at one vertex can perturb, held as a dynamic bitset over NodeId.
+/// Iteration yields members in ascending NodeId order. A view is valid
+/// until the next structural edit of the owning Graph (the same lifetime
+/// contract as the per-vertex vectors it replaced) — it never materializes
+/// the member list.
+class ConeView {
+ public:
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = NodeId;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const NodeId*;
+    using reference = NodeId;
+
+    iterator() = default;
+    iterator(const std::uint64_t* words, std::size_t n_words,
+             std::size_t word)
+        : words_(words), n_words_(n_words), word_(word) {
+      bits_ = word_ < n_words_ ? words_[word_] : 0;
+      advance_to_set_bit();
+    }
+
+    NodeId operator*() const {
+      return (word_ << 6) + static_cast<std::size_t>(std::countr_zero(bits_));
+    }
+    iterator& operator++() {
+      bits_ &= bits_ - 1;  // clear lowest set bit
+      advance_to_set_bit();
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.word_ == b.word_ && a.bits_ == b.bits_;
+    }
+
+   private:
+    void advance_to_set_bit() {
+      while (bits_ == 0) {
+        ++word_;
+        if (word_ >= n_words_) {
+          word_ = n_words_;
+          return;
+        }
+        bits_ = words_[word_];
+      }
+    }
+
+    const std::uint64_t* words_ = nullptr;
+    std::size_t n_words_ = 0;
+    std::size_t word_ = 0;
+    std::uint64_t bits_ = 0;
+  };
+
+  ConeView() = default;
+  ConeView(const std::uint64_t* words, std::size_t n_words, std::size_t size)
+      : words_(words), n_words_(n_words), size_(size) {}
+
+  /// O(1) membership test. Ids beyond the bitset (nodes appended after the
+  /// row was built, necessarily outside it) test false.
+  bool contains(NodeId v) const {
+    const std::size_t w = v >> 6;
+    return w < n_words_ && ((words_[w] >> (v & 63)) & 1u) != 0;
+  }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::span<const std::uint64_t> words() const { return {words_, n_words_}; }
+  iterator begin() const { return iterator(words_, n_words_, 0); }
+  iterator end() const { return iterator(words_, n_words_, n_words_); }
+
+ private:
+  const std::uint64_t* words_ = nullptr;
+  std::size_t n_words_ = 0;
+  std::size_t size_ = 0;
+};
 
 /// The paper's system model (Fig. 1): a directed graph of LTI blocks
 /// delimited by additive quantization-noise sources.
@@ -21,6 +107,13 @@ namespace psdacc::sfg {
 /// transform.hpp) before any analysis or simulation runs (method step 1 of
 /// the paper). Every add_* method returns the new node's NodeId, which is
 /// the handle used for wiring and for indexing analysis results.
+///
+/// Storage is structure-of-arrays: payload variants live in one contiguous
+/// arena, fan-in edges in a CSR-style flat pool, and names are interned in
+/// a string pool — a 10^5-node graph is a handful of allocations. Lazy
+/// query caches (reverse CSR, cone bitsets, role lists) follow a one-writer
+/// contract: graphs are cloned per worker, never queried concurrently
+/// through one shared instance.
 class Graph {
  public:
   /// Process-wide number of Graph copy constructions/assignments so far
@@ -30,39 +123,45 @@ class Graph {
   /// overload, moved-in BatchJobs) never copy a graph.
   static std::size_t copies_made();
 
+  /// Pre-sizes the node arenas (and optionally the edge pool) so bulk
+  /// construction is allocation-free past this call.
+  void reserve(std::size_t nodes, std::size_t edges = 0);
+
   /// External signal input (no noise of its own).
-  NodeId add_input(std::string name = "in");
+  NodeId add_input(std::string_view name = "in");
   /// Marks @p src as a system output; analyses report noise here.
-  NodeId add_output(NodeId src, std::string name = "out");
+  NodeId add_output(NodeId src, std::string_view name = "out");
   /// LTI block with transfer function @p tf fed by @p src.
   /// @param output_format when set, the block computes in fixed point and
   ///        injects quantization noise at its output
   NodeId add_block(NodeId src, filt::TransferFunction tf,
                    std::optional<fxp::FixedPointFormat> output_format = {},
-                   std::string name = "block");
+                   std::string_view name = "block");
   /// Constant multiplier.
-  NodeId add_gain(NodeId src, double gain, std::string name = "gain");
+  NodeId add_gain(NodeId src, double gain, std::string_view name = "gain");
   /// Pure delay of @p delay samples (z^-delay).
-  NodeId add_delay(NodeId src, std::size_t delay, std::string name = "delay");
+  NodeId add_delay(NodeId src, std::size_t delay,
+                   std::string_view name = "delay");
   /// N-ary adder; @p signs (+1/-1 per input) defaults to all +1.
   NodeId add_adder(std::span<const NodeId> srcs,
                    std::span<const double> signs = {},
-                   std::string name = "add");
+                   std::string_view name = "add");
   NodeId add_adder(std::initializer_list<NodeId> srcs,
-                   std::string name = "add");
+                   std::string_view name = "add");
   /// Keep every @p factor-th sample (multirate decimation).
   NodeId add_downsample(NodeId src, std::size_t factor,
-                        std::string name = "down");
+                        std::string_view name = "down");
   /// Insert @p factor - 1 zeros between samples (multirate expansion).
   NodeId add_upsample(NodeId src, std::size_t factor,
-                      std::string name = "up");
+                      std::string_view name = "up");
   /// Explicit quantizer to @p format; PQN moments derived from the format.
   NodeId add_quantizer(NodeId src, fxp::FixedPointFormat format,
-                       std::string name = "quant");
+                       std::string_view name = "quant");
   /// Explicit quantizer with caller-supplied noise moments (e.g. the
   /// narrowing corrected form, or measured moments).
   NodeId add_quantizer(NodeId src, fxp::FixedPointFormat format,
-                       fxp::NoiseMoments moments, std::string name = "quant");
+                       fxp::NoiseMoments moments,
+                       std::string_view name = "quant");
 
   /// Adds a (possibly feedback) input edge to an existing adder.
   void add_adder_input(NodeId adder, NodeId src, double sign = 1.0);
@@ -76,42 +175,77 @@ class Graph {
   /// *before* calling this.
   static Graph from_nodes(std::vector<Node> nodes);
 
-  std::size_t node_count() const { return nodes_.size(); }
-  const Node& node(NodeId id) const;
-  /// Mutable access. Handing out a mutable node conservatively bumps the
-  /// graph revision and the node's revision counter — the caller may be
-  /// about to edit a format — so revision-keyed caches (engine power
-  /// caches, per-source delta contributions) invalidate exactly the state
-  /// that could have changed. Read through a const Graph& when no
-  /// mutation is intended.
-  Node& node(NodeId id);
+  /// Materializes the AoS node list back out of the arenas — the escape
+  /// hatch for structural surgery (transform.cpp edits plain Nodes, then
+  /// rebuilds with from_nodes).
+  std::vector<Node> to_nodes() const;
 
-  /// Monotonic counter covering *every* mutation: structural edits and
-  /// each mutable node() access. Evaluation caches key on it: equal
+  std::size_t node_count() const { return payloads_.size(); }
+  /// Read view of one node (payload arena ref + fan-in span + interned
+  /// name). Valid until the next mutation.
+  NodeView node(NodeId id) const;
+  std::string_view name(NodeId id) const;
+
+  /// Re-formats a noise source in place: a QuantizerNode gets @p format
+  /// plus the format-derived continuous PQN moments; a quantized BlockNode
+  /// gets @p format as its output_format. Only that node's revision (and
+  /// the graph revision + format-edit journal) move — per-source caches of
+  /// *other* sources stay warm, which is what keeps optimizer probe loops
+  /// O(1) per probe. Aborts unless @p id is a noise source.
+  void set_format(NodeId id, fxp::FixedPointFormat format);
+
+  /// Replaces a node's payload wholesale (fan-in arity must stay legal for
+  /// the new payload kind). This is a propagation-affecting edit: it bumps
+  /// `propagation_revision()`, so engines drop derived transfer state.
+  void set_payload(NodeId id, NodePayload payload);
+
+  /// Monotonic counter covering *every* mutation: structural edits,
+  /// set_format and set_payload. Evaluation caches key on it: equal
   /// revisions guarantee an unchanged graph.
   std::uint64_t revision() const { return revision_; }
   /// Monotonic counter covering structural edits only (add_* /
-  /// add_adder_input). Reachability memos and analyzer preprocessing key
-  /// on it; format edits leave it untouched.
+  /// add_adder_input / from_nodes). Reachability memos and analyzer
+  /// preprocessing key on it; payload and format edits leave it untouched.
   std::uint64_t topology_revision() const { return topology_revision_; }
-  /// Per-node counter: bumped whenever node(id) is handed out mutably (or
-  /// the node gains a fan-in edge). Lets per-source caches re-derive only
-  /// the contributions whose source actually moved.
+  /// Monotonic counter covering every edit that can change signal/noise
+  /// *propagation*: structural edits and set_payload. Format edits via
+  /// set_format leave it untouched (a source's format scales its injected
+  /// noise but never alters any transfer function), so unit-response
+  /// caches key on this and survive optimizer probe storms.
+  std::uint64_t propagation_revision() const { return propagation_revision_; }
+  /// Per-node counter: bumped when the node is edited (set_format /
+  /// set_payload) or gains a fan-in edge. Lets per-source caches re-derive
+  /// only the contributions whose source actually moved.
   std::uint64_t node_revision(NodeId id) const;
 
-  /// All nodes reachable from @p v along signal-flow edges, @p v included,
-  /// in ascending NodeId order — the "dirty cone" a word-length change at
-  /// @p v can perturb. Memoized per node; the memo is invalidated by
-  /// topology edits (format edits keep it valid).
-  const std::vector<NodeId>& downstream_cone(NodeId v) const;
+  /// Total set_format edits so far. Together with `format_edits_since`
+  /// this forms a bounded journal: caches remember the count they last
+  /// synced at and replay only the edits in between.
+  std::uint64_t format_edit_count() const { return format_edit_count_; }
+  /// Appends the node ids of the format edits in (@p seen,
+  /// format_edit_count()] to @p out (possibly with duplicates), oldest
+  /// first. Returns false when the journal ring no longer covers that
+  /// window — the caller must fall back to a per-term revision scan.
+  bool format_edits_since(std::uint64_t seen, std::vector<NodeId>& out) const;
 
-  /// Ids of all Input / Output / noise-injecting nodes.
-  std::vector<NodeId> inputs() const;
-  std::vector<NodeId> outputs() const;
-  std::vector<NodeId> noise_sources() const;
+  /// All nodes reachable from @p v along signal-flow edges, @p v included
+  /// — the "dirty cone" a word-length change at @p v can perturb.
+  /// Memoized per node as a bitset row; rows are dropped in batch on
+  /// topology edits, and only rows whose owner reaches an edited edge's
+  /// tail drop (the rest stay warm). Format edits keep every row valid.
+  ConeView downstream_cone(NodeId v) const;
 
-  /// Consumers of each node (inverse adjacency), rebuilt on call.
-  std::vector<std::vector<NodeId>> consumers() const;
+  /// Ids of all Input / Output / noise-injecting nodes, ascending.
+  /// Memoized on propagation_revision(); the reference is valid until the
+  /// next structural or payload edit.
+  const std::vector<NodeId>& inputs() const;
+  const std::vector<NodeId>& outputs() const;
+  const std::vector<NodeId>& noise_sources() const;
+
+  /// Consumers of @p v (inverse adjacency), ascending. Served from a
+  /// mirrored reverse CSR rebuilt lazily per topology revision — O(1) per
+  /// call, not O(V+E) like the rebuild-on-call predecessor.
+  std::span<const NodeId> consumers(NodeId v) const;
 
   /// True when the graph contains at least one cycle.
   bool has_cycles() const;
@@ -139,25 +273,77 @@ class Graph {
     CopyCounter& operator=(CopyCounter&&) noexcept = default;
   };
 
-  NodeId append(Node node);
+  struct NameHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  static constexpr std::uint64_t kNeverSynced = ~std::uint64_t{0};
+  static constexpr std::size_t kFormatJournalSize = 64;
+  // Past this many pending dirty-edge tails a batched cone sync degrades
+  // to a full drop (the upstream sweep would cost more than rebuilding).
+  static constexpr std::size_t kMaxPendingTails = 64;
+
+  NodeId append(NodePayload payload, std::span<const NodeId> inputs,
+                std::string_view name);
+  std::uint32_t intern(std::string_view name);
+  std::span<const NodeId> fan_in(NodeId id) const {
+    return {edge_pool_.data() + fanin_begin_[id], fanin_count_[id]};
+  }
+  void note_new_edge_tail(NodeId tail);
+  void sync_consumers() const;
+  void sync_cones() const;
+  void build_cone_row(NodeId v) const;
+  void sync_roles() const;
 
   [[no_unique_address]] CopyCounter copy_counter_;
-  std::vector<Node> nodes_;
+
+  // --- SoA arenas -------------------------------------------------------
+  std::vector<NodePayload> payloads_;
+  std::vector<std::uint32_t> name_ids_;     // index into name_pool_
+  std::vector<std::uint32_t> fanin_begin_;  // offset into edge_pool_
+  std::vector<std::uint32_t> fanin_count_;
+  std::vector<NodeId> edge_pool_;  // CSR fan-in runs (holes possible after
+                                   // an adder run relocates to grow)
+  std::vector<std::string> name_pool_;
+  std::unordered_map<std::string, std::uint32_t, NameHash, std::equal_to<>>
+      name_lookup_;
+
+  // --- revision counters ------------------------------------------------
   std::uint64_t revision_ = 0;
   std::uint64_t topology_revision_ = 0;
+  std::uint64_t propagation_revision_ = 0;
   std::vector<std::uint64_t> node_revisions_;
-  // downstream_cone memo (and the consumer lists it walks), valid while
-  // cone_topology_ matches topology_revision_. Mutable lazy state: like
-  // the analyzers' workspaces, lazy queries follow the one-writer
-  // contract (graphs are cloned per worker, never mutated concurrently).
-  mutable std::uint64_t cone_topology_ = ~std::uint64_t{0};
-  mutable std::vector<std::vector<NodeId>> cone_cache_;
-  mutable std::vector<std::vector<NodeId>> cone_consumers_;
+
+  // --- format-edit journal ----------------------------------------------
+  std::uint64_t format_edit_count_ = 0;
+  std::array<NodeId, kFormatJournalSize> format_journal_{};
+
+  // --- lazy query caches (one-writer contract, see class comment) -------
+  mutable std::uint64_t rev_csr_topology_ = kNeverSynced;
+  mutable std::vector<std::uint32_t> rev_begin_;
+  mutable std::vector<std::uint32_t> rev_count_;
+  mutable std::vector<NodeId> rev_pool_;
+
+  mutable std::uint64_t cone_topology_ = kNeverSynced;
+  mutable std::vector<std::vector<std::uint64_t>> cone_rows_;
+  mutable std::vector<std::uint32_t> cone_sizes_;
+  // Tails (src endpoints) of edges added since the last cone sync; a row
+  // is stale iff its owner reaches one of these.
+  mutable std::vector<NodeId> cone_pending_tails_;
+  mutable bool cone_pending_overflow_ = false;
+
+  mutable std::uint64_t role_propagation_ = kNeverSynced;
+  mutable std::vector<NodeId> inputs_memo_;
+  mutable std::vector<NodeId> outputs_memo_;
+  mutable std::vector<NodeId> noise_sources_memo_;
 };
 
 /// PQN moments a noise source injects: the stored (possibly overridden)
 /// moments of a QuantizerNode, or the continuous-amplitude moments of a
 /// quantized BlockNode's output format. Asserts @p node is a source.
-fxp::NoiseMoments noise_source_moments(const Node& node);
+fxp::NoiseMoments noise_source_moments(const NodeView& node);
 
 }  // namespace psdacc::sfg

@@ -15,9 +15,12 @@
 // up/downsamplers introduce no new fractional bits).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -101,6 +104,28 @@ struct Node {
   std::string name;
 
   bool operator==(const Node&) const = default;
+};
+
+/// Read-only view of one node in a Graph's structure-of-arrays storage.
+/// Cheap to copy; valid until the next mutation of the owning Graph. A
+/// plain `Node` converts implicitly, so functions taking a NodeView accept
+/// both storage forms.
+struct NodeView {
+  const NodePayload& payload;
+  std::span<const NodeId> inputs;  // producer ids, ordered
+  std::string_view name;
+
+  NodeView(const NodePayload& p, std::span<const NodeId> in,
+           std::string_view nm)
+      : payload(p), inputs(in), name(nm) {}
+  NodeView(const Node& n)  // NOLINT(google-explicit-constructor)
+      : payload(n.payload), inputs(n.inputs), name(n.name) {}
+
+  friend bool operator==(const NodeView& a, const NodeView& b) {
+    return a.payload == b.payload && a.name == b.name &&
+           std::equal(a.inputs.begin(), a.inputs.end(), b.inputs.begin(),
+                      b.inputs.end());
+  }
 };
 
 /// Human-readable payload tag, for diagnostics.

@@ -31,7 +31,7 @@ void append_uint(std::string& out, std::uint64_t v) {
   out.append(buf, res.ptr);
 }
 
-void append_quoted(std::string& out, const std::string& s) {
+void append_quoted(std::string& out, std::string_view s) {
   out += '"';
   for (const char raw : s) {
     const unsigned char c = static_cast<unsigned char>(raw);
@@ -72,7 +72,7 @@ void append_format(std::string& out, const fxp::FixedPointFormat& fmt) {
   out += fmt.to_string();  // canonical: [su]Q<i>.<f>/<round>/<ovf>
 }
 
-void append_node(std::string& out, NodeId id, const Node& node) {
+void append_node(std::string& out, NodeId id, const NodeView& node) {
   out += "  node ";
   append_uint(out, id);
   out += ' ';
@@ -135,6 +135,9 @@ void append_header(std::string& out) {
 }
 
 void append_graph_section(std::string& out, const Graph& g) {
+  // Rough per-node line estimate; keeps 10^5-node emission out of the
+  // string's doubling regime.
+  out.reserve(out.size() + 16 + g.node_count() * 48);
   out += "graph {\n";
   for (NodeId id = 0; id < g.node_count(); ++id)
     append_node(out, id, g.node(id));
@@ -590,6 +593,20 @@ class Parser {
   Graph parse_graph_section() {
     expect_punct('{');
     std::vector<ParsedNode> parsed;
+    // First pass over the (already tokenized) section: count the node
+    // lines so a 10^5-node document fills one right-sized allocation
+    // instead of log2(n) reallocation copies.
+    std::size_t count = 0, depth = 1;
+    for (std::size_t i = pos_; i < tokens_.size() && depth > 0; ++i) {
+      const Token& t = tokens_[i];
+      if (t.kind == Token::Kind::kPunct) {
+        if (t.word[0] == '{') ++depth;
+        if (t.word[0] == '}') --depth;
+      } else if (t.kind == Token::Kind::kWord && t.word == "node") {
+        ++count;
+      }
+    }
+    parsed.reserve(count);
     while (!cur_is_punct('}')) {
       const Token& tok = cur();
       if (tok.kind != Token::Kind::kWord || tok.word != "node")

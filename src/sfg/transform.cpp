@@ -2,15 +2,17 @@
 
 #include <algorithm>
 #include <functional>
+#include <string>
+#include <utility>
 
 #include "support/assert.hpp"
 
 namespace psdacc::sfg {
 
 std::vector<std::vector<NodeId>> find_cycles(const Graph& g) {
-  // Tarjan's strongly-connected components over the consumer adjacency.
+  // Tarjan's strongly-connected components over the consumer adjacency,
+  // read per node straight from the graph's reverse CSR.
   const std::size_t n = g.node_count();
-  const auto adj = g.consumers();
   std::vector<int> index(n, -1);
   std::vector<int> lowlink(n, 0);
   std::vector<bool> on_stack(n, false);
@@ -22,7 +24,7 @@ std::vector<std::vector<NodeId>> find_cycles(const Graph& g) {
     index[v] = lowlink[v] = next_index++;
     stack.push_back(v);
     on_stack[v] = true;
-    for (NodeId w : adj[v]) {
+    for (NodeId w : g.consumers(v)) {
       if (index[w] < 0) {
         strongconnect(w);
         lowlink[v] = std::min(lowlink[v], lowlink[w]);
@@ -39,10 +41,10 @@ std::vector<std::vector<NodeId>> find_cycles(const Graph& g) {
         on_stack[w] = false;
         scc.push_back(w);
       } while (w != v);
+      const auto self = g.consumers(scc[0]);
       const bool self_loop =
           scc.size() == 1 &&
-          std::find(adj[scc[0]].begin(), adj[scc[0]].end(), scc[0]) !=
-              adj[scc[0]].end();
+          std::find(self.begin(), self.end(), scc[0]) != self.end();
       if (scc.size() >= 2 || self_loop) sccs.push_back(std::move(scc));
     }
   };
@@ -72,8 +74,10 @@ filt::TransferFunction loop_node_tf(const Node& node) {
 
 Graph collapse_loops(const Graph& g) {
   if (!g.has_cycles()) return g;
-  Graph out = g;
-  const auto sccs = find_cycles(out);
+  // Structural surgery works on the materialized AoS node list; the arenas
+  // are rebuilt once at the end via from_nodes.
+  std::vector<Node> nodes = g.to_nodes();
+  const auto sccs = find_cycles(g);
   for (const auto& scc : sccs) {
     PSDACC_EXPECTS(scc.size() >= 2 && "self-loops are not supported");
     const auto in_scc = [&](NodeId id) {
@@ -82,14 +86,14 @@ Graph collapse_loops(const Graph& g) {
     // Exactly one adder closes the loop.
     std::vector<NodeId> adders;
     for (NodeId id : scc)
-      if (std::holds_alternative<AdderNode>(out.node(id).payload))
+      if (std::holds_alternative<AdderNode>(nodes[id].payload))
         adders.push_back(id);
     PSDACC_EXPECTS(adders.size() == 1 &&
                    "loop must contain exactly one adder");
     const NodeId adder_id = adders[0];
 
     // Locate the unique feedback edge into the adder.
-    auto& adder_node = out.node(adder_id);
+    Node& adder_node = nodes[adder_id];
     auto& adder = std::get<AdderNode>(adder_node.payload);
     std::size_t fb_port = adder_node.inputs.size();
     for (std::size_t i = 0; i < adder_node.inputs.size(); ++i) {
@@ -109,7 +113,7 @@ Graph collapse_loops(const Graph& g) {
     while (cursor != adder_id) {
       PSDACC_EXPECTS(in_scc(cursor));
       path.push_back(cursor);
-      const auto& node = out.node(cursor);
+      const Node& node = nodes[cursor];
       PSDACC_EXPECTS(node.inputs.size() == 1 &&
                      "loop body must be a simple chain");
       cursor = node.inputs[0];
@@ -118,15 +122,14 @@ Graph collapse_loops(const Graph& g) {
                    "loop body must contain all SCC nodes");
 
     // Loop nodes must not feed anything outside the loop.
-    const auto cons = out.consumers();
     for (NodeId id : path) {
-      for (NodeId c : cons[id]) PSDACC_EXPECTS(in_scc(c));
+      for (NodeId c : g.consumers(id)) PSDACC_EXPECTS(in_scc(c));
     }
 
     // Loop transfer function L(z) = cascade along adder -> ... -> fb_src.
     filt::TransferFunction loop_tf = filt::TransferFunction::identity();
     for (auto it = path.rbegin(); it != path.rend(); ++it)
-      loop_tf = loop_tf.cascade(loop_node_tf(out.node(*it)));
+      loop_tf = loop_tf.cascade(loop_node_tf(nodes[*it]));
 
     // Closed loop: u = sum(ext) + fb_sign * L(z) * u
     //   =>  H_cl(z) = 1 / (1 - fb_sign * L(z)).
@@ -140,23 +143,28 @@ Graph collapse_loops(const Graph& g) {
     adder.signs.erase(adder.signs.begin() +
                       static_cast<std::ptrdiff_t>(fb_port));
 
-    // Insert the closed-loop block and rewire external consumers of the
+    // Append the closed-loop block and rewire external consumers of the
     // adder to it.
-    const NodeId cl_id =
-        out.add_block(adder_id, h_cl, {}, adder_node.name + "_closed");
-    for (NodeId c = 0; c < out.node_count(); ++c) {
-      if (c == cl_id || in_scc(c)) continue;
-      for (NodeId& src : out.node(c).inputs)
+    const NodeId cl_id = static_cast<NodeId>(nodes.size());
+    Node cl;
+    cl.payload = BlockNode{h_cl, {}};
+    cl.inputs = {adder_id};
+    cl.name = adder_node.name + "_closed";
+    nodes.push_back(std::move(cl));
+    for (NodeId c = 0; c < cl_id; ++c) {
+      if (in_scc(c)) continue;
+      for (NodeId& src : nodes[c].inputs)
         if (src == adder_id) src = cl_id;
     }
     // Neutralize the now-dead loop body nodes.
     for (NodeId id : path) {
-      Node& dead = out.node(id);
+      Node& dead = nodes[id];
       dead.payload = GainNode{0.0};
       dead.inputs = {cl_id};
       dead.name += "_dead";
     }
   }
+  Graph out = Graph::from_nodes(std::move(nodes));
   PSDACC_ENSURES(!out.has_cycles());
   return out;
 }

@@ -24,7 +24,7 @@ bool rel_close(double a, double b, double rel_tol) {
 
 /// Current word-length format of a noise source (quantizer format or
 /// quantized block output format).
-std::optional<fxp::FixedPointFormat> source_format(const Node& node) {
+std::optional<fxp::FixedPointFormat> source_format(const NodeView& node) {
   if (const auto* q = std::get_if<QuantizerNode>(&node.payload))
     return q->format;
   if (const auto* b = std::get_if<BlockNode>(&node.payload))
@@ -36,7 +36,7 @@ std::optional<fxp::FixedPointFormat> source_format(const Node& node) {
 /// delta(v, current format) equals the full evaluation only when the
 /// source's stored moments are the format-derived ones (true everywhere
 /// except quantizers with overridden moments, e.g. narrowing corrections).
-bool delta_comparable(const Node& node) {
+bool delta_comparable(const NodeView& node) {
   const auto* q = std::get_if<QuantizerNode>(&node.payload);
   if (q == nullptr) return true;
   return q->moments == fxp::continuous_quantization_noise(q->format);

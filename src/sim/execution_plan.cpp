@@ -117,11 +117,11 @@ void ExecutionPlan::set_input(sfg::NodeId id, std::span<const double> x) {
 }
 
 void ExecutionPlan::run_node(sfg::NodeId id, Mode mode) {
-  const sfg::Node& node = graph_->node(id);
+  const sfg::NodeView node = graph_->node(id);
   std::vector<double>& out = signals_[id];
   struct Visitor {
     ExecutionPlan& self;
-    const sfg::Node& node;
+    sfg::NodeView node;
     sfg::NodeId id;
     Mode mode;
     std::vector<double>& out;

@@ -1,0 +1,57 @@
+// Deterministic generator for the large-graph corpus entry
+// (tests/corpus/large_mesh_10k.sfg). The checked-in document is the
+// canonical serialization of exactly this scenario; the byte-identity
+// test in test_serialize_large.cpp regenerates it and compares bytes, so
+// any drift in the generator, the serializer, or the checked-in file is
+// caught. Engines are left empty on purpose: the entry exists to pin the
+// serializer and the reserving parser at scale, not to record goldens
+// (psdacc-verify regen would otherwise evaluate a 10^4-node graph).
+#pragma once
+
+#include <cstdint>
+
+#include "fixedpoint/format.hpp"
+#include "sfg/serialize.hpp"
+
+namespace psdacc::testing {
+
+inline sfg::Scenario make_large_corpus_scenario() {
+  constexpr std::size_t kTargetNodes = 10006;
+  sfg::Scenario s;
+  sfg::Graph& g = s.graph;
+  g.reserve(kTargetNodes + 2, kTargetNodes + kTargetNodes / 4);
+  const auto in = g.add_input("x");
+  sfg::NodeId head = g.add_quantizer(in, fxp::q_format(4, 12), "q_in");
+  sfg::NodeId tap = head;
+  // splitmix64-style walk: fully deterministic, no <random> involved.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  while (g.node_count() < kTargetNodes) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t roll = state >> 33;
+    switch (roll % 8) {
+      case 0:
+        head = g.add_delay(head, 1 + static_cast<std::size_t>(roll % 3));
+        break;
+      case 1:
+        head = g.add_quantizer(
+            head, fxp::q_format(4, 8 + static_cast<int>((roll >> 8) % 8)));
+        break;
+      case 2: {
+        // Reconvergent edge back to an earlier tap.
+        const auto sum = g.add_adder({head, tap});
+        tap = head;
+        head = sum;
+        break;
+      }
+      default:
+        head = g.add_gain(
+            head, 0.5 + static_cast<double>((roll >> 8) & 0x1ff) / 2048.0);
+        break;
+    }
+  }
+  g.add_output(head, "y");
+  s.config.engines.clear();
+  return s;
+}
+
+}  // namespace psdacc::testing

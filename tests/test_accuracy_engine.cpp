@@ -84,14 +84,13 @@ TEST_P(EngineContractTest, EvaluationTracksGraphMutation) {
   // Double every fractional word-length: noise must drop a lot, through
   // the *same* engine instance (preprocessing is topology-only).
   for (sfg::NodeId id : g.noise_sources()) {
-    sfg::Node& node = g.node(id);
-    if (auto* q = std::get_if<sfg::QuantizerNode>(&node.payload)) {
-      q->format.fractional_bits = 24;
-      q->moments = fxp::continuous_quantization_noise(q->format);
-    } else {
-      std::get<sfg::BlockNode>(node.payload)
-          .output_format->fractional_bits = 24;
-    }
+    const sfg::NodeView node = g.node(id);
+    auto format =
+        std::holds_alternative<sfg::QuantizerNode>(node.payload)
+            ? std::get<sfg::QuantizerNode>(node.payload).format
+            : *std::get<sfg::BlockNode>(node.payload).output_format;
+    format.fractional_bits = 24;
+    g.set_format(id, format);
   }
   const double fine = engine->output_noise_power();
   EXPECT_LT(fine, 1e-4 * coarse);

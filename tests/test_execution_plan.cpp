@@ -102,8 +102,7 @@ TEST(ExecutionPlan, PicksUpMutatedQuantizerFormat) {
   EXPECT_DOUBLE_EQ(coarse[0], 0.25);
   // Formats are read live on each run, so optimizer-style mutation between
   // runs must take effect without recompiling the plan.
-  std::get<sfg::QuantizerNode>(g.node(q).payload).format =
-      fxp::q_format(4, 8);
+  g.set_format(q, fxp::q_format(4, 8));
   const auto fine = plan.run_sisos(x, sim::Mode::kFixedPoint);
   EXPECT_NEAR(fine[0], 0.3, fxp::q_format(4, 8).step());
   EXPECT_NE(fine[0], 0.25);

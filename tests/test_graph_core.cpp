@@ -1,0 +1,294 @@
+// Invalidation semantics of the arena/SoA graph core's derived views:
+// reverse-CSR consumers, memoized downstream cones under batched
+// invalidation, and the role memos — exercised through feedback edges
+// (add_adder_input), from_nodes-built graphs, and a seeded randomized
+// edit sequence checked against a naive recompute-from-scratch oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "fixedpoint/format.hpp"
+#include "sfg/dot.hpp"
+#include "sfg/graph.hpp"
+
+namespace {
+
+using namespace psdacc;
+
+// Ground truth: forward reachability over the primary fan-in storage,
+// independent of the consumers CSR and the cone memo being tested.
+std::set<sfg::NodeId> oracle_cone(const sfg::Graph& g, sfg::NodeId src) {
+  std::vector<std::vector<sfg::NodeId>> fwd(g.node_count());
+  for (sfg::NodeId v = 0; v < g.node_count(); ++v)
+    for (sfg::NodeId u : g.node(v).inputs) fwd[u].push_back(v);
+  std::set<sfg::NodeId> seen{src};
+  std::vector<sfg::NodeId> frontier{src};
+  while (!frontier.empty()) {
+    const sfg::NodeId id = frontier.back();
+    frontier.pop_back();
+    for (sfg::NodeId c : fwd[id])
+      if (seen.insert(c).second) frontier.push_back(c);
+  }
+  return seen;
+}
+
+// Asserts the memoized cone agrees with the oracle in membership,
+// iteration order (ascending), and reported size.
+void expect_cone_matches_oracle(const sfg::Graph& g, sfg::NodeId src) {
+  const auto expected = oracle_cone(g, src);
+  const auto cone = g.downstream_cone(src);
+  EXPECT_EQ(cone.size(), expected.size()) << "source " << src;
+  for (sfg::NodeId v = 0; v < g.node_count(); ++v)
+    EXPECT_EQ(cone.contains(v), expected.count(v) != 0)
+        << "source " << src << " vertex " << v;
+  const std::vector<sfg::NodeId> iterated(cone.begin(), cone.end());
+  EXPECT_TRUE(std::is_sorted(iterated.begin(), iterated.end()));
+  EXPECT_EQ(iterated, std::vector<sfg::NodeId>(expected.begin(),
+                                               expected.end()));
+}
+
+void expect_consumers_match_oracle(const sfg::Graph& g) {
+  std::vector<std::vector<sfg::NodeId>> fwd(g.node_count());
+  for (sfg::NodeId v = 0; v < g.node_count(); ++v)
+    for (sfg::NodeId u : g.node(v).inputs) fwd[u].push_back(v);
+  for (sfg::NodeId v = 0; v < g.node_count(); ++v) {
+    std::sort(fwd[v].begin(), fwd[v].end());
+    const auto got = g.consumers(v);
+    ASSERT_EQ(std::vector<sfg::NodeId>(got.begin(), got.end()), fwd[v])
+        << "consumers of " << v;
+  }
+}
+
+TEST(GraphCore, FeedbackEdgeUpdatesConsumersAndCones) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto adder = g.add_adder({in});
+  const auto gain = g.add_gain(adder, 0.5);
+  const auto delay = g.add_delay(gain, 1);
+  const auto out = g.add_output(adder);
+
+  // Warm every derived view before the feedback edge lands.
+  expect_consumers_match_oracle(g);
+  for (sfg::NodeId v = 0; v < g.node_count(); ++v)
+    expect_cone_matches_oracle(g, v);
+  EXPECT_FALSE(g.downstream_cone(delay).contains(gain));
+
+  // Feedback: delay -> adder closes the loop adder -> gain -> delay.
+  g.add_adder_input(adder, delay, -1.0);
+  EXPECT_TRUE(g.has_cycles());
+
+  expect_consumers_match_oracle(g);
+  for (sfg::NodeId v = 0; v < g.node_count(); ++v)
+    expect_cone_matches_oracle(g, v);
+  // Every loop member's cone now holds the whole loop plus the output.
+  for (const sfg::NodeId member : {adder, gain, delay}) {
+    const auto cone = g.downstream_cone(member);
+    EXPECT_TRUE(cone.contains(adder));
+    EXPECT_TRUE(cone.contains(gain));
+    EXPECT_TRUE(cone.contains(delay));
+    EXPECT_TRUE(cone.contains(out));
+    EXPECT_FALSE(cone.contains(in));
+  }
+}
+
+TEST(GraphCore, BatchedInvalidationDropsOnlyIntersectingCones) {
+  // Two parallel branches off one input: an edge added inside branch A
+  // must not rebuild branch B's memoized rows.
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto a0 = g.add_adder({in});
+  const auto a1 = g.add_gain(a0, 0.5);
+  const auto a2 = g.add_delay(a1, 1);
+  const auto b0 = g.add_gain(in, 2.0);
+  const auto b1 = g.add_delay(b0, 1);
+  g.add_output(a2, "out_a");
+  g.add_output(b1, "out_b");
+
+  const auto before_b = g.downstream_cone(b0);
+  const auto* b_words = before_b.words().data();
+  const std::vector<std::uint64_t> b_copy(before_b.words().begin(),
+                                          before_b.words().end());
+  (void)g.downstream_cone(a1);
+
+  // New edge a2 -> a0 (tail a2): only rows reaching a2 may drop. This
+  // edit adds no nodes, so surviving rows must keep their exact storage.
+  g.add_adder_input(a0, a2);
+
+  const auto after_b = g.downstream_cone(b0);
+  EXPECT_EQ(after_b.words().data(), b_words)
+      << "disjoint cone was rebuilt by an edit outside it";
+  EXPECT_EQ(std::vector<std::uint64_t>(after_b.words().begin(),
+                                       after_b.words().end()),
+            b_copy);
+  // The intersecting row was refreshed and reflects the new loop.
+  EXPECT_TRUE(g.downstream_cone(a1).contains(a0));
+  expect_cone_matches_oracle(g, a1);
+  expect_cone_matches_oracle(g, in);
+}
+
+TEST(GraphCore, FromNodesGraphsBuildConsistentViews) {
+  // Hand-built storage through from_nodes, including an adder with signs
+  // and a feedback edge already present in the node list.
+  std::vector<sfg::Node> nodes(6);
+  nodes[0].payload = sfg::InputNode{};
+  nodes[0].name = "in";
+  nodes[1].payload = sfg::AdderNode{{1.0, -1.0}};
+  nodes[1].inputs = {0, 4};
+  nodes[1].name = "fb_adder";
+  nodes[2].payload = sfg::QuantizerNode{fxp::q_format(4, 12),
+                                        fxp::NoiseMoments{}};
+  nodes[2].inputs = {1};
+  nodes[2].name = "q";
+  nodes[3].payload = sfg::GainNode{0.25};
+  nodes[3].inputs = {2};
+  nodes[3].name = "g";
+  nodes[4].payload = sfg::DelayNode{1};
+  nodes[4].inputs = {3};
+  nodes[4].name = "z";
+  nodes[5].payload = sfg::OutputNode{};
+  nodes[5].inputs = {2};
+  nodes[5].name = "out";
+
+  auto g = sfg::Graph::from_nodes(nodes);
+  ASSERT_EQ(g.node_count(), nodes.size());
+  EXPECT_TRUE(g.has_cycles());
+  expect_consumers_match_oracle(g);
+  for (sfg::NodeId v = 0; v < g.node_count(); ++v)
+    expect_cone_matches_oracle(g, v);
+
+  // Round-trip preserves every node (deep equality through NodeView).
+  const auto back = g.to_nodes();
+  ASSERT_EQ(back.size(), nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    EXPECT_EQ(back[i], nodes[i]) << "node " << i;
+
+  // Growing a from_nodes graph invalidates like any other graph.
+  const auto tap = g.add_gain(4, 3.0);
+  g.add_output(tap, "tap_out");
+  expect_consumers_match_oracle(g);
+  expect_cone_matches_oracle(g, 0);
+  expect_cone_matches_oracle(g, 4);
+}
+
+TEST(GraphCore, RoleMemosTrackStructuralAndFormatEdits) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto q = g.add_quantizer(in, fxp::q_format(4, 12));
+  g.add_output(q);
+
+  const auto& sources = g.noise_sources();
+  ASSERT_EQ(sources, std::vector<sfg::NodeId>{q});
+  // Format edits leave the memo valid (propagation revision untouched).
+  g.set_format(q, fxp::q_format(4, 8));
+  EXPECT_EQ(&g.noise_sources(), &sources);
+  EXPECT_EQ(g.noise_sources(), std::vector<sfg::NodeId>{q});
+
+  // Structural edits refresh contents.
+  const auto q2 = g.add_quantizer(in, fxp::q_format(4, 10));
+  g.add_output(q2, "out2");
+  EXPECT_EQ(g.noise_sources(), (std::vector<sfg::NodeId>{q, q2}));
+  EXPECT_EQ(g.inputs(), std::vector<sfg::NodeId>{in});
+  EXPECT_EQ(g.outputs().size(), 2u);
+}
+
+TEST(GraphCore, DotStreamingMatchesLegacyAndCapsNodeCount) {
+  sfg::Graph g;
+  auto head = g.add_input();
+  for (int i = 0; i < 20; ++i) head = g.add_gain(head, 0.5);
+  g.add_output(head);
+
+  // Uncapped streaming is byte-identical to the legacy string API.
+  std::ostringstream full;
+  sfg::dot::to_dot(full, g, "chain");
+  EXPECT_EQ(full.str(), sfg::to_dot(g, "chain"));
+  EXPECT_EQ(full.str().find("elided"), std::string::npos);
+
+  // Capped emission keeps only the first max_nodes nodes, drops edges
+  // with an elided endpoint, and reports what it dropped.
+  std::ostringstream capped;
+  sfg::dot::to_dot(capped, g, "chain", {.max_nodes = 5});
+  const std::string text = capped.str();
+  EXPECT_NE(text.find("elided 17 of 22 nodes"), std::string::npos) << text;
+  for (sfg::NodeId v = 0; v < g.node_count(); ++v) {
+    const std::string decl = "  n" + std::to_string(v) + " [";
+    EXPECT_EQ(text.find(decl) != std::string::npos, v < 5)
+        << "node " << v << "\n" << text;
+  }
+  EXPECT_EQ(text.find("n5 ->"), std::string::npos);
+  // Still a closed graph document.
+  EXPECT_NE(text.find('}'), std::string::npos);
+}
+
+// Randomized edit sequences, memoized views vs the naive oracle. Edits
+// interleave with queries so most syncs take the batched-invalidation
+// path on warm memos; long bursts (> the pending-tail window) push the
+// memo through its full-drop overflow path too.
+TEST(GraphCore, RandomizedEditsMatchNaiveOracle) {
+  for (const unsigned seed : {11u, 23u, 57u}) {
+    std::mt19937 rng(seed);
+    sfg::Graph g;
+    std::vector<sfg::NodeId> adders;
+    const auto in = g.add_input();
+    auto pick = [&](std::size_t n) {
+      return std::uniform_int_distribution<std::size_t>(0, n - 1)(rng);
+    };
+    // Seed DAG.
+    for (int i = 0; i < 40; ++i) {
+      const sfg::NodeId src = static_cast<sfg::NodeId>(pick(g.node_count()));
+      switch (pick(4)) {
+        case 0: g.add_gain(src, 0.5); break;
+        case 1: g.add_delay(src, 1); break;
+        case 2: g.add_quantizer(src, fxp::q_format(4, 12)); break;
+        default:
+          adders.push_back(g.add_adder(
+              {src, static_cast<sfg::NodeId>(pick(g.node_count()))}));
+          break;
+      }
+    }
+    (void)in;
+
+    auto check_some = [&] {
+      expect_consumers_match_oracle(g);
+      for (int k = 0; k < 6; ++k)
+        expect_cone_matches_oracle(
+            g, static_cast<sfg::NodeId>(pick(g.node_count())));
+    };
+    check_some();  // warm the memos so later syncs exercise invalidation
+
+    for (int burst = 0; burst < 8; ++burst) {
+      // Burst length crosses the pending-tail overflow threshold on the
+      // later iterations.
+      const int edits = 3 + burst * 14;
+      for (int e = 0; e < edits; ++e) {
+        const sfg::NodeId src =
+            static_cast<sfg::NodeId>(pick(g.node_count()));
+        switch (pick(5)) {
+          case 0: g.add_gain(src, 1.5); break;
+          case 1: g.add_delay(src, 2); break;
+          case 2:
+            adders.push_back(g.add_adder(
+                {src, static_cast<sfg::NodeId>(pick(g.node_count()))}));
+            break;
+          case 3:
+            // Edge-only edit; may create feedback.
+            g.add_adder_input(adders[pick(adders.size())], src,
+                              pick(2) == 0 ? 1.0 : -1.0);
+            break;
+          default:
+            g.add_quantizer(src, fxp::q_format(4, 10));
+            break;
+        }
+      }
+      check_some();
+    }
+    // Full sweep at the end of each seed.
+    for (sfg::NodeId v = 0; v < g.node_count(); ++v)
+      expect_cone_matches_oracle(g, v);
+  }
+}
+
+}  // namespace

@@ -38,21 +38,42 @@ TEST(GraphRevision, StructuralEditsBumpTopologyAndGraphRevision) {
   EXPECT_EQ(g.node_revision(q), 0u);
 }
 
-TEST(GraphRevision, MutableNodeAccessBumpsNodeAndGraphRevisionOnly) {
+std::vector<sfg::NodeId> cone_ids(const sfg::Graph& g, sfg::NodeId v) {
+  const auto cone = g.downstream_cone(v);
+  return {cone.begin(), cone.end()};
+}
+
+TEST(GraphRevision, FormatEditBumpsNodeAndGraphRevisionOnly) {
   sfg::Graph g;
   const auto in = g.add_input();
   const auto q = g.add_quantizer(in, fxp::q_format(4, 12));
   g.add_output(q);
   const auto r0 = g.revision();
   const auto t0 = g.topology_revision();
+  const auto p0 = g.propagation_revision();
   const auto n0 = g.node_revision(q);
-  g.node(q);  // mutable handout: conservative bump
+  g.set_format(q, fxp::q_format(4, 10));
   EXPECT_EQ(g.revision(), r0 + 1);
   EXPECT_EQ(g.node_revision(q), n0 + 1);
   EXPECT_EQ(g.topology_revision(), t0);
+  // A format edit rescales one source's injection but never alters a
+  // transfer function, so propagation-keyed caches stay warm.
+  EXPECT_EQ(g.propagation_revision(), p0);
   // Const access never bumps.
   std::as_const(g).node(q);
   EXPECT_EQ(g.revision(), r0 + 1);
+}
+
+TEST(GraphRevision, PayloadEditBumpsPropagationButNotTopology) {
+  sfg::Graph g;
+  const auto in = g.add_input();
+  const auto gain = g.add_gain(in, 1.0);
+  g.add_output(gain);
+  const auto t0 = g.topology_revision();
+  const auto p0 = g.propagation_revision();
+  g.set_payload(gain, sfg::GainNode{2.0});
+  EXPECT_EQ(g.topology_revision(), t0);
+  EXPECT_GT(g.propagation_revision(), p0);
 }
 
 TEST(DownstreamCone, CoversExactlyTheReachableSetOnReconvergence) {
@@ -66,15 +87,14 @@ TEST(DownstreamCone, CoversExactlyTheReachableSetOnReconvergence) {
   const auto out = g.add_output(add);
   const auto side = g.add_gain(in, 2.0);  // not downstream of q
 
-  const auto& cone = g.downstream_cone(q);
-  EXPECT_EQ(cone, (std::vector<sfg::NodeId>{q, left, right, add, out}));
-  EXPECT_EQ(g.downstream_cone(side),
-            (std::vector<sfg::NodeId>{side}));
-  // Memoized: the same object comes back while the topology is unchanged,
-  // and format edits (mutable node access) do not invalidate it.
-  const auto* first = &g.downstream_cone(q);
-  g.node(q);
-  EXPECT_EQ(&g.downstream_cone(q), first);
+  EXPECT_EQ(cone_ids(g, q),
+            (std::vector<sfg::NodeId>{q, left, right, add, out}));
+  EXPECT_EQ(cone_ids(g, side), (std::vector<sfg::NodeId>{side}));
+  // Memoized: the same bitset row backs the view while the topology is
+  // unchanged, and format edits do not invalidate it.
+  const auto* first = g.downstream_cone(q).words().data();
+  g.set_format(q, fxp::q_format(4, 10));
+  EXPECT_EQ(g.downstream_cone(q).words().data(), first);
 }
 
 TEST(DownstreamCone, TopologyEditsInvalidateTheMemo) {
@@ -88,8 +108,8 @@ TEST(DownstreamCone, TopologyEditsInvalidateTheMemo) {
   // New branch into the adder: `side` must appear in in's cone afterwards.
   const auto side = g.add_gain(in, 0.25);
   g.add_adder_input(add, side);
-  const auto& cone = g.downstream_cone(in);
-  EXPECT_NE(std::find(cone.begin(), cone.end(), side), cone.end());
+  const auto cone = g.downstream_cone(in);
+  EXPECT_TRUE(cone.contains(side));
   EXPECT_EQ(cone.size(), 5u);
 }
 
@@ -191,13 +211,7 @@ void expect_delta_matches_full(const sfg::Graph& g, std::uint64_t seed) {
       // Reference: a private copy with the format actually applied (same
       // moments evaluate_delta hypothesizes), fully re-evaluated fresh.
       sfg::Graph applied = g;
-      sfg::Node& node = applied.node(src);
-      if (auto* q = std::get_if<sfg::QuantizerNode>(&node.payload)) {
-        q->format = format;
-        q->moments = fxp::continuous_quantization_noise(format);
-      } else {
-        std::get<sfg::BlockNode>(node.payload).output_format = format;
-      }
+      applied.set_format(src, format);
       const double full = core::make_engine(kind, applied, small_options())
                               ->output_noise_power();
       EXPECT_NEAR(delta, full, 1e-12 * std::max(std::abs(full), 1e-30))
@@ -238,15 +252,9 @@ TEST(IncrementalParity, DeltaTracksBaselineMutationsIncrementally) {
   const auto sources = g.noise_sources();
   int bits = 8;
   for (const sfg::NodeId src : sources) {
-    sfg::Node& node = g.node(src);  // bumps src's revision
     const auto format = fxp::q_format(5, bits++,
                                       fxp::RoundingMode::kTruncate);
-    if (auto* q = std::get_if<sfg::QuantizerNode>(&node.payload)) {
-      q->format = format;
-      q->moments = fxp::continuous_quantization_noise(format);
-    } else {
-      std::get<sfg::BlockNode>(node.payload).output_format = format;
-    }
+    g.set_format(src, format);  // bumps src's revision
     const sfg::NodeId probe = sources.front();
     const double current_format_delta = engine->evaluate_delta(
         probe, std::get_if<sfg::QuantizerNode>(
@@ -258,8 +266,8 @@ TEST(IncrementalParity, DeltaTracksBaselineMutationsIncrementally) {
 }
 
 TEST(IncrementalParity, NonSourceCoefficientEditsInvalidateUnitResponses) {
-  // Retuning a non-source node (a gain) through the tracked mutable
-  // accessor changes the propagation the cached unit responses were
+  // Retuning a non-source node (a gain) through set_payload changes the
+  // propagation the cached unit responses were
   // derived from: the cache must drop and rebuild them, keeping
   // evaluate_delta in lockstep with full evaluation (regression: a stale
   // cache silently returned the pre-edit value).
@@ -279,7 +287,7 @@ TEST(IncrementalParity, NonSourceCoefficientEditsInvalidateUnitResponses) {
     EXPECT_NEAR(before, engine->output_noise_power(),
                 1e-12 * before);
 
-    std::get<sfg::GainNode>(g.node(gain).payload).gain = 2.0;
+    g.set_payload(gain, sfg::GainNode{2.0});
     const double full = engine->output_noise_power();
     EXPECT_NEAR(full, 4.0 * before, 1e-9 * full);  // power scales by g^2
     EXPECT_NEAR(engine->evaluate_delta(q, format), full, 1e-12 * full)
@@ -467,7 +475,7 @@ TEST(CacheWarm, RangeAnalysisIsHoistedBehindTheTopologyRevision) {
       << "range analysis must run once per topology, not per evaluate()";
   // The analysis actually sized the variables' integer bits.
   for (const sfg::NodeId id : g.noise_sources()) {
-    const sfg::Node& node = std::as_const(g).node(id);
+    const sfg::NodeView node = g.node(id);
     const auto format =
         std::holds_alternative<sfg::QuantizerNode>(node.payload)
             ? std::get<sfg::QuantizerNode>(node.payload).format

@@ -1,0 +1,53 @@
+// Large-graph serialization: the >= 10^4-node corpus entry is byte-for-byte
+// the canonical serialization of tests/large_corpus_graph.hpp's generator,
+// and the reserving two-pass parser round-trips it exactly.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "large_corpus_graph.hpp"
+#include "sfg/serialize.hpp"
+
+#ifndef PSDACC_CORPUS_DIR
+#error "PSDACC_CORPUS_DIR must point at the checked-in corpus"
+#endif
+
+namespace {
+
+using namespace psdacc;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+const char* corpus_path() {
+  return PSDACC_CORPUS_DIR "/large_mesh_10k.sfg";
+}
+
+TEST(SerializeLarge, GeneratorMatchesCheckedInEntryByteForByte) {
+  const auto scenario = psdacc::testing::make_large_corpus_scenario();
+  ASSERT_GE(scenario.graph.node_count(), 10000u);
+  EXPECT_EQ(sfg::serialize(scenario), read_file(corpus_path()))
+      << "regenerate with the emitter in tests/large_corpus_graph.hpp";
+}
+
+TEST(SerializeLarge, ParseRoundTripsByteIdentically) {
+  const std::string text = read_file(corpus_path());
+  const auto scenario = sfg::parse_scenario(text);
+  ASSERT_GE(scenario.graph.node_count(), 10000u);
+  EXPECT_EQ(sfg::serialize(scenario), text);
+
+  // Graph-section-only round trip through the reserving parse path.
+  const std::string graph_text = sfg::serialize(scenario.graph);
+  const auto parsed = sfg::parse_graph(graph_text);
+  EXPECT_TRUE(sfg::graphs_equal(scenario.graph, parsed));
+  EXPECT_EQ(sfg::serialize(parsed), graph_text);
+}
+
+}  // namespace

@@ -47,10 +47,9 @@ TEST(GraphBuild, ConsumersInverseAdjacency) {
   const auto b = g.add_gain(in, 3.0);
   const auto sum = g.add_adder({a, b});
   g.add_output(sum);
-  const auto cons = g.consumers();
-  ASSERT_EQ(cons[in].size(), 2u);
-  EXPECT_EQ(cons[a].size(), 1u);
-  EXPECT_EQ(cons[a][0], sum);
+  ASSERT_EQ(g.consumers(in).size(), 2u);
+  EXPECT_EQ(g.consumers(a).size(), 1u);
+  EXPECT_EQ(g.consumers(a)[0], sum);
 }
 
 TEST(GraphBuild, TopologicalOrderRespectsEdges) {
