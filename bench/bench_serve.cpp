@@ -1,0 +1,87 @@
+// Serving-layer latency benchmarks: the full client->server->client
+// round-trip over a loopback socket for (a) a stats query (pure protocol
+// overhead), (b) a cache-hit evaluation (content hash + LRU replay, no
+// engine), and (c) a cache-miss evaluation (hash + admission + the PSD
+// engine itself). The hit/miss gap is the serving tier's reason to exist;
+// the stats round-trip is its floor. Real time is the quantity of
+// interest — the path crosses threads (connection handler, job executor),
+// so cpu_time of the benchmark thread alone undercounts the work.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <string>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "sfg/graph.hpp"
+#include "sfg/serialize.hpp"
+#include "sim/error_measurement.hpp"
+
+namespace {
+
+using namespace psdacc;
+
+// A small but non-trivial document: a quantized 15-tap filter chain, PSD
+// engine only, n_psd 256 — enough work that the miss path measures the
+// engine, not just the parser. @p salt perturbs a gain so each salted
+// document gets its own content hash (a guaranteed miss).
+std::string document_with_salt(std::size_t salt) {
+  sfg::Graph g;
+  const auto in = g.add_input("in");
+  const auto q = g.add_quantizer(in, fxp::q_format(4, 12), "q");
+  const auto gain =
+      g.add_gain(q, 0.5 + 1e-9 * static_cast<double>(salt), "g");
+  g.add_output(gain);
+  sim::EvaluationConfig cfg;
+  cfg.n_psd = 256;
+  cfg.engines = {core::EngineKind::kPsd};
+  return sfg::serialize(sfg::Scenario{std::move(g), std::move(cfg), {}});
+}
+
+void BM_ServeStatsRoundTrip(benchmark::State& state) {
+  serve::Server server;
+  server.start();
+  serve::Client client(server.port());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.stats_text());
+  }
+  server.stop();
+}
+BENCHMARK(BM_ServeStatsRoundTrip)->UseRealTime();
+
+void BM_ServeEvalCacheHit(benchmark::State& state) {
+  serve::Server server;
+  server.start();
+  serve::Client client(server.port());
+  const std::string doc = document_with_salt(0);
+  (void)client.submit_eval(doc);  // warm the cache
+  for (auto _ : state) {
+    const auto r = client.submit_eval(doc);
+    if (!r.ok || !r.cache_hit) state.SkipWithError("expected a cache hit");
+    benchmark::DoNotOptimize(r.raw.data());
+  }
+  server.stop();
+}
+BENCHMARK(BM_ServeEvalCacheHit)->UseRealTime();
+
+void BM_ServeEvalCacheMiss(benchmark::State& state) {
+  serve::ServerConfig cfg;
+  // Capacity 0 keeps every submission on the miss path without salting
+  // interference from the LRU (inserts are skipped entirely).
+  cfg.cache_capacity = 0;
+  serve::Server server(cfg);
+  server.start();
+  serve::Client client(server.port());
+  std::size_t salt = 0;
+  for (auto _ : state) {
+    const auto r = client.submit_eval(document_with_salt(salt++));
+    if (!r.ok || r.cache_hit) state.SkipWithError("expected a cache miss");
+    benchmark::DoNotOptimize(r.raw.data());
+  }
+  server.stop();
+}
+BENCHMARK(BM_ServeEvalCacheMiss)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -32,7 +32,7 @@ std::vector<double> convolve_fft(std::span<const double> x,
 }
 
 OverlapSave::OverlapSave(std::span<const double> h, std::size_t fft_size)
-    : taps_(h.size()), fft_size_(fft_size), plan_(&plan_for(fft_size)) {
+    : taps_(h.size()), fft_size_(fft_size), plan_(plan_handle_for(fft_size)) {
   PSDACC_EXPECTS(!h.empty());
   PSDACC_EXPECTS(is_power_of_two(fft_size));
   PSDACC_EXPECTS(fft_size >= 2 * h.size());

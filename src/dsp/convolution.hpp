@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -49,7 +50,9 @@ class OverlapSave {
   std::size_t taps_;
   std::size_t fft_size_;
   std::size_t block_size_;
-  const FftPlan* plan_;          // cached plan for fft_size_
+  // Shared ownership: stays valid even if the thread's plan cache evicts
+  // this size while the convolver is alive.
+  std::shared_ptr<const FftPlan> plan_;
   std::vector<cplx> h_spectrum_;
   std::vector<double> history_;  // last taps_-1 inputs from previous block
   std::vector<cplx> buf_;        // per-block transform scratch, reused

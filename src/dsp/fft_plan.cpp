@@ -1,6 +1,8 @@
 #include "dsp/fft_plan.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <iterator>
 #include <memory>
 #include <numbers>
 #include <unordered_map>
@@ -36,7 +38,7 @@ FftPlan::FftPlan(std::size_t n) : n_(n) {
   } else {
     // Bluestein: DFT as a convolution with a chirp, via a power-of-two FFT.
     const std::size_t m = next_power_of_two(2 * n_ + 1);
-    conv_ = &plan_for(m);
+    conv_ = plan_handle_for(m);
     chirp_.resize(n_);
     for (std::size_t i = 0; i < n_; ++i) {
       // angle = -pi * i^2 / n, with i^2 taken mod 2n to avoid overflow.
@@ -55,7 +57,7 @@ FftPlan::FftPlan(std::size_t n) : n_(n) {
     work_.resize(m);
   }
   if (n_ >= 2 && n_ % 2 == 0) {
-    half_ = &plan_for(n_ / 2);
+    half_ = plan_handle_for(n_ / 2);
     rfft_twiddle_.resize(n_ / 2 + 1);
     for (std::size_t k = 0; k <= n_ / 2; ++k) {
       const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) /
@@ -161,29 +163,79 @@ void FftPlan::rfft(std::span<const double> x, std::vector<cplx>& out) const {
 
 namespace {
 
-using PlanCache = std::unordered_map<std::size_t, std::unique_ptr<FftPlan>>;
+constexpr std::size_t kDefaultPlanCacheCapacity = 64;
+
+struct CacheEntry {
+  std::shared_ptr<const FftPlan> plan;
+  std::uint64_t last_use = 0;
+};
 
 // One cache per thread: plans carry mutable scratch, so sharing instances
 // across threads would race. Thread-local duplication trades a little
 // memory (twiddle tables per worker) for lock-free lookups on the hot path.
+// Bounded: LRU-evicted down to `capacity` after every insert, so a server
+// worker sweeping arbitrary transform sizes holds O(capacity) plans.
+struct PlanCache {
+  std::unordered_map<std::size_t, CacheEntry> map;
+  std::uint64_t tick = 0;
+  std::size_t capacity = kDefaultPlanCacheCapacity;
+};
+
 PlanCache& thread_cache() {
   thread_local PlanCache cache;
   return cache;
 }
 
-}  // namespace
-
-const FftPlan& plan_for(std::size_t n) {
-  PSDACC_EXPECTS(n >= 1);
-  PlanCache& cache = thread_cache();
-  const auto it = cache.find(n);
-  if (it != cache.end()) return *it->second;
-  // Construct before inserting: the constructor may recurse into plan_for()
-  // for its sub-plans (Bluestein convolution size, rfft half size).
-  auto plan = std::make_unique<FftPlan>(n);
-  return *cache.emplace(n, std::move(plan)).first->second;
+// Evicting is a plain erase: the shared_ptr keeps the plan alive for any
+// holder (a parent plan's sub-plan member, an OverlapSave, a caller mid
+// plan_handle_for), so eviction can only ever free memory, never dangle.
+void evict_to_capacity(PlanCache& cache) {
+  while (cache.map.size() > cache.capacity) {
+    auto victim = cache.map.begin();
+    for (auto it = std::next(victim); it != cache.map.end(); ++it)
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    cache.map.erase(victim);
+  }
 }
 
-void clear_plan_cache() { thread_cache().clear(); }
+}  // namespace
+
+std::shared_ptr<const FftPlan> plan_handle_for(std::size_t n) {
+  PSDACC_EXPECTS(n >= 1);
+  PlanCache& cache = thread_cache();
+  const auto it = cache.map.find(n);
+  if (it != cache.map.end()) {
+    it->second.last_use = ++cache.tick;
+    return it->second.plan;
+  }
+  // Construct before inserting: the constructor recurses into
+  // plan_handle_for() for its sub-plans (Bluestein convolution size, rfft
+  // half size), and those inserts may themselves evict.
+  auto plan = std::make_shared<const FftPlan>(n);
+  CacheEntry& entry = cache.map[n];
+  entry.plan = plan;
+  entry.last_use = ++cache.tick;
+  evict_to_capacity(cache);
+  return plan;
+}
+
+const FftPlan& plan_for(std::size_t n) {
+  // The cache's reference keeps the plan alive after the handle returned
+  // here dies; the next insert may evict it, which is why bare references
+  // are only stable until the thread's next plan_for call.
+  return *plan_handle_for(n);
+}
+
+std::size_t plan_cache_capacity() { return thread_cache().capacity; }
+
+void set_plan_cache_capacity(std::size_t capacity) {
+  PlanCache& cache = thread_cache();
+  cache.capacity = capacity < 1 ? 1 : capacity;
+  evict_to_capacity(cache);
+}
+
+std::size_t plan_cache_size() { return thread_cache().map.size(); }
+
+void clear_plan_cache() { thread_cache().map.clear(); }
 
 }  // namespace psdacc::dsp

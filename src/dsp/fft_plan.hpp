@@ -16,9 +16,21 @@
 // therefore bound to the thread that created them; the `runtime::`
 // ThreadPool workloads respect this by giving every worker its own
 // analyzers and plans.
+//
+// The cache is *bounded*: at most `plan_cache_capacity()` plans per thread,
+// least-recently-used evicted first, so a long-running server worker that
+// sweeps many transform sizes cannot grow the twiddle tables without bound.
+// Eviction is safe for live holders: plans are shared_ptr-owned and a plan
+// owns its sub-plans (Bluestein convolution size, rfft half size), so
+// evicting an entry only drops the cache's reference — anything still using
+// the plan (an `OverlapSave`, a parent plan) keeps it alive. References
+// returned by `plan_for` are only guaranteed until the calling thread's
+// next `plan_for`/`plan_handle_for` call; holders that outlive that use
+// `plan_handle_for`.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -54,23 +66,40 @@ class FftPlan {
   std::vector<std::size_t> bitrev_swaps_;  // (i, j) pairs with i < j
   std::vector<cplx> twiddle_;  // forward twiddles, stages concatenated
   // Bluestein path (n_ not a power of two): convolution plan of size m.
-  const FftPlan* conv_ = nullptr;
+  // Sub-plans are shared with the cache but co-owned, so cache eviction
+  // can never dangle a live parent plan.
+  std::shared_ptr<const FftPlan> conv_;
   std::vector<cplx> chirp_;            // e^{-j pi i^2 / n}, n entries
   std::vector<cplx> kernel_spectrum_;  // FFT_m of the chirp kernel
   mutable std::vector<cplx> work_;     // size m scratch
   // Real-input path (n_ even): half-size plan + post-combine twiddles.
-  const FftPlan* half_ = nullptr;
+  std::shared_ptr<const FftPlan> half_;
   std::vector<cplx> rfft_twiddle_;       // e^{-j 2 pi k / n}, k = 0..n/2
   mutable std::vector<cplx> half_work_;  // size n/2 scratch
 };
 
 /// Thread-local plan cache, keyed by transform size. Safe to call from any
-/// number of threads concurrently; each thread caches its own plans.
+/// number of threads concurrently; each thread caches its own plans. The
+/// returned reference stays valid until this thread's next
+/// `plan_for`/`plan_handle_for` call (which may evict) or
+/// `clear_plan_cache`; use `plan_handle_for` to hold a plan longer.
 const FftPlan& plan_for(std::size_t n);
 
-/// Drops the calling thread's cached plans. Test hook only: any live object
-/// still holding a plan reference from this thread (e.g. an OverlapSave)
-/// dangles afterwards.
+/// As plan_for, but returns shared ownership: the plan stays alive for the
+/// holder even after the cache evicts it. The form every object that keeps
+/// a plan across calls (OverlapSave, a server worker's warm set) uses.
+std::shared_ptr<const FftPlan> plan_handle_for(std::size_t n);
+
+/// Per-thread plan-cache size cap (default 64 plans). Eviction is LRU and
+/// never invalidates live holders (see plan_handle_for). The cap is
+/// clamped to >= 1; setting it below the current size evicts immediately.
+std::size_t plan_cache_capacity();
+void set_plan_cache_capacity(std::size_t capacity);
+/// Number of plans currently cached by the calling thread.
+std::size_t plan_cache_size();
+
+/// Drops the calling thread's cached plans. Plans checked out via
+/// plan_handle_for survive; bare plan_for references dangle (test hook).
 void clear_plan_cache();
 
 }  // namespace psdacc::dsp

@@ -203,6 +203,17 @@ double WordlengthOptimizer::probe(const std::vector<int>& bits,
   return context->engine->output_noise_power();
 }
 
+bool WordlengthOptimizer::cancel_requested() const {
+  return cfg_.cancel_check && cfg_.cancel_check();
+}
+
+OptimizerResult WordlengthOptimizer::cancelled_package(
+    std::vector<int> bits) {
+  OptimizerResult r = package(std::move(bits));
+  r.cancelled = true;
+  return r;
+}
+
 OptimizerResult WordlengthOptimizer::package(std::vector<int> bits) {
   apply(bits);
   OptimizerResult r;
@@ -219,6 +230,7 @@ OptimizerResult WordlengthOptimizer::package(std::vector<int> bits) {
 OptimizerResult WordlengthOptimizer::uniform() {
   for (int d = cfg_.min_bits; d <= cfg_.max_bits; ++d) {
     std::vector<int> bits(variables_.size(), d);
+    if (cancel_requested()) return cancelled_package(std::move(bits));
     apply(bits);
     if (evaluate() <= cfg_.noise_budget) return package(std::move(bits));
   }
@@ -233,6 +245,10 @@ OptimizerResult WordlengthOptimizer::greedy_descent() {
     return package(std::move(bits));  // infeasible even at max
   std::vector<double> probe_noise(variables_.size());
   for (;;) {
+    // Between rounds is the cancellation point: the bits vector holds the
+    // best feasible assignment found so far — exactly the partial state a
+    // timed-out server job should report.
+    if (cancel_requested()) return cancelled_package(std::move(bits));
     // Score every candidate single-bit removal concurrently; each probe
     // runs on an isolated context, so the scores match the serial sweep
     // bit for bit.
@@ -283,6 +299,7 @@ OptimizerResult WordlengthOptimizer::min_plus_one() {
   // concurrently; the evaluation counts are summed in variable order.
   const std::vector<int> all_max(variables_.size(), cfg_.max_bits);
   std::vector<int> lower(variables_.size(), cfg_.min_bits);
+  if (cancel_requested()) return cancelled_package(std::move(lower));
   std::vector<std::size_t> scan_evals(variables_.size(), 0);
   pool_->parallel_for(0, variables_.size(), [&](std::size_t v) {
     for (int d = cfg_.min_bits; d <= cfg_.max_bits; ++d) {
@@ -304,6 +321,7 @@ OptimizerResult WordlengthOptimizer::min_plus_one() {
   double noise = evaluate();
   std::vector<double> probe_noise(variables_.size());
   while (noise > cfg_.noise_budget) {
+    if (cancel_requested()) return cancelled_package(std::move(bits));
     pool_->parallel_for(0, variables_.size(), [&](std::size_t v) {
       if (bits[v] >= cfg_.max_bits) return;
       probe_noise[v] = probe(bits, v, bits[v] + 1);

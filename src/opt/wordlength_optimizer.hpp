@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -66,6 +67,15 @@ struct OptimizerConfig {
   /// pre-incremental behavior, kept for A/B timing); both settings find
   /// identical word-lengths.
   bool incremental = true;
+  /// Cooperative cancellation hook, polled between probe rounds (never
+  /// inside one, so a poll always sees a consistent search state): before
+  /// each uniform step, each greedy removal round, and each min_plus_one
+  /// scan/add round. Return true to stop: the strategy abandons further
+  /// probing and returns its current working assignment applied and
+  /// re-evaluated, with OptimizerResult::cancelled set. This is the hook
+  /// server-side job timeouts ride on (`[deadline] { return now() >=
+  /// deadline; }`); unset means never cancelled.
+  std::function<bool()> cancel_check;
   /// When set, integer bits of every variable are sized from dynamic-range
   /// analysis (core::analyze_ranges with this input range +
   /// core::required_integer_bits) instead of left at their construction
@@ -83,6 +93,11 @@ struct OptimizerResult {
   double noise = 0.0;           ///< Estimated output noise power.
   std::size_t evaluations = 0;  ///< PSD evaluations spent.
   bool feasible = false;        ///< noise <= budget.
+  /// True when OptimizerConfig::cancel_check stopped the search early. The
+  /// other fields then describe the partial state: the assignment the
+  /// search held when it was cancelled (applied to the graph, noise
+  /// re-evaluated), not a converged optimum.
+  bool cancelled = false;
 };
 
 /// Minimizes hardware cost (weighted fractional bits) subject to an
@@ -141,6 +156,11 @@ class WordlengthOptimizer {
 
   double weight(std::size_t v) const;
   OptimizerResult package(std::vector<int> bits);
+  /// True when the config's cancel_check exists and fires. Only called
+  /// between probe rounds, from the driving thread.
+  bool cancel_requested() const;
+  /// package() with the cancelled flag set — the early-return path.
+  OptimizerResult cancelled_package(std::vector<int> bits);
   /// Noise of `bits` with bits[v] replaced by `candidate_bits`, evaluated
   /// on a checked-out probe context (safe to call concurrently). Takes the
   /// engine's delta path when enabled (see OptimizerConfig::incremental):

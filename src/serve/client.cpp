@@ -1,0 +1,130 @@
+#include "serve/client.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace psdacc::serve {
+namespace {
+
+std::uint64_t parse_u64(std::string_view value) {
+  return std::strtoull(std::string(value).c_str(), nullptr, 10);
+}
+
+double parse_double(std::string_view value) {
+  // Shortest round-trip emission parses back to the identical double, so
+  // golden comparisons through the wire lose nothing.
+  return std::strtod(std::string(value).c_str(), nullptr);
+}
+
+std::vector<int> parse_bits(std::string_view value) {
+  std::vector<int> out;
+  if (value.size() >= 2 && value.front() == '[' && value.back() == ']')
+    value = value.substr(1, value.size() - 2);
+  std::size_t pos = 0;
+  while (pos < value.size()) {
+    while (pos < value.size() && value[pos] == ' ') ++pos;
+    std::size_t end = pos;
+    while (end < value.size() && value[end] != ' ') ++end;
+    if (end > pos)
+      out.push_back(
+          std::atoi(std::string(value.substr(pos, end - pos)).c_str()));
+    pos = end;
+  }
+  return out;
+}
+
+Response connection_lost(std::string_view detail) {
+  Response r;
+  r.ok = false;
+  r.error = "CONNECTION";
+  r.message = std::string(detail);
+  return r;
+}
+
+}  // namespace
+
+Response parse_response(FrameType type, std::string payload) {
+  Response r;
+  const auto kv = parse_kv_lines(payload);
+  r.raw = std::move(payload);
+  r.ok = type == FrameType::kResult && kv_get(kv, "status") == "OK";
+  r.error = std::string(kv_get(kv, "code"));
+  r.message = std::string(kv_get(kv, "message"));
+  r.line = parse_u64(kv_get(kv, "line", "0"));
+  r.column = parse_u64(kv_get(kv, "column", "0"));
+  r.cache_hit = kv_get(kv, "cache") == "hit";
+  r.hash = std::string(kv_get(kv, "hash"));
+  r.strategy = std::string(kv_get(kv, "strategy"));
+  r.feasible = kv_get(kv, "feasible") == "1";
+  r.cancelled = kv_get(kv, "cancelled") == "1";
+  r.cost = parse_double(kv_get(kv, "cost", "0"));
+  r.noise = parse_double(kv_get(kv, "noise", "0"));
+  r.evaluations = parse_u64(kv_get(kv, "evaluations", "0"));
+  r.bits = parse_bits(kv_get(kv, "bits"));
+  for (const auto& [key, value] : kv) {
+    // Engine result lines are keyed by the engine's stable name; every
+    // other key in the payload fails parse_engine_kind.
+    const auto kind = core::parse_engine_kind(key);
+    if (kind.has_value())
+      r.engines.push_back({*kind, parse_double(value)});
+  }
+  return r;
+}
+
+Client::Client(std::uint16_t port) : sock_(connect_local(port)) {}
+
+Response Client::submit_eval(std::string_view document,
+                             std::chrono::milliseconds timeout) {
+  std::string payload = encode_envelope_prefix(timeout, nullptr);
+  payload += document;
+  if (!write_frame(sock_, FrameType::kSubmitEval, payload))
+    return connection_lost("write failed");
+  return await_response();
+}
+
+Response Client::submit_opt(std::string_view document,
+                            const OptimizerSpec& spec,
+                            std::chrono::milliseconds timeout) {
+  std::string payload = encode_envelope_prefix(timeout, &spec);
+  payload += document;
+  if (!write_frame(sock_, FrameType::kSubmitOpt, payload))
+    return connection_lost("write failed");
+  return await_response();
+}
+
+std::string Client::stats_text() {
+  if (!write_frame(sock_, FrameType::kStatsQuery, {})) return {};
+  Frame frame;
+  if (read_frame(sock_, frame) != ReadStatus::kOk ||
+      frame.type != FrameType::kStatsReply)
+    return {};
+  return std::move(frame.payload);
+}
+
+std::vector<std::pair<std::string, std::string>> Client::stats() {
+  return parse_kv_lines(stats_text());
+}
+
+Response Client::await_response() {
+  std::vector<std::string> progress;
+  for (;;) {
+    Frame frame;
+    const ReadStatus status = read_frame(sock_, frame);
+    if (status != ReadStatus::kOk)
+      return connection_lost(std::string(to_string(status)));
+    if (frame.type == FrameType::kProgress) {
+      progress.push_back(std::move(frame.payload));
+      continue;
+    }
+    if (frame.type == FrameType::kResult ||
+        frame.type == FrameType::kError) {
+      Response r = parse_response(frame.type, std::move(frame.payload));
+      r.progress = std::move(progress);
+      return r;
+    }
+    return connection_lost("unexpected frame type in response stream");
+  }
+}
+
+}  // namespace psdacc::serve

@@ -1,0 +1,93 @@
+/// @file client.hpp
+/// Blocking client for the psdacc-serve protocol — the library behind the
+/// `psdacc-submit` CLI and the serving integration tests. One Client owns
+/// one connection; submissions are synchronous (submit, then read PROG
+/// frames until the terminal RSLT/ERRF arrives).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/accuracy_engine.hpp"
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+
+namespace psdacc::serve {
+
+/// One engine's result line from an evaluation response.
+struct EngineResult {
+  core::EngineKind kind = core::EngineKind::kPsd;
+  double power = 0.0;
+};
+
+/// A parsed terminal response (RSLT or ERRF), plus any PROG payloads that
+/// streamed in before it. `raw` keeps the terminal payload bytes verbatim
+/// — the cache's bit-identical-replay contract is asserted on it.
+struct Response {
+  bool ok = false;
+  /// Terminal frame payload, byte for byte.
+  std::string raw;
+  /// PROG frame payloads, in arrival order.
+  std::vector<std::string> progress;
+
+  // ERRF fields (code is empty on success).
+  std::string error;
+  std::string message;
+  std::uint64_t line = 0;    ///< PARSE errors: 1-based source line
+  std::uint64_t column = 0;  ///< PARSE errors: 1-based source column
+
+  // Evaluation results.
+  bool cache_hit = false;
+  std::string hash;  ///< content hash the server keyed the job on
+  std::vector<EngineResult> engines;
+
+  // Optimizer results (also populated on a TIMEOUT's partial state).
+  std::string strategy;
+  bool feasible = false;
+  bool cancelled = false;
+  double cost = 0.0;
+  double noise = 0.0;
+  std::uint64_t evaluations = 0;
+  std::vector<int> bits;
+};
+
+/// Parses a terminal payload into a Response (exposed for tests that speak
+/// raw frames).
+Response parse_response(FrameType type, std::string payload);
+
+class Client {
+ public:
+  /// Connects to 127.0.0.1:@p port.
+  /// @throws std::runtime_error when the server is not reachable
+  explicit Client(std::uint16_t port);
+
+  /// Submits @p document (a serialized scenario) for evaluation.
+  /// @p timeout zero = the server's default budget.
+  Response submit_eval(std::string_view document,
+                       std::chrono::milliseconds timeout = {});
+
+  /// Submits @p document for word-length optimization under @p spec.
+  Response submit_opt(std::string_view document, const OptimizerSpec& spec,
+                      std::chrono::milliseconds timeout = {});
+
+  /// The server's stats snapshot as parsed key=value pairs.
+  std::vector<std::pair<std::string, std::string>> stats();
+  /// The raw STTS payload text.
+  std::string stats_text();
+
+  /// The underlying connection, for tests that need to write raw bytes.
+  Socket& socket() { return sock_; }
+
+ private:
+  /// Reads frames until RSLT/ERRF, collecting PROG payloads. A connection
+  /// drop surfaces as a synthetic ERRF with error "CONNECTION".
+  Response await_response();
+
+  Socket sock_;
+};
+
+}  // namespace psdacc::serve

@@ -1,0 +1,81 @@
+#include "serve/job_queue.hpp"
+
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace psdacc::serve {
+
+JobQueue::JobQueue(std::size_t workers, std::size_t max_depth)
+    : max_depth_(max_depth) {
+  PSDACC_EXPECTS(workers >= 1);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+JobQueue::~JobQueue() { drain_and_stop(); }
+
+bool JobQueue::try_submit(std::function<void()> work) {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return false;
+    // Admission: either an executor is free to take the job immediately
+    // (queue empty, spare capacity) or the backlog is under the cap. With
+    // max_depth == 0 this degenerates to "admit only what can start now".
+    const bool executor_free =
+        queue_.empty() && running_ < workers_.size();
+    if (!executor_free && queue_.size() >= max_depth_) return false;
+    queue_.push_back(std::move(work));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void JobQueue::drain_and_stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_)
+    if (t.joinable()) t.join();
+  workers_.clear();
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t JobQueue::running() const {
+  std::lock_guard lock(mutex_);
+  return running_;
+}
+
+void JobQueue::worker_loop() {
+  for (;;) {
+    std::function<void()> work;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      work = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    // Jobs wrap their own error handling (an exception becomes an ERRF
+    // response); anything escaping anyway must not kill the executor.
+    try {
+      work();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+    {
+      std::lock_guard lock(mutex_);
+      --running_;
+    }
+  }
+}
+
+}  // namespace psdacc::serve

@@ -1,0 +1,61 @@
+/// @file job_queue.hpp
+/// Admission-controlled job queue: a fixed set of executor threads draining
+/// a bounded FIFO. Admission is the server's backpressure mechanism — when
+/// the queue is full, try_submit fails *immediately* and the caller turns
+/// that into a REJECTED_BUSY response, so an overloaded server sheds load
+/// in microseconds instead of accumulating unbounded latency. Per-job
+/// deadlines are the submitter's concern (jobs capture their deadline and
+/// poll it cooperatively); the queue guarantees only that a rejected or
+/// drained job never blocks the jobs behind it.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace psdacc::serve {
+
+class JobQueue {
+ public:
+  /// @param workers   executor threads (>= 1)
+  /// @param max_depth max jobs waiting (not yet started); 0 means a job is
+  ///                  admitted only when an executor is free to take it
+  JobQueue(std::size_t workers, std::size_t max_depth);
+  /// Drains and joins (see drain_and_stop).
+  ~JobQueue();
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Admits @p work unless the backlog is at max depth or the queue is
+  /// stopping. Returns whether the job was admitted; a rejected job was
+  /// never queued and will never run.
+  bool try_submit(std::function<void()> work);
+
+  /// Stops admitting, runs every already-admitted job to completion
+  /// (in-flight-job drain: a queued job's client is still waiting on its
+  /// response), and joins the executors. Idempotent.
+  void drain_and_stop();
+
+  /// Jobs admitted but not yet started.
+  std::size_t depth() const;
+  /// Jobs currently executing.
+  std::size_t running() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t max_depth_;
+  std::size_t running_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace psdacc::serve

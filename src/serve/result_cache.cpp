@@ -1,0 +1,50 @@
+#include "serve/result_cache.hpp"
+
+namespace psdacc::serve {
+
+std::optional<std::string> ResultCache::lookup(const ContentHash& key) {
+  if (capacity_ == 0) return std::nullopt;
+  std::lock_guard lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return it->second->second;
+}
+
+void ResultCache::insert(const ContentHash& key, std::string payload) {
+  if (capacity_ == 0) return;
+  std::lock_guard lock(mutex_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = std::move(payload);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(payload));
+  map_.emplace(key, lru_.begin());
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard lock(mutex_);
+  return map_.size();
+}
+
+std::uint64_t ResultCache::hits() const {
+  std::lock_guard lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+  std::lock_guard lock(mutex_);
+  return misses_;
+}
+
+}  // namespace psdacc::serve

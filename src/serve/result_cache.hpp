@@ -1,0 +1,62 @@
+/// @file result_cache.hpp
+/// Bounded LRU memo of evaluation results, keyed by the content hash of
+/// the canonical (graph + config) document — the serving layer's outermost
+/// cache tier, above the engines' revision memos and per-source
+/// SourceTermCaches. A hit answers a resubmitted job without touching an
+/// engine at all, and replays the *stored* payload bytes, so identical
+/// submissions get bit-identical responses by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "sfg/serialize.hpp"
+
+namespace psdacc::serve {
+
+/// The 128-bit cache key (see sfg::content_hash): hashes the canonical
+/// serialized form, so two submissions collide exactly when their
+/// evaluations are interchangeable.
+using ContentHash = sfg::ContentHash;
+
+/// Thread-safe bounded LRU: capacity 0 disables caching entirely.
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// The stored payload for @p key (refreshing its recency), or empty.
+  std::optional<std::string> lookup(const ContentHash& key);
+  /// Stores @p payload under @p key, evicting the least recently used
+  /// entry beyond capacity. Overwrites an existing entry (a re-computed
+  /// result for the same key is byte-identical anyway, by determinism).
+  void insert(const ContentHash& key, std::string payload);
+
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  struct Hasher {
+    std::size_t operator()(const ContentHash& h) const {
+      // The key is already a high-quality 128-bit digest; folding the
+      // halves is as good as any post-mix.
+      return static_cast<std::size_t>(h.hi ^ h.lo);
+    }
+  };
+  using Entry = std::pair<ContentHash, std::string>;
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<ContentHash, std::list<Entry>::iterator, Hasher> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace psdacc::serve

@@ -1,0 +1,482 @@
+#include "serve/server.hpp"
+
+#include <exception>
+#include <future>
+#include <utility>
+
+#include "opt/wordlength_optimizer.hpp"
+#include "sfg/verify.hpp"
+#include "support/assert.hpp"
+
+namespace psdacc::serve {
+namespace {
+
+/// ERRF message values must stay one kv line.
+std::string sanitize_message(std::string_view message) {
+  std::string out(message);
+  for (char& c : out)
+    if (c == '\n' || c == '\r') c = ' ';
+  return out;
+}
+
+std::string format_bits(const std::vector<int>& bits) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += std::to_string(bits[i]);
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig cfg)
+    : cfg_(cfg), cache_(cfg.cache_capacity) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  PSDACC_EXPECTS(!started_);
+  listener_ = std::make_unique<ListenSocket>(cfg_.port);
+  pool_ = std::make_unique<runtime::ThreadPool>(
+      cfg_.pool_workers >= 1 ? cfg_.pool_workers : 1);
+  queue_ = std::make_unique<JobQueue>(
+      cfg_.job_workers >= 1 ? cfg_.job_workers : 1, cfg_.max_queue_depth);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  started_ = true;
+}
+
+std::uint16_t Server::port() const {
+  return listener_ ? listener_->port() : 0;
+}
+
+void Server::stop() {
+  if (!started_) return;
+  if (stopping_.exchange(true)) return;
+  // Ordering matters: close the front door, then drain admitted jobs (the
+  // executors deliver their responses while connection threads wait on
+  // them), then unblock any connection thread still parked in read_frame.
+  listener_->shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  queue_->drain_and_stop();
+  {
+    std::lock_guard lock(conns_mutex_);
+    for (const auto& conn : conns_) conn->sock.shutdown();
+  }
+  reap_connections(/*all=*/true);
+}
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  {
+    std::lock_guard lock(stats_mutex_);
+    out.connections = connections_;
+    out.frames = frames_;
+    out.jobs_accepted = jobs_accepted_;
+    out.jobs_rejected = jobs_rejected_;
+    out.jobs_completed = jobs_completed_;
+    out.jobs_failed = jobs_failed_;
+    out.jobs_timeout = jobs_timeout_;
+    out.latency_count = latency_.count();
+    out.latency_p50_us = latency_.quantile_us(0.50);
+    out.latency_p95_us = latency_.quantile_us(0.95);
+  }
+  out.jobs_running = queue_ ? queue_->running() : 0;
+  out.cache_hits = cache_.hits();
+  out.cache_misses = cache_.misses();
+  out.cache_size = cache_.size();
+  return out;
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    Socket sock = listener_->accept_connection();
+    if (!sock.valid() || stopping_.load()) break;
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++connections_;
+    }
+    reap_connections(/*all=*/false);
+    auto conn = std::make_unique<Connection>();
+    conn->sock = std::move(sock);
+    Connection* raw = conn.get();
+    {
+      std::lock_guard lock(conns_mutex_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { serve_connection(*raw); });
+  }
+}
+
+void Server::reap_connections(bool all) {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard lock(conns_mutex_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (all || (*it)->done.load()) {
+        finished.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& conn : finished)
+    if (conn->thread.joinable()) conn->thread.join();
+}
+
+void Server::serve_connection(Connection& conn) {
+  for (;;) {
+    Frame frame;
+    const ReadStatus status = read_frame(conn.sock, frame);
+    if (status == ReadStatus::kClosed || status == ReadStatus::kTruncated)
+      break;  // peer gone (possibly mid-frame) — nothing to answer
+    if (status != ReadStatus::kOk) {  // kBadTag / kOversized
+      send_error(conn.sock, error_code::kProtocol, to_string(status));
+      break;  // framing is lost; the connection cannot be resynchronized
+    }
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++frames_;
+    }
+    bool keep = true;
+    switch (frame.type) {
+      case FrameType::kStatsQuery:
+        keep = write_frame(conn.sock, FrameType::kStatsReply,
+                           stats().to_text());
+        break;
+      case FrameType::kSubmitEval:
+        handle_eval(conn.sock, frame.payload);
+        break;
+      case FrameType::kSubmitOpt:
+        handle_opt(conn.sock, frame.payload);
+        break;
+      default:
+        send_error(conn.sock, error_code::kProtocol,
+                   "server-to-client frame type in a request");
+        keep = false;
+        break;
+    }
+    if (!keep) break;
+  }
+  // Half-close only: stop() may call shutdown() on this socket from
+  // another thread at any moment, so the fd must stay allocated (close()
+  // writes fd_ and would race). The peer still sees an immediate FIN; the
+  // fd is released when the reaped Connection is destroyed.
+  conn.sock.shutdown();
+  conn.done.store(true);
+}
+
+void Server::handle_eval(const Socket& sock, const std::string& payload) {
+  const auto submitted = std::chrono::steady_clock::now();
+  JobEnvelope env;
+  try {
+    env = parse_envelope(payload);
+  } catch (const EnvelopeError& e) {
+    send_error(sock, error_code::kBadRequest, e.what());
+    return;
+  }
+  sfg::Scenario scenario;
+  try {
+    scenario = sfg::parse_scenario(env.document);
+  } catch (const sfg::ParseError& e) {
+    std::string extra;
+    append_kv(extra, "line", static_cast<std::uint64_t>(e.line()));
+    append_kv(extra, "column", static_cast<std::uint64_t>(e.column()));
+    send_error(sock, error_code::kParse, e.message(), extra);
+    return;
+  }
+  // The key hashes the *canonical* form, so submissions differing only in
+  // formatting (or carrying stale `expect` sections) still collide.
+  const ContentHash hash =
+      sfg::content_hash(scenario.graph, scenario.config);
+  if (auto cached = cache_.lookup(hash)) {
+    std::string response = "status=OK\n";
+    append_kv(response, "cache", "hit");
+    append_kv(response, "hash", hash.to_string());
+    response += *cached;
+    record_latency(submitted);
+    write_frame(sock, FrameType::kResult, response);
+    return;
+  }
+  const auto deadline = deadline_for(env.timeout);
+  // The connection thread blocks on the job, so the executor may write to
+  // the socket and capture these locals by reference without a race.
+  std::promise<void> done;
+  auto finished = done.get_future();
+  const bool admitted = queue_->try_submit([&, this] {
+    try {
+      run_eval_job(sock, scenario, hash, deadline, submitted);
+    } catch (...) {  // NOLINT(bugprone-empty-catch) — reported inside
+    }
+    done.set_value();
+  });
+  if (!admitted) {
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++jobs_rejected_;
+    }
+    send_error(sock, error_code::kRejectedBusy,
+               "job queue is at capacity; resubmit later");
+    return;
+  }
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++jobs_accepted_;
+  }
+  finished.wait();
+}
+
+void Server::run_eval_job(
+    const Socket& sock, const sfg::Scenario& scenario,
+    const ContentHash& hash,
+    std::optional<std::chrono::steady_clock::time_point> deadline,
+    std::chrono::steady_clock::time_point submitted) {
+  const auto expired = [&deadline] {
+    return deadline.has_value() &&
+           std::chrono::steady_clock::now() >= *deadline;
+  };
+  if (expired()) {  // spent its whole budget waiting in the queue
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++jobs_timeout_;
+    }
+    send_error(sock, error_code::kTimeout,
+               "deadline expired before evaluation started");
+    return;
+  }
+  std::string body;
+  try {
+    // Mirror sfg::evaluate_expected engine by engine — the reason a served
+    // response matches the golden corpus to the same bits — with a
+    // deadline check between engines.
+    const core::EngineOptions opts =
+        sfg::engine_options_for(scenario.config);
+    std::string lines;
+    std::uint64_t engines_run = 0;
+    for (const core::EngineKind kind : scenario.config.engines) {
+      if (!core::engine_supports(kind, scenario.graph)) continue;
+      if (expired()) {
+        {
+          std::lock_guard lock(stats_mutex_);
+          ++jobs_timeout_;
+        }
+        std::string extra;
+        append_kv(extra, "engines_completed", engines_run);
+        send_error(sock, error_code::kTimeout,
+                   "deadline expired between engines", extra);
+        return;
+      }
+      const auto engine = core::make_engine(kind, scenario.graph, opts);
+      append_kv(lines, core::to_string(kind),
+                engine->output_noise_power());
+      ++engines_run;
+    }
+    append_kv(body, "engines", engines_run);
+    body += lines;
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++jobs_failed_;
+    }
+    send_error(sock, error_code::kInternal, e.what());
+    return;
+  }
+  // Cache the payload *bytes*: a later hit replays them verbatim, making
+  // resubmission responses bit-identical by construction.
+  cache_.insert(hash, body);
+  std::string response = "status=OK\n";
+  append_kv(response, "cache", "miss");
+  append_kv(response, "hash", hash.to_string());
+  response += body;
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++jobs_completed_;
+  }
+  record_latency(submitted);
+  write_frame(sock, FrameType::kResult, response);
+}
+
+void Server::handle_opt(const Socket& sock, const std::string& payload) {
+  const auto submitted = std::chrono::steady_clock::now();
+  JobEnvelope env;
+  try {
+    env = parse_envelope(payload);
+  } catch (const EnvelopeError& e) {
+    send_error(sock, error_code::kBadRequest, e.what());
+    return;
+  }
+  sfg::Scenario scenario;
+  try {
+    scenario = sfg::parse_scenario(env.document);
+  } catch (const sfg::ParseError& e) {
+    std::string extra;
+    append_kv(extra, "line", static_cast<std::uint64_t>(e.line()));
+    append_kv(extra, "column", static_cast<std::uint64_t>(e.column()));
+    send_error(sock, error_code::kParse, e.message(), extra);
+    return;
+  }
+  if (scenario.graph.noise_sources().empty()) {
+    send_error(sock, error_code::kBadRequest,
+               "graph has no quantization noise sources to optimize");
+    return;
+  }
+  if (!core::engine_supports(env.optimizer.engine, scenario.graph)) {
+    send_error(sock, error_code::kUnsupported,
+               "requested probe engine cannot evaluate this graph");
+    return;
+  }
+  const auto deadline = deadline_for(env.timeout);
+  std::promise<void> done;
+  auto finished = done.get_future();
+  const bool admitted = queue_->try_submit([&, this] {
+    try {
+      run_opt_job(sock, scenario, env.optimizer, deadline, submitted);
+    } catch (...) {  // NOLINT(bugprone-empty-catch) — reported inside
+    }
+    done.set_value();
+  });
+  if (!admitted) {
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++jobs_rejected_;
+    }
+    send_error(sock, error_code::kRejectedBusy,
+               "job queue is at capacity; resubmit later");
+    return;
+  }
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++jobs_accepted_;
+  }
+  finished.wait();
+}
+
+void Server::run_opt_job(
+    const Socket& sock, sfg::Scenario& scenario, const OptimizerSpec& spec,
+    std::optional<std::chrono::steady_clock::time_point> deadline,
+    std::chrono::steady_clock::time_point submitted) {
+  if (deadline.has_value() &&
+      std::chrono::steady_clock::now() >= *deadline) {
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++jobs_timeout_;
+    }
+    send_error(sock, error_code::kTimeout,
+               "deadline expired before optimization started");
+    return;
+  }
+  try {
+    opt::OptimizerConfig cfg;
+    cfg.noise_budget = spec.noise_budget;
+    cfg.min_bits = spec.min_bits;
+    cfg.max_bits = spec.max_bits;
+    cfg.n_psd = spec.n_psd != 0 ? spec.n_psd : scenario.config.n_psd;
+    cfg.engine = spec.engine;
+    cfg.engine_opts = sfg::engine_options_for(scenario.config);
+    cfg.pool = pool_.get();
+    // The deadline check doubles as the progress stream: it is polled
+    // exactly once per accepted probe round, between rounds, so reading
+    // probe_counters() here is race-free and one PROG frame goes out per
+    // descent step. The optimizer pointer is filled in after construction;
+    // the first poll only happens inside a strategy run.
+    struct ProgressState {
+      opt::WordlengthOptimizer* optimizer = nullptr;
+      std::uint64_t steps = 0;
+    };
+    auto progress = std::make_shared<ProgressState>();
+    cfg.cancel_check = [&sock, progress, deadline] {
+      ++progress->steps;
+      if (progress->optimizer != nullptr) {
+        const auto counters = progress->optimizer->probe_counters();
+        std::string text;
+        append_kv(text, "step", progress->steps);
+        append_kv(text, "probes_full",
+                  static_cast<std::uint64_t>(counters.full));
+        append_kv(text, "probes_cached",
+                  static_cast<std::uint64_t>(counters.cached));
+        append_kv(text, "probes_delta",
+                  static_cast<std::uint64_t>(counters.delta));
+        // Best effort: a vanished client fails the write; the job still
+        // runs to completion (its result is cheap to discard).
+        write_frame(sock, FrameType::kProgress, text);
+      }
+      return deadline.has_value() &&
+             std::chrono::steady_clock::now() >= *deadline;
+    };
+    opt::WordlengthOptimizer optimizer(
+        scenario.graph, scenario.graph.noise_sources(), cfg);
+    progress->optimizer = &optimizer;
+    opt::OptimizerResult result;
+    if (spec.strategy == "min_plus_one") {
+      result = optimizer.min_plus_one();
+    } else if (spec.strategy == "uniform") {
+      result = optimizer.uniform();
+    } else {  // parse_envelope validated; default strategy is greedy
+      result = optimizer.greedy_descent();
+    }
+    std::string kv;
+    append_kv(kv, "strategy", spec.strategy);
+    append_kv(kv, "feasible", std::uint64_t{result.feasible ? 1u : 0u});
+    append_kv(kv, "cancelled", std::uint64_t{result.cancelled ? 1u : 0u});
+    append_kv(kv, "cost", result.cost);
+    append_kv(kv, "noise", result.noise);
+    append_kv(kv, "evaluations",
+              static_cast<std::uint64_t>(result.evaluations));
+    append_kv(kv, "steps", progress->steps);
+    append_kv(kv, "bits", format_bits(result.bits));
+    if (result.cancelled) {
+      {
+        std::lock_guard lock(stats_mutex_);
+        ++jobs_timeout_;
+      }
+      record_latency(submitted);
+      send_error(sock, error_code::kTimeout,
+                 "deadline expired; best partial assignment attached", kv);
+      return;
+    }
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++jobs_completed_;
+    }
+    record_latency(submitted);
+    write_frame(sock, FrameType::kResult, "status=OK\n" + kv);
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++jobs_failed_;
+    }
+    send_error(sock, error_code::kInternal, e.what());
+  }
+}
+
+bool Server::send_error(const Socket& sock, std::string_view code,
+                        std::string_view message, std::string_view extra) {
+  std::string payload = "status=ERROR\n";
+  append_kv(payload, "code", code);
+  append_kv(payload, "message", sanitize_message(message));
+  payload += extra;
+  return write_frame(sock, FrameType::kError, payload);
+}
+
+std::optional<std::chrono::steady_clock::time_point> Server::deadline_for(
+    std::chrono::milliseconds requested) const {
+  auto effective =
+      requested.count() > 0 ? requested : cfg_.default_timeout;
+  if (cfg_.max_timeout.count() > 0 &&
+      (effective.count() <= 0 || effective > cfg_.max_timeout))
+    effective = cfg_.max_timeout;
+  if (effective.count() <= 0) return std::nullopt;
+  return std::chrono::steady_clock::now() + effective;
+}
+
+void Server::record_latency(
+    std::chrono::steady_clock::time_point submitted) {
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - submitted;
+  std::lock_guard lock(stats_mutex_);
+  latency_.record_seconds(elapsed.count());
+}
+
+}  // namespace psdacc::serve

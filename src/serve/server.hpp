@@ -1,0 +1,139 @@
+/// @file server.hpp
+/// The psdacc-serve daemon core: a loopback TCP server that accepts
+/// evaluation and word-length-optimization jobs as serialized scenario
+/// documents (the `psdacc-sfg v1` format — the golden corpus is literally
+/// a request corpus) and answers with `expect`-style per-engine results.
+///
+/// Request path, outermost tier first:
+///  1. **ResultCache** — a content-hash lookup over the canonical
+///     (graph + config) document. A hit replays the stored payload bytes:
+///     no parse-again, no engine, bit-identical response.
+///  2. **JobQueue admission** — a bounded backlog; a full queue answers
+///     REJECTED_BUSY immediately (load shedding, not latency hiding).
+///  3. **Execution** — engines exactly as sfg::evaluate_expected runs them
+///     (so responses match the golden corpus to the same bits), or a
+///     WordlengthOptimizer whose cancel_check enforces the job deadline
+///     and streams one PROG frame per accepted descent step.
+///
+/// Per-job wall-clock timeouts are cooperative: checked before a job
+/// starts, between engines of an evaluation, and between optimizer probe
+/// rounds — an expired job answers TIMEOUT (with partial state for
+/// optimizer jobs) and the queue moves on. See docs/SERVING.md.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/stats.hpp"
+#include "sfg/serialize.hpp"
+
+namespace psdacc::serve {
+
+struct ServerConfig {
+  /// Bind port on 127.0.0.1; 0 picks an ephemeral port (see
+  /// Server::port()).
+  std::uint16_t port = 0;
+  /// Concurrent job executors. 1 keeps every result trivially ordered;
+  /// results are deterministic for any value (jobs are independent).
+  std::size_t job_workers = 1;
+  /// Max jobs *waiting* beyond the executors; 0 = admit only what can
+  /// start immediately. Full queue => REJECTED_BUSY.
+  std::size_t max_queue_depth = 64;
+  /// runtime::ThreadPool workers shared by optimizer jobs' probe rounds.
+  std::size_t pool_workers = 1;
+  /// ResultCache entries (evaluation jobs only); 0 disables caching.
+  std::size_t cache_capacity = 256;
+  /// Deadline applied when a job requests none; zero = unlimited.
+  std::chrono::milliseconds default_timeout{0};
+  /// Upper clamp on any job's requested timeout; zero = no clamp.
+  std::chrono::milliseconds max_timeout{0};
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg = {});
+  /// Stops (drain semantics, see stop()).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and starts accepting. Throws std::runtime_error on bind
+  /// failure.
+  void start();
+  /// The bound port (valid after start()).
+  std::uint16_t port() const;
+
+  /// Graceful shutdown: stop accepting connections, run every admitted
+  /// job to completion and deliver its response (in-flight-job drain),
+  /// then close remaining connections. Idempotent.
+  void stop();
+
+  /// Snapshot of the lifetime counters (also served as the STTS frame).
+  ServerStats stats() const;
+
+ private:
+  struct Connection {
+    Socket sock;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void serve_connection(Connection& conn);
+  void handle_eval(const Socket& sock, const std::string& payload);
+  void handle_opt(const Socket& sock, const std::string& payload);
+  void run_eval_job(const Socket& sock, const sfg::Scenario& scenario,
+                    const ContentHash& hash,
+                    std::optional<std::chrono::steady_clock::time_point>
+                        deadline,
+                    std::chrono::steady_clock::time_point submitted);
+  void run_opt_job(const Socket& sock, sfg::Scenario& scenario,
+                   const OptimizerSpec& spec,
+                   std::optional<std::chrono::steady_clock::time_point>
+                       deadline,
+                   std::chrono::steady_clock::time_point submitted);
+  bool send_error(const Socket& sock, std::string_view code,
+                  std::string_view message, std::string_view extra = {});
+  std::optional<std::chrono::steady_clock::time_point> deadline_for(
+      std::chrono::milliseconds requested) const;
+  void record_latency(std::chrono::steady_clock::time_point submitted);
+  /// Joins finished connection threads; with @p all, joins every one.
+  void reap_connections(bool all);
+
+  ServerConfig cfg_;
+  std::unique_ptr<ListenSocket> listener_;
+  std::unique_ptr<runtime::ThreadPool> pool_;
+  std::unique_ptr<JobQueue> queue_;
+  ResultCache cache_;
+  std::thread accept_thread_;
+  std::mutex conns_mutex_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  mutable std::mutex stats_mutex_;
+  std::uint64_t connections_ = 0;
+  std::uint64_t frames_ = 0;
+  std::uint64_t jobs_accepted_ = 0;
+  std::uint64_t jobs_rejected_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+  std::uint64_t jobs_failed_ = 0;
+  std::uint64_t jobs_timeout_ = 0;
+  LatencyHistogram latency_;
+};
+
+}  // namespace psdacc::serve

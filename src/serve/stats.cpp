@@ -1,0 +1,57 @@
+#include "serve/stats.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "serve/protocol.hpp"
+
+namespace psdacc::serve {
+
+void LatencyHistogram::record_seconds(double seconds) {
+  const double us = seconds * 1e6;
+  std::size_t bucket = 0;
+  if (us >= 1.0) {
+    const auto v = static_cast<std::uint64_t>(us);
+    bucket = static_cast<std::size_t>(std::bit_width(v) - 1);
+    if (bucket >= kBuckets) bucket = kBuckets - 1;
+  }
+  ++buckets_[bucket];
+  ++count_;
+}
+
+double LatencyHistogram::quantile_us(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the requested quantile, 1-based; ceil so p100 is the max.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank && buckets_[i] > 0)
+      return std::ldexp(1.0, static_cast<int>(i) + 1);  // upper bound 2^(i+1)
+  }
+  return std::ldexp(1.0, static_cast<int>(kBuckets));
+}
+
+std::string ServerStats::to_text() const {
+  std::string out;
+  append_kv(out, "connections", connections);
+  append_kv(out, "frames", frames);
+  append_kv(out, "jobs_accepted", jobs_accepted);
+  append_kv(out, "jobs_rejected", jobs_rejected);
+  append_kv(out, "jobs_completed", jobs_completed);
+  append_kv(out, "jobs_failed", jobs_failed);
+  append_kv(out, "jobs_timeout", jobs_timeout);
+  append_kv(out, "jobs_running", jobs_running);
+  append_kv(out, "cache_hits", cache_hits);
+  append_kv(out, "cache_misses", cache_misses);
+  append_kv(out, "cache_size", cache_size);
+  append_kv(out, "latency_count", latency_count);
+  append_kv(out, "latency_p50_us", latency_p50_us);
+  append_kv(out, "latency_p95_us", latency_p95_us);
+  return out;
+}
+
+}  // namespace psdacc::serve

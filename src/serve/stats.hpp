@@ -1,0 +1,57 @@
+/// @file stats.hpp
+/// Per-server observability: monotonically increasing job/cache counters
+/// and a fixed-bucket latency histogram cheap enough to update on every
+/// completed job (one increment, no allocation, no sort).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace psdacc::serve {
+
+/// Log2-bucketed latency histogram over microseconds: bucket i counts
+/// latencies in [2^i, 2^(i+1)) us (bucket 0 also takes sub-microsecond
+/// samples; the last bucket takes everything beyond ~2^31 us ≈ 36 min).
+/// Quantiles are reported as the upper bound of the bucket holding the
+/// rank — a <= 2x overestimate by construction, which is the right bias
+/// for an operational p95.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  void record_seconds(double seconds);
+  std::uint64_t count() const { return count_; }
+  /// Upper bound (in us) of the bucket containing quantile @p q in [0, 1].
+  /// 0 when empty.
+  double quantile_us(double q) const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+};
+
+/// Snapshot of one server's lifetime counters, rendered into the STTS
+/// stats frame as key=value lines (so tests and dashboards parse it with
+/// the same kv reader the rest of the protocol uses).
+struct ServerStats {
+  std::uint64_t connections = 0;     ///< accepted TCP connections
+  std::uint64_t frames = 0;          ///< frames successfully read
+  std::uint64_t jobs_accepted = 0;   ///< admitted into the queue
+  std::uint64_t jobs_rejected = 0;   ///< turned away (REJECTED_BUSY)
+  std::uint64_t jobs_completed = 0;  ///< finished with a result
+  std::uint64_t jobs_failed = 0;     ///< finished with an error
+  std::uint64_t jobs_timeout = 0;    ///< cancelled by their deadline
+  std::uint64_t jobs_running = 0;    ///< currently executing
+  std::uint64_t cache_hits = 0;      ///< answered from the ResultCache
+  std::uint64_t cache_misses = 0;    ///< evaluated, then cached
+  std::uint64_t cache_size = 0;      ///< entries currently cached
+  std::uint64_t latency_count = 0;   ///< samples in the histogram
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+
+  /// key=value rendering (the STTS payload).
+  std::string to_text() const;
+};
+
+}  // namespace psdacc::serve

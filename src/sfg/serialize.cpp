@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <span>
 #include <sstream>
@@ -848,6 +849,46 @@ bool graphs_equal(const Graph& a, const Graph& b) {
   for (NodeId id = 0; id < a.node_count(); ++id)
     if (!(a.node(id) == b.node(id))) return false;
   return true;
+}
+
+std::string ContentHash::to_string() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return std::string(buf, 32);
+}
+
+ContentHash content_hash_bytes(std::string_view bytes) {
+  // FNV-1a/128 with the spec's offset basis and prime (2^88 + 2^8 + 0x3b).
+  // Chosen over a seeded hash on purpose: the digest must be reproducible
+  // across processes and releases — it is a persistent cache key.
+  using u128 = unsigned __int128;
+  constexpr u128 kOffset =
+      (u128{0x6c62272e07bb0142ull} << 64) | 0x62b821756295c58dull;
+  constexpr u128 kPrime = (u128{0x0000000001000000ull} << 64) | 0x13bull;
+  u128 h = kOffset;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kPrime;
+  }
+  return ContentHash{static_cast<std::uint64_t>(h >> 64),
+                     static_cast<std::uint64_t>(h)};
+}
+
+ContentHash content_hash(const Graph& g) {
+  return content_hash_bytes(serialize(g));
+}
+
+ContentHash content_hash(const Graph& g, const sim::EvaluationConfig& cfg) {
+  // The canonical header + graph + config sections, exactly as
+  // serialize(Scenario) would emit them for an expectation-free scenario —
+  // without requiring a Scenario (and therefore a graph copy) to exist.
+  std::string out;
+  append_header(out);
+  append_graph_section(out, g);
+  append_config_section(out, cfg);
+  return content_hash_bytes(out);
 }
 
 Scenario load_scenario(const std::string& path) {

@@ -50,6 +50,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -112,6 +113,34 @@ Scenario parse_scenario(std::string_view text);
 /// payload (bitwise doubles), input edges, and name. Revision counters and
 /// lazy caches are ignored — equality is about what would serialize.
 bool graphs_equal(const Graph& a, const Graph& b);
+
+/// Stable 128-bit content digest of a graph (or scenario) — the cache-key
+/// contract of the serving layer: two submissions with the same hash carry
+/// byte-identical canonical documents, so a result computed for one is the
+/// result of the other.
+///
+/// The hash is FNV-1a/128 over the *canonical serialized form*, so it is
+/// independent of construction history (revision counters, cone caches,
+/// probe state) and stable across processes, platforms, and PRs — a pinned
+/// value in the regression suite guards the latter. Changing the canonical
+/// emission (a format version bump) intentionally changes hashes: cached
+/// results keyed on the old format must not survive a format change.
+struct ContentHash {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  friend bool operator==(const ContentHash&, const ContentHash&) = default;
+  /// 32 lowercase hex characters, high half first.
+  std::string to_string() const;
+};
+
+/// FNV-1a/128 of raw bytes (the primitive the overloads share).
+ContentHash content_hash_bytes(std::string_view bytes);
+/// Hash of the canonical graph-only document.
+ContentHash content_hash(const Graph& g);
+/// Hash of the canonical graph + config document: covers the engine set,
+/// spectral resolution, and the full Monte-Carlo plan, so two jobs hash
+/// equal only when their evaluations are interchangeable.
+ContentHash content_hash(const Graph& g, const sim::EvaluationConfig& cfg);
 
 /// File helpers. load_scenario throws std::runtime_error on I/O failure
 /// and ParseError (with the file's line/column) on malformed content.

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "dsp/fft.hpp"
+#include "dsp/fft_plan.hpp"
 #include "support/random.hpp"
 
 namespace {
@@ -195,6 +196,99 @@ TEST(RealFft, IfftRealRoundTrip) {
   ASSERT_EQ(back.size(), x.size());
   for (std::size_t i = 0; i < x.size(); ++i)
     EXPECT_NEAR(back[i], x[i], 1e-10);
+}
+
+// ---------------------------------------------------------------------------
+// The bounded thread-local plan cache
+// ---------------------------------------------------------------------------
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_capacity_ = psdacc::dsp::plan_cache_capacity();
+    psdacc::dsp::clear_plan_cache();
+  }
+  void TearDown() override {
+    psdacc::dsp::set_plan_cache_capacity(saved_capacity_);
+    psdacc::dsp::clear_plan_cache();
+  }
+
+ private:
+  std::size_t saved_capacity_ = 0;
+};
+
+TEST_F(PlanCacheTest, CapacityClampsToAtLeastOne) {
+  psdacc::dsp::set_plan_cache_capacity(0);
+  EXPECT_EQ(psdacc::dsp::plan_cache_capacity(), 1u);
+  psdacc::dsp::plan_for(8);
+  EXPECT_LE(psdacc::dsp::plan_cache_size(), 1u);
+}
+
+TEST_F(PlanCacheTest, SizeStaysUnderCapAcrossManySizes) {
+  psdacc::dsp::set_plan_cache_capacity(4);
+  // Mix of radix-2 and Bluestein sizes; the latter recursively insert
+  // their convolution and rfft-half sub-plans, so this also exercises
+  // eviction during construction.
+  for (const std::size_t n :
+       {8u, 16u, 5u, 100u, 31u, 64u, 7u, 128u, 48u, 1000u}) {
+    psdacc::dsp::plan_for(n);
+    EXPECT_LE(psdacc::dsp::plan_cache_size(), 4u) << "after size " << n;
+  }
+}
+
+TEST_F(PlanCacheTest, EvictsLeastRecentlyUsedFirst) {
+  psdacc::dsp::set_plan_cache_capacity(2);
+  const auto p1 = psdacc::dsp::plan_handle_for(1);
+  const auto p2 = psdacc::dsp::plan_handle_for(2);
+  psdacc::dsp::plan_handle_for(2);  // size 1 is now the LRU entry
+  // Size 4's constructor touches its half-plan (size 2) and the insert of
+  // 4 overflows the cap, so the victim must be size 1.
+  psdacc::dsp::plan_handle_for(4);
+  EXPECT_EQ(psdacc::dsp::plan_handle_for(2).get(), p2.get())
+      << "recently used plan was evicted";
+  EXPECT_NE(psdacc::dsp::plan_handle_for(1).get(), p1.get())
+      << "LRU plan survived eviction";
+}
+
+TEST_F(PlanCacheTest, ShrinkingCapacityEvictsImmediately) {
+  psdacc::dsp::set_plan_cache_capacity(16);
+  for (const std::size_t n : {8u, 16u, 32u, 64u}) psdacc::dsp::plan_for(n);
+  EXPECT_GE(psdacc::dsp::plan_cache_size(), 4u);
+  psdacc::dsp::set_plan_cache_capacity(2);
+  EXPECT_LE(psdacc::dsp::plan_cache_size(), 2u);
+}
+
+TEST_F(PlanCacheTest, EvictedHoldersStayValidAndCorrect) {
+  psdacc::dsp::set_plan_cache_capacity(1);
+  // The handle co-owns the whole sub-plan chain (Bluestein convolution,
+  // rfft halves), so a capacity-1 storm of other sizes must not invalidate
+  // it.
+  const auto held = psdacc::dsp::plan_handle_for(24);
+  for (const std::size_t n : {7u, 256u, 13u, 100u})
+    psdacc::dsp::plan_for(n);
+  EXPECT_LE(psdacc::dsp::plan_cache_size(), 1u);
+
+  Xoshiro256 rng(21);
+  const auto x = psdacc::gaussian_signal(24, rng);
+  std::vector<cplx> via_plan;
+  held->rfft(x, via_plan);
+  std::vector<cplx> reference(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    reference[i] = cplx(x[i], 0.0);
+  psdacc::dsp::fft(reference);
+  ASSERT_EQ(via_plan.size(), reference.size());
+  EXPECT_LT(max_abs_diff(via_plan, reference), 1e-10);
+}
+
+TEST_F(PlanCacheTest, ReRequestAfterEvictionIsCorrect) {
+  psdacc::dsp::set_plan_cache_capacity(1);
+  psdacc::dsp::plan_for(48);
+  psdacc::dsp::plan_for(512);  // evicts 48
+  auto x = random_signal(48, 31);
+  auto reference = x;
+  psdacc::dsp::fft(reference);
+  psdacc::dsp::plan_for(48).forward(x);  // rebuilt plan
+  EXPECT_LT(max_abs_diff(x, reference), 1e-10);
 }
 
 }  // namespace

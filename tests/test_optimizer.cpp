@@ -173,4 +173,82 @@ TEST(Optimizer, EvaluationCountIsTracked) {
   EXPECT_GT(r.evaluations, 3u);
 }
 
+// ---------------------------------------------------------------------------
+// Cooperative cancellation (the hook server-side job timeouts ride on)
+// ---------------------------------------------------------------------------
+
+TEST(OptimizerCancellation, NeverFiringCheckChangesNothing) {
+  auto sys_a = make_chain();
+  opt::WordlengthOptimizer plain(sys_a.graph, sys_a.variables,
+                                 budget_config(1e-6));
+  const auto reference = plain.greedy_descent();
+
+  auto sys_b = make_chain();
+  auto cfg = budget_config(1e-6);
+  cfg.cancel_check = [] { return false; };
+  opt::WordlengthOptimizer checked(sys_b.graph, sys_b.variables, cfg);
+  const auto r = checked.greedy_descent();
+  EXPECT_FALSE(r.cancelled);
+  EXPECT_EQ(r.bits, reference.bits);
+  EXPECT_EQ(r.cost, reference.cost);
+}
+
+TEST(OptimizerCancellation, GreedyStopsEarlyWithPartialState) {
+  auto sys_a = make_chain();
+  opt::WordlengthOptimizer plain(sys_a.graph, sys_a.variables,
+                                 budget_config(1e-8));
+  const auto full = plain.greedy_descent();
+
+  // Cancel after two accepted rounds: the search must stop with the
+  // assignment it held at that point — fewer probes spent, every variable
+  // still at or above the converged answer (greedy only removes bits).
+  auto sys_b = make_chain();
+  auto cfg = budget_config(1e-8);
+  int polls = 0;
+  cfg.cancel_check = [&polls] { return ++polls > 2; };
+  opt::WordlengthOptimizer cancelled(sys_b.graph, sys_b.variables, cfg);
+  const auto partial = cancelled.greedy_descent();
+  EXPECT_TRUE(partial.cancelled);
+  EXPECT_TRUE(partial.feasible);  // greedy's working state stays feasible
+  EXPECT_LT(partial.evaluations, full.evaluations);
+  ASSERT_EQ(partial.bits.size(), full.bits.size());
+  for (std::size_t i = 0; i < full.bits.size(); ++i)
+    EXPECT_GE(partial.bits[i], full.bits[i]) << "variable " << i;
+  EXPECT_GE(partial.cost, full.cost);
+
+  // The partial assignment was applied to the graph and its noise
+  // re-evaluated — the "report what you have" server contract.
+  opt::WordlengthOptimizer probe(sys_b.graph, sys_b.variables,
+                                 budget_config(1e-8));
+  EXPECT_DOUBLE_EQ(probe.evaluate(), partial.noise);
+}
+
+TEST(OptimizerCancellation, ImmediateCancelReportsStartState) {
+  auto sys = make_chain();
+  auto cfg = budget_config(1e-6);
+  cfg.cancel_check = [] { return true; };
+  opt::WordlengthOptimizer optimizer(sys.graph, sys.variables, cfg);
+  const auto r = optimizer.greedy_descent();
+  EXPECT_TRUE(r.cancelled);
+  ASSERT_EQ(r.bits.size(), sys.variables.size());
+  for (const int bits : r.bits) EXPECT_EQ(bits, cfg.max_bits);
+}
+
+TEST(OptimizerCancellation, AllStrategiesHonorTheCheck) {
+  for (const int strategy : {0, 1, 2}) {
+    auto sys = make_chain();
+    auto cfg = budget_config(1e-6);
+    int polls = 0;
+    cfg.cancel_check = [&polls] { return ++polls > 1; };
+    opt::WordlengthOptimizer optimizer(sys.graph, sys.variables, cfg);
+    const auto r = strategy == 0   ? optimizer.uniform()
+                   : strategy == 1 ? optimizer.greedy_descent()
+                                   : optimizer.min_plus_one();
+    EXPECT_TRUE(r.cancelled) << "strategy " << strategy;
+    EXPECT_EQ(r.bits.size(), sys.variables.size()) << "strategy "
+                                                   << strategy;
+    EXPECT_GT(polls, 1) << "strategy " << strategy;
+  }
+}
+
 }  // namespace

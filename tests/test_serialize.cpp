@@ -431,4 +431,90 @@ TEST(GraphsEqual, DistinguishesStructureAndParameters) {
   EXPECT_FALSE(sfg::graphs_equal(a, d));
 }
 
+// ---------------------------------------------------------------------------
+// Content hashing: the serving layer's cache-key contract
+// ---------------------------------------------------------------------------
+
+sfg::Graph hash_fixture_graph() {
+  sfg::Graph g;
+  const auto in = g.add_input("in");
+  const auto q = g.add_quantizer(in, fxp::q_format(4, 12), "q");
+  const auto b = g.add_block(
+      q, filt::TransferFunction(filt::fir_lowpass(7, 0.25)),
+      fxp::q_format(4, 12), "h");
+  g.add_output(b);
+  return g;
+}
+
+sim::EvaluationConfig hash_fixture_config() {
+  sim::EvaluationConfig cfg;
+  cfg.n_psd = 256;
+  cfg.engines = {core::EngineKind::kPsd, core::EngineKind::kFlat};
+  return cfg;
+}
+
+TEST(ContentHash, PinnedValues) {
+  // FNV-1a/128 primitive: the empty input must hash to the offset basis
+  // (the algorithm's spec constant) — any drift here breaks every
+  // persisted cache key.
+  EXPECT_EQ(sfg::content_hash_bytes("").to_string(),
+            "6c62272e07bb014262b821756295c58d");
+  EXPECT_EQ(sfg::content_hash_bytes("psdacc").to_string(),
+            "adc8f29cc33c64bf6f4b26b7d85a4339");
+  // Graph and scenario digests are pinned across PRs: they may only change
+  // together with an intentional canonical-format (version) bump.
+  EXPECT_EQ(sfg::content_hash(hash_fixture_graph()).to_string(),
+            "ffc29af424f246f7c6da82a0694f6581");
+  EXPECT_EQ(
+      sfg::content_hash(hash_fixture_graph(), hash_fixture_config())
+          .to_string(),
+      "b007e2c77f6185dee0722e2dd3b0c745");
+}
+
+TEST(ContentHash, HashesTheCanonicalSerializedForm) {
+  const sfg::Graph g = hash_fixture_graph();
+  const sim::EvaluationConfig cfg = hash_fixture_config();
+  EXPECT_EQ(sfg::content_hash(g),
+            sfg::content_hash_bytes(sfg::serialize(g)));
+  // The scenario overload covers header + graph + config — identical to
+  // hashing a serialized Scenario without expectations.
+  EXPECT_EQ(sfg::content_hash(g, cfg),
+            sfg::content_hash_bytes(sfg::serialize(sfg::Scenario{g, cfg, {}})));
+}
+
+TEST(ContentHash, IndependentOfConstructionHistory) {
+  const sfg::Graph g = hash_fixture_graph();
+  // A parse(serialize()) copy has fresh revision counters and no warm
+  // caches; the digest must not see any of that.
+  const sfg::Graph copy = sfg::parse_graph(sfg::serialize(g));
+  EXPECT_EQ(sfg::content_hash(g), sfg::content_hash(copy));
+
+  // Mutating and restoring a format bumps revisions but restores content.
+  sfg::Graph touched = hash_fixture_graph();
+  const auto q = touched.noise_sources().front();
+  touched.set_format(q, fxp::q_format(4, 8));
+  EXPECT_NE(sfg::content_hash(touched), sfg::content_hash(g));
+  touched.set_format(q, fxp::q_format(4, 12));
+  EXPECT_EQ(sfg::content_hash(touched), sfg::content_hash(g));
+}
+
+TEST(ContentHash, CoversEvaluationConfig) {
+  const sfg::Graph g = hash_fixture_graph();
+  const sim::EvaluationConfig cfg = hash_fixture_config();
+  sim::EvaluationConfig other = cfg;
+  other.n_psd = 512;
+  EXPECT_NE(sfg::content_hash(g, cfg), sfg::content_hash(g, other));
+  sim::EvaluationConfig fewer = cfg;
+  fewer.engines = {core::EngineKind::kPsd};
+  EXPECT_NE(sfg::content_hash(g, cfg), sfg::content_hash(g, fewer));
+  EXPECT_NE(sfg::content_hash(g, cfg), sfg::content_hash(g));
+}
+
+TEST(ContentHash, ToStringIsStableHex) {
+  const sfg::ContentHash h{0x0123456789abcdefull, 0x00000000000000ffull};
+  EXPECT_EQ(h.to_string(), "0123456789abcdef00000000000000ff");
+  EXPECT_EQ(sfg::ContentHash{}.to_string(),
+            "0000000000000000" "0000000000000000");
+}
+
 }  // namespace

@@ -1,0 +1,102 @@
+// psdacc-serve: the accuracy-evaluation daemon. Listens on the IPv4
+// loopback, accepts serialized scenario documents over the framed protocol
+// (see docs/SERVING.md), and answers with per-engine output noise powers or
+// word-length optimization results. SIGTERM/SIGINT trigger a graceful
+// shutdown: admitted jobs run to completion and deliver their responses
+// before the process exits.
+//
+//   psdacc-serve [--port P] [--workers N] [--queue-depth D] [--cache C]
+//                [--pool-workers N] [--default-timeout-ms T]
+//                [--max-timeout-ms T]
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "serve/server.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: psdacc-serve [--port P] [--workers N]"
+               " [--queue-depth D] [--cache C] [--pool-workers N]\n"
+               "                    [--default-timeout-ms T]"
+               " [--max-timeout-ms T]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using psdacc::serve::Server;
+  using psdacc::serve::ServerConfig;
+
+  ServerConfig cfg;
+  cfg.port = 7533;
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (std::strcmp(argv[i], "--port") == 0 && (v = value()) != nullptr)
+      cfg.port = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+    else if (std::strcmp(argv[i], "--workers") == 0 &&
+             (v = value()) != nullptr)
+      cfg.job_workers = std::strtoul(v, nullptr, 10);
+    else if (std::strcmp(argv[i], "--queue-depth") == 0 &&
+             (v = value()) != nullptr)
+      cfg.max_queue_depth = std::strtoul(v, nullptr, 10);
+    else if (std::strcmp(argv[i], "--cache") == 0 && (v = value()) != nullptr)
+      cfg.cache_capacity = std::strtoul(v, nullptr, 10);
+    else if (std::strcmp(argv[i], "--pool-workers") == 0 &&
+             (v = value()) != nullptr)
+      cfg.pool_workers = std::strtoul(v, nullptr, 10);
+    else if (std::strcmp(argv[i], "--default-timeout-ms") == 0 &&
+             (v = value()) != nullptr)
+      cfg.default_timeout =
+          std::chrono::milliseconds(std::strtol(v, nullptr, 10));
+    else if (std::strcmp(argv[i], "--max-timeout-ms") == 0 &&
+             (v = value()) != nullptr)
+      cfg.max_timeout =
+          std::chrono::milliseconds(std::strtol(v, nullptr, 10));
+    else
+      return usage();
+  }
+
+  // Block the shutdown signals before spawning any server thread (threads
+  // inherit the mask), then sigwait on the main thread: the handler-free
+  // way to turn SIGTERM into an orderly Server::stop().
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  Server server(cfg);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "psdacc-serve: %s\n", e.what());
+    return 1;
+  }
+  // Scripts scrape this line for the (possibly ephemeral) port.
+  std::printf("psdacc-serve listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&signals, &sig);
+  std::printf("psdacc-serve: signal %d, draining...\n", sig);
+  std::fflush(stdout);
+  server.stop();
+
+  const auto stats = server.stats();
+  std::printf(
+      "psdacc-serve: done (%llu connection(s), %llu completed, "
+      "%llu cache hit(s))\n",
+      static_cast<unsigned long long>(stats.connections),
+      static_cast<unsigned long long>(stats.jobs_completed),
+      static_cast<unsigned long long>(stats.cache_hits));
+  return 0;
+}
