@@ -1,0 +1,205 @@
+// Search-subsystem harness: annealing / tabu / branch-and-bound single
+// runs and Pareto-front sweeps over the paper's Fig. 2 frequency-domain
+// band-pass, timed with google-benchmark and gated against
+// BENCH_baseline.json by bench/compare_bench.py like the other suites.
+//
+// Beyond the sweeps, main() runs a hard gate and exits nonzero when it
+// fails:
+//   * annealing on the fig6 system must ride the delta probe path:
+//     probe_counters() after a run must show delta >= 100x full (a full
+//     evaluation costs O(graph * n_psd); the whole point of PR-5's
+//     incremental contract is that search strategies pay it only for the
+//     baseline stamp, ~once per round);
+//   * the Pareto sweep on the same system must produce a
+//     dominance-consistent front that is bit-identical between a 1-worker
+//     and a 4-worker fan-out (the sweep determinism contract).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "fixedpoint/format.hpp"
+#include "freqfilt/freq_filter.hpp"
+#include "opt/search/annealing.hpp"
+#include "opt/search/branch_and_bound.hpp"
+#include "opt/search/pareto.hpp"
+#include "opt/search/strategies.hpp"
+#include "opt/wordlength_optimizer.hpp"
+#include "sfg/graph.hpp"
+
+namespace {
+
+using namespace psdacc;
+
+sfg::Graph fig6_graph() {
+  ff::FreqFilterConfig cfg;
+  cfg.format = fxp::q_format(8, 16);
+  return ff::build_freqfilt_sfg(cfg);
+}
+
+opt::OptimizerConfig search_config(bool incremental) {
+  opt::OptimizerConfig cfg;
+  cfg.noise_budget = 1e-7;
+  cfg.min_bits = 4;
+  cfg.max_bits = 20;
+  cfg.n_psd = 256;
+  cfg.incremental = incremental;
+  return cfg;
+}
+
+opt::search::AnnealOptions anneal_options() {
+  opt::search::AnnealOptions o;
+  o.seed = 42;
+  o.rounds = 40;
+  o.proposals_per_round = 4;
+  return o;
+}
+
+// Simulated annealing over the fig6 system, delta probes vs full
+// re-evaluations — the pair whose ratio is the delta path's dividend.
+void BM_AnnealFig6(benchmark::State& state) {
+  const bool incremental = state.range(0) != 0;
+  for (auto _ : state) {
+    sfg::Graph g = fig6_graph();
+    opt::WordlengthOptimizer optimizer(g, g.noise_sources(),
+                                       search_config(incremental));
+    opt::search::SimulatedAnnealing anneal(anneal_options());
+    const auto r = anneal.run(optimizer);
+    benchmark::DoNotOptimize(r.cost);
+  }
+}
+BENCHMARK(BM_AnnealFig6)
+    ->ArgNames({"incremental"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TabuFig6(benchmark::State& state) {
+  opt::search::TabuOptions topt;
+  topt.rounds = 24;
+  for (auto _ : state) {
+    sfg::Graph g = fig6_graph();
+    opt::WordlengthOptimizer optimizer(g, g.noise_sources(),
+                                       search_config(true));
+    opt::search::TabuSearch tabu(topt);
+    const auto r = tabu.run(optimizer);
+    benchmark::DoNotOptimize(r.cost);
+  }
+}
+BENCHMARK(BM_TabuFig6)->Unit(benchmark::kMillisecond);
+
+// Branch-and-bound over a deliberately narrow bit window: the point is the
+// flat-bound pruning machinery, not an exponential search.
+void BM_BnbFig6(benchmark::State& state) {
+  opt::OptimizerConfig cfg = search_config(true);
+  cfg.min_bits = 8;
+  cfg.max_bits = 12;
+  cfg.noise_budget = 1e-6;
+  opt::search::BnbOptions bopt;
+  bopt.max_nodes = 20000;
+  for (auto _ : state) {
+    sfg::Graph g = fig6_graph();
+    opt::WordlengthOptimizer optimizer(g, g.noise_sources(), cfg);
+    opt::search::BranchAndBound bnb(bopt);
+    const auto r = bnb.run(optimizer);
+    benchmark::DoNotOptimize(r.cost);
+  }
+}
+BENCHMARK(BM_BnbFig6)->Unit(benchmark::kMillisecond);
+
+// Greedy Pareto sweep, serial vs 4-way point fan-out.
+void BM_SweepFig6(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  const sfg::Graph g = fig6_graph();
+  opt::search::SweepConfig cfg;
+  cfg.budgets = {1e-9, 1e-8, 1e-7, 1e-6};
+  cfg.base = search_config(true);
+  cfg.workers = workers;
+  for (auto _ : state) {
+    opt::search::ParetoSweep sweep(g, g.noise_sources(), cfg);
+    const auto points = sweep.run_points();
+    benchmark::DoNotOptimize(points.size());
+  }
+}
+BENCHMARK(BM_SweepFig6)
+    ->ArgNames({"workers"})
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// --- hard gate -------------------------------------------------------------
+
+bool bits_equal(const std::vector<opt::search::ParetoPoint>& a,
+                const std::vector<opt::search::ParetoPoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].budget != b[i].budget || a[i].cost != b[i].cost ||
+        a[i].noise != b[i].noise || a[i].bits != b[i].bits)
+      return false;
+  }
+  return true;
+}
+
+bool run_search_gate() {
+  bool ok = true;
+
+  // 1. Annealing rides the delta probe path: delta >> full.
+  {
+    sfg::Graph g = fig6_graph();
+    opt::WordlengthOptimizer optimizer(g, g.noise_sources(),
+                                       search_config(true));
+    opt::search::SimulatedAnnealing anneal(anneal_options());
+    const auto r = anneal.run(optimizer);
+    const auto c = optimizer.probe_counters();
+    std::printf(
+        "[gate] anneal probes: full=%zu cached=%zu delta=%zu "
+        "(cost %.0f, feasible %d)\n",
+        c.full, c.cached, c.delta, r.cost, r.feasible ? 1 : 0);
+    if (c.delta < 100 * c.full || c.delta == 0) {
+      std::printf(
+          "[gate] FAIL: annealing is not on the delta probe path "
+          "(need delta >= 100x full)\n");
+      ok = false;
+    }
+  }
+
+  // 2. Sweep determinism + dominance: the front is bit-identical for a
+  //    1-worker and a 4-worker fan-out, and no kept point dominates
+  //    another.
+  {
+    const sfg::Graph g = fig6_graph();
+    opt::search::SweepConfig cfg;
+    cfg.budgets = {1e-9, 1e-8, 1e-7, 1e-6};
+    cfg.base = search_config(true);
+    cfg.workers = 1;
+    opt::search::ParetoSweep serial(g, g.noise_sources(), cfg);
+    const auto serial_front =
+        opt::search::ParetoFront::from_points(serial.run_points());
+    cfg.workers = 4;
+    opt::search::ParetoSweep fanned(g, g.noise_sources(), cfg);
+    const auto fanned_front =
+        opt::search::ParetoFront::from_points(fanned.run_points());
+    std::printf("[gate] sweep front: %zu points (1 worker) vs %zu (4)\n",
+                serial_front.points().size(), fanned_front.points().size());
+    if (!bits_equal(serial_front.points(), fanned_front.points())) {
+      std::printf("[gate] FAIL: front differs between fan-out widths\n");
+      ok = false;
+    }
+    if (!serial_front.dominance_consistent() ||
+        serial_front.points().empty()) {
+      std::printf("[gate] FAIL: front empty or dominance-inconsistent\n");
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return run_search_gate() ? 0 : 1;
+}

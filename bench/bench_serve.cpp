@@ -35,7 +35,7 @@ std::string document_with_salt(std::size_t salt) {
   sim::EvaluationConfig cfg;
   cfg.n_psd = 256;
   cfg.engines = {core::EngineKind::kPsd};
-  return sfg::serialize(sfg::Scenario{std::move(g), std::move(cfg), {}});
+  return sfg::serialize(sfg::Scenario{std::move(g), std::move(cfg), {}, {}});
 }
 
 void BM_ServeStatsRoundTrip(benchmark::State& state) {

@@ -1,0 +1,135 @@
+#include "opt/search/annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "support/random.hpp"
+
+namespace psdacc::opt::search {
+
+OptimizerResult SimulatedAnnealing::run(WordlengthOptimizer& opt) {
+  trajectory_.clear();
+  const OptimizerConfig& cfg = opt.config();
+  // Greedy seed: feasible by construction whenever the budget is
+  // reachable at all. If even all-max is infeasible there is nothing to
+  // anneal inside the feasible region — return the seed verdict as-is.
+  OptimizerResult seed = opt.greedy_descent();
+  if (!seed.feasible || seed.cancelled) return seed;
+  std::vector<int> current = seed.bits;
+  double current_cost = seed.cost;
+  double current_noise = seed.noise;
+  std::vector<int> best = current;
+  double best_cost = current_cost;
+  trajectory_.push_back({0, current_cost, current_noise});
+
+  const std::size_t n = opt.variable_count();
+  const Xoshiro256 master(options_.seed);
+  double temp = options_.initial_temp;
+  for (std::size_t round = 1; round <= options_.rounds; ++round) {
+    if (opt.cancel_requested()) return opt.cancelled_result(std::move(best));
+    // The round's whole random stream is substream(round) of the master:
+    // proposal generation and acceptance draws restart from a state that
+    // depends only on (seed, round), never on scheduling or on how many
+    // draws earlier rounds consumed.
+    Xoshiro256 rng = master.substream(round);
+    std::vector<WordlengthOptimizer::Candidate> proposals;
+    proposals.reserve(options_.proposals_per_round);
+    for (std::size_t k = 0; k < options_.proposals_per_round; ++k) {
+      const auto v = static_cast<std::size_t>(rng.below(n));
+      const int dir = rng.below(2) == 0 ? -1 : 1;
+      const int bits =
+          std::clamp(current[v] + dir, cfg.min_bits, cfg.max_bits);
+      if (bits == current[v]) continue;  // clamped no-op; draws stand
+      proposals.push_back({v, bits});
+    }
+    // Speculative parallel probing: all proposals score against the
+    // *same* baseline concurrently. The serial scan below accepts the
+    // first winner in proposal order and discards the rest of the round
+    // as stale — exactly what a serial annealer restarted at the next
+    // round would have done.
+    const std::vector<double> noise = opt.probe_candidates(current, proposals);
+    for (std::size_t i = 0; i < proposals.size(); ++i) {
+      if (!(noise[i] <= cfg.noise_budget)) continue;  // infeasible / NaN
+      const WordlengthOptimizer::Candidate& p = proposals[i];
+      const double delta = opt.cost_weight(p.v) * (p.bits - current[p.v]);
+      // Metropolis on the *cost* delta; the acceptance draw is consumed
+      // only for uphill moves, in scan order — deterministic because the
+      // scan order is.
+      if (delta > 0.0 && !(rng.uniform() < std::exp(-delta / temp)))
+        continue;
+      current[p.v] = p.bits;
+      current_cost += delta;
+      current_noise = noise[i];
+      trajectory_.push_back({round, current_cost, current_noise});
+      if (current_cost < best_cost) {
+        best = current;
+        best_cost = current_cost;
+      }
+      break;
+    }
+    temp *= options_.cooling;
+  }
+  return opt.package_result(std::move(best));
+}
+
+OptimizerResult TabuSearch::run(WordlengthOptimizer& opt) {
+  trajectory_.clear();
+  const OptimizerConfig& cfg = opt.config();
+  OptimizerResult seed = opt.greedy_descent();
+  if (!seed.feasible || seed.cancelled) return seed;
+  std::vector<int> current = seed.bits;
+  double current_cost = seed.cost;
+  std::vector<int> best = current;
+  double best_cost = current_cost;
+  trajectory_.push_back({0, current_cost, seed.noise});
+
+  const std::size_t n = opt.variable_count();
+  // Expiry round per directed move: slot 2v is "decrease v", 2v+1 is
+  // "increase v". A move is tabu while its slot's round is still ahead.
+  std::vector<std::size_t> tabu_until(2 * n, 0);
+  for (std::size_t round = 1; round <= options_.rounds; ++round) {
+    if (opt.cancel_requested()) return opt.cancelled_result(std::move(best));
+    std::vector<WordlengthOptimizer::Candidate> moves;
+    moves.reserve(2 * n);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (current[v] - 1 >= cfg.min_bits) moves.push_back({v, current[v] - 1});
+      if (current[v] + 1 <= cfg.max_bits) moves.push_back({v, current[v] + 1});
+    }
+    if (moves.empty()) break;
+    const std::vector<double> noise = opt.probe_candidates(current, moves);
+    // Best admissible neighbor, even a worsening one. Ties keep the first
+    // in move order (ascending variable, decrease before increase).
+    std::size_t chosen = moves.size();
+    double chosen_cost = 0.0;
+    for (std::size_t i = 0; i < moves.size(); ++i) {
+      if (!(noise[i] <= cfg.noise_budget)) continue;
+      const WordlengthOptimizer::Candidate& m = moves[i];
+      const std::size_t slot = 2 * m.v + (m.bits > current[m.v] ? 1 : 0);
+      const double cost =
+          current_cost + opt.cost_weight(m.v) * (m.bits - current[m.v]);
+      if (tabu_until[slot] >= round && !(cost < best_cost))
+        continue;  // tabu, and no aspiration
+      if (chosen == moves.size() || cost < chosen_cost) {
+        chosen = i;
+        chosen_cost = cost;
+      }
+    }
+    if (chosen == moves.size()) break;  // neighborhood exhausted
+    const WordlengthOptimizer::Candidate& m = moves[chosen];
+    const bool increased = m.bits > current[m.v];
+    // Forbid undoing this move for `tenure` rounds.
+    tabu_until[2 * m.v + (increased ? 0 : 1)] = round + options_.tenure;
+    current[m.v] = m.bits;
+    current_cost = chosen_cost;
+    trajectory_.push_back({round, current_cost, noise[chosen]});
+    if (current_cost < best_cost) {
+      best = current;
+      best_cost = current_cost;
+    }
+  }
+  return opt.package_result(std::move(best));
+}
+
+}  // namespace psdacc::opt::search

@@ -1,0 +1,81 @@
+/// @file annealing.hpp
+/// Stochastic global strategies: simulated annealing and tabu search.
+///
+/// Both strategies move through the feasible region of word-length
+/// vectors by ±1-bit neighbor steps, seeded from greedy descent, and
+/// score every proposal through WordlengthOptimizer::probe_candidates —
+/// so one round's proposals probe concurrently on the delta path while
+/// acceptance stays a serial, deterministic scan.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "opt/search/search_strategy.hpp"
+
+namespace psdacc::opt::search {
+
+/// Knobs for SimulatedAnnealing. The defaults are sized for the corpus
+/// systems (tens of variables); determinism holds for any values.
+struct AnnealOptions {
+  /// Master RNG seed. Round r draws from Xoshiro256(seed).substream(r),
+  /// so the proposal/acceptance stream of a round is a pure function of
+  /// (seed, round) — independent of worker count and of how many draws
+  /// earlier rounds consumed.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  std::size_t rounds = 200;  ///< Cooling steps (one probe round each).
+  /// Speculative proposals probed per round. A config knob, not a worker
+  /// count: the same proposals are generated and scanned in the same
+  /// order whether they were probed on 1 thread or 16, which is what
+  /// keeps 1-vs-N results bit-identical. The first accepted proposal in
+  /// scan order wins; later ones are discarded as stale.
+  std::size_t proposals_per_round = 8;
+  /// Initial temperature in weighted-cost units (a +1-bit move on a
+  /// weight-1 variable has cost delta 1).
+  double initial_temp = 4.0;
+  double cooling = 0.97;  ///< Geometric temperature decay per round.
+};
+
+/// Simulated annealing over word-length vectors, constrained to the
+/// feasible region (proposals that break the noise budget are rejected
+/// outright; uphill *cost* moves are accepted with the Metropolis
+/// probability). Seeded from greedy_descent; returns the best feasible
+/// assignment ever visited. If even the all-max assignment is infeasible
+/// the greedy seed (infeasible, at max bits) is returned unchanged.
+class SimulatedAnnealing : public SearchStrategy {
+ public:
+  explicit SimulatedAnnealing(AnnealOptions options = {})
+      : options_(options) {}
+  std::string name() const override { return "anneal"; }
+  OptimizerResult run(WordlengthOptimizer& opt) override;
+  const AnnealOptions& options() const { return options_; }
+
+ private:
+  AnnealOptions options_;
+};
+
+/// Knobs for TabuSearch.
+struct TabuOptions {
+  std::size_t rounds = 64;  ///< Neighborhood sweeps.
+  /// Rounds a reversed move stays forbidden after being applied.
+  std::size_t tenure = 8;
+};
+
+/// Deterministic (RNG-free) tabu search: every round probes the full
+/// ±1-bit neighborhood of the current assignment concurrently, then takes
+/// the cheapest feasible non-tabu move — even a worsening one, which is
+/// what walks it out of greedy's local minima — while the tabu list
+/// forbids undoing recent moves for `tenure` rounds. Aspiration: a tabu
+/// move that beats the best cost seen so far is always admissible.
+class TabuSearch : public SearchStrategy {
+ public:
+  explicit TabuSearch(TabuOptions options = {}) : options_(options) {}
+  std::string name() const override { return "tabu"; }
+  OptimizerResult run(WordlengthOptimizer& opt) override;
+  const TabuOptions& options() const { return options_; }
+
+ private:
+  TabuOptions options_;
+};
+
+}  // namespace psdacc::opt::search

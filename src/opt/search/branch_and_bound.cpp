@@ -1,0 +1,135 @@
+#include "opt/search/branch_and_bound.hpp"
+
+#include <limits>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sfg/graph.hpp"
+
+namespace psdacc::opt::search {
+namespace {
+
+// A fixed prefix of the variable vector; everything past `depth` is
+// relaxed (max_bits for the noise bound, min_bits for the cost bound).
+struct Node {
+  double cost_lb = 0.0;
+  std::size_t depth = 0;
+  std::vector<int> fixed;  // `depth` entries
+  std::uint64_t seq = 0;   // insertion order, the deterministic tie-break
+};
+
+struct NodeOrder {
+  // Min-heap on (cost_lb, seq): best-first, FIFO among equal bounds so
+  // the expansion order is a pure function of the inputs.
+  bool operator()(const Node& a, const Node& b) const {
+    if (a.cost_lb != b.cost_lb) return a.cost_lb > b.cost_lb;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+OptimizerResult BranchAndBound::run(WordlengthOptimizer& opt) {
+  trajectory_.clear();
+  stats_ = {};
+  const OptimizerConfig& cfg = opt.config();
+  const std::size_t n = opt.variable_count();
+
+  // Incumbent from greedy descent: a feasible upper bound that lets the
+  // cost prune bite from the first expansion.
+  OptimizerResult incumbent = opt.greedy_descent();
+  if (incumbent.cancelled) return incumbent;
+  std::vector<int> best = incumbent.bits;
+  double incumbent_cost = incumbent.feasible
+                              ? incumbent.cost
+                              : std::numeric_limits<double>::infinity();
+  trajectory_.push_back({0, incumbent.cost, incumbent.noise});
+  if (!incumbent.feasible) {
+    // Even all-max breaks the budget (greedy starts there): every subtree
+    // fails the same relaxed feasibility bound, so don't bother growing
+    // the tree — report the infeasible verdict like the other strategies.
+    stats_.exhausted = true;
+    return opt.package_result(std::move(best));
+  }
+
+  // Feasibility bound oracle: a serial optimizer over a private copy of
+  // the graph, scored by the bound engine (NodeIds are indices, so the
+  // variable ids stay valid in the copy). Leaves never go through it —
+  // only the relaxed-prefix bound does.
+  const core::EngineKind bound_kind = options_.bound_engine.value_or(
+      core::engine_supports(core::EngineKind::kFlat, opt.graph())
+          ? core::EngineKind::kFlat
+          : cfg.engine);
+  sfg::Graph bound_graph = opt.graph();
+  OptimizerConfig bound_cfg = cfg;
+  bound_cfg.engine = bound_kind;
+  bound_cfg.pool = nullptr;
+  bound_cfg.workers = 1;
+  bound_cfg.cancel_check = nullptr;
+  WordlengthOptimizer bound_opt(bound_graph, opt.variables(), bound_cfg);
+
+  const auto relaxed_noise = [&](const std::vector<int>& fixed) {
+    std::vector<int> bits(n, cfg.max_bits);
+    std::copy(fixed.begin(), fixed.end(), bits.begin());
+    ++stats_.bound_evaluations;
+    return bound_opt.probe_assignment(bits);
+  };
+
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+  std::uint64_t seq = 0;
+  double root_lb = 0.0;
+  for (std::size_t v = 0; v < n; ++v)
+    root_lb += opt.cost_weight(v) * cfg.min_bits;
+  open.push({root_lb, 0, {}, seq++});
+
+  while (!open.empty()) {
+    if (opt.cancel_requested()) return opt.cancelled_result(std::move(best));
+    if (stats_.nodes_expanded >= options_.max_nodes) break;
+    Node node = open.top();
+    open.pop();
+    // The incumbent may have tightened since this node was pushed.
+    if (node.cost_lb >= incumbent_cost) {
+      ++stats_.pruned_cost;
+      continue;
+    }
+    ++stats_.nodes_expanded;
+    const std::size_t v = node.depth;
+    for (int b = cfg.min_bits; b <= cfg.max_bits; ++b) {
+      const double child_lb =
+          node.cost_lb + opt.cost_weight(v) * (b - cfg.min_bits);
+      if (child_lb >= incumbent_cost) {
+        ++stats_.pruned_cost;
+        continue;
+      }
+      std::vector<int> fixed = node.fixed;
+      fixed.push_back(b);
+      if (node.depth + 1 == n) {
+        // Leaf: score with the probe engine, never the bound engine —
+        // incumbents are exact by construction.
+        const double noise = opt.probe_assignment(fixed);
+        if (!(noise <= cfg.noise_budget)) {
+          ++stats_.pruned_infeasible;
+          continue;
+        }
+        best = std::move(fixed);
+        incumbent_cost = child_lb;  // at a leaf the bound is the cost
+        trajectory_.push_back(
+            {stats_.nodes_expanded, incumbent_cost, noise});
+        continue;
+      }
+      // Least achievable noise of any completion: the prefix with every
+      // free variable at max_bits (noise is monotone non-increasing in
+      // bits). If even that breaks the budget, the subtree is dead.
+      if (!(relaxed_noise(fixed) <= cfg.noise_budget)) {
+        ++stats_.pruned_infeasible;
+        continue;
+      }
+      open.push({child_lb, node.depth + 1, std::move(fixed), seq++});
+    }
+  }
+  stats_.exhausted = open.empty();
+  return opt.package_result(std::move(best));
+}
+
+}  // namespace psdacc::opt::search

@@ -1,0 +1,61 @@
+/// @file branch_and_bound.hpp
+/// Exact word-length search by best-first branch-and-bound.
+///
+/// Variables are fixed one at a time in variable order; a search node is
+/// a fixed prefix with every free variable relaxed to max_bits. Two
+/// bounds prune the tree: the weighted-cost lower bound (fixed cost +
+/// free variables at min_bits) against the incumbent, and a noise
+/// feasibility bound — the noise of the relaxed assignment, which is the
+/// least noise any completion of the prefix can reach because noise is
+/// monotone non-increasing in bits. The feasibility bound is evaluated
+/// with a cheap bound engine (the flat analyzer by default, the paper's
+/// O(sources) baseline) while leaves are always scored with the probe
+/// engine, so the returned incumbent is exact under the probe engine
+/// regardless of the bound engine; the flat bound is itself exact
+/// precisely where flat and psd agree (white, uncorrelated sources).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/accuracy_engine.hpp"
+#include "opt/search/search_strategy.hpp"
+
+namespace psdacc::opt::search {
+
+/// Knobs for BranchAndBound.
+struct BnbOptions {
+  /// Cap on expanded nodes; on hitting it the search stops and returns
+  /// the incumbent (exhausted() then reports false).
+  std::size_t max_nodes = 100000;
+  /// Feasibility-bound engine. Unset = the flat analyzer when it
+  /// supports the graph (core::engine_supports), else the probe engine.
+  std::optional<core::EngineKind> bound_engine;
+};
+
+/// Branch-and-bound statistics of the last run().
+struct BnbStats {
+  std::size_t nodes_expanded = 0;   ///< Nodes popped and branched.
+  std::size_t pruned_cost = 0;      ///< Subtrees cut by the cost bound.
+  std::size_t pruned_infeasible = 0;  ///< Subtrees cut by the noise bound.
+  std::size_t bound_evaluations = 0;  ///< Bound-engine probes spent.
+  /// True when the tree was searched to completion (the incumbent is the
+  /// global optimum under the probe engine, given an admissible bound);
+  /// false when max_nodes or cancellation stopped it early.
+  bool exhausted = false;
+};
+
+class BranchAndBound : public SearchStrategy {
+ public:
+  explicit BranchAndBound(BnbOptions options = {}) : options_(options) {}
+  std::string name() const override { return "bnb"; }
+  OptimizerResult run(WordlengthOptimizer& opt) override;
+  const BnbOptions& options() const { return options_; }
+  const BnbStats& stats() const { return stats_; }
+
+ private:
+  BnbOptions options_;
+  BnbStats stats_;
+};
+
+}  // namespace psdacc::opt::search

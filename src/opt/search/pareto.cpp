@@ -1,0 +1,193 @@
+#include "opt/search/pareto.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <charconv>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "support/assert.hpp"
+#include "support/table.hpp"
+
+namespace psdacc::opt::search {
+namespace {
+
+// Shortest round-trip double, the same emission rule the serializer and
+// the serve protocol use — sweeps must be diffable against both.
+void append_double(std::string& out, double v) {
+  char buf[64];
+  const auto r = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, r.ptr);
+}
+
+void append_bits(std::string& out, const std::vector<int>& bits) {
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (i != 0) out.push_back('|');
+    out.append(std::to_string(bits[i]));
+  }
+}
+
+// a dominates b: at least as good on both axes, strictly better on one.
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  return a.cost <= b.cost && a.noise <= b.noise &&
+         (a.cost < b.cost || a.noise < b.noise);
+}
+
+}  // namespace
+
+std::vector<double> log_spaced_budgets(double lo, double hi,
+                                       std::size_t points) {
+  if (!(lo > 0.0) || !(lo <= hi) || points == 0)
+    throw std::invalid_argument(
+        "log_spaced_budgets: need 0 < lo <= hi and points >= 1");
+  std::vector<double> budgets;
+  budgets.reserve(points);
+  if (points == 1) {
+    budgets.push_back(lo);
+    return budgets;
+  }
+  const double step = (std::log(hi) - std::log(lo)) / (points - 1);
+  for (std::size_t i = 0; i < points; ++i)
+    budgets.push_back(std::exp(std::log(lo) + step * i));
+  // Endpoints exact: the geometric interior may round, the rails do not.
+  budgets.front() = lo;
+  budgets.back() = hi;
+  return budgets;
+}
+
+std::string points_to_csv(const std::vector<ParetoPoint>& points) {
+  std::string out = "budget,cost,noise,feasible,evaluations,bits\n";
+  for (const ParetoPoint& p : points) {
+    append_double(out, p.budget);
+    out.push_back(',');
+    append_double(out, p.cost);
+    out.push_back(',');
+    append_double(out, p.noise);
+    out.push_back(',');
+    out.push_back(p.feasible ? '1' : '0');
+    out.push_back(',');
+    out.append(std::to_string(p.evaluations));
+    out.push_back(',');
+    append_bits(out, p.bits);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+ParetoFront ParetoFront::from_points(const std::vector<ParetoPoint>& points) {
+  std::vector<ParetoPoint> kept;
+  for (const ParetoPoint& p : points)
+    if (p.feasible && !p.cancelled) kept.push_back(p);
+  // Stable sort keeps ladder order among exact (cost, noise) duplicates,
+  // so the surviving representative of a duplicate group is always the
+  // lowest-budget one.
+  std::stable_sort(kept.begin(), kept.end(),
+                   [](const ParetoPoint& a, const ParetoPoint& b) {
+                     if (a.cost != b.cost) return a.cost < b.cost;
+                     return a.noise < b.noise;
+                   });
+  ParetoFront front;
+  double min_noise = std::numeric_limits<double>::infinity();
+  for (ParetoPoint& p : kept) {
+    // Sorted by ascending cost: p survives iff it strictly improves the
+    // best noise seen so far — anything else is dominated (or an exact
+    // duplicate) of a cheaper point.
+    if (!(p.noise < min_noise)) continue;
+    min_noise = p.noise;
+    front.points_.push_back(std::move(p));
+  }
+  return front;
+}
+
+bool ParetoFront::dominance_consistent() const {
+  for (std::size_t i = 0; i < points_.size(); ++i)
+    for (std::size_t j = 0; j < points_.size(); ++j)
+      if (i != j && dominates(points_[i], points_[j])) return false;
+  return true;
+}
+
+std::string ParetoFront::to_table() const {
+  TextTable table({"budget", "cost", "noise", "evals", "bits"});
+  for (const ParetoPoint& p : points_) {
+    std::string bits;
+    append_bits(bits, p.bits);
+    table.add_row({TextTable::num(p.budget), TextTable::num(p.cost),
+                   TextTable::num(p.noise), std::to_string(p.evaluations),
+                   bits});
+  }
+  return table.render();
+}
+
+ParetoSweep::ParetoSweep(const sfg::Graph& g,
+                         std::vector<sfg::NodeId> variables, SweepConfig cfg)
+    : graph_(g), variables_(std::move(variables)), cfg_(std::move(cfg)) {
+  PSDACC_EXPECTS(!variables_.empty());
+  budgets_ = cfg_.budgets.empty()
+                 ? log_spaced_budgets(cfg_.budget_lo, cfg_.budget_hi,
+                                      cfg_.points)
+                 : cfg_.budgets;
+  PSDACC_EXPECTS(!budgets_.empty());
+}
+
+std::vector<ParetoPoint> ParetoSweep::run_points() {
+  if (cfg_.pool != nullptr) return run_on(*cfg_.pool);
+  runtime::ThreadPool pool(cfg_.workers);
+  return run_on(pool);
+}
+
+std::vector<ParetoPoint> ParetoSweep::run_points(
+    runtime::BatchRunner& runner) {
+  return run_on(runner.pool());
+}
+
+std::vector<ParetoPoint> ParetoSweep::run_on(runtime::ThreadPool& pool) {
+  // With real fan-out the budget point is the unit of parallelism: each
+  // point's optimizer runs serially on a private clone, which keeps the
+  // whole sweep bit-identical to the 1-worker run (and avoids nesting
+  // parallel probe rounds inside pool tasks). A serial sweep leaves the
+  // base config's own workers/pool in charge of inner probe concurrency.
+  const bool fan_out = pool.workers() > 1;
+  std::mutex mutex;  // counters_ accumulation + on_point serialization
+  std::atomic<bool> stop{false};
+  return pool.parallel_map(budgets_.size(), [&](std::size_t i) {
+    ParetoPoint p;
+    p.budget = budgets_[i];
+    if (stop.load(std::memory_order_relaxed) ||
+        (cfg_.base.cancel_check && cfg_.base.cancel_check())) {
+      p.cancelled = true;
+      return p;
+    }
+    sfg::Graph clone = graph_;
+    OptimizerConfig point_cfg = cfg_.base;
+    point_cfg.noise_budget = budgets_[i];
+    if (fan_out) {
+      point_cfg.workers = 1;
+      point_cfg.pool = nullptr;
+    }
+    WordlengthOptimizer opt(clone, variables_, point_cfg);
+    OptimizerResult r = run_strategy(opt, cfg_.strategy);
+    p.cost = r.cost;
+    p.noise = r.noise;
+    p.feasible = r.feasible;
+    p.cancelled = r.cancelled;
+    p.evaluations = r.evaluations;
+    p.bits = std::move(r.bits);
+    if (p.cancelled) stop.store(true, std::memory_order_relaxed);
+    const auto c = opt.probe_counters();
+    std::lock_guard lock(mutex);
+    counters_.full += c.full;
+    counters_.cached += c.cached;
+    counters_.delta += c.delta;
+    if (cfg_.on_point) cfg_.on_point(i, p);
+    return p;
+  });
+}
+
+core::AccuracyEngine::EvalCounters ParetoSweep::probe_counters() const {
+  return counters_;
+}
+
+}  // namespace psdacc::opt::search

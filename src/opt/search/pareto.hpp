@@ -1,0 +1,125 @@
+/// @file pareto.hpp
+/// Pareto-front sweeps: the paper's cost-vs-accuracy trade-off curves as
+/// a first-class product.
+///
+/// A ParetoSweep runs one full word-length optimization per noise budget
+/// on a ladder (log-spaced or user-supplied), fanned out across budget
+/// points on a thread pool / runtime::BatchRunner with a private graph
+/// clone per point — so the points are independent jobs and the sweep is
+/// bit-identical for any fan-out width. The resulting (cost, noise)
+/// points are deduplicated and dominance-filtered into a ParetoFront
+/// with canonical CSV and table emission mirroring the paper's figures.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/accuracy_engine.hpp"
+#include "opt/search/strategies.hpp"
+#include "opt/wordlength_optimizer.hpp"
+#include "runtime/batch_runner.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sfg/graph.hpp"
+
+namespace psdacc::opt::search {
+
+/// Log-spaced budget ladder from @p lo up to @p hi inclusive (endpoints
+/// exact; interior points geometric). points == 1 yields {lo}.
+/// @throws std::invalid_argument unless 0 < lo <= hi and points >= 1
+std::vector<double> log_spaced_budgets(double lo, double hi,
+                                       std::size_t points);
+
+/// One optimizer run of a sweep: the budget it ran under and the
+/// assignment it found.
+struct ParetoPoint {
+  double budget = 0.0;          ///< The ladder's noise budget.
+  double cost = 0.0;            ///< Weighted bit cost achieved.
+  double noise = 0.0;           ///< Achieved output noise power.
+  bool feasible = false;        ///< noise <= budget.
+  bool cancelled = false;       ///< Point cut short (or skipped) by cancel.
+  std::size_t evaluations = 0;  ///< Engine evaluations this point spent.
+  std::vector<int> bits;        ///< Per-variable assignment.
+};
+
+/// Canonical CSV of sweep points, one row per point in ladder order.
+/// Schema: `budget,cost,noise,feasible,evaluations,bits` — doubles in
+/// shortest round-trip form, feasible as 0/1, bits pipe-joined ("8|7|9").
+std::string points_to_csv(const std::vector<ParetoPoint>& points);
+
+/// The dominance-filtered trade-off curve. Only feasible, uncancelled
+/// points enter; duplicates collapse; a point survives iff no other kept
+/// point is at least as good on both axes and strictly better on one.
+class ParetoFront {
+ public:
+  static ParetoFront from_points(const std::vector<ParetoPoint>& points);
+  /// Surviving points, sorted by ascending cost (noise descends).
+  const std::vector<ParetoPoint>& points() const { return points_; }
+  /// True when no kept point dominates another — the invariant
+  /// from_points establishes, re-checkable by tests and tools.
+  bool dominance_consistent() const;
+  /// Same schema as points_to_csv, restricted to the front.
+  std::string to_csv() const { return points_to_csv(points_); }
+  /// Human-readable table (support::TextTable) of the front.
+  std::string to_table() const;
+
+ private:
+  std::vector<ParetoPoint> points_;
+};
+
+/// Sweep configuration. The ladder is `budgets` when non-empty, else
+/// log_spaced_budgets(budget_lo, budget_hi, points).
+struct SweepConfig {
+  std::vector<double> budgets;  ///< Explicit ladder (overrides lo/hi).
+  double budget_lo = 1e-10;
+  double budget_hi = 1e-4;
+  std::size_t points = 8;
+  /// Per-point optimizer configuration; noise_budget is overwritten with
+  /// the ladder value. When the sweep fans out (workers > 1 or an
+  /// external pool/runner), each point's optimizer is forced serial
+  /// (workers=1, no pool) — points are the unit of parallelism then.
+  OptimizerConfig base;
+  StrategySpec strategy;
+  /// Fan-out across budget points (1 = serial, in ladder order).
+  std::size_t workers = 1;
+  runtime::ThreadPool* pool = nullptr;  ///< Overrides `workers` when set.
+  /// Completion callback, invoked once per finished point (serialized
+  /// under a mutex). With serial fan-out the calls arrive in ladder
+  /// order — what the serve layer's per-point PROG frames rely on; with
+  /// parallel fan-out the order is completion order.
+  std::function<void(std::size_t index, const ParetoPoint&)> on_point;
+};
+
+/// Runs one optimizer per budget point over private clones of a graph.
+class ParetoSweep {
+ public:
+  /// @param g         the system; never mutated (each point clones it)
+  /// @param variables free word-length variables, as WordlengthOptimizer
+  /// @param cfg       ladder, per-point optimizer base, strategy, fan-out
+  ParetoSweep(const sfg::Graph& g, std::vector<sfg::NodeId> variables,
+              SweepConfig cfg);
+
+  /// The resolved budget ladder, in sweep order.
+  const std::vector<double>& budgets() const { return budgets_; }
+  /// Runs every point and returns them in ladder order (bit-identical
+  /// for any fan-out). Points after a cancellation are marked cancelled
+  /// with empty bits. Repeated calls re-run the sweep.
+  std::vector<ParetoPoint> run_points();
+  /// run_points() fanned out on @p runner's pool.
+  std::vector<ParetoPoint> run_points(runtime::BatchRunner& runner);
+  /// Probe-counter totals aggregated over every point's optimizer since
+  /// construction — delta vs full vs cached, summed in completion order
+  /// (order-independent: they are plain sums).
+  core::AccuracyEngine::EvalCounters probe_counters() const;
+
+ private:
+  std::vector<ParetoPoint> run_on(runtime::ThreadPool& pool);
+  const sfg::Graph& graph_;
+  std::vector<sfg::NodeId> variables_;
+  SweepConfig cfg_;
+  std::vector<double> budgets_;
+  core::AccuracyEngine::EvalCounters counters_{};
+};
+
+}  // namespace psdacc::opt::search

@@ -1,0 +1,55 @@
+/// @file search_strategy.hpp
+/// Uniform interface over the global word-length search strategies.
+///
+/// A SearchStrategy drives a WordlengthOptimizer through its batch-probe
+/// surface (probe_candidates / probe_assignment / package_result) instead
+/// of the built-in greedy heuristics. Everything the optimizer guarantees
+/// carries over unchanged: probes score on isolated per-worker contexts,
+/// take the engine's delta path where available, feed probe_counters(),
+/// poll OptimizerConfig::cancel_check between rounds, and are
+/// bit-identical for any worker count. The strategies themselves add the
+/// global part — stochastic escape (SimulatedAnnealing), deterministic
+/// memory (TabuSearch), and exhaustive pruned enumeration
+/// (BranchAndBound).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "opt/wordlength_optimizer.hpp"
+
+namespace psdacc::opt::search {
+
+/// One accepted move on a search trajectory. Trajectories are part of the
+/// determinism contract: for a fixed seed they are bit-identical across
+/// worker counts and probe engines' delta/full settings.
+struct TrajectoryPoint {
+  std::size_t round = 0;  ///< Probe round the move was accepted in.
+  double cost = 0.0;      ///< Weighted bit cost after the move.
+  double noise = 0.0;     ///< Probed output noise after the move.
+};
+
+/// Interface every global strategy implements. A strategy object is
+/// single-shot state plus options: run() may be called repeatedly (each
+/// call restarts the search and replaces the trajectory).
+class SearchStrategy {
+ public:
+  virtual ~SearchStrategy() = default;
+  /// Canonical strategy name ("anneal", "tabu", "bnb") — the token the
+  /// CLI, the serve envelope, and corpus optimizer goldens dispatch on.
+  virtual std::string name() const = 0;
+  /// Runs the search on @p opt and returns the best assignment found,
+  /// packaged via WordlengthOptimizer::package_result (so the graph holds
+  /// the returned assignment and the result carries re-evaluated noise).
+  virtual OptimizerResult run(WordlengthOptimizer& opt) = 0;
+  /// Accepted-move trace of the last run() (empty before the first).
+  const std::vector<TrajectoryPoint>& trajectory() const {
+    return trajectory_;
+  }
+
+ protected:
+  std::vector<TrajectoryPoint> trajectory_;
+};
+
+}  // namespace psdacc::opt::search

@@ -1,0 +1,23 @@
+#include "opt/search/strategies.hpp"
+
+#include <stdexcept>
+
+namespace psdacc::opt::search {
+
+bool known_strategy(const std::string& name) {
+  return name == "uniform" || name == "greedy" || name == "min_plus_one" ||
+         name == "anneal" || name == "tabu" || name == "bnb";
+}
+
+OptimizerResult run_strategy(WordlengthOptimizer& opt,
+                             const StrategySpec& spec) {
+  if (spec.name == "uniform") return opt.uniform();
+  if (spec.name == "greedy") return opt.greedy_descent();
+  if (spec.name == "min_plus_one") return opt.min_plus_one();
+  if (spec.name == "anneal") return SimulatedAnnealing(spec.anneal).run(opt);
+  if (spec.name == "tabu") return TabuSearch(spec.tabu).run(opt);
+  if (spec.name == "bnb") return BranchAndBound(spec.bnb).run(opt);
+  throw std::invalid_argument("unknown search strategy: " + spec.name);
+}
+
+}  // namespace psdacc::opt::search

@@ -1,0 +1,33 @@
+/// @file strategies.hpp
+/// Strategy-by-name dispatch shared by the Pareto sweep, the psdacc-opt
+/// CLI, the serve layer's optimizer/sweep jobs, and the corpus optimizer
+/// goldens — one token vocabulary everywhere.
+#pragma once
+
+#include <string>
+
+#include "opt/search/annealing.hpp"
+#include "opt/search/branch_and_bound.hpp"
+#include "opt/search/search_strategy.hpp"
+
+namespace psdacc::opt::search {
+
+/// A strategy selection plus every strategy's knobs (only the selected
+/// one's are read). Tokens: "uniform", "greedy", "min_plus_one" (the
+/// WordlengthOptimizer built-ins), "anneal", "tabu", "bnb".
+struct StrategySpec {
+  std::string name = "greedy";
+  AnnealOptions anneal;
+  TabuOptions tabu;
+  BnbOptions bnb;
+};
+
+/// True when @p name is one of the dispatchable strategy tokens.
+bool known_strategy(const std::string& name);
+
+/// Runs the named strategy on @p opt.
+/// @throws std::invalid_argument on an unknown name
+OptimizerResult run_strategy(WordlengthOptimizer& opt,
+                             const StrategySpec& spec);
+
+}  // namespace psdacc::opt::search

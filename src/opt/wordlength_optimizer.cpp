@@ -207,6 +207,36 @@ bool WordlengthOptimizer::cancel_requested() const {
   return cfg_.cancel_check && cfg_.cancel_check();
 }
 
+double WordlengthOptimizer::cost_of(const std::vector<int>& bits) const {
+  PSDACC_EXPECTS(bits.size() == variables_.size());
+  double cost = 0.0;
+  for (std::size_t v = 0; v < bits.size(); ++v) cost += weight(v) * bits[v];
+  return cost;
+}
+
+std::vector<double> WordlengthOptimizer::probe_candidates(
+    const std::vector<int>& baseline,
+    const std::vector<Candidate>& candidates) {
+  PSDACC_EXPECTS(baseline.size() == variables_.size());
+  ensure_integer_bits();
+  std::vector<double> noise(candidates.size());
+  pool_->parallel_for(0, candidates.size(), [&](std::size_t i) {
+    noise[i] = probe(baseline, candidates[i].v, candidates[i].bits);
+  });
+  evaluations_ += candidates.size();
+  return noise;
+}
+
+double WordlengthOptimizer::probe_assignment(const std::vector<int>& bits) {
+  PSDACC_EXPECTS(bits.size() == variables_.size());
+  ensure_integer_bits();
+  ContextLease context(*this);
+  for (std::size_t u = 0; u < variables_.size(); ++u)
+    set_bits(context->graph, variables_[u], bits[u]);
+  ++evaluations_;
+  return context->engine->output_noise_power();
+}
+
 OptimizerResult WordlengthOptimizer::cancelled_package(
     std::vector<int> bits) {
   OptimizerResult r = package(std::move(bits));

@@ -134,6 +134,54 @@ class WordlengthOptimizer {
   std::size_t evaluations() const { return evaluations_; }
   /// The accuracy backend scoring this search's probes.
   const core::AccuracyEngine& engine() const { return *engine_; }
+  /// The system under optimization (the graph the constructor bound).
+  const sfg::Graph& graph() const { return graph_; }
+  const std::vector<sfg::NodeId>& variables() const { return variables_; }
+  std::size_t variable_count() const { return variables_.size(); }
+  const OptimizerConfig& config() const { return cfg_; }
+  /// Per-variable cost weight (1.0 when cost_weights is empty).
+  double cost_weight(std::size_t v) const { return weight(v); }
+  /// Weighted cost of an assignment, without touching the graph.
+  double cost_of(const std::vector<int>& bits) const;
+
+  /// --- Search-strategy support (src/opt/search) ----------------------
+  /// The strategies in opt::search (annealing, tabu, branch-and-bound,
+  /// Pareto sweeps) drive the optimizer through this batch-probe surface
+  /// instead of the built-in heuristics, inheriting the same probe
+  /// contexts, delta path, counters and determinism contract.
+
+  /// One hypothetical single-variable change scored against a baseline.
+  struct Candidate {
+    std::size_t v = 0;  ///< Variable index (into variables()).
+    int bits = 0;       ///< Proposed fractional bits for that variable.
+  };
+  /// Noise of `baseline` with each candidate applied alone — one probe per
+  /// candidate, scored concurrently on the pool, results returned in
+  /// candidate order. Bit-identical for any worker count (each probe runs
+  /// on an isolated context; see probe()). evaluations() advances by
+  /// candidates.size() on the driving thread after the round.
+  std::vector<double> probe_candidates(
+      const std::vector<int>& baseline,
+      const std::vector<Candidate>& candidates);
+  /// Noise of a complete assignment, probed on a leased context — the
+  /// driving graph is untouched. Always a full (non-delta) evaluation;
+  /// what tree searches use to bound and score subproblems. Call from the
+  /// driving thread only (bumps evaluations()).
+  double probe_assignment(const std::vector<int>& bits);
+  /// apply() + evaluate() + weighted cost, packaged with the same
+  /// invariants as the built-in strategies' returns — external strategies
+  /// finish through this so their results are indistinguishable.
+  OptimizerResult package_result(std::vector<int> bits) {
+    return package(std::move(bits));
+  }
+  /// package_result() with OptimizerResult::cancelled set — the
+  /// early-return path when cancel_requested() fires mid-search.
+  OptimizerResult cancelled_result(std::vector<int> bits) {
+    return cancelled_package(std::move(bits));
+  }
+  /// True when the config's cancel_check exists and fires. Poll between
+  /// probe rounds only, from the driving thread.
+  bool cancel_requested() const;
   /// Evaluation accounting aggregated over the prototype engine and every
   /// probe context's engine — the probe-counter hook tests use to assert
   /// probes really took the delta path (or the cache-warm full path). Call
@@ -156,9 +204,6 @@ class WordlengthOptimizer {
 
   double weight(std::size_t v) const;
   OptimizerResult package(std::vector<int> bits);
-  /// True when the config's cancel_check exists and fires. Only called
-  /// between probe rounds, from the driving thread.
-  bool cancel_requested() const;
   /// package() with the cancelled flag set — the early-return path.
   OptimizerResult cancelled_package(std::vector<int> bits);
   /// Noise of `bits` with bits[v] replaced by `candidate_bits`, evaluated

@@ -1,6 +1,7 @@
 #include "serve/client.hpp"
 
 #include <cstdlib>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -42,6 +43,49 @@ Response connection_lost(std::string_view detail) {
   return r;
 }
 
+// Parses one `budget,cost,noise,feasible,evaluations,bits` row (the
+// points_to_csv schema the server's point_<i>/front_<i> lines carry).
+SweepPoint parse_sweep_point(std::size_t index, std::string_view row) {
+  SweepPoint p;
+  p.index = index;
+  std::vector<std::string_view> fields;
+  std::size_t pos = 0;
+  while (pos <= row.size()) {
+    std::size_t end = row.find(',', pos);
+    if (end == std::string_view::npos) end = row.size();
+    fields.push_back(row.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  if (fields.size() < 6) return p;
+  p.budget = parse_double(fields[0]);
+  p.cost = parse_double(fields[1]);
+  p.noise = parse_double(fields[2]);
+  p.feasible = fields[3] == "1";
+  p.evaluations = parse_u64(fields[4]);
+  std::string_view bits = fields[5];
+  pos = 0;
+  while (pos <= bits.size() && !bits.empty()) {
+    std::size_t end = bits.find('|', pos);
+    if (end == std::string_view::npos) end = bits.size();
+    if (end > pos)
+      p.bits.push_back(
+          std::atoi(std::string(bits.substr(pos, end - pos)).c_str()));
+    pos = end + 1;
+  }
+  return p;
+}
+
+// `point_<i>` / `front_<i>` -> i; nullopt for every other key.
+std::optional<std::size_t> indexed_key(std::string_view key,
+                                       std::string_view prefix) {
+  if (key.size() <= prefix.size() || key.substr(0, prefix.size()) != prefix)
+    return std::nullopt;
+  const std::string_view digits = key.substr(prefix.size());
+  for (const char c : digits)
+    if (c < '0' || c > '9') return std::nullopt;
+  return static_cast<std::size_t>(parse_u64(digits));
+}
+
 }  // namespace
 
 Response parse_response(FrameType type, std::string payload) {
@@ -62,12 +106,19 @@ Response parse_response(FrameType type, std::string payload) {
   r.noise = parse_double(kv_get(kv, "noise", "0"));
   r.evaluations = parse_u64(kv_get(kv, "evaluations", "0"));
   r.bits = parse_bits(kv_get(kv, "bits"));
+  r.probes_full = parse_u64(kv_get(kv, "probes_full", "0"));
+  r.probes_cached = parse_u64(kv_get(kv, "probes_cached", "0"));
+  r.probes_delta = parse_u64(kv_get(kv, "probes_delta", "0"));
   for (const auto& [key, value] : kv) {
     // Engine result lines are keyed by the engine's stable name; every
     // other key in the payload fails parse_engine_kind.
     const auto kind = core::parse_engine_kind(key);
     if (kind.has_value())
       r.engines.push_back({*kind, parse_double(value)});
+    if (const auto i = indexed_key(key, "point_"))
+      r.sweep_points.push_back(parse_sweep_point(*i, value));
+    if (const auto i = indexed_key(key, "front_"))
+      r.front.push_back(parse_sweep_point(*i, value));
   }
   return r;
 }
@@ -89,6 +140,16 @@ Response Client::submit_opt(std::string_view document,
   std::string payload = encode_envelope_prefix(timeout, &spec);
   payload += document;
   if (!write_frame(sock_, FrameType::kSubmitOpt, payload))
+    return connection_lost("write failed");
+  return await_response();
+}
+
+Response Client::submit_sweep(std::string_view document,
+                              const SweepSpec& spec,
+                              std::chrono::milliseconds timeout) {
+  std::string payload = encode_envelope_prefix(timeout, spec);
+  payload += document;
+  if (!write_frame(sock_, FrameType::kSubmitSweep, payload))
     return connection_lost("write failed");
   return await_response();
 }

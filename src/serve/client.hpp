@@ -24,6 +24,18 @@ struct EngineResult {
   double power = 0.0;
 };
 
+/// One sweep point from a PARJ response (`point_<i>=` / `front_<i>=`
+/// lines, the points_to_csv row schema).
+struct SweepPoint {
+  std::size_t index = 0;  ///< ladder index (point_<i>) or front rank
+  double budget = 0.0;
+  double cost = 0.0;
+  double noise = 0.0;
+  bool feasible = false;
+  std::uint64_t evaluations = 0;
+  std::vector<int> bits;
+};
+
 /// A parsed terminal response (RSLT or ERRF), plus any PROG payloads that
 /// streamed in before it. `raw` keeps the terminal payload bytes verbatim
 /// — the cache's bit-identical-replay contract is asserted on it.
@@ -53,6 +65,13 @@ struct Response {
   double noise = 0.0;
   std::uint64_t evaluations = 0;
   std::vector<int> bits;
+
+  // Sweep results (also populated on a TIMEOUT's completed prefix).
+  std::vector<SweepPoint> sweep_points;  ///< ladder order
+  std::vector<SweepPoint> front;         ///< dominance-filtered, cost asc
+  std::uint64_t probes_full = 0;
+  std::uint64_t probes_cached = 0;
+  std::uint64_t probes_delta = 0;
 };
 
 /// Parses a terminal payload into a Response (exposed for tests that speak
@@ -73,6 +92,11 @@ class Client {
   /// Submits @p document for word-length optimization under @p spec.
   Response submit_opt(std::string_view document, const OptimizerSpec& spec,
                       std::chrono::milliseconds timeout = {});
+
+  /// Submits @p document for a Pareto-front sweep under @p spec (PARJ).
+  /// One PROG frame arrives per completed budget point.
+  Response submit_sweep(std::string_view document, const SweepSpec& spec,
+                        std::chrono::milliseconds timeout = {});
 
   /// The server's stats snapshot as parsed key=value pairs.
   std::vector<std::pair<std::string, std::string>> stats();

@@ -3,6 +3,8 @@
 #include <charconv>
 #include <cstring>
 
+#include "opt/search/strategies.hpp"
+
 namespace psdacc::serve {
 namespace {
 
@@ -15,6 +17,7 @@ constexpr std::uint32_t tag_of(char a, char b, char c, char d) {
 
 constexpr std::uint32_t kTagEval = tag_of('E', 'V', 'A', 'L');
 constexpr std::uint32_t kTagOpt = tag_of('O', 'P', 'T', 'J');
+constexpr std::uint32_t kTagSweep = tag_of('P', 'A', 'R', 'J');
 constexpr std::uint32_t kTagStat = tag_of('S', 'T', 'A', 'T');
 constexpr std::uint32_t kTagResult = tag_of('R', 'S', 'L', 'T');
 constexpr std::uint32_t kTagProgress = tag_of('P', 'R', 'O', 'G');
@@ -42,6 +45,7 @@ std::uint32_t frame_tag(FrameType type) {
   switch (type) {
     case FrameType::kSubmitEval: return kTagEval;
     case FrameType::kSubmitOpt: return kTagOpt;
+    case FrameType::kSubmitSweep: return kTagSweep;
     case FrameType::kStatsQuery: return kTagStat;
     case FrameType::kResult: return kTagResult;
     case FrameType::kProgress: return kTagProgress;
@@ -55,6 +59,7 @@ std::optional<FrameType> parse_frame_tag(std::uint32_t tag) {
   switch (tag) {
     case kTagEval: return FrameType::kSubmitEval;
     case kTagOpt: return FrameType::kSubmitOpt;
+    case kTagSweep: return FrameType::kSubmitSweep;
     case kTagStat: return FrameType::kStatsQuery;
     case kTagResult: return FrameType::kResult;
     case kTagProgress: return FrameType::kProgress;
@@ -203,6 +208,51 @@ std::int64_t parse_int_value(std::string_view key, std::string_view value) {
   return v;
 }
 
+std::uint64_t parse_u64_value(std::string_view key, std::string_view value) {
+  std::uint64_t v = 0;
+  const auto res =
+      std::from_chars(value.data(), value.data() + value.size(), v);
+  if (res.ec != std::errc{} || res.ptr != value.data() + value.size())
+    throw EnvelopeError("bad unsigned value for '" + std::string(key) +
+                        "': '" + std::string(value) + "'");
+  return v;
+}
+
+// `[d d d]` — a bracketed, space-separated double list (the serializer's
+// list idiom). An empty list `[]` is allowed.
+std::vector<double> parse_double_list_value(std::string_view key,
+                                            std::string_view value) {
+  if (value.size() < 2 || value.front() != '[' || value.back() != ']')
+    throw EnvelopeError("expected bracketed list for '" + std::string(key) +
+                        "', got '" + std::string(value) + "'");
+  std::vector<double> out;
+  std::string_view body = value.substr(1, value.size() - 2);
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    while (pos < body.size() && body[pos] == ' ') ++pos;
+    if (pos >= body.size()) break;
+    std::size_t end = body.find(' ', pos);
+    if (end == std::string_view::npos) end = body.size();
+    out.push_back(parse_double_value(key, body.substr(pos, end - pos)));
+    pos = end;
+  }
+  return out;
+}
+
+std::string validated_strategy(std::string_view value) {
+  std::string name(value);
+  if (!opt::search::known_strategy(name))
+    throw EnvelopeError("unknown optimizer strategy '" + name + "'");
+  return name;
+}
+
+core::EngineKind validated_engine(std::string_view value) {
+  const auto kind = core::parse_engine_kind(value);
+  if (!kind.has_value())
+    throw EnvelopeError("unknown engine '" + std::string(value) + "'");
+  return *kind;
+}
+
 // Parses one `name {` ... `}` header section, dispatching each key=value
 // line to `apply`. Unknown keys are skipped by the handlers themselves
 // (forward compatibility, matching the serializer's rule).
@@ -250,11 +300,7 @@ JobEnvelope parse_envelope(std::string_view payload) {
           [&](std::string_view key, std::string_view value) {
             OptimizerSpec& o = env.optimizer;
             if (key == "strategy") {
-              if (value != "greedy" && value != "min_plus_one" &&
-                  value != "uniform")
-                throw EnvelopeError("unknown optimizer strategy '" +
-                                    std::string(value) + "'");
-              o.strategy = std::string(value);
+              o.strategy = validated_strategy(value);
             } else if (key == "noise_budget") {
               o.noise_budget = parse_double_value(key, value);
             } else if (key == "min_bits") {
@@ -265,11 +311,41 @@ JobEnvelope parse_envelope(std::string_view payload) {
               o.n_psd =
                   static_cast<std::size_t>(parse_int_value(key, value));
             } else if (key == "engine") {
-              const auto kind = core::parse_engine_kind(value);
-              if (!kind.has_value())
-                throw EnvelopeError("unknown engine '" + std::string(value) +
-                                    "'");
-              o.engine = *kind;
+              o.engine = validated_engine(value);
+            } else if (key == "seed") {
+              o.seed = parse_u64_value(key, value);
+            }
+          });
+      continue;
+    }
+    if (line == "sweep {") {
+      env.has_sweep = true;
+      parse_section(
+          payload, pos, "sweep",
+          [&](std::string_view key, std::string_view value) {
+            SweepSpec& s = env.sweep;
+            if (key == "strategy") {
+              s.strategy = validated_strategy(value);
+            } else if (key == "budgets") {
+              s.budgets = parse_double_list_value(key, value);
+            } else if (key == "budget_lo") {
+              s.budget_lo = parse_double_value(key, value);
+            } else if (key == "budget_hi") {
+              s.budget_hi = parse_double_value(key, value);
+            } else if (key == "points") {
+              s.points =
+                  static_cast<std::size_t>(parse_int_value(key, value));
+            } else if (key == "min_bits") {
+              s.min_bits = static_cast<int>(parse_int_value(key, value));
+            } else if (key == "max_bits") {
+              s.max_bits = static_cast<int>(parse_int_value(key, value));
+            } else if (key == "n_psd") {
+              s.n_psd =
+                  static_cast<std::size_t>(parse_int_value(key, value));
+            } else if (key == "engine") {
+              s.engine = validated_engine(value);
+            } else if (key == "seed") {
+              s.seed = parse_u64_value(key, value);
             }
           });
       continue;
@@ -305,8 +381,58 @@ std::string encode_envelope_prefix(std::chrono::milliseconds timeout,
     if (optimizer->n_psd > 0)
       field("n_psd", static_cast<std::uint64_t>(optimizer->n_psd));
     field("engine", core::to_string(optimizer->engine));
+    if (optimizer->seed != 0)
+      field("seed", optimizer->seed);
     out += "}\n";
   }
+  return out;
+}
+
+std::string encode_sweep_section(const SweepSpec& spec) {
+  std::string out = "sweep {\n";
+  const auto field = [&](std::string_view key, auto value) {
+    out += "  ";
+    append_kv(out, key, value);
+  };
+  field("strategy", std::string_view(spec.strategy));
+  if (!spec.budgets.empty()) {
+    std::string list = "[";
+    for (std::size_t i = 0; i < spec.budgets.size(); ++i) {
+      if (i > 0) list += ' ';
+      char buf[64];
+      const auto res =
+          std::to_chars(buf, buf + sizeof(buf), spec.budgets[i]);
+      list.append(buf, res.ptr);
+    }
+    list += ']';
+    field("budgets", std::string_view(list));
+  } else {
+    field("budget_lo", spec.budget_lo);
+    field("budget_hi", spec.budget_hi);
+    field("points", static_cast<std::uint64_t>(spec.points));
+  }
+  field("min_bits", static_cast<std::uint64_t>(spec.min_bits));
+  field("max_bits", static_cast<std::uint64_t>(spec.max_bits));
+  if (spec.n_psd > 0)
+    field("n_psd", static_cast<std::uint64_t>(spec.n_psd));
+  field("engine", core::to_string(spec.engine));
+  if (spec.seed != 0)
+    field("seed", spec.seed);
+  out += "}\n";
+  return out;
+}
+
+std::string encode_envelope_prefix(std::chrono::milliseconds timeout,
+                                   const SweepSpec& sweep) {
+  std::string out;
+  if (timeout.count() > 0) {
+    out += "job {\n";
+    out += "  ";
+    append_kv(out, "timeout_ms",
+              static_cast<std::uint64_t>(timeout.count()));
+    out += "}\n";
+  }
+  out += encode_sweep_section(sweep);
   return out;
 }
 

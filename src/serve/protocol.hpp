@@ -58,9 +58,10 @@ inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
 
 enum class FrameType : std::uint32_t {
   // client -> server
-  kSubmitEval,  ///< "EVAL": [job header +] scenario document
-  kSubmitOpt,   ///< "OPTJ": [job header +] optimizer header + document
-  kStatsQuery,  ///< "STAT": empty payload
+  kSubmitEval,   ///< "EVAL": [job header +] scenario document
+  kSubmitOpt,    ///< "OPTJ": [job header +] optimizer header + document
+  kSubmitSweep,  ///< "PARJ": [job header +] sweep header + document
+  kStatsQuery,   ///< "STAT": empty payload
   // server -> client
   kResult,      ///< "RSLT": key=value result lines
   kProgress,    ///< "PROG": key=value lines, one frame per optimizer step
@@ -137,13 +138,37 @@ inline constexpr std::string_view kInternal = "INTERNAL";
 
 /// Optimizer job parameters (the `optimizer { ... }` header section).
 struct OptimizerSpec {
-  std::string strategy = "greedy";  ///< greedy | min_plus_one | uniform
+  /// opt::search::known_strategy vocabulary:
+  /// uniform | greedy | min_plus_one | anneal | tabu | bnb.
+  std::string strategy = "greedy";
   double noise_budget = 1e-6;
   int min_bits = 2;
   int max_bits = 24;
   /// Spectral resolution for the probes; 0 = the scenario config's n_psd.
   std::size_t n_psd = 0;
   core::EngineKind engine = core::EngineKind::kPsd;
+  /// Master RNG seed for the annealer; carried (and ignored) by the
+  /// deterministic strategies. Emitted only when nonzero, so pinned
+  /// pre-seed request bytes are unchanged.
+  std::uint64_t seed = 0;
+};
+
+/// Pareto-sweep job parameters (the `sweep { ... }` header section of a
+/// PARJ frame): one optimizer run per noise budget, dominance-filtered
+/// into a front. An explicit `budgets=[...]` list overrides the
+/// log-spaced ladder (`budget_lo`/`budget_hi`/`points`).
+struct SweepSpec {
+  std::string strategy = "greedy";  ///< same vocabulary as OptimizerSpec
+  std::vector<double> budgets;      ///< explicit ladder; empty = log-spaced
+  double budget_lo = 1e-10;
+  double budget_hi = 1e-4;
+  std::size_t points = 8;
+  int min_bits = 2;
+  int max_bits = 24;
+  /// Spectral resolution for the probes; 0 = the scenario config's n_psd.
+  std::size_t n_psd = 0;
+  core::EngineKind engine = core::EngineKind::kPsd;
+  std::uint64_t seed = 0;  ///< annealer master seed (see OptimizerSpec)
 };
 
 /// A submission payload split into its parts.
@@ -152,6 +177,8 @@ struct JobEnvelope {
   std::chrono::milliseconds timeout{0};
   OptimizerSpec optimizer;
   bool has_optimizer = false;
+  SweepSpec sweep;
+  bool has_sweep = false;
   /// The scenario document (everything from `psdacc-sfg` on), viewing into
   /// the payload passed to parse_envelope.
   std::string_view document;
@@ -171,5 +198,15 @@ JobEnvelope parse_envelope(std::string_view payload);
 /// Empty when nothing deviates from the defaults and @p optimizer is null.
 std::string encode_envelope_prefix(std::chrono::milliseconds timeout,
                                    const OptimizerSpec* optimizer);
+/// PARJ variant: job header (when a timeout is set) + sweep section.
+std::string encode_envelope_prefix(std::chrono::milliseconds timeout,
+                                   const SweepSpec& sweep);
+
+/// The canonical `sweep { ... }` section text for @p spec — the exact
+/// bytes encode_envelope_prefix emits and parse_envelope reads back, and
+/// the server's sweep-cache key material (hashed together with the
+/// scenario's content hash, so two PARJ submissions collide only when
+/// both the sweep parameters and the evaluation are interchangeable).
+std::string encode_sweep_section(const SweepSpec& spec);
 
 }  // namespace psdacc::serve

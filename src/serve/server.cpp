@@ -1,9 +1,13 @@
 #include "serve/server.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <exception>
 #include <future>
 #include <utility>
 
+#include "opt/search/pareto.hpp"
+#include "opt/search/strategies.hpp"
 #include "opt/wordlength_optimizer.hpp"
 #include "sfg/verify.hpp"
 #include "support/assert.hpp"
@@ -27,6 +31,34 @@ std::string format_bits(const std::vector<int>& bits) {
   }
   out += ']';
   return out;
+}
+
+/// One sweep point as a CSV row matching opt::search::points_to_csv —
+/// `budget,cost,noise,feasible,evaluations,bits` with shortest round-trip
+/// doubles and pipe-joined bits — so a RSLT body line concatenates
+/// directly under the canonical CSV header.
+std::string format_point(const opt::search::ParetoPoint& p) {
+  std::string row;
+  const auto num = [&row](double v) {
+    char buf[64];
+    const auto r = std::to_chars(buf, buf + sizeof buf, v);
+    row.append(buf, r.ptr);
+  };
+  num(p.budget);
+  row += ',';
+  num(p.cost);
+  row += ',';
+  num(p.noise);
+  row += ',';
+  row += p.feasible ? '1' : '0';
+  row += ',';
+  row += std::to_string(p.evaluations);
+  row += ',';
+  for (std::size_t i = 0; i < p.bits.size(); ++i) {
+    if (i > 0) row += '|';
+    row += std::to_string(p.bits[i]);
+  }
+  return row;
 }
 
 }  // namespace
@@ -78,6 +110,9 @@ ServerStats Server::stats() const {
     out.jobs_completed = jobs_completed_;
     out.jobs_failed = jobs_failed_;
     out.jobs_timeout = jobs_timeout_;
+    out.opt_probes_full = opt_probes_full_;
+    out.opt_probes_cached = opt_probes_cached_;
+    out.opt_probes_delta = opt_probes_delta_;
     out.latency_count = latency_.count();
     out.latency_p50_us = latency_.quantile_us(0.50);
     out.latency_p95_us = latency_.quantile_us(0.95);
@@ -151,6 +186,9 @@ void Server::serve_connection(Connection& conn) {
         break;
       case FrameType::kSubmitOpt:
         handle_opt(conn.sock, frame.payload);
+        break;
+      case FrameType::kSubmitSweep:
+        handle_sweep(conn.sock, frame.payload);
         break;
       default:
         send_error(conn.sock, error_code::kProtocol,
@@ -408,14 +446,14 @@ void Server::run_opt_job(
     opt::WordlengthOptimizer optimizer(
         scenario.graph, scenario.graph.noise_sources(), cfg);
     progress->optimizer = &optimizer;
-    opt::OptimizerResult result;
-    if (spec.strategy == "min_plus_one") {
-      result = optimizer.min_plus_one();
-    } else if (spec.strategy == "uniform") {
-      result = optimizer.uniform();
-    } else {  // parse_envelope validated; default strategy is greedy
-      result = optimizer.greedy_descent();
-    }
+    // parse_envelope validated the token against the same vocabulary
+    // run_strategy dispatches on, so this cannot throw on the name.
+    opt::search::StrategySpec strategy;
+    strategy.name = spec.strategy;
+    strategy.anneal.seed = spec.seed;
+    const opt::OptimizerResult result =
+        opt::search::run_strategy(optimizer, strategy);
+    record_probe_counters(optimizer.probe_counters());
     std::string kv;
     append_kv(kv, "strategy", spec.strategy);
     append_kv(kv, "feasible", std::uint64_t{result.feasible ? 1u : 0u});
@@ -449,6 +487,217 @@ void Server::run_opt_job(
     }
     send_error(sock, error_code::kInternal, e.what());
   }
+}
+
+void Server::handle_sweep(const Socket& sock, const std::string& payload) {
+  const auto submitted = std::chrono::steady_clock::now();
+  JobEnvelope env;
+  try {
+    env = parse_envelope(payload);
+  } catch (const EnvelopeError& e) {
+    send_error(sock, error_code::kBadRequest, e.what());
+    return;
+  }
+  sfg::Scenario scenario;
+  try {
+    scenario = sfg::parse_scenario(env.document);
+  } catch (const sfg::ParseError& e) {
+    std::string extra;
+    append_kv(extra, "line", static_cast<std::uint64_t>(e.line()));
+    append_kv(extra, "column", static_cast<std::uint64_t>(e.column()));
+    send_error(sock, error_code::kParse, e.message(), extra);
+    return;
+  }
+  if (scenario.graph.noise_sources().empty()) {
+    send_error(sock, error_code::kBadRequest,
+               "graph has no quantization noise sources to optimize");
+    return;
+  }
+  if (!core::engine_supports(env.sweep.engine, scenario.graph)) {
+    send_error(sock, error_code::kUnsupported,
+               "requested probe engine cannot evaluate this graph");
+    return;
+  }
+  // Resolve the ladder up front: a bad ladder is the client's mistake
+  // (BAD_REQUEST), not an execution failure.
+  std::vector<double> budgets = env.sweep.budgets;
+  if (budgets.empty()) {
+    try {
+      budgets = opt::search::log_spaced_budgets(
+          env.sweep.budget_lo, env.sweep.budget_hi, env.sweep.points);
+    } catch (const std::invalid_argument& e) {
+      send_error(sock, error_code::kBadRequest, e.what());
+      return;
+    }
+  }
+  for (const double b : budgets) {
+    if (std::isfinite(b) && b > 0.0) continue;
+    send_error(sock, error_code::kBadRequest,
+               "sweep budgets must be finite and positive");
+    return;
+  }
+  // Sweep cache key: the canonical sweep section bytes + the scenario's
+  // own content hash — two PARJ submissions collide exactly when both the
+  // sweep parameters and the evaluation are interchangeable. The key
+  // space is disjoint from EVAL's ("sweep {" is not a scenario document).
+  const ContentHash hash = sfg::content_hash_bytes(
+      encode_sweep_section(env.sweep) +
+      sfg::content_hash(scenario.graph, scenario.config).to_string());
+  if (auto cached = cache_.lookup(hash)) {
+    std::string response = "status=OK\n";
+    append_kv(response, "cache", "hit");
+    append_kv(response, "hash", hash.to_string());
+    response += *cached;
+    record_latency(submitted);
+    // A cache hit replays the terminal frame only — per-point PROG frames
+    // stream on computation, not on replay.
+    write_frame(sock, FrameType::kResult, response);
+    return;
+  }
+  const auto deadline = deadline_for(env.timeout);
+  std::promise<void> done;
+  auto finished = done.get_future();
+  const bool admitted = queue_->try_submit([&, this] {
+    try {
+      run_sweep_job(sock, scenario, env.sweep, budgets, hash, deadline,
+                    submitted);
+    } catch (...) {  // NOLINT(bugprone-empty-catch) — reported inside
+    }
+    done.set_value();
+  });
+  if (!admitted) {
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++jobs_rejected_;
+    }
+    send_error(sock, error_code::kRejectedBusy,
+               "job queue is at capacity; resubmit later");
+    return;
+  }
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++jobs_accepted_;
+  }
+  finished.wait();
+}
+
+void Server::run_sweep_job(
+    const Socket& sock, sfg::Scenario& scenario, const SweepSpec& spec,
+    const std::vector<double>& budgets, const ContentHash& hash,
+    std::optional<std::chrono::steady_clock::time_point> deadline,
+    std::chrono::steady_clock::time_point submitted) {
+  if (deadline.has_value() &&
+      std::chrono::steady_clock::now() >= *deadline) {
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++jobs_timeout_;
+    }
+    send_error(sock, error_code::kTimeout,
+               "deadline expired before sweep started");
+    return;
+  }
+  try {
+    opt::search::SweepConfig cfg;
+    cfg.budgets = budgets;
+    cfg.base.min_bits = spec.min_bits;
+    cfg.base.max_bits = spec.max_bits;
+    cfg.base.n_psd = spec.n_psd != 0 ? spec.n_psd : scenario.config.n_psd;
+    cfg.base.engine = spec.engine;
+    cfg.base.engine_opts = sfg::engine_options_for(scenario.config);
+    cfg.base.pool = pool_.get();
+    cfg.base.cancel_check = [deadline] {
+      return deadline.has_value() &&
+             std::chrono::steady_clock::now() >= *deadline;
+    };
+    cfg.strategy.name = spec.strategy;
+    cfg.strategy.anneal.seed = spec.seed;
+    // Serial fan-out: points run in ladder order (one PROG each, in
+    // order) and the server pool accelerates each point's probe rounds
+    // instead — per-point results are bit-identical either way.
+    cfg.workers = 1;
+    cfg.on_point = [&sock](std::size_t index,
+                           const opt::search::ParetoPoint& p) {
+      if (p.cancelled) return;  // completed points only
+      std::string text;
+      append_kv(text, "point", static_cast<std::uint64_t>(index));
+      append_kv(text, "budget", p.budget);
+      append_kv(text, "cost", p.cost);
+      append_kv(text, "noise", p.noise);
+      append_kv(text, "feasible", std::uint64_t{p.feasible ? 1u : 0u});
+      // Best effort, like optimizer PROG frames: a vanished client fails
+      // the write and the sweep still runs to completion.
+      write_frame(sock, FrameType::kProgress, text);
+    };
+    opt::search::ParetoSweep sweep(
+        scenario.graph, scenario.graph.noise_sources(), cfg);
+    const std::vector<opt::search::ParetoPoint> points =
+        sweep.run_points();
+    const auto front = opt::search::ParetoFront::from_points(points);
+    const auto counters = sweep.probe_counters();
+    record_probe_counters(counters);
+    std::uint64_t completed = 0;
+    bool cancelled = false;
+    for (const auto& p : points) {
+      if (p.cancelled) cancelled = true;
+      else ++completed;
+    }
+    std::string kv;
+    append_kv(kv, "strategy", spec.strategy);
+    append_kv(kv, "points", static_cast<std::uint64_t>(points.size()));
+    append_kv(kv, "completed", completed);
+    append_kv(kv, "front", static_cast<std::uint64_t>(
+                               front.points().size()));
+    append_kv(kv, "probes_full", static_cast<std::uint64_t>(counters.full));
+    append_kv(kv, "probes_cached",
+              static_cast<std::uint64_t>(counters.cached));
+    append_kv(kv, "probes_delta",
+              static_cast<std::uint64_t>(counters.delta));
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (points[i].cancelled) continue;
+      append_kv(kv, "point_" + std::to_string(i),
+                format_point(points[i]));
+    }
+    for (std::size_t i = 0; i < front.points().size(); ++i)
+      append_kv(kv, "front_" + std::to_string(i),
+                format_point(front.points()[i]));
+    if (cancelled) {
+      {
+        std::lock_guard lock(stats_mutex_);
+        ++jobs_timeout_;
+      }
+      record_latency(submitted);
+      send_error(sock, error_code::kTimeout,
+                 "deadline expired; completed points attached", kv);
+      return;
+    }
+    // Cache the body bytes (completed sweeps only): a later hit replays
+    // them verbatim, the same bit-identity contract as EVAL.
+    cache_.insert(hash, kv);
+    std::string response = "status=OK\n";
+    append_kv(response, "cache", "miss");
+    append_kv(response, "hash", hash.to_string());
+    response += kv;
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++jobs_completed_;
+    }
+    record_latency(submitted);
+    write_frame(sock, FrameType::kResult, response);
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++jobs_failed_;
+    }
+    send_error(sock, error_code::kInternal, e.what());
+  }
+}
+
+void Server::record_probe_counters(
+    const core::AccuracyEngine::EvalCounters& c) {
+  std::lock_guard lock(stats_mutex_);
+  opt_probes_full_ += c.full;
+  opt_probes_cached_ += c.cached;
+  opt_probes_delta_ += c.delta;
 }
 
 bool Server::send_error(const Socket& sock, std::string_view code,

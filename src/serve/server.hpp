@@ -1,8 +1,10 @@
 /// @file server.hpp
 /// The psdacc-serve daemon core: a loopback TCP server that accepts
-/// evaluation and word-length-optimization jobs as serialized scenario
-/// documents (the `psdacc-sfg v1` format — the golden corpus is literally
-/// a request corpus) and answers with `expect`-style per-engine results.
+/// evaluation, word-length-optimization, and Pareto-sweep jobs as
+/// serialized scenario documents (the `psdacc-sfg v1` format — the golden
+/// corpus is literally a request corpus) and answers with `expect`-style
+/// per-engine results, optimizer assignments, or dominance-filtered
+/// fronts (one PROG frame per completed budget point).
 ///
 /// Request path, outermost tier first:
 ///  1. **ResultCache** — a content-hash lookup over the canonical
@@ -96,6 +98,7 @@ class Server {
   void serve_connection(Connection& conn);
   void handle_eval(const Socket& sock, const std::string& payload);
   void handle_opt(const Socket& sock, const std::string& payload);
+  void handle_sweep(const Socket& sock, const std::string& payload);
   void run_eval_job(const Socket& sock, const sfg::Scenario& scenario,
                     const ContentHash& hash,
                     std::optional<std::chrono::steady_clock::time_point>
@@ -106,6 +109,15 @@ class Server {
                    std::optional<std::chrono::steady_clock::time_point>
                        deadline,
                    std::chrono::steady_clock::time_point submitted);
+  void run_sweep_job(const Socket& sock, sfg::Scenario& scenario,
+                     const SweepSpec& spec,
+                     const std::vector<double>& budgets,
+                     const ContentHash& hash,
+                     std::optional<std::chrono::steady_clock::time_point>
+                         deadline,
+                     std::chrono::steady_clock::time_point submitted);
+  /// Folds one job's optimizer probe counters into the lifetime totals.
+  void record_probe_counters(const core::AccuracyEngine::EvalCounters& c);
   bool send_error(const Socket& sock, std::string_view code,
                   std::string_view message, std::string_view extra = {});
   std::optional<std::chrono::steady_clock::time_point> deadline_for(
@@ -133,6 +145,9 @@ class Server {
   std::uint64_t jobs_completed_ = 0;
   std::uint64_t jobs_failed_ = 0;
   std::uint64_t jobs_timeout_ = 0;
+  std::uint64_t opt_probes_full_ = 0;
+  std::uint64_t opt_probes_cached_ = 0;
+  std::uint64_t opt_probes_delta_ = 0;
   LatencyHistogram latency_;
 };
 

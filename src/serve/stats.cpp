@@ -48,6 +48,9 @@ std::string ServerStats::to_text() const {
   append_kv(out, "cache_hits", cache_hits);
   append_kv(out, "cache_misses", cache_misses);
   append_kv(out, "cache_size", cache_size);
+  append_kv(out, "opt_probes_full", opt_probes_full);
+  append_kv(out, "opt_probes_cached", opt_probes_cached);
+  append_kv(out, "opt_probes_delta", opt_probes_delta);
   append_kv(out, "latency_count", latency_count);
   append_kv(out, "latency_p50_us", latency_p50_us);
   append_kv(out, "latency_p95_us", latency_p95_us);

@@ -46,6 +46,13 @@ struct ServerStats {
   std::uint64_t cache_hits = 0;      ///< answered from the ResultCache
   std::uint64_t cache_misses = 0;    ///< evaluated, then cached
   std::uint64_t cache_size = 0;      ///< entries currently cached
+  /// Aggregate optimizer probe counters over every finished OPTJ/PARJ job
+  /// (core::AccuracyEngine::EvalCounters totals): full re-evaluations,
+  /// plan-cache hits, and incremental delta probes. delta >> full is the
+  /// serving-side signature of the delta probe path.
+  std::uint64_t opt_probes_full = 0;
+  std::uint64_t opt_probes_cached = 0;
+  std::uint64_t opt_probes_delta = 0;
   std::uint64_t latency_count = 0;   ///< samples in the histogram
   double latency_p50_us = 0.0;
   double latency_p95_us = 0.0;

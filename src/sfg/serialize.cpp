@@ -187,6 +187,30 @@ void append_expect_section(
   out += "}\n";
 }
 
+void append_opt_expect_section(
+    std::string& out, const std::vector<OptExpectation>& expected) {
+  if (expected.empty()) return;
+  out += "opt_expect {\n";
+  for (const OptExpectation& e : expected) {
+    out += "  run strategy=";
+    out += e.strategy;
+    out += " engine=";
+    out += to_string(e.engine);
+    out += " budget=";
+    append_double(out, e.budget);
+    out += " min_bits=";
+    append_uint(out, static_cast<std::uint64_t>(e.min_bits));
+    out += " max_bits=";
+    append_uint(out, static_cast<std::uint64_t>(e.max_bits));
+    out += " seed=";
+    append_uint(out, e.seed);
+    out += " cost=";
+    append_double(out, e.cost);
+    out += '\n';
+  }
+  out += "}\n";
+}
+
 // ---------------------------------------------------------------------------
 // Lexer
 // ---------------------------------------------------------------------------
@@ -360,6 +384,9 @@ class Parser {
       } else if (section.word == "expect") {
         advance();
         parse_expect_section(out.expected);
+      } else if (section.word == "opt_expect") {
+        advance();
+        parse_opt_expect_section(out.opt_expected);
       } else {
         // Forward compatibility: an unknown section is skipped wholesale.
         advance();
@@ -806,6 +833,54 @@ class Parser {
     advance();
   }
 
+  void parse_opt_expect_section(std::vector<OptExpectation>& expected) {
+    expect_punct('{');
+    while (!cur_is_punct('}')) {
+      if (cur().kind == Token::Kind::kEnd)
+        fail_at("unterminated opt_expect section (missing '}')", cur());
+      const Token& run_tok = cur();
+      if (run_tok.kind != Token::Kind::kWord || run_tok.word != "run")
+        fail_at("expected 'run' or '}'", run_tok);
+      advance();
+      OptExpectation e;
+      bool have_cost = false;
+      while (cur().kind == Token::Kind::kWord &&
+             ahead().kind == Token::Kind::kPunct &&
+             ahead().word[0] == '=') {
+        const std::string_view key = expect_word("an attribute key");
+        advance();  // '='
+        if (key == "strategy") {
+          e.strategy = std::string(expect_word("a strategy name"));
+        } else if (key == "engine") {
+          const Token& tok = cur();
+          const std::string_view w = expect_word("an engine name");
+          const auto kind = core::parse_engine_kind(w);
+          if (!kind.has_value())
+            fail_at("unknown engine '" + std::string(w) + "'", tok);
+          e.engine = *kind;
+        } else if (key == "budget") {
+          e.budget = parse_double_value("a noise budget");
+        } else if (key == "min_bits") {
+          e.min_bits = static_cast<int>(parse_uint_value("min_bits"));
+        } else if (key == "max_bits") {
+          e.max_bits = static_cast<int>(parse_uint_value("max_bits"));
+        } else if (key == "seed") {
+          e.seed = parse_uint_value("seed");
+        } else if (key == "cost") {
+          e.cost = parse_double_value("a cost");
+          have_cost = true;
+        } else {
+          skip_value();  // forward compatibility: unknown attribute
+        }
+      }
+      if (!have_cost) fail_at("run entry requires cost=...", run_tok);
+      if (e.min_bits < 1 || e.min_bits > e.max_bits)
+        fail_at("run entry requires 1 <= min_bits <= max_bits", run_tok);
+      expected.push_back(std::move(e));
+    }
+    advance();
+  }
+
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
 };
@@ -833,6 +908,7 @@ std::string serialize(const Scenario& s) {
   append_graph_section(out, s.graph);
   append_config_section(out, s.config);
   append_expect_section(out, s.expected);
+  append_opt_expect_section(out, s.opt_expected);
   return out;
 }
 

@@ -26,9 +26,11 @@
 ///     }
 ///
 /// (shown wrapped; real documents keep one node per line). The `graph`
-/// section is mandatory; `config` (a sim::EvaluationConfig) and `expect`
-/// (golden per-engine output noise powers) are optional. See
-/// docs/SERIALIZATION.md for the full grammar and the versioning policy.
+/// section is mandatory; `config` (a sim::EvaluationConfig), `expect`
+/// (golden per-engine output noise powers), and `opt_expect` (golden
+/// word-length-optimizer outcomes, one `run ...` line each) are
+/// optional. See docs/SERIALIZATION.md for the full grammar and the
+/// versioning policy.
 ///
 /// ## Contracts
 ///
@@ -83,6 +85,23 @@ class ParseError : public std::runtime_error {
   std::size_t column_;
 };
 
+/// One optimizer golden: a word-length search pinned end to end — the
+/// strategy token (opt::search vocabulary: uniform | greedy |
+/// min_plus_one | anneal | tabu | bnb), the probe engine and constraints
+/// it ran under, and the weighted bit cost it must reproduce. The
+/// variables are the graph's noise sources, weights all 1, n_psd the
+/// scenario config's; `seed` feeds the annealer's master RNG and is
+/// carried (and ignored) by the deterministic strategies.
+struct OptExpectation {
+  std::string strategy = "greedy";
+  core::EngineKind engine = core::EngineKind::kPsd;
+  double budget = 1e-8;
+  int min_bits = 2;
+  int max_bits = 24;
+  std::uint64_t seed = 0;
+  double cost = 0.0;  ///< Golden cost (exact: integer-valued sums).
+};
+
 /// A serializable evaluation scenario: the graph, how to evaluate it, and
 /// (for golden-corpus entries) the expected output noise power per engine.
 struct Scenario {
@@ -92,6 +111,9 @@ struct Scenario {
   /// (kAllEngineKinds order when written by serialize()). Empty for
   /// non-corpus documents.
   std::vector<std::pair<core::EngineKind, double>> expected;
+  /// Optimizer goldens (`opt_expect` section), in emission order. Empty
+  /// for non-corpus documents.
+  std::vector<OptExpectation> opt_expected;
 };
 
 /// Canonical graph-only document (header + graph section).

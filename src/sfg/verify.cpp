@@ -7,6 +7,11 @@
 
 #include "core/accuracy_engine.hpp"
 #include "core/metrics.hpp"
+// Verification reaches *up* into the search layer on purpose: optimizer
+// goldens are corpus content, and the corpus checker is the one place
+// where serialization and search meet. Headers stay acyclic (opt/search
+// includes sfg types, never sfg/verify).
+#include "opt/search/strategies.hpp"
 
 namespace psdacc::sfg {
 namespace {
@@ -65,6 +70,27 @@ void check_delta_parity(core::AccuracyEngine& engine, const Graph& g,
   }
 }
 
+/// Runs one optimizer golden exactly as recorded: the named strategy over
+/// the graph's noise sources (unit weights, serial, the scenario config's
+/// spectral resolution), on a private copy of the graph so verification
+/// never mutates the caller's scenario.
+opt::OptimizerResult run_opt_expectation(const Scenario& s,
+                                         const OptExpectation& e) {
+  Graph g = s.graph;
+  opt::OptimizerConfig cfg;
+  cfg.noise_budget = e.budget;
+  cfg.min_bits = e.min_bits;
+  cfg.max_bits = e.max_bits;
+  cfg.n_psd = s.config.n_psd;
+  cfg.engine = e.engine;
+  cfg.engine_opts = engine_options_for(s.config);
+  opt::WordlengthOptimizer optimizer(g, g.noise_sources(), cfg);
+  opt::search::StrategySpec spec;
+  spec.name = e.strategy;
+  spec.anneal.seed = e.seed;
+  return opt::search::run_strategy(optimizer, spec);
+}
+
 }  // namespace
 
 core::EngineOptions engine_options_for(const sim::EvaluationConfig& cfg) {
@@ -112,7 +138,7 @@ std::vector<VerifyIssue> verify_scenario_text(std::string_view text,
   }
 
   if (!evaluable(s.graph)) {
-    if (!s.expected.empty())
+    if (!s.expected.empty() || !s.opt_expected.empty())
       issues.push_back({"golden",
                         "document carries expectations but the graph is not "
                         "evaluable (need one input, one output, >= 1 noise "
@@ -166,7 +192,42 @@ std::vector<VerifyIssue> verify_scenario_text(std::string_view text,
                         "psd deviates from flat by E_d=" + fmt_double(ed) +
                             " (outside the one-bit band)"});
   }
+
+  // Optimizer goldens: every recorded search must reproduce its cost
+  // exactly — word-length costs are small integer sums and every strategy
+  // is deterministic (the annealer via its recorded seed), so equality is
+  // bitwise, pinning search behavior the way `expect` pins the engines.
+  for (const OptExpectation& e : s.opt_expected) {
+    const std::string tag = "optgolden:" + e.strategy;
+    if (!opt::search::known_strategy(e.strategy)) {
+      issues.push_back({tag, "unknown strategy '" + e.strategy + "'"});
+      continue;
+    }
+    if (!core::engine_supports(e.engine, s.graph)) {
+      issues.push_back({tag, "engine '" + std::string(to_string(e.engine)) +
+                                 "' does not support this graph"});
+      continue;
+    }
+    const opt::OptimizerResult r = run_opt_expectation(s, e);
+    if (r.cost != e.cost)
+      issues.push_back(
+          {tag, "budget " + fmt_double(e.budget) + " (" +
+                    std::string(to_string(e.engine)) + "): searched cost " +
+                    fmt_double(r.cost) + " vs golden " + fmt_double(e.cost)});
+  }
   return issues;
+}
+
+std::vector<OptExpectation> evaluate_opt_expected(const Scenario& s) {
+  std::vector<OptExpectation> out;
+  for (const OptExpectation& e : s.opt_expected) {
+    if (!opt::search::known_strategy(e.strategy)) continue;
+    if (!core::engine_supports(e.engine, s.graph)) continue;
+    OptExpectation fresh = e;
+    fresh.cost = run_opt_expectation(s, e).cost;
+    out.push_back(std::move(fresh));
+  }
+  return out;
 }
 
 std::vector<VerifyIssue> differential_check(const Graph& g,

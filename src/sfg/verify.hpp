@@ -63,6 +63,15 @@ std::vector<VerifyIssue> verify_scenario_text(std::string_view text,
 std::vector<std::pair<core::EngineKind, double>> evaluate_expected(
     const Scenario& s);
 
+/// Recomputes the optimizer goldens for a scenario: re-runs every
+/// `opt_expect` entry (strategy over the graph's noise sources, unit
+/// weights, the scenario config's n_psd) and returns the entries with
+/// their costs replaced by the freshly searched ones — the section a
+/// corpus file should carry after `psdacc-verify regen`. Entries with an
+/// unknown strategy or an engine that cannot evaluate the graph are
+/// dropped.
+std::vector<OptExpectation> evaluate_opt_expected(const Scenario& s);
+
 struct DifferentialOptions {
   /// Spectral resolution for the analytical engines (small: the fuzzer
   /// sweeps many graphs).

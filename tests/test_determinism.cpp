@@ -10,6 +10,8 @@
 #include "core/accuracy_engine.hpp"
 #include "filters/fir_design.hpp"
 #include "filters/iir_design.hpp"
+#include "opt/search/annealing.hpp"
+#include "opt/search/pareto.hpp"
 #include "opt/wordlength_optimizer.hpp"
 #include "runtime/batch_runner.hpp"
 #include "runtime/thread_pool.hpp"
@@ -280,6 +282,102 @@ TEST(Determinism, BatchRunnerIsWorkerCountInvariant) {
         EXPECT_EQ(pe.power, se.power);  // bitwise
         EXPECT_EQ(pe.ed, se.ed);
       }
+    }
+  }
+}
+
+TEST(Determinism, AnnealingTrajectoryIsWorkerCountInvariant) {
+  // The annealer's round-r stream is Xoshiro256(seed).substream(r) and
+  // acceptance is a serial scan, so for a fixed seed the *entire accepted-
+  // move trace* — not just the final result — must match bit for bit
+  // between 1 and N probe workers, under every analytical engine.
+  for (const core::EngineKind kind :
+       {core::EngineKind::kPsd, core::EngineKind::kMoment,
+        core::EngineKind::kFlat}) {
+    auto cfg = optimizer_config(1);
+    cfg.engine = kind;
+    opt::search::AnnealOptions aopt;
+    aopt.seed = 42;
+    aopt.rounds = 60;
+    aopt.proposals_per_round = 4;
+
+    auto serial_sys = make_chain();
+    opt::WordlengthOptimizer serial(serial_sys.graph, serial_sys.variables,
+                                    cfg);
+    opt::search::SimulatedAnnealing serial_anneal(aopt);
+    const auto serial_result = serial_anneal.run(serial);
+    const auto serial_traj = serial_anneal.trajectory();
+
+    for (const std::size_t workers : {2u, 4u}) {
+      cfg.workers = workers;
+      auto sys = make_chain();
+      opt::WordlengthOptimizer parallel(sys.graph, sys.variables, cfg);
+      opt::search::SimulatedAnnealing anneal(aopt);
+      expect_identical(anneal.run(parallel), serial_result);
+      const auto& traj = anneal.trajectory();
+      ASSERT_EQ(traj.size(), serial_traj.size()) << "workers " << workers;
+      for (std::size_t i = 0; i < traj.size(); ++i) {
+        EXPECT_EQ(traj[i].round, serial_traj[i].round);
+        EXPECT_EQ(traj[i].cost, serial_traj[i].cost);
+        EXPECT_EQ(traj[i].noise, serial_traj[i].noise);  // bitwise
+      }
+    }
+  }
+}
+
+TEST(Determinism, TabuTrajectoryIsWorkerCountInvariant) {
+  auto serial_sys = make_chain();
+  opt::WordlengthOptimizer serial(serial_sys.graph, serial_sys.variables,
+                                  optimizer_config(1));
+  opt::search::TabuSearch serial_tabu;
+  const auto serial_result = serial_tabu.run(serial);
+  const auto serial_traj = serial_tabu.trajectory();
+
+  auto sys = make_chain();
+  opt::WordlengthOptimizer parallel(sys.graph, sys.variables,
+                                    optimizer_config(4));
+  opt::search::TabuSearch tabu;
+  expect_identical(tabu.run(parallel), serial_result);
+  ASSERT_EQ(tabu.trajectory().size(), serial_traj.size());
+  for (std::size_t i = 0; i < serial_traj.size(); ++i) {
+    EXPECT_EQ(tabu.trajectory()[i].cost, serial_traj[i].cost);
+    EXPECT_EQ(tabu.trajectory()[i].noise, serial_traj[i].noise);
+  }
+}
+
+TEST(Determinism, ParetoFrontIsFanOutInvariantAcrossEngines) {
+  // Budget points are the sweep's unit of parallelism; each point runs on
+  // a private clone with a serial inner optimizer when the sweep fans
+  // out. The front must be bit-identical for 1-vs-N point workers under
+  // psd, moment and flat alike.
+  for (const core::EngineKind kind :
+       {core::EngineKind::kPsd, core::EngineKind::kMoment,
+        core::EngineKind::kFlat}) {
+    const auto sys = make_chain();
+    opt::search::SweepConfig cfg;
+    cfg.budgets = {1e-8, 1e-7, 1e-6, 1e-5};
+    cfg.base = optimizer_config(1);
+    cfg.base.engine = kind;
+
+    cfg.workers = 1;
+    opt::search::ParetoSweep serial(sys.graph, sys.variables, cfg);
+    const auto serial_points = serial.run_points();
+
+    for (const std::size_t workers : {2u, 4u}) {
+      cfg.workers = workers;
+      opt::search::ParetoSweep fanned(sys.graph, sys.variables, cfg);
+      const auto points = fanned.run_points();
+      ASSERT_EQ(points.size(), serial_points.size());
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(points[i].budget, serial_points[i].budget);
+        EXPECT_EQ(points[i].bits, serial_points[i].bits);
+        EXPECT_EQ(points[i].cost, serial_points[i].cost);
+        EXPECT_EQ(points[i].noise, serial_points[i].noise);  // bitwise
+        EXPECT_EQ(points[i].evaluations, serial_points[i].evaluations);
+      }
+      EXPECT_EQ(opt::search::ParetoFront::from_points(points).to_csv(),
+                opt::search::ParetoFront::from_points(serial_points)
+                    .to_csv());
     }
   }
 }

@@ -1,0 +1,412 @@
+// Search-subsystem tests: simulated annealing / tabu / branch-and-bound
+// over delta probes, and Pareto-front sweeps. The quality regressions are
+// seed-pinned (the annealer is deterministic per seed — see
+// docs/OPTIMIZERS.md for the substream contract), the exhaustive check
+// brute-forces a <=8-node system, and the sweep tests pin the fan-out
+// bit-identity the serving layer relies on.
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fixedpoint/format.hpp"
+#include "freqfilt/freq_filter.hpp"
+#include "opt/search/annealing.hpp"
+#include "opt/search/branch_and_bound.hpp"
+#include "opt/search/pareto.hpp"
+#include "opt/search/strategies.hpp"
+#include "opt/wordlength_optimizer.hpp"
+#include "runtime/batch_runner.hpp"
+#include "sfg/graph.hpp"
+
+namespace {
+
+using namespace psdacc;
+
+struct TestSystem {
+  sfg::Graph graph;
+  std::vector<sfg::NodeId> variables;
+};
+
+// Reconvergent two-path system: in -> q0 -> {0.9 -> qa -> z^-3,
+// -0.85 -> qb} -> adder -> out. The correlated path contributions make
+// the cost landscape non-separable — the terrain where greedy's one-
+// variable-at-a-time descent leaves swaps on the table.
+TestSystem make_reconvergent() {
+  TestSystem s;
+  const auto in = s.graph.add_input();
+  const auto q0 = s.graph.add_quantizer(in, fxp::q_format(4, 12));
+  const auto ga = s.graph.add_gain(q0, 0.9);
+  const auto qa = s.graph.add_quantizer(ga, fxp::q_format(4, 12));
+  const auto da = s.graph.add_delay(qa, 3);
+  const auto gb = s.graph.add_gain(q0, -0.85);
+  const auto qb = s.graph.add_quantizer(gb, fxp::q_format(4, 12));
+  const auto sum = s.graph.add_adder({da, qb});
+  s.graph.add_output(sum);
+  s.variables = {q0, qa, qb};
+  return s;
+}
+
+// 7-node chain (in, q1, gain, q2, gain, q3, out) — small enough to
+// brute-force every assignment.
+TestSystem make_tiny_chain() {
+  TestSystem s;
+  const auto in = s.graph.add_input();
+  const auto q1 = s.graph.add_quantizer(in, fxp::q_format(4, 10));
+  const auto g1 = s.graph.add_gain(q1, 0.7);
+  const auto q2 = s.graph.add_quantizer(g1, fxp::q_format(4, 10));
+  const auto g2 = s.graph.add_gain(q2, 1.3);
+  const auto q3 = s.graph.add_quantizer(g2, fxp::q_format(4, 10));
+  s.graph.add_output(q3);
+  s.variables = {q1, q2, q3};
+  return s;
+}
+
+sfg::Graph fig6_graph() {
+  ff::FreqFilterConfig cfg;
+  cfg.format = fxp::q_format(8, 16);
+  return ff::build_freqfilt_sfg(cfg);
+}
+
+opt::OptimizerConfig reconv_config() {
+  opt::OptimizerConfig cfg;
+  cfg.noise_budget = 1e-8;
+  cfg.min_bits = 2;
+  cfg.max_bits = 16;
+  cfg.n_psd = 128;
+  cfg.cost_weights = {5.0, 1.0, 1.0};
+  return cfg;
+}
+
+opt::search::AnnealOptions pinned_anneal() {
+  opt::search::AnnealOptions o;
+  o.seed = 42;
+  o.rounds = 150;
+  o.proposals_per_round = 6;
+  return o;
+}
+
+// --- quality regressions ---------------------------------------------------
+
+TEST(Anneal, BeatsGreedyOnReconvergentSystem) {
+  // Seed-pinned: greedy lands on cost 90 (bits [13 13 12] under weights
+  // {5,1,1}); the annealer's swap moves reach 87. A regression that
+  // breaks the Metropolis acceptance or the substream draw order will
+  // lose this margin.
+  auto greedy_sys = make_reconvergent();
+  opt::WordlengthOptimizer greedy_opt(greedy_sys.graph,
+                                      greedy_sys.variables, reconv_config());
+  const auto greedy = greedy_opt.greedy_descent();
+  ASSERT_TRUE(greedy.feasible);
+
+  auto anneal_sys = make_reconvergent();
+  opt::WordlengthOptimizer anneal_opt(anneal_sys.graph,
+                                      anneal_sys.variables, reconv_config());
+  opt::search::SimulatedAnnealing anneal(pinned_anneal());
+  const auto annealed = anneal.run(anneal_opt);
+  ASSERT_TRUE(annealed.feasible);
+  EXPECT_LE(annealed.noise, reconv_config().noise_budget);
+  EXPECT_LT(annealed.cost, greedy.cost);  // strictly lower, same budget
+}
+
+TEST(Anneal, SameSeedIsBitIdentical) {
+  const auto run_once = [](std::size_t workers) {
+    auto sys = make_reconvergent();
+    auto cfg = reconv_config();
+    cfg.workers = workers;
+    opt::WordlengthOptimizer optimizer(sys.graph, sys.variables, cfg);
+    opt::search::SimulatedAnnealing anneal(pinned_anneal());
+    const auto r = anneal.run(optimizer);
+    return std::make_pair(r, anneal.trajectory());
+  };
+  const auto [r1, t1] = run_once(1);
+  const auto [r2, t2] = run_once(1);
+  EXPECT_EQ(r1.bits, r2.bits);
+  EXPECT_EQ(r1.cost, r2.cost);
+  EXPECT_EQ(r1.noise, r2.noise);  // bitwise
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].round, t2[i].round);
+    EXPECT_EQ(t1[i].cost, t2[i].cost);
+    EXPECT_EQ(t1[i].noise, t2[i].noise);
+  }
+}
+
+TEST(Anneal, DifferentSeedsMayDifferButStayFeasible) {
+  for (const std::uint64_t seed : {1ull, 7ull, 123ull}) {
+    auto sys = make_reconvergent();
+    opt::WordlengthOptimizer optimizer(sys.graph, sys.variables,
+                                       reconv_config());
+    auto o = pinned_anneal();
+    o.seed = seed;
+    opt::search::SimulatedAnnealing anneal(o);
+    const auto r = anneal.run(optimizer);
+    EXPECT_TRUE(r.feasible) << "seed " << seed;
+    EXPECT_LE(r.noise, reconv_config().noise_budget) << "seed " << seed;
+  }
+}
+
+TEST(Anneal, RespectsCancelCheck) {
+  auto sys = make_reconvergent();
+  auto cfg = reconv_config();
+  int polls = 0;
+  cfg.cancel_check = [&polls] { return ++polls > 3; };
+  opt::WordlengthOptimizer optimizer(sys.graph, sys.variables, cfg);
+  opt::search::SimulatedAnnealing anneal(pinned_anneal());
+  const auto r = anneal.run(optimizer);
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_FALSE(r.bits.empty());  // partial state still attached
+}
+
+TEST(Tabu, FeasibleDeterministicAndNoWorseThanGreedySeed) {
+  // Tabu is RNG-free: two runs must agree exactly, and since it starts
+  // from the greedy seed and only accepts feasible moves that keep the
+  // best assignment, it can never end above greedy.
+  auto greedy_sys = make_reconvergent();
+  opt::WordlengthOptimizer greedy_opt(greedy_sys.graph,
+                                      greedy_sys.variables, reconv_config());
+  const double greedy_cost = greedy_opt.greedy_descent().cost;
+
+  const auto run_once = [] {
+    auto sys = make_reconvergent();
+    opt::WordlengthOptimizer optimizer(sys.graph, sys.variables,
+                                       reconv_config());
+    opt::search::TabuSearch tabu;
+    return tabu.run(optimizer);
+  };
+  const auto r1 = run_once();
+  const auto r2 = run_once();
+  ASSERT_TRUE(r1.feasible);
+  EXPECT_LE(r1.cost, greedy_cost);
+  EXPECT_EQ(r1.bits, r2.bits);
+  EXPECT_EQ(r1.cost, r2.cost);
+  EXPECT_EQ(r1.noise, r2.noise);
+}
+
+TEST(BranchAndBound, MatchesExhaustiveOnTinySystem) {
+  opt::OptimizerConfig cfg;
+  cfg.noise_budget = 1e-6;
+  cfg.min_bits = 4;
+  cfg.max_bits = 10;
+  cfg.n_psd = 64;
+
+  // Exhaustive reference: every assignment in the 7^3 window, scored by
+  // the same probe engine.
+  auto ref_sys = make_tiny_chain();
+  opt::WordlengthOptimizer ref(ref_sys.graph, ref_sys.variables, cfg);
+  double best_cost = -1.0;
+  std::vector<int> best_bits;
+  std::vector<int> bits(3, 0);
+  for (bits[0] = cfg.min_bits; bits[0] <= cfg.max_bits; ++bits[0])
+    for (bits[1] = cfg.min_bits; bits[1] <= cfg.max_bits; ++bits[1])
+      for (bits[2] = cfg.min_bits; bits[2] <= cfg.max_bits; ++bits[2]) {
+        const double noise = ref.probe_assignment(bits);
+        if (!(noise <= cfg.noise_budget)) continue;
+        const double cost = ref.cost_of(bits);
+        if (best_cost < 0.0 || cost < best_cost) {
+          best_cost = cost;
+          best_bits = bits;
+        }
+      }
+  ASSERT_GE(best_cost, 0.0);  // the window contains feasible points
+
+  auto bnb_sys = make_tiny_chain();
+  opt::WordlengthOptimizer optimizer(bnb_sys.graph, bnb_sys.variables, cfg);
+  opt::search::BranchAndBound bnb;
+  const auto r = bnb.run(optimizer);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.cost, best_cost);  // exact: integer-valued sums
+  EXPECT_TRUE(bnb.stats().exhausted);
+  EXPECT_GT(bnb.stats().pruned_cost + bnb.stats().pruned_infeasible, 0u);
+}
+
+TEST(BranchAndBound, NodeCapReturnsGreedyIncumbent) {
+  auto sys = make_tiny_chain();
+  opt::OptimizerConfig cfg;
+  cfg.noise_budget = 1e-6;
+  cfg.min_bits = 4;
+  cfg.max_bits = 12;
+  cfg.n_psd = 64;
+  opt::WordlengthOptimizer optimizer(sys.graph, sys.variables, cfg);
+  opt::search::BnbOptions o;
+  o.max_nodes = 1;
+  opt::search::BranchAndBound bnb(o);
+  const auto r = bnb.run(optimizer);
+  EXPECT_TRUE(r.feasible);  // never worse than the greedy incumbent
+  EXPECT_FALSE(bnb.stats().exhausted);
+}
+
+// --- strategy dispatch -----------------------------------------------------
+
+TEST(Search, KnownStrategyVocabulary) {
+  for (const char* name :
+       {"uniform", "greedy", "min_plus_one", "anneal", "tabu", "bnb"})
+    EXPECT_TRUE(opt::search::known_strategy(name)) << name;
+  EXPECT_FALSE(opt::search::known_strategy("gradient"));
+  EXPECT_FALSE(opt::search::known_strategy(""));
+}
+
+TEST(Search, RunStrategyDispatchesAndThrowsOnUnknown) {
+  auto sys = make_tiny_chain();
+  opt::OptimizerConfig cfg;
+  cfg.noise_budget = 1e-6;
+  cfg.min_bits = 4;
+  cfg.max_bits = 12;
+  cfg.n_psd = 64;
+  opt::WordlengthOptimizer optimizer(sys.graph, sys.variables, cfg);
+  opt::search::StrategySpec spec;
+  spec.name = "min_plus_one";
+  EXPECT_TRUE(opt::search::run_strategy(optimizer, spec).feasible);
+  spec.name = "gradient";
+  EXPECT_THROW(opt::search::run_strategy(optimizer, spec),
+               std::invalid_argument);
+}
+
+TEST(Search, AnnealRidesTheDeltaProbePath) {
+  auto sys = make_reconvergent();
+  opt::WordlengthOptimizer optimizer(sys.graph, sys.variables,
+                                     reconv_config());
+  opt::search::SimulatedAnnealing anneal(pinned_anneal());
+  anneal.run(optimizer);
+  const auto c = optimizer.probe_counters();
+  EXPECT_GT(c.delta, 10 * c.full)
+      << "full=" << c.full << " delta=" << c.delta;
+}
+
+// --- Pareto sweeps ---------------------------------------------------------
+
+TEST(Pareto, LogSpacedBudgetsEndpointsExact) {
+  const auto b = opt::search::log_spaced_budgets(1e-9, 1e-5, 5);
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_EQ(b.front(), 1e-9);  // rails exact, not just close
+  EXPECT_EQ(b.back(), 1e-5);
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_GT(b[i], b[i - 1]);
+  EXPECT_EQ(opt::search::log_spaced_budgets(1e-8, 1e-8, 1),
+            std::vector<double>{1e-8});
+  EXPECT_THROW(opt::search::log_spaced_budgets(0.0, 1e-5, 4),
+               std::invalid_argument);
+  EXPECT_THROW(opt::search::log_spaced_budgets(1e-5, 1e-9, 4),
+               std::invalid_argument);
+  EXPECT_THROW(opt::search::log_spaced_budgets(1e-9, 1e-5, 0),
+               std::invalid_argument);
+}
+
+TEST(Pareto, Fig6FrontIsDominanceConsistentAndFanOutInvariant) {
+  // The PR's acceptance criterion: the fig6 sweep front is dominance-
+  // consistent and bit-identical between 1 and 4 workers.
+  const sfg::Graph g = fig6_graph();
+  opt::search::SweepConfig cfg;
+  cfg.budgets = {1e-9, 1e-8, 1e-7, 1e-6};
+  cfg.base.min_bits = 4;
+  cfg.base.max_bits = 20;
+  cfg.base.n_psd = 256;
+
+  cfg.workers = 1;
+  opt::search::ParetoSweep serial(g, g.noise_sources(), cfg);
+  const auto serial_points = serial.run_points();
+  cfg.workers = 4;
+  opt::search::ParetoSweep fanned(g, g.noise_sources(), cfg);
+  const auto fanned_points = fanned.run_points();
+
+  ASSERT_EQ(serial_points.size(), fanned_points.size());
+  for (std::size_t i = 0; i < serial_points.size(); ++i) {
+    EXPECT_EQ(serial_points[i].budget, fanned_points[i].budget);
+    EXPECT_EQ(serial_points[i].cost, fanned_points[i].cost);
+    EXPECT_EQ(serial_points[i].noise, fanned_points[i].noise);  // bitwise
+    EXPECT_EQ(serial_points[i].bits, fanned_points[i].bits);
+    EXPECT_TRUE(serial_points[i].feasible) << "point " << i;
+  }
+  const auto front = opt::search::ParetoFront::from_points(serial_points);
+  EXPECT_TRUE(front.dominance_consistent());
+  EXPECT_FALSE(front.points().empty());
+  EXPECT_EQ(front.to_csv(),
+            opt::search::ParetoFront::from_points(fanned_points).to_csv());
+}
+
+TEST(Pareto, FrontFiltersDominatedAndInfeasiblePoints) {
+  std::vector<opt::search::ParetoPoint> pts(4);
+  pts[0] = {1e-6, 10.0, 5e-7, true, false, 1, {5}};
+  pts[1] = {1e-7, 12.0, 6e-7, true, false, 1, {6}};   // dominated by [0]
+  pts[2] = {1e-8, 14.0, 1e-8, true, false, 1, {7}};
+  pts[3] = {1e-9, 20.0, 1e-9, false, false, 1, {8}};  // infeasible
+  const auto front = opt::search::ParetoFront::from_points(pts);
+  ASSERT_EQ(front.points().size(), 2u);
+  EXPECT_EQ(front.points()[0].cost, 10.0);
+  EXPECT_EQ(front.points()[1].cost, 14.0);
+  EXPECT_TRUE(front.dominance_consistent());
+}
+
+TEST(Pareto, CsvSchemaIsCanonical) {
+  std::vector<opt::search::ParetoPoint> pts(1);
+  pts[0] = {1e-6, 38.0, 7.5e-7, true, false, 12, {12, 13, 13}};
+  EXPECT_EQ(opt::search::points_to_csv(pts),
+            "budget,cost,noise,feasible,evaluations,bits\n"
+            "1e-06,38,7.5e-07,1,12,12|13|13\n");
+}
+
+TEST(Pareto, CancelSkipsRemainingPoints) {
+  auto sys = make_reconvergent();
+  opt::search::SweepConfig cfg;
+  cfg.budgets = {1e-6, 1e-7, 1e-8};
+  cfg.base = reconv_config();
+  cfg.base.cancel_check = [] { return true; };  // cancelled from the start
+  opt::search::ParetoSweep sweep(sys.graph, sys.variables, cfg);
+  const auto points = sweep.run_points();
+  ASSERT_EQ(points.size(), 3u);
+  for (const auto& p : points) EXPECT_TRUE(p.cancelled);
+  EXPECT_TRUE(
+      opt::search::ParetoFront::from_points(points).points().empty());
+}
+
+TEST(Pareto, OnPointCallbackArrivesInLadderOrderWhenSerial) {
+  auto sys = make_reconvergent();
+  opt::search::SweepConfig cfg;
+  cfg.budgets = {1e-6, 1e-7, 1e-8};
+  cfg.base = reconv_config();
+  std::vector<std::size_t> order;
+  cfg.on_point = [&order](std::size_t index,
+                          const opt::search::ParetoPoint&) {
+    order.push_back(index);
+  };
+  opt::search::ParetoSweep sweep(sys.graph, sys.variables, cfg);
+  sweep.run_points();
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Pareto, BatchRunnerFanOutMatchesOwnedPool) {
+  const sfg::Graph g = fig6_graph();
+  opt::search::SweepConfig cfg;
+  cfg.budgets = {1e-8, 1e-7, 1e-6};
+  cfg.base.min_bits = 4;
+  cfg.base.max_bits = 20;
+  cfg.base.n_psd = 256;
+  opt::search::ParetoSweep owned(g, g.noise_sources(), cfg);
+  const auto a = owned.run_points();
+
+  runtime::BatchRunner runner(4);
+  opt::search::ParetoSweep shared(g, g.noise_sources(), cfg);
+  const auto b = shared.run_points(runner);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cost, b[i].cost);
+    EXPECT_EQ(a[i].noise, b[i].noise);
+    EXPECT_EQ(a[i].bits, b[i].bits);
+  }
+}
+
+TEST(Pareto, SweepAggregatesProbeCounters) {
+  auto sys = make_reconvergent();
+  opt::search::SweepConfig cfg;
+  cfg.budgets = {1e-6, 1e-8};
+  cfg.base = reconv_config();
+  opt::search::ParetoSweep sweep(sys.graph, sys.variables, cfg);
+  const auto points = sweep.run_points();
+  const auto c = sweep.probe_counters();
+  std::size_t evals = 0;
+  for (const auto& p : points) evals += p.evaluations;
+  EXPECT_GT(c.delta, 0u);
+  EXPECT_GT(c.delta + c.full + c.cached, 0u);
+  EXPECT_GT(evals, 0u);
+}
+
+}  // namespace

@@ -180,6 +180,71 @@ TEST(SerializeRoundTrip, ScenarioWithConfigAndExpect) {
   EXPECT_EQ(sfg::serialize(parsed), text);
 }
 
+TEST(SerializeRoundTrip, OptExpectSectionRoundTripsCanonically) {
+  sfg::Scenario s;
+  const auto in = s.graph.add_input();
+  s.graph.add_output(s.graph.add_quantizer(in, fxp::q_format(4, 12)));
+  s.opt_expected = {
+      {"greedy", core::EngineKind::kPsd, 1e-8, 2, 24, 0, 38.0},
+      {"anneal", core::EngineKind::kPsd, 1e-8, 2, 16, 42, 37.0},
+      {"bnb", core::EngineKind::kFlat, 1e-6, 4, 12, 0, 30.0},
+  };
+  const std::string text = sfg::serialize(s);
+  const sfg::Scenario parsed = sfg::parse_scenario(text);
+  ASSERT_EQ(parsed.opt_expected.size(), 3u);
+  EXPECT_EQ(parsed.opt_expected[0].strategy, "greedy");
+  EXPECT_EQ(parsed.opt_expected[0].cost, 38.0);
+  EXPECT_EQ(parsed.opt_expected[1].strategy, "anneal");
+  EXPECT_EQ(parsed.opt_expected[1].seed, 42u);
+  EXPECT_EQ(parsed.opt_expected[1].max_bits, 16);
+  EXPECT_EQ(parsed.opt_expected[2].engine, core::EngineKind::kFlat);
+  EXPECT_EQ(parsed.opt_expected[2].budget, 1e-6);
+  // Canonical: re-emitting reproduces the bytes exactly, opt_expect
+  // included (the corpus regen path depends on this).
+  EXPECT_EQ(sfg::serialize(parsed), text);
+  EXPECT_NE(text.find("opt_expect {"), std::string::npos);
+  EXPECT_NE(
+      text.find("run strategy=anneal engine=psd budget=1e-08 min_bits=2 "
+                "max_bits=16 seed=42 cost=37"),
+      std::string::npos);
+}
+
+TEST(SerializeCompat, OptExpectUnknownAttributesAreSkipped) {
+  sfg::Graph g;
+  g.add_output(g.add_quantizer(g.add_input(), fxp::q_format(4, 12)));
+  std::string text = sfg::serialize(g);
+  text +=
+      "opt_expect {\n"
+      "  run strategy=tabu future_knob=7 cost=12\n"
+      "}\n";
+  const sfg::Scenario parsed = sfg::parse_scenario(text);
+  ASSERT_EQ(parsed.opt_expected.size(), 1u);
+  EXPECT_EQ(parsed.opt_expected[0].strategy, "tabu");
+  EXPECT_EQ(parsed.opt_expected[0].cost, 12.0);
+  // Unset attributes fall back to the documented defaults.
+  EXPECT_EQ(parsed.opt_expected[0].engine, core::EngineKind::kPsd);
+  EXPECT_EQ(parsed.opt_expected[0].min_bits, 2);
+  EXPECT_EQ(parsed.opt_expected[0].max_bits, 24);
+  EXPECT_EQ(parsed.opt_expected[0].seed, 0u);
+}
+
+TEST(SerializeErrors, OptExpectSectionProblems) {
+  sfg::Graph g;
+  g.add_output(g.add_quantizer(g.add_input(), fxp::q_format(4, 12)));
+  const std::string doc = sfg::serialize(g);
+  expect_parse_error(doc + "opt_expect {\n  run strategy=greedy\n}\n",
+                     "requires cost=");
+  expect_parse_error(doc + "opt_expect {\n  run cost=1 engine=warp\n}\n",
+                     "unknown engine");
+  expect_parse_error(
+      doc + "opt_expect {\n  run cost=1 min_bits=9 max_bits=4\n}\n",
+      "min_bits <= max_bits");
+  expect_parse_error(doc + "opt_expect {\n  run cost=1\n",
+                     "unterminated opt_expect");
+  expect_parse_error(doc + "opt_expect {\n  walk cost=1\n}\n",
+                     "expected 'run' or '}'");
+}
+
 TEST(SerializeRoundTrip, GraphOnlyDocumentGetsDefaultConfig) {
   sfg::Graph g;
   g.add_output(g.add_input());
@@ -479,7 +544,7 @@ TEST(ContentHash, HashesTheCanonicalSerializedForm) {
   // The scenario overload covers header + graph + config — identical to
   // hashing a serialized Scenario without expectations.
   EXPECT_EQ(sfg::content_hash(g, cfg),
-            sfg::content_hash_bytes(sfg::serialize(sfg::Scenario{g, cfg, {}})));
+            sfg::content_hash_bytes(sfg::serialize(sfg::Scenario{g, cfg, {}, {}})));
 }
 
 TEST(ContentHash, IndependentOfConstructionHistory) {

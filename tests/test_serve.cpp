@@ -66,7 +66,7 @@ std::string quick_document() {
   sim::EvaluationConfig cfg;
   cfg.n_psd = 64;
   cfg.engines = {core::EngineKind::kPsd, core::EngineKind::kFlat};
-  return sfg::serialize(sfg::Scenario{std::move(g), std::move(cfg), {}});
+  return sfg::serialize(sfg::Scenario{std::move(g), std::move(cfg), {}, {}});
 }
 
 // A document whose evaluation takes hundreds of milliseconds (Monte-Carlo
@@ -81,7 +81,7 @@ std::string slow_document(std::size_t engines = 2,
   cfg.n_psd = 64;
   cfg.sim_samples = samples;
   cfg.engines.assign(engines, core::EngineKind::kSimulation);
-  return sfg::serialize(sfg::Scenario{std::move(g), std::move(cfg), {}});
+  return sfg::serialize(sfg::Scenario{std::move(g), std::move(cfg), {}, {}});
 }
 
 std::uint64_t stat_of(serve::Client& client, std::string_view key) {
@@ -580,9 +580,181 @@ TEST_F(ServeServerTest, OptimizerOnSourcelessGraphIsBadRequest) {
   g.add_output(g.add_gain(g.add_input(), 0.5));
   serve::OptimizerSpec spec;
   const auto r = client.submit_opt(
-      sfg::serialize(sfg::Scenario{std::move(g), {}, {}}), spec);
+      sfg::serialize(sfg::Scenario{std::move(g), {}, {}, {}}), spec);
   EXPECT_FALSE(r.ok);
   EXPECT_EQ(r.error, "BAD_REQUEST");
+}
+
+TEST_F(ServeServerTest, OptimizerJobRunsSeededAnnealNoWorseThanGreedy) {
+  start();
+  serve::Client client = connect();
+  const std::string doc =
+      read_file(std::string(PSDACC_CORPUS_DIR) + "/fir_lp_direct.sfg");
+  serve::OptimizerSpec greedy;
+  greedy.strategy = "greedy";
+  greedy.noise_budget = 1e-8;
+  const auto g = client.submit_opt(doc, greedy);
+  ASSERT_TRUE(g.ok) << g.error << ": " << g.message;
+
+  serve::OptimizerSpec anneal = greedy;
+  anneal.strategy = "anneal";
+  anneal.seed = 42;
+  const auto a = client.submit_opt(doc, anneal);
+  ASSERT_TRUE(a.ok) << a.error << ": " << a.message;
+  EXPECT_EQ(a.strategy, "anneal");
+  EXPECT_TRUE(a.feasible);
+  // Annealing is seeded from greedy and keeps the best-ever assignment,
+  // so it can never come back worse.
+  EXPECT_LE(a.cost, g.cost);
+  // Both optimizer runs fold their probe counters into the lifetime stats.
+  EXPECT_GT(stat_of(client, "opt_probes_delta"), 0u);
+}
+
+TEST_F(ServeServerTest, OptimizerRejectsUnknownStrategy) {
+  start();
+  serve::Client client = connect();
+  serve::OptimizerSpec spec;
+  spec.strategy = "gradient";  // not in the search vocabulary
+  const auto r = client.submit_opt(quick_document(), spec);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "BAD_REQUEST");
+}
+
+// ---------------------------------------------------------------------------
+// Live server: Pareto sweep jobs (PARJ)
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeServerTest, SweepJobStreamsOnePointPerBudgetAndReturnsFront) {
+  start();
+  serve::Client client = connect();
+  serve::SweepSpec spec;
+  spec.budgets = {1e-9, 1e-8, 1e-7, 1e-6};
+  spec.min_bits = 4;
+  spec.max_bits = 20;
+  const std::string doc =
+      read_file(std::string(PSDACC_CORPUS_DIR) + "/fir_lp_direct.sfg");
+  const auto r = client.submit_sweep(doc, spec);
+  ASSERT_TRUE(r.ok) << r.error << ": " << r.message;
+  EXPECT_EQ(r.strategy, "greedy");
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_EQ(r.hash.size(), 32u);
+
+  // Every budget produced a point, in ladder order.
+  ASSERT_EQ(r.sweep_points.size(), spec.budgets.size());
+  for (std::size_t i = 0; i < spec.budgets.size(); ++i) {
+    EXPECT_EQ(r.sweep_points[i].index, i);
+    EXPECT_EQ(r.sweep_points[i].budget, spec.budgets[i]);
+  }
+  // The front is non-empty, cost-ascending, and dominance-consistent.
+  ASSERT_FALSE(r.front.empty());
+  for (std::size_t i = 1; i < r.front.size(); ++i) {
+    EXPECT_GT(r.front[i].cost, r.front[i - 1].cost);
+    EXPECT_LT(r.front[i].noise, r.front[i - 1].noise);
+  }
+  for (const auto& p : r.front) EXPECT_TRUE(p.feasible);
+
+  // One PROG frame per completed point, in ladder order (serve sweeps run
+  // the ladder serially; the pool accelerates the probes inside a point).
+  ASSERT_EQ(r.progress.size(), spec.budgets.size());
+  for (std::size_t i = 0; i < r.progress.size(); ++i) {
+    const auto kv = serve::parse_kv_lines(r.progress[i]);
+    EXPECT_EQ(serve::kv_get(kv, "point"), std::to_string(i));
+    EXPECT_FALSE(serve::kv_get(kv, "budget").empty());
+    EXPECT_FALSE(serve::kv_get(kv, "cost").empty());
+  }
+
+  // The sweep rode the delta probe path: delta >> full re-evaluations.
+  EXPECT_GT(r.probes_delta, r.probes_full);
+  EXPECT_GT(r.probes_delta, 0u);
+}
+
+TEST_F(ServeServerTest, SweepCacheHitReplaysBitIdenticalWithoutProgress) {
+  start();
+  serve::Client client = connect();
+  serve::SweepSpec spec;
+  spec.budgets = {1e-8, 1e-7};
+  spec.min_bits = 4;
+  spec.max_bits = 20;
+  const std::string doc =
+      read_file(std::string(PSDACC_CORPUS_DIR) + "/fir_lp_direct.sfg");
+  const auto first = client.submit_sweep(doc, spec);
+  ASSERT_TRUE(first.ok) << first.error << ": " << first.message;
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(first.progress.size(), 2u);
+
+  // Replay: same document + same sweep section → stored bytes verbatim,
+  // terminal RSLT only (completed points are in the body, not re-streamed).
+  const auto second = client.submit_sweep(doc, spec);
+  ASSERT_TRUE(second.ok);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_TRUE(second.progress.empty());
+  EXPECT_EQ(second.hash, first.hash);
+  const auto body_of = [](const std::string& raw) {
+    const auto pos = raw.find("strategy=");
+    return pos == std::string::npos ? raw : raw.substr(pos);
+  };
+  EXPECT_EQ(body_of(second.raw), body_of(first.raw));
+  EXPECT_EQ(stat_of(client, "cache_hits"), 1u);
+
+  // A different ladder is a different key: miss, not a stale replay.
+  spec.budgets = {1e-6};
+  const auto third = client.submit_sweep(doc, spec);
+  ASSERT_TRUE(third.ok);
+  EXPECT_FALSE(third.cache_hit);
+  EXPECT_NE(third.hash, first.hash);
+}
+
+TEST_F(ServeServerTest, SweepStatsAggregateOptimizerProbeCounters) {
+  start();
+  serve::Client client = connect();
+  serve::SweepSpec spec;
+  spec.budgets = {1e-8, 1e-7};
+  spec.min_bits = 4;
+  spec.max_bits = 20;
+  const std::string doc =
+      read_file(std::string(PSDACC_CORPUS_DIR) + "/fir_lp_direct.sfg");
+  const auto r = client.submit_sweep(doc, spec);
+  ASSERT_TRUE(r.ok) << r.error << ": " << r.message;
+  // Satellite contract: the lifetime STTS counters equal the one job's
+  // response counters on a fresh server — and show delta >> full, the
+  // serving-side signature of the delta probe path.
+  EXPECT_EQ(stat_of(client, "opt_probes_full"), r.probes_full);
+  EXPECT_EQ(stat_of(client, "opt_probes_cached"), r.probes_cached);
+  EXPECT_EQ(stat_of(client, "opt_probes_delta"), r.probes_delta);
+  EXPECT_GT(stat_of(client, "opt_probes_delta"),
+            stat_of(client, "opt_probes_full"));
+}
+
+TEST_F(ServeServerTest, SweepRejectsBadSections) {
+  start();
+  serve::Client client = connect();
+  const std::string doc = quick_document();
+  {
+    serve::SweepSpec spec;
+    spec.strategy = "gradient";  // unknown token: rejected at parse
+    const auto r = client.submit_sweep(doc, spec);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.error, "BAD_REQUEST");
+  }
+  {
+    serve::SweepSpec spec;
+    spec.budget_lo = 1e-4;  // inverted ladder
+    spec.budget_hi = 1e-9;
+    const auto r = client.submit_sweep(doc, spec);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.error, "BAD_REQUEST");
+  }
+  {
+    sfg::Graph g;
+    g.add_output(g.add_gain(g.add_input(), 0.5));  // no noise sources
+    serve::SweepSpec spec;
+    const auto r = client.submit_sweep(
+        sfg::serialize(sfg::Scenario{std::move(g), {}, {}, {}}), spec);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.error, "BAD_REQUEST");
+  }
+  // The connection survives every rejection.
+  EXPECT_TRUE(client.submit_eval(doc).ok);
 }
 
 // ---------------------------------------------------------------------------

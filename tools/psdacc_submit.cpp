@@ -12,6 +12,13 @@
 //       Submit a word-length optimization job and print the resulting
 //       assignment (streamed PROG frames are counted, not printed).
 //
+//   psdacc-submit [--port P] sweep [--strategy S] [--budgets B1,B2,...]
+//                 [--budget-lo B] [--budget-hi B] [--points N]
+//                 [--min-bits N] [--max-bits N] [--engine E] [--seed S]
+//                 [--timeout-ms T] <file.sfg>
+//       Submit a Pareto-sweep job (PARJ) and print the dominance-filtered
+//       front as CSV (one PROG frame streams per completed budget point).
+//
 //   psdacc-submit [--port P] stats
 //       Print the server's stats snapshot.
 #include <cmath>
@@ -39,6 +46,12 @@ int usage() {
       " [--min-bits N]\n"
       "                     [--max-bits N] [--engine E] [--timeout-ms T]"
       " <file.sfg>\n"
+      "       psdacc-submit [--port P] sweep [--strategy S]"
+      " [--budgets B1,B2,...]\n"
+      "                     [--budget-lo B] [--budget-hi B] [--points N]"
+      " [--min-bits N]\n"
+      "                     [--max-bits N] [--engine E] [--seed S]"
+      " [--timeout-ms T] <file.sfg>\n"
       "       psdacc-submit [--port P] stats\n");
   return 2;
 }
@@ -189,6 +202,86 @@ int cmd_opt(serve::Client& client, const std::vector<std::string>& args) {
   return r.cancelled ? 3 : 0;
 }
 
+int cmd_sweep(serve::Client& client, const std::vector<std::string>& args) {
+  serve::SweepSpec spec;
+  std::chrono::milliseconds timeout{0};
+  std::vector<std::string> files;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const auto value = [&]() -> const char* {
+      return i + 1 < args.size() ? args[++i].c_str() : nullptr;
+    };
+    const char* v = nullptr;
+    if (args[i] == "--strategy" && (v = value()) != nullptr)
+      spec.strategy = v;
+    else if (args[i] == "--budgets" && (v = value()) != nullptr) {
+      spec.budgets.clear();
+      std::string list(v);
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        std::size_t end = list.find(',', pos);
+        if (end == std::string::npos) end = list.size();
+        if (end > pos)
+          spec.budgets.push_back(
+              std::strtod(list.substr(pos, end - pos).c_str(), nullptr));
+        pos = end + 1;
+      }
+    } else if (args[i] == "--budget-lo" && (v = value()) != nullptr)
+      spec.budget_lo = std::strtod(v, nullptr);
+    else if (args[i] == "--budget-hi" && (v = value()) != nullptr)
+      spec.budget_hi = std::strtod(v, nullptr);
+    else if (args[i] == "--points" && (v = value()) != nullptr)
+      spec.points = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    else if (args[i] == "--min-bits" && (v = value()) != nullptr)
+      spec.min_bits = static_cast<int>(std::strtol(v, nullptr, 10));
+    else if (args[i] == "--max-bits" && (v = value()) != nullptr)
+      spec.max_bits = static_cast<int>(std::strtol(v, nullptr, 10));
+    else if (args[i] == "--engine" && (v = value()) != nullptr) {
+      const auto kind = core::parse_engine_kind(v);
+      if (!kind.has_value()) {
+        std::fprintf(stderr, "psdacc-submit: unknown engine '%s'\n", v);
+        return 2;
+      }
+      spec.engine = *kind;
+    } else if (args[i] == "--seed" && (v = value()) != nullptr)
+      spec.seed = std::strtoull(v, nullptr, 10);
+    else if (args[i] == "--timeout-ms" && (v = value()) != nullptr)
+      timeout = std::chrono::milliseconds(std::strtol(v, nullptr, 10));
+    else
+      files.push_back(args[i]);
+  }
+  if (files.size() != 1) return usage();
+
+  const std::string& path = files.front();
+  const serve::Response r =
+      client.submit_sweep(read_file(path), spec, timeout);
+  if (!r.ok && r.error != "TIMEOUT") {
+    print_failure(path, r);
+    return 1;
+  }
+  const bool partial = !r.ok;  // TIMEOUT with a completed prefix attached
+  std::printf("%s %s strategy=%s cache=%s points=%zu front=%zu "
+              "probes_full=%llu probes_delta=%llu progress=%zu\n",
+              partial ? "TIMEOUT(partial)" : "ok  ", path.c_str(),
+              r.strategy.c_str(), r.cache_hit ? "hit" : "miss",
+              r.sweep_points.size(), r.front.size(),
+              static_cast<unsigned long long>(r.probes_full),
+              static_cast<unsigned long long>(r.probes_delta),
+              r.progress.size());
+  std::printf("budget,cost,noise,feasible,evaluations,bits\n");
+  for (const auto& p : r.front) {
+    std::string bits;
+    for (std::size_t i = 0; i < p.bits.size(); ++i) {
+      if (i > 0) bits += '|';
+      bits += std::to_string(p.bits[i]);
+    }
+    std::printf("%.17g,%.17g,%.17g,%d,%llu,%s\n", p.budget, p.cost,
+                p.noise, p.feasible ? 1 : 0,
+                static_cast<unsigned long long>(p.evaluations),
+                bits.c_str());
+  }
+  return partial ? 3 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -206,6 +299,7 @@ int main(int argc, char** argv) {
     serve::Client client(port);
     if (cmd == "eval") return cmd_eval(client, args);
     if (cmd == "opt") return cmd_opt(client, args);
+    if (cmd == "sweep") return cmd_sweep(client, args);
     if (cmd == "stats" && args.empty()) {
       std::fputs(client.stats_text().c_str(), stdout);
       return 0;

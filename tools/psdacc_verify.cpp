@@ -100,9 +100,10 @@ int cmd_regen(const std::vector<std::string>& files) {
     try {
       sfg::Scenario s = sfg::parse_scenario(read_file(path));
       s.expected = sfg::evaluate_expected(s);
+      s.opt_expected = sfg::evaluate_opt_expected(s);
       sfg::save_scenario(path, s);
-      std::printf("regen %s (%zu expectation(s))\n", path.c_str(),
-                  s.expected.size());
+      std::printf("regen %s (%zu expectation(s), %zu optimizer golden(s))\n",
+                  path.c_str(), s.expected.size(), s.opt_expected.size());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "FAIL %s: %s\n", path.c_str(), e.what());
       return 1;
@@ -182,7 +183,7 @@ std::vector<CorpusEntry> standard_corpus() {
   const auto add = [&](std::string name, sfg::Graph g,
                        sim::EvaluationConfig cfg) {
     corpus.push_back({std::move(name),
-                      sfg::Scenario{std::move(g), std::move(cfg), {}}});
+                      sfg::Scenario{std::move(g), std::move(cfg), {}, {}}});
   };
 
   // Table-I-style single quantized filters.
@@ -342,6 +343,38 @@ std::vector<CorpusEntry> standard_corpus() {
                        q412),
       simulation_config(5678));
 
+  // Optimizer goldens: word-length searches pinned end to end (budget →
+  // searched cost) on a chain, a reconvergent join, and a multirate
+  // decimator. Costs are filled by regen/emit — the strategies are
+  // deterministic, so these pin search behavior like `expect` pins the
+  // engines.
+  const auto add_opt_golden = [&](const std::string& name,
+                                  const char* strategy,
+                                  core::EngineKind engine, double budget,
+                                  std::uint64_t seed) {
+    for (auto& entry : corpus) {
+      if (entry.name != name) continue;
+      sfg::OptExpectation e;
+      e.strategy = strategy;
+      e.engine = engine;
+      e.budget = budget;
+      e.seed = seed;
+      entry.scenario.opt_expected.push_back(std::move(e));
+      return;
+    }
+  };
+  add_opt_golden("fir_lp_direct", "greedy", core::EngineKind::kPsd, 1e-8, 0);
+  add_opt_golden("fir_lp_direct", "anneal", core::EngineKind::kPsd, 1e-8,
+                 42);
+  add_opt_golden("fir_lp_direct", "bnb", core::EngineKind::kPsd, 1e-8, 0);
+  add_opt_golden("two_path_d5", "greedy", core::EngineKind::kPsd, 1e-8, 0);
+  add_opt_golden("two_path_d5", "anneal", core::EngineKind::kPsd, 1e-8, 42);
+  add_opt_golden("two_path_d5", "tabu", core::EngineKind::kPsd, 1e-8, 0);
+  add_opt_golden("multirate_decimator", "greedy", core::EngineKind::kPsd,
+                 1e-8, 0);
+  add_opt_golden("multirate_decimator", "min_plus_one",
+                 core::EngineKind::kPsd, 1e-8, 0);
+
   return corpus;
 }
 
@@ -351,6 +384,8 @@ int cmd_emit_corpus(const std::vector<std::string>& args) {
   auto corpus = standard_corpus();
   for (auto& entry : corpus) {
     entry.scenario.expected = sfg::evaluate_expected(entry.scenario);
+    entry.scenario.opt_expected =
+        sfg::evaluate_opt_expected(entry.scenario);
     const std::string path = dir + "/" + entry.name + ".sfg";
     try {
       sfg::save_scenario(path, entry.scenario);
