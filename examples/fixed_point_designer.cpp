@@ -107,7 +107,8 @@ int main(int argc, char** argv) {
       10.0 * std::log10(signal_power / report.reference_power));
 
   // Step 4 — export the final design for documentation.
-  std::ofstream("fixed_point_design.dot") << sfg::to_dot(g, "cascade6");
+  std::ofstream dot_file("fixed_point_design.dot");
+  sfg::dot::to_dot(dot_file, g, "cascade6");
   std::printf(
       "\nstep 4: wrote fixed_point_design.dot (render with: dot -Tpng "
       "fixed_point_design.dot)\n");

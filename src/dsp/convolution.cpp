@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dsp/kernels.hpp"
 #include "support/assert.hpp"
 
 namespace psdacc::dsp {
@@ -24,7 +25,7 @@ std::vector<double> convolve_fft(std::span<const double> x,
   std::vector<cplx> xs, hs;
   plan.rfft(x, xs);
   plan.rfft(h, hs);
-  for (std::size_t i = 0; i < n; ++i) xs[i] *= hs[i];
+  kernels::complex_mul(xs, hs);
   plan.inverse(xs);
   std::vector<double> out(out_len);
   for (std::size_t i = 0; i < out_len; ++i) out[i] = xs[i].real();
@@ -32,7 +33,9 @@ std::vector<double> convolve_fft(std::span<const double> x,
 }
 
 OverlapSave::OverlapSave(std::span<const double> h, std::size_t fft_size)
-    : taps_(h.size()), fft_size_(fft_size), plan_(plan_handle_for(fft_size)) {
+    : taps_(h.size()),
+      fft_size_(fft_size),
+      plan_(PlanCache::instance().handle(fft_size)) {
   PSDACC_EXPECTS(!h.empty());
   PSDACC_EXPECTS(is_power_of_two(fft_size));
   PSDACC_EXPECTS(fft_size >= 2 * h.size());
@@ -50,7 +53,7 @@ std::vector<double> OverlapSave::process_block(std::span<const double> x) {
   for (std::size_t i = 0; i < x.size(); ++i)
     buf_[history_.size() + i] = cplx(x[i], 0.0);
   plan_->forward(buf_);
-  for (std::size_t i = 0; i < fft_size_; ++i) buf_[i] *= h_spectrum_[i];
+  kernels::complex_mul(buf_, h_spectrum_);
   plan_->inverse(buf_);
   // The first taps_-1 outputs are circularly corrupted; keep the rest.
   std::vector<double> out(block_size_);

@@ -7,12 +7,21 @@
 #include <numbers>
 #include <unordered_map>
 
+#include "dsp/kernels.hpp"
 #include "support/assert.hpp"
+
+// Transforms run in split-complex (SoA) layout throughout: the butterfly
+// stages and Bluestein pointwise products call the vectorized dsp::kernels
+// entry points, and only the interleaved std::complex boundary converts.
+// The kernels reproduce libstdc++'s finite-operand complex arithmetic
+// operation for operation, so the results are bit-identical to the old
+// interleaved implementation (and between SIMD and scalar builds).
 
 namespace psdacc::dsp {
 
 FftPlan::FftPlan(std::size_t n) : n_(n) {
   PSDACC_EXPECTS(n >= 1);
+  PlanCache& cache = PlanCache::instance();
   if (is_power_of_two(n_)) {
     // Bit-reversal permutation, stored as the swap pairs applied in order.
     for (std::size_t i = 1, j = 0; i < n_; ++i) {
@@ -26,104 +35,144 @@ FftPlan::FftPlan(std::size_t n) : n_(n) {
     }
     // Forward twiddles e^{-j 2 pi k / len}, k = 0..len/2-1, one run per
     // butterfly stage; the stage with span `len` starts at offset len/2 - 1.
-    twiddle_.reserve(n_ > 1 ? n_ - 1 : 0);
+    const std::size_t total = n_ > 1 ? n_ - 1 : 0;
+    twiddle_re_.reserve(total);
+    twiddle_im_.reserve(total);
     for (std::size_t len = 2; len <= n_; len <<= 1) {
       for (std::size_t k = 0; k < len / 2; ++k) {
         const double angle = -2.0 * std::numbers::pi *
                              static_cast<double>(k) /
                              static_cast<double>(len);
-        twiddle_.emplace_back(std::cos(angle), std::sin(angle));
+        twiddle_re_.push_back(std::cos(angle));
+        twiddle_im_.push_back(std::sin(angle));
       }
     }
   } else {
     // Bluestein: DFT as a convolution with a chirp, via a power-of-two FFT.
     const std::size_t m = next_power_of_two(2 * n_ + 1);
-    conv_ = plan_handle_for(m);
-    chirp_.resize(n_);
+    conv_ = cache.handle(m);
+    chirp_re_.resize(n_);
+    chirp_im_.resize(n_);
     for (std::size_t i = 0; i < n_; ++i) {
       // angle = -pi * i^2 / n, with i^2 taken mod 2n to avoid overflow.
       const std::size_t sq = (i * i) % (2 * n_);
       const double angle = -std::numbers::pi * static_cast<double>(sq) /
                            static_cast<double>(n_);
-      chirp_[i] = cplx(std::cos(angle), std::sin(angle));
+      chirp_re_[i] = std::cos(angle);
+      chirp_im_[i] = std::sin(angle);
     }
-    kernel_spectrum_.assign(m, cplx(0.0, 0.0));
-    kernel_spectrum_[0] = std::conj(chirp_[0]);
+    kernel_re_.assign(m, 0.0);
+    kernel_im_.assign(m, 0.0);
+    kernel_re_[0] = chirp_re_[0];
+    kernel_im_[0] = -chirp_im_[0];
     for (std::size_t i = 1; i < n_; ++i) {
-      kernel_spectrum_[i] = std::conj(chirp_[i]);
-      kernel_spectrum_[m - i] = std::conj(chirp_[i]);
+      kernel_re_[i] = chirp_re_[i];
+      kernel_im_[i] = -chirp_im_[i];
+      kernel_re_[m - i] = chirp_re_[i];
+      kernel_im_[m - i] = -chirp_im_[i];
     }
-    conv_->forward(kernel_spectrum_);
-    work_.resize(m);
+    conv_->transform_pow2_split(kernel_re_.data(), kernel_im_.data(), -1);
+    work_re_.resize(m);
+    work_im_.resize(m);
   }
+  split_re_.resize(n_);
+  split_im_.resize(n_);
   if (n_ >= 2 && n_ % 2 == 0) {
-    half_ = plan_handle_for(n_ / 2);
-    rfft_twiddle_.resize(n_ / 2 + 1);
+    half_ = cache.handle(n_ / 2);
+    rfft_tw_re_.resize(n_ / 2 + 1);
+    rfft_tw_im_.resize(n_ / 2 + 1);
     for (std::size_t k = 0; k <= n_ / 2; ++k) {
       const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) /
                            static_cast<double>(n_);
-      rfft_twiddle_[k] = cplx(std::cos(angle), std::sin(angle));
+      rfft_tw_re_[k] = std::cos(angle);
+      rfft_tw_im_[k] = std::sin(angle);
     }
-    half_work_.resize(n_ / 2);
+    half_re_.resize(n_ / 2);
+    half_im_.resize(n_ / 2);
   }
 }
 
-void FftPlan::transform_pow2(cplx* a, int sign) const {
-  for (std::size_t p = 0; p < bitrev_swaps_.size(); p += 2)
-    std::swap(a[bitrev_swaps_[p]], a[bitrev_swaps_[p + 1]]);
-  const cplx* stage = twiddle_.data();
+void FftPlan::transform_pow2_split(double* re, double* im, int sign) const {
+  for (std::size_t p = 0; p < bitrev_swaps_.size(); p += 2) {
+    std::swap(re[bitrev_swaps_[p]], re[bitrev_swaps_[p + 1]]);
+    std::swap(im[bitrev_swaps_[p]], im[bitrev_swaps_[p + 1]]);
+  }
+  const double* wr = twiddle_re_.data();
+  const double* wi = twiddle_im_.data();
+  const bool conj_tw = sign > 0;
   for (std::size_t len = 2; len <= n_; len <<= 1) {
     const std::size_t half = len / 2;
-    for (std::size_t i = 0; i < n_; i += len) {
-      for (std::size_t k = 0; k < half; ++k) {
-        const cplx w = sign < 0 ? stage[k] : std::conj(stage[k]);
-        const cplx u = a[i + k];
-        const cplx v = a[i + k + half] * w;
-        a[i + k] = u + v;
-        a[i + k + half] = u - v;
-      }
-    }
-    stage += half;
+    for (std::size_t i = 0; i < n_; i += len)
+      kernels::butterfly(re + i, im + i, half, wr, wi, conj_tw);
+    wr += half;
+    wi += half;
   }
 }
 
-void FftPlan::forward_bluestein(std::vector<cplx>& data) const {
-  const std::size_t m = work_.size();
-  for (std::size_t i = 0; i < n_; ++i) work_[i] = data[i] * chirp_[i];
-  for (std::size_t i = n_; i < m; ++i) work_[i] = cplx(0.0, 0.0);
-  conv_->transform_pow2(work_.data(), -1);
-  for (std::size_t i = 0; i < m; ++i) work_[i] *= kernel_spectrum_[i];
-  conv_->transform_pow2(work_.data(), +1);
+void FftPlan::bluestein_split(double* re, double* im) const {
+  const std::size_t m = work_re_.size();
+  std::copy(re, re + n_, work_re_.begin());
+  std::copy(im, im + n_, work_im_.begin());
+  kernels::complex_mul({work_re_.data(), n_}, {work_im_.data(), n_},
+                       {chirp_re_.data(), n_}, {chirp_im_.data(), n_});
+  std::fill(work_re_.begin() + static_cast<std::ptrdiff_t>(n_),
+            work_re_.end(), 0.0);
+  std::fill(work_im_.begin() + static_cast<std::ptrdiff_t>(n_),
+            work_im_.end(), 0.0);
+  conv_->transform_pow2_split(work_re_.data(), work_im_.data(), -1);
+  kernels::complex_mul({work_re_.data(), m}, {work_im_.data(), m},
+                       {kernel_re_.data(), m}, {kernel_im_.data(), m});
+  conv_->transform_pow2_split(work_re_.data(), work_im_.data(), +1);
+  // Same operation order as the interleaved original: the 1/m scaling
+  // applies before the chirp product.
   const double inv_m = 1.0 / static_cast<double>(m);
-  for (std::size_t i = 0; i < n_; ++i)
-    data[i] = work_[i] * inv_m * chirp_[i];
+  kernels::scale({work_re_.data(), n_}, inv_m);
+  kernels::scale({work_im_.data(), n_}, inv_m);
+  kernels::complex_mul({work_re_.data(), n_}, {work_im_.data(), n_},
+                       {chirp_re_.data(), n_}, {chirp_im_.data(), n_});
+  std::copy(work_re_.begin(), work_re_.begin() + static_cast<std::ptrdiff_t>(n_),
+            re);
+  std::copy(work_im_.begin(), work_im_.begin() + static_cast<std::ptrdiff_t>(n_),
+            im);
+}
+
+void FftPlan::forward_split(double* re, double* im) const {
+  if (n_ == 1) return;
+  if (conv_ == nullptr) {
+    transform_pow2_split(re, im, -1);
+  } else {
+    bluestein_split(re, im);
+  }
 }
 
 void FftPlan::forward(std::vector<cplx>& data) const {
   PSDACC_EXPECTS(data.size() == n_);
   if (n_ == 1) return;
-  if (conv_ == nullptr) {
-    transform_pow2(data.data(), -1);
-  } else {
-    forward_bluestein(data);
-  }
+  kernels::split_complex(data, split_re_, split_im_);
+  forward_split(split_re_.data(), split_im_.data());
+  kernels::merge_complex(split_re_, split_im_, data);
 }
 
 void FftPlan::inverse(std::vector<cplx>& data) const {
   PSDACC_EXPECTS(data.size() == n_);
   if (n_ == 1) return;
-  if (conv_ == nullptr) {
-    transform_pow2(data.data(), +1);
-    const double inv_n = 1.0 / static_cast<double>(n_);
-    for (auto& v : data) v *= inv_n;
-    return;
-  }
-  // IFFT(x) = conj(FFT(conj(x))) / n keeps the Bluestein tables
-  // forward-only.
-  for (auto& v : data) v = std::conj(v);
-  forward_bluestein(data);
+  kernels::split_complex(data, split_re_, split_im_);
   const double inv_n = 1.0 / static_cast<double>(n_);
-  for (auto& v : data) v = std::conj(v) * inv_n;
+  if (conv_ == nullptr) {
+    transform_pow2_split(split_re_.data(), split_im_.data(), +1);
+    kernels::scale(split_re_, inv_n);
+    kernels::scale(split_im_, inv_n);
+  } else {
+    // IFFT(x) = conj(FFT(conj(x))) / n keeps the Bluestein tables
+    // forward-only. Conjugation is a sign flip on the imaginary array
+    // (multiplying by -1 is exact), and the trailing conj folds into the
+    // 1/n scaling.
+    kernels::scale(split_im_, -1.0);
+    bluestein_split(split_re_.data(), split_im_.data());
+    kernels::scale(split_re_, inv_n);
+    kernels::scale(split_im_, -inv_n);
+  }
+  kernels::merge_complex(split_re_, split_im_, data);
 }
 
 void FftPlan::rfft(std::span<const double> x, std::vector<cplx>& out) const {
@@ -135,29 +184,46 @@ void FftPlan::rfft(std::span<const double> x, std::vector<cplx>& out) const {
     forward(out);
     return;
   }
-  // Pack pairs of real samples into one half-length complex signal:
-  // z[i] = x[2i] + j x[2i+1].
+  // Pack pairs of real samples into one half-length complex signal,
+  // z[i] = x[2i] + j x[2i+1] — in split layout that is exactly a
+  // deinterleave of the input, straight into the half-size scratch.
   const std::size_t h = n_ / 2;
-  for (std::size_t i = 0; i < h; ++i) {
-    const double re = 2 * i < copy ? x[2 * i] : 0.0;
-    const double im = 2 * i + 1 < copy ? x[2 * i + 1] : 0.0;
-    half_work_[i] = cplx(re, im);
+  if (copy == n_) {
+    kernels::split_complex(
+        {reinterpret_cast<const cplx*>(x.data()), h}, half_re_, half_im_);
+  } else {
+    for (std::size_t i = 0; i < h; ++i) {
+      half_re_[i] = 2 * i < copy ? x[2 * i] : 0.0;
+      half_im_[i] = 2 * i + 1 < copy ? x[2 * i + 1] : 0.0;
+    }
   }
-  half_->forward(half_work_);
+  half_->forward_split(half_re_.data(), half_im_.data());
   // Split Z into the even/odd-sample spectra and recombine:
-  // X[k] = E[k] + W_n^k O[k], with X[n-k] = conj(X[k]).
+  // X[k] = E[k] + W_n^k O[k], with X[n-k] = conj(X[k]). The component
+  // expressions below spell out the complex arithmetic of the interleaved
+  // original (including the zero products) so results match it bit for
+  // bit.
   out.resize(n_);
-  const cplx z0 = half_work_[0];
-  out[0] = cplx(z0.real() + z0.imag(), 0.0);
-  out[h] = cplx(z0.real() - z0.imag(), 0.0);
+  out[0] = cplx(half_re_[0] + half_im_[0], 0.0);
+  out[h] = cplx(half_re_[0] - half_im_[0], 0.0);
   for (std::size_t k = 1; k < h; ++k) {
-    const cplx zk = half_work_[k];
-    const cplx zc = std::conj(half_work_[h - k]);
-    const cplx even = 0.5 * (zk + zc);
-    const cplx odd = cplx(0.0, -0.5) * (zk - zc);
-    const cplx xk = even + rfft_twiddle_[k] * odd;
-    out[k] = xk;
-    out[n_ - k] = std::conj(xk);
+    const double ar = half_re_[k];
+    const double ai = half_im_[k];
+    const double br = half_re_[h - k];
+    const double bi = -half_im_[h - k];  // conj(Z[h-k])
+    const double even_re = 0.5 * (ar + br);
+    const double even_im = 0.5 * (ai + bi);
+    const double d_re = ar - br;
+    const double d_im = ai - bi;
+    // odd = (0 - 0.5j) * d, written as the full product formula.
+    const double odd_re = 0.0 * d_re - (-0.5) * d_im;
+    const double odd_im = 0.0 * d_im + (-0.5) * d_re;
+    const double wr = rfft_tw_re_[k];
+    const double wi = rfft_tw_im_[k];
+    const double xk_re = even_re + (wr * odd_re - wi * odd_im);
+    const double xk_im = even_im + (wr * odd_im + wi * odd_re);
+    out[k] = cplx(xk_re, xk_im);
+    out[n_ - k] = cplx(xk_re, -xk_im);
   }
 }
 
@@ -175,21 +241,21 @@ struct CacheEntry {
 // memory (twiddle tables per worker) for lock-free lookups on the hot path.
 // Bounded: LRU-evicted down to `capacity` after every insert, so a server
 // worker sweeping arbitrary transform sizes holds O(capacity) plans.
-struct PlanCache {
+struct CacheState {
   std::unordered_map<std::size_t, CacheEntry> map;
   std::uint64_t tick = 0;
   std::size_t capacity = kDefaultPlanCacheCapacity;
 };
 
-PlanCache& thread_cache() {
-  thread_local PlanCache cache;
+CacheState& thread_cache() {
+  thread_local CacheState cache;
   return cache;
 }
 
 // Evicting is a plain erase: the shared_ptr keeps the plan alive for any
 // holder (a parent plan's sub-plan member, an OverlapSave, a caller mid
-// plan_handle_for), so eviction can only ever free memory, never dangle.
-void evict_to_capacity(PlanCache& cache) {
+// PlanCache::handle), so eviction can only ever free memory, never dangle.
+void evict_to_capacity(CacheState& cache) {
   while (cache.map.size() > cache.capacity) {
     auto victim = cache.map.begin();
     for (auto it = std::next(victim); it != cache.map.end(); ++it)
@@ -200,17 +266,25 @@ void evict_to_capacity(PlanCache& cache) {
 
 }  // namespace
 
-std::shared_ptr<const FftPlan> plan_handle_for(std::size_t n) {
+PlanCache& PlanCache::instance() {
+  // The facade is stateless (all real state is in thread_cache()), but
+  // handing out a thread_local instance keeps the call sites honest about
+  // the per-thread scoping.
+  thread_local PlanCache facade;
+  return facade;
+}
+
+std::shared_ptr<const FftPlan> PlanCache::handle(std::size_t n) {
   PSDACC_EXPECTS(n >= 1);
-  PlanCache& cache = thread_cache();
+  CacheState& cache = thread_cache();
   const auto it = cache.map.find(n);
   if (it != cache.map.end()) {
     it->second.last_use = ++cache.tick;
     return it->second.plan;
   }
-  // Construct before inserting: the constructor recurses into
-  // plan_handle_for() for its sub-plans (Bluestein convolution size, rfft
-  // half size), and those inserts may themselves evict.
+  // Construct before inserting: the constructor recurses into handle()
+  // for its sub-plans (Bluestein convolution size, rfft half size), and
+  // those inserts may themselves evict.
   auto plan = std::make_shared<const FftPlan>(n);
   CacheEntry& entry = cache.map[n];
   entry.plan = plan;
@@ -219,23 +293,41 @@ std::shared_ptr<const FftPlan> plan_handle_for(std::size_t n) {
   return plan;
 }
 
-const FftPlan& plan_for(std::size_t n) {
-  // The cache's reference keeps the plan alive after the handle returned
-  // here dies; the next insert may evict it, which is why bare references
-  // are only stable until the thread's next plan_for call.
-  return *plan_handle_for(n);
-}
+const FftPlan& PlanCache::get(std::size_t n) { return *handle(n); }
 
-std::size_t plan_cache_capacity() { return thread_cache().capacity; }
+std::size_t PlanCache::size() const { return thread_cache().map.size(); }
 
-void set_plan_cache_capacity(std::size_t capacity) {
-  PlanCache& cache = thread_cache();
+std::size_t PlanCache::capacity() const { return thread_cache().capacity; }
+
+void PlanCache::set_capacity(std::size_t capacity) {
+  CacheState& cache = thread_cache();
   cache.capacity = capacity < 1 ? 1 : capacity;
   evict_to_capacity(cache);
 }
 
-std::size_t plan_cache_size() { return thread_cache().map.size(); }
+void PlanCache::clear() { thread_cache().map.clear(); }
 
-void clear_plan_cache() { thread_cache().map.clear(); }
+const FftPlan& plan_for(std::size_t n) {
+  // The cache's reference keeps the plan alive after the handle returned
+  // here dies; the next insert may evict it, which is why bare references
+  // are only stable until the thread's next plan_for call.
+  return PlanCache::instance().get(n);
+}
+
+std::shared_ptr<const FftPlan> plan_handle_for(std::size_t n) {
+  return PlanCache::instance().handle(n);
+}
+
+std::size_t plan_cache_capacity() {
+  return PlanCache::instance().capacity();
+}
+
+void set_plan_cache_capacity(std::size_t capacity) {
+  PlanCache::instance().set_capacity(capacity);
+}
+
+std::size_t plan_cache_size() { return PlanCache::instance().size(); }
+
+void clear_plan_cache() { PlanCache::instance().clear(); }
 
 }  // namespace psdacc::dsp

@@ -8,16 +8,23 @@
 // (Welch segmentation, overlap-save blocks, PSD probes) performs no
 // allocations and no trigonometry after the first call.
 //
-// `plan_for(n)` returns a cached plan per size. The cache is thread-local:
-// concurrent `plan_for` calls from different threads are safe and each
-// thread gets its own plan instances (plans own mutable scratch, so a
-// single plan must not be driven from two threads at once). Objects that
-// hold plan pointers (`OverlapSave`, spectral estimators mid-call) are
-// therefore bound to the thread that created them; the `runtime::`
-// ThreadPool workloads respect this by giving every worker its own
-// analyzers and plans.
+// Internally every table and scratch buffer lives in split-complex (SoA)
+// layout — separate re/im arrays — so the butterfly stages and Bluestein
+// pointwise products run through the vectorized dsp::kernels entry points.
+// The public interface stays interleaved std::complex; the entry points
+// convert at the boundary (the real-input path packs straight into split
+// scratch and never interleaves an intermediate).
 //
-// The cache is *bounded*: at most `plan_cache_capacity()` plans per thread,
+// `PlanCache::instance()` (and the `plan_for(n)` convenience) returns a
+// cached plan per size. The cache is thread-local: concurrent lookups from
+// different threads are safe and each thread gets its own plan instances
+// (plans own mutable scratch, so a single plan must not be driven from two
+// threads at once). Objects that hold plan pointers (`OverlapSave`,
+// spectral estimators mid-call) are therefore bound to the thread that
+// created them; the `runtime::` ThreadPool workloads respect this by giving
+// every worker its own analyzers and plans.
+//
+// The cache is *bounded*: at most `PlanCache::capacity()` plans per thread,
 // least-recently-used evicted first, so a long-running server worker that
 // sweeps many transform sizes cannot grow the twiddle tables without bound.
 // Eviction is safe for live holders: plans are shared_ptr-owned and a plan
@@ -25,8 +32,8 @@
 // evicting an entry only drops the cache's reference — anything still using
 // the plan (an `OverlapSave`, a parent plan) keeps it alive. References
 // returned by `plan_for` are only guaranteed until the calling thread's
-// next `plan_for`/`plan_handle_for` call; holders that outlive that use
-// `plan_handle_for`.
+// next `plan_for`/`PlanCache::handle` call; holders that outlive that use
+// `PlanCache::handle`.
 #pragma once
 
 #include <cstddef>
@@ -58,48 +65,89 @@ class FftPlan {
   void rfft(std::span<const double> x, std::vector<cplx>& out) const;
 
  private:
-  void transform_pow2(cplx* a, int sign) const;
-  void forward_bluestein(std::vector<cplx>& data) const;
+  /// Core transform over caller-owned split-complex arrays of size().
+  void forward_split(double* re, double* im) const;
+  void transform_pow2_split(double* re, double* im, int sign) const;
+  void bluestein_split(double* re, double* im) const;
 
   std::size_t n_;
   // Radix-2 path (n_ a power of two).
   std::vector<std::size_t> bitrev_swaps_;  // (i, j) pairs with i < j
-  std::vector<cplx> twiddle_;  // forward twiddles, stages concatenated
+  // Forward twiddles, stages concatenated, split re/im.
+  std::vector<double> twiddle_re_;
+  std::vector<double> twiddle_im_;
   // Bluestein path (n_ not a power of two): convolution plan of size m.
   // Sub-plans are shared with the cache but co-owned, so cache eviction
   // can never dangle a live parent plan.
   std::shared_ptr<const FftPlan> conv_;
-  std::vector<cplx> chirp_;            // e^{-j pi i^2 / n}, n entries
-  std::vector<cplx> kernel_spectrum_;  // FFT_m of the chirp kernel
-  mutable std::vector<cplx> work_;     // size m scratch
+  std::vector<double> chirp_re_;   // e^{-j pi i^2 / n}, n entries
+  std::vector<double> chirp_im_;
+  std::vector<double> kernel_re_;  // FFT_m of the chirp kernel
+  std::vector<double> kernel_im_;
+  mutable std::vector<double> work_re_;  // size m scratch
+  mutable std::vector<double> work_im_;
+  // Split scratch of size n_ for the interleaved entry points.
+  mutable std::vector<double> split_re_;
+  mutable std::vector<double> split_im_;
   // Real-input path (n_ even): half-size plan + post-combine twiddles.
   std::shared_ptr<const FftPlan> half_;
-  std::vector<cplx> rfft_twiddle_;       // e^{-j 2 pi k / n}, k = 0..n/2
-  mutable std::vector<cplx> half_work_;  // size n/2 scratch
+  std::vector<double> rfft_tw_re_;      // e^{-j 2 pi k / n}, k = 0..n/2
+  std::vector<double> rfft_tw_im_;
+  mutable std::vector<double> half_re_;  // size n/2 scratch
+  mutable std::vector<double> half_im_;
 };
 
-/// Thread-local plan cache, keyed by transform size. Safe to call from any
-/// number of threads concurrently; each thread caches its own plans. The
-/// returned reference stays valid until this thread's next
-/// `plan_for`/`plan_handle_for` call (which may evict) or
-/// `clear_plan_cache`; use `plan_handle_for` to hold a plan longer.
+/// Facade over the calling thread's bounded LRU plan cache. All state is
+/// thread-local; `instance()` hands back the current thread's view, so the
+/// usual shape is `PlanCache::instance().handle(n)`. See the file comment
+/// for the eviction/lifetime contract.
+class PlanCache {
+ public:
+  /// The calling thread's cache.
+  static PlanCache& instance();
+
+  /// Cached plan with shared ownership: stays alive for the holder even
+  /// after eviction. The form every object that keeps a plan across calls
+  /// (OverlapSave, a server worker's warm set) uses.
+  std::shared_ptr<const FftPlan> handle(std::size_t n);
+
+  /// Cached plan by reference; valid until this thread's next cache
+  /// lookup (which may evict) or clear().
+  const FftPlan& get(std::size_t n);
+
+  /// Number of plans currently cached by this thread.
+  std::size_t size() const;
+
+  /// Per-thread plan count cap (default 64). Eviction is LRU and never
+  /// invalidates live holders. The cap is clamped to >= 1; setting it
+  /// below the current size evicts immediately.
+  std::size_t capacity() const;
+  void set_capacity(std::size_t capacity);
+
+  /// Drops this thread's cached plans. Plans checked out via handle()
+  /// survive; bare get()/plan_for references dangle (test hook).
+  void clear();
+
+ private:
+  PlanCache() = default;
+};
+
+/// Thread-local cached plan lookup, the common shorthand for
+/// `PlanCache::instance().get(n)`. The returned reference stays valid
+/// until this thread's next cache lookup; use `PlanCache::handle` to hold
+/// a plan longer.
 const FftPlan& plan_for(std::size_t n);
 
-/// As plan_for, but returns shared ownership: the plan stays alive for the
-/// holder even after the cache evicts it. The form every object that keeps
-/// a plan across calls (OverlapSave, a server worker's warm set) uses.
+/// Deprecated free-function spellings of the PlanCache facade.
+[[deprecated("use dsp::PlanCache::instance().handle()")]]
 std::shared_ptr<const FftPlan> plan_handle_for(std::size_t n);
-
-/// Per-thread plan-cache size cap (default 64 plans). Eviction is LRU and
-/// never invalidates live holders (see plan_handle_for). The cap is
-/// clamped to >= 1; setting it below the current size evicts immediately.
+[[deprecated("use dsp::PlanCache::instance().capacity()")]]
 std::size_t plan_cache_capacity();
+[[deprecated("use dsp::PlanCache::instance().set_capacity()")]]
 void set_plan_cache_capacity(std::size_t capacity);
-/// Number of plans currently cached by the calling thread.
+[[deprecated("use dsp::PlanCache::instance().size()")]]
 std::size_t plan_cache_size();
-
-/// Drops the calling thread's cached plans. Plans checked out via
-/// plan_handle_for survive; bare plan_for references dangle (test hook).
+[[deprecated("use dsp::PlanCache::instance().clear()")]]
 void clear_plan_cache();
 
 }  // namespace psdacc::dsp

@@ -1,0 +1,217 @@
+// Portable SIMD primitives for the dsp::kernels hot loops.
+//
+// Built on the GCC/Clang vector extensions, so the same source compiles to
+// SSE2, AVX, or NEON without intrinsics or a hard library dependency; any
+// other compiler (or -DPSDACC_SIMD=OFF, which defines PSDACC_SIMD_SCALAR)
+// gets kWidth == 1 and the kernels fall back to their scalar reference
+// implementations. The vector width in doubles is a configure-time choice
+// (PSDACC_SIMD_WIDTH, default 2 = 128-bit vectors, native for SSE2 and
+// NEON). Wider-than-native widths are legal but slow: GCC lowers e.g. a
+// 256-bit generic vector on an SSE2-only target through stack slots, so
+// pick the width that matches the target ISA (4 for AVX, 8 for AVX-512).
+//
+// Design rule inherited by every kernel built on this header: vectorize
+// across *independent outputs* (each lane accumulates its own result in the
+// same order the scalar code would), never across a single reduction. That
+// keeps every kernel bit-identical to its scalar reference — there is no
+// reassociated summation anywhere — so the SIMD and scalar builds agree to
+// the last bit and the golden corpus needs no SIMD-specific tolerances.
+// A horizontal sum is deliberately not provided.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+
+#if !defined(PSDACC_SIMD_SCALAR) && (defined(__GNUC__) || defined(__clang__))
+#define PSDACC_SIMD_ENABLED 1
+#ifndef PSDACC_SIMD_WIDTH
+#define PSDACC_SIMD_WIDTH 2
+#endif
+#else
+#define PSDACC_SIMD_ENABLED 0
+#endif
+
+namespace psdacc::dsp::simd {
+
+#if PSDACC_SIMD_ENABLED
+
+// Wider-than-native vectors (e.g. 256-bit on SSE2-only x86) are passed
+// between the inline helpers below by value, which GCC flags with -Wpsabi
+// (an ABI-compatibility note that is irrelevant here: every function
+// touching vector types is inline and every TU uses one configured width).
+// The build also passes -Wno-psabi; this pragma covers standalone header
+// compiles.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wpsabi"
+#endif
+
+inline constexpr std::size_t kWidth = PSDACC_SIMD_WIDTH;
+static_assert(kWidth == 2 || kWidth == 4 || kWidth == 8,
+              "PSDACC_SIMD_WIDTH must be 2, 4, or 8 doubles");
+
+using VDouble =
+    double __attribute__((vector_size(kWidth * sizeof(double))));
+using VInt =
+    long long __attribute__((vector_size(kWidth * sizeof(long long))));
+// Vector comparisons yield a VInt of all-ones (-1) / all-zeros lanes.
+using VMask = VInt;
+
+/// Unaligned load of kWidth doubles.
+inline VDouble load(const double* p) {
+  VDouble v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+/// Unaligned store of kWidth doubles.
+inline void store(double* p, VDouble v) { std::memcpy(p, &v, sizeof v); }
+
+/// All lanes set to x. Lane-by-lane fill rather than `VDouble{} + x`: GCC
+/// folds the loop to a plain broadcast, while the additive form keeps a
+/// real add (0.0 + x is not an identity under signed zeros).
+inline VDouble splat(double x) {
+  VDouble v;
+  for (std::size_t i = 0; i < kWidth; ++i) v[i] = x;
+  return v;
+}
+
+/// Bit-reinterpret between same-size vector types.
+template <typename To, typename From>
+inline To vec_bit_cast(From v) {
+  static_assert(sizeof(To) == sizeof(From));
+  To t;
+  std::memcpy(&t, &v, sizeof t);
+  return t;
+}
+
+/// Lane-wise select: m ? a : b (m lanes are all-ones or all-zeros). Pure
+/// bit arithmetic, so NaN payloads pass through untouched.
+inline VDouble select(VMask m, VDouble a, VDouble b) {
+  return vec_bit_cast<VDouble>((m & vec_bit_cast<VMask>(a)) |
+                               (~m & vec_bit_cast<VMask>(b)));
+}
+
+/// True iff every lane of the mask is set.
+inline bool all_of(VMask m) {
+  long long acc = -1;
+  for (std::size_t i = 0; i < kWidth; ++i) acc &= m[i];
+  return acc == -1;
+}
+
+/// Lane-wise |v| (clears the sign bit, so -0.0 and NaN payloads behave
+/// like std::fabs).
+inline VDouble abs(VDouble v) {
+  const VMask sign = VMask{} + (1LL << 63);
+  return vec_bit_cast<VDouble>(vec_bit_cast<VMask>(v) & ~sign);
+}
+
+/// Lane-wise min/max via the vector conditional operator (GCC 4.9+,
+/// Clang 10+), which lowers to the native min/max instructions. IEEE
+/// caveats as with minpd/maxpd: the result takes the second operand when
+/// the compare is false, so NaN lanes yield b and ±0.0 compare equal.
+/// The quantizer only uses these on lanes its domain guard proved finite.
+inline VDouble min(VDouble a, VDouble b) { return a < b ? a : b; }
+inline VDouble max(VDouble a, VDouble b) { return a > b ? a : b; }
+
+/// Domain bound for the all-double rounding tricks below: they are exact
+/// for |v| < 2^51 (callers guard the fast path and fall back to scalar
+/// std::floor beyond it, where every double is an integer anyway).
+inline constexpr double kExactFloorBound = 2251799813685248.0;  // 2^51
+
+/// Lane-wise round-to-nearest-even, the classic magic-number form: adding
+/// and subtracting 1.5*2^52 forces the fraction bits out of the
+/// significand (the extra 2^51 keeps v + c at or above 2^52 for negative
+/// v, where the spacing is still a full integer). Exact for |v| < 2^51;
+/// stays entirely in double lanes, which matters on SSE2-class targets
+/// where vector double<->int64 conversion has no instruction and
+/// __builtin_convertvector scalarizes.
+inline VDouble round_even_small(VDouble v) {
+  const VDouble c = splat(6755399441055744.0);  // 2^52 + 2^51
+  return (v + c) - c;
+}
+
+/// Lane-wise floor, matching std::floor bit-for-bit on its domain:
+/// exact only for |v| < kExactFloorBound (and finite).
+inline VDouble floor_small(VDouble v) {
+  const VDouble r = round_even_small(v);
+  // Where rounding went up, subtract exactly 1.
+  VDouble f = r - select(r > v, splat(1.0), VDouble{});
+  // The magic round turns -0.0 into +0.0, but std::floor(-0.0) is -0.0.
+  // A zero floor only comes from a ±0.0 input, so OR the input's sign bit
+  // back into zero-result lanes.
+  const VMask sign = VMask{} + (1LL << 63);
+  const VMask zero = f == VDouble{};
+  return vec_bit_cast<VDouble>(vec_bit_cast<VMask>(f) |
+                               (zero & sign & vec_bit_cast<VMask>(v)));
+}
+
+/// Splits two consecutive vectors of interleaved pairs [a0 b0 a1 b1 ...]
+/// into the even-index and odd-index lanes (deinterleave re/im of
+/// std::complex arrays).
+// Preprocessor dispatch (not if constexpr): the shuffle index lists are
+// width-specific literals, and a discarded constexpr branch still
+// type-checks a non-dependent too-long initializer.
+inline void deinterleave(VDouble lo, VDouble hi, VDouble& even,
+                         VDouble& odd) {
+#if defined(__clang__)
+#if PSDACC_SIMD_WIDTH == 2
+  even = __builtin_shufflevector(lo, hi, 0, 2);
+  odd = __builtin_shufflevector(lo, hi, 1, 3);
+#elif PSDACC_SIMD_WIDTH == 4
+  even = __builtin_shufflevector(lo, hi, 0, 2, 4, 6);
+  odd = __builtin_shufflevector(lo, hi, 1, 3, 5, 7);
+#else
+  even = __builtin_shufflevector(lo, hi, 0, 2, 4, 6, 8, 10, 12, 14);
+  odd = __builtin_shufflevector(lo, hi, 1, 3, 5, 7, 9, 11, 13, 15);
+#endif
+#else
+// Literal index vectors so GCC lowers to constant shuffles, not a
+// variable permute.
+#if PSDACC_SIMD_WIDTH == 2
+  even = __builtin_shuffle(lo, hi, VInt{0, 2});
+  odd = __builtin_shuffle(lo, hi, VInt{1, 3});
+#elif PSDACC_SIMD_WIDTH == 4
+  even = __builtin_shuffle(lo, hi, VInt{0, 2, 4, 6});
+  odd = __builtin_shuffle(lo, hi, VInt{1, 3, 5, 7});
+#else
+  even = __builtin_shuffle(lo, hi, VInt{0, 2, 4, 6, 8, 10, 12, 14});
+  odd = __builtin_shuffle(lo, hi, VInt{1, 3, 5, 7, 9, 11, 13, 15});
+#endif
+#endif
+}
+
+/// Inverse of deinterleave: merges even/odd lane vectors back into two
+/// consecutive vectors of interleaved pairs [e0 o0 e1 o1 ...].
+inline void interleave(VDouble even, VDouble odd, VDouble& lo, VDouble& hi) {
+#if defined(__clang__)
+#if PSDACC_SIMD_WIDTH == 2
+  lo = __builtin_shufflevector(even, odd, 0, 2);
+  hi = __builtin_shufflevector(even, odd, 1, 3);
+#elif PSDACC_SIMD_WIDTH == 4
+  lo = __builtin_shufflevector(even, odd, 0, 4, 1, 5);
+  hi = __builtin_shufflevector(even, odd, 2, 6, 3, 7);
+#else
+  lo = __builtin_shufflevector(even, odd, 0, 8, 1, 9, 2, 10, 3, 11);
+  hi = __builtin_shufflevector(even, odd, 4, 12, 5, 13, 6, 14, 7, 15);
+#endif
+#else
+#if PSDACC_SIMD_WIDTH == 2
+  lo = __builtin_shuffle(even, odd, VInt{0, 2});
+  hi = __builtin_shuffle(even, odd, VInt{1, 3});
+#elif PSDACC_SIMD_WIDTH == 4
+  lo = __builtin_shuffle(even, odd, VInt{0, 4, 1, 5});
+  hi = __builtin_shuffle(even, odd, VInt{2, 6, 3, 7});
+#else
+  lo = __builtin_shuffle(even, odd, VInt{0, 8, 1, 9, 2, 10, 3, 11});
+  hi = __builtin_shuffle(even, odd, VInt{4, 12, 5, 13, 6, 14, 7, 15});
+#endif
+#endif
+}
+
+#else  // !PSDACC_SIMD_ENABLED
+
+inline constexpr std::size_t kWidth = 1;
+
+#endif  // PSDACC_SIMD_ENABLED
+
+}  // namespace psdacc::dsp::simd

@@ -5,6 +5,7 @@
 
 #include "dsp/fft.hpp"
 #include "dsp/fft_plan.hpp"
+#include "dsp/kernels.hpp"
 #include "support/assert.hpp"
 
 namespace psdacc::dsp {
@@ -41,8 +42,7 @@ std::vector<double> periodogram(std::span<const double> x,
   for (std::size_t start = 0; start < x.size(); start += n_bins) {
     const std::size_t len = std::min(n_bins, x.size() - start);
     plan.rfft(x.subspan(start, len), spectrum);
-    for (std::size_t k = 0; k < n_bins; ++k)
-      psd[k] += std::norm(spectrum[k]) * scale;
+    kernels::window_accumulate(psd, spectrum, scale);
   }
   return psd;
 }
@@ -71,7 +71,7 @@ std::size_t welch_segments(std::span<const double> x,
   std::size_t count = 0;
   for (std::size_t start = 0; start + seg <= x.size(); start += hop) {
     if (same) {
-      for (std::size_t i = 0; i < seg; ++i) xw[i] = x[start + i] * w[i];
+      kernels::window_apply(x.subspan(start, seg), w, xw);
       plan.rfft(xw, xs);
       accumulate(xs, xs, wpow);
     } else {
@@ -112,8 +112,7 @@ std::vector<double> welch_psd(std::span<const double> x, std::size_t n_bins,
           double wpow) {
         const double scale = 1.0 / (static_cast<double>(seg) *
                                     static_cast<double>(n_bins) * wpow);
-        for (std::size_t k = 0; k < n_bins; ++k)
-          psd[k] += std::norm(xs[k]) * scale;
+        kernels::window_accumulate(psd, xs, scale);
       });
   PSDACC_ENSURES(count > 0);
   for (auto& v : psd) v /= static_cast<double>(count);

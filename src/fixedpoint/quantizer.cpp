@@ -1,6 +1,10 @@
 #include "fixedpoint/quantizer.hpp"
 
-#include "support/assert.hpp"
+// The span overload routes through dsp::kernels so the wavelet and
+// frequency-domain paths get the vectorized quantizer. This is a .cpp-only
+// dependency from fixedpoint up into dsp; the headers keep the usual
+// dsp-on-fixedpoint direction.
+#include "dsp/kernels.hpp"
 
 namespace psdacc::fxp {
 
@@ -12,7 +16,7 @@ std::vector<double> quantize(std::span<const double> values,
                              const FixedPointFormat& fmt) {
   const QuantizerKernel kernel(fmt);
   std::vector<double> out(values.size());
-  for (std::size_t i = 0; i < values.size(); ++i) out[i] = kernel(values[i]);
+  dsp::kernels::quantize_span(kernel, values, out);
   return out;
 }
 

@@ -69,6 +69,15 @@ class QuantizerKernel {
     return out;  // unreachable
   }
 
+  // Compiled parameters, exposed so dsp::kernels::quantize_span can run the
+  // same arithmetic lane-wise without rebuilding them per call.
+  double step() const { return step_; }
+  double inv_step() const { return inv_step_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  RoundingMode rounding() const { return rounding_; }
+  OverflowMode overflow() const { return overflow_; }
+
  private:
   double step_;
   double inv_step_;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <ostream>
-#include <sstream>
 
 namespace psdacc::sfg {
 namespace {
@@ -122,11 +121,5 @@ void to_dot(std::ostream& out, const Graph& g, std::string_view title,
 }
 
 }  // namespace dot
-
-std::string to_dot(const Graph& g, const std::string& title) {
-  std::ostringstream out;
-  dot::to_dot(out, g, title);
-  return out.str();
-}
 
 }  // namespace psdacc::sfg

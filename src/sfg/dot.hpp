@@ -32,7 +32,4 @@ void to_dot(std::ostream& out, const Graph& g,
 
 }  // namespace dot
 
-/// Whole-document convenience wrapper over dot::to_dot.
-std::string to_dot(const Graph& g, const std::string& title = "sfg");
-
 }  // namespace psdacc::sfg

@@ -3,88 +3,19 @@
 #include <algorithm>
 #include <variant>
 
+#include "dsp/kernels.hpp"
 #include "fixedpoint/quantizer.hpp"
 #include "support/assert.hpp"
 
+// The per-sample block kernels (whole-vector FIR, direct-form IIR, and the
+// quantized direct-form-I realization) used to be hand-rolled here; they
+// now live behind dsp::kernels, which supplies the SIMD implementations
+// with bit-identical scalar fallbacks. The feedforward/feedback
+// decomposition in dsp/kernels.cpp accumulates taps in exactly the order
+// the old one-pass loops did, so simulation outputs are unchanged to the
+// last bit.
+
 namespace psdacc::sim {
-namespace {
-
-// Whole-vector FIR: out[i] = sum_j b[j] x[i-j], zero initial state. Reads
-// straight from the input buffer instead of shifting a history register
-// file, so the dot product vectorizes.
-void run_fir(std::span<const double> b, std::span<const double> x,
-             std::vector<double>& out) {
-  const std::size_t len = x.size();
-  const std::size_t nb = b.size();
-  out.resize(len);
-  const std::size_t head = std::min(len, nb > 0 ? nb - 1 : 0);
-  for (std::size_t i = 0; i < head; ++i) {
-    double acc = 0.0;
-    for (std::size_t j = 0; j <= i; ++j) acc += b[j] * x[i - j];
-    out[i] = acc;
-  }
-  for (std::size_t i = head; i < len; ++i) {
-    double acc = 0.0;
-    for (std::size_t j = 0; j < nb; ++j) acc += b[j] * x[i - j];
-    out[i] = acc;
-  }
-}
-
-// Whole-vector direct-form IIR: out[i] = sum b[j] x[i-j] - sum a[j] out[i-1-j].
-// The warm-up region needs per-sample tap bounds; the steady state runs the
-// full tap counts with no bounds checks.
-void run_iir(std::span<const double> b, std::span<const double> a,
-             std::span<const double> x, std::vector<double>& out) {
-  const std::size_t len = x.size();
-  const std::size_t nb = b.size();
-  const std::size_t na = a.size();
-  out.resize(len);
-  const std::size_t warm = std::min(len, std::max(nb, na + 1));
-  for (std::size_t i = 0; i < warm; ++i) {
-    double acc = 0.0;
-    const std::size_t jb = std::min(nb, i + 1);
-    for (std::size_t j = 0; j < jb; ++j) acc += b[j] * x[i - j];
-    const std::size_t ja = std::min(na, i);
-    for (std::size_t j = 0; j < ja; ++j) acc -= a[j] * out[i - 1 - j];
-    out[i] = acc;
-  }
-  for (std::size_t i = warm; i < len; ++i) {
-    double acc = 0.0;
-    for (std::size_t j = 0; j < nb; ++j) acc += b[j] * x[i - j];
-    for (std::size_t j = 0; j < na; ++j) acc -= a[j] * out[i - 1 - j];
-    out[i] = acc;
-  }
-}
-
-// Fixed-point block: direct form I with the accumulator quantized to the
-// output format each sample; the feedback taps read the quantized outputs,
-// matching filt::FixedPointDirectForm with zero initial state.
-void run_quantized(std::span<const double> b, std::span<const double> a,
-                   const fxp::FixedPointFormat& fmt, std::span<const double> x,
-                   std::vector<double>& out) {
-  const fxp::QuantizerKernel quantize(fmt);
-  const std::size_t len = x.size();
-  const std::size_t nb = b.size();
-  const std::size_t na = a.size();
-  out.resize(len);
-  const std::size_t warm = std::min(len, std::max(nb, na + 1));
-  for (std::size_t i = 0; i < warm; ++i) {
-    double acc = 0.0;
-    const std::size_t jb = std::min(nb, i + 1);
-    for (std::size_t j = 0; j < jb; ++j) acc += b[j] * x[i - j];
-    const std::size_t ja = std::min(na, i);
-    for (std::size_t j = 0; j < ja; ++j) acc -= a[j] * out[i - 1 - j];
-    out[i] = quantize(acc);
-  }
-  for (std::size_t i = warm; i < len; ++i) {
-    double acc = 0.0;
-    for (std::size_t j = 0; j < nb; ++j) acc += b[j] * x[i - j];
-    for (std::size_t j = 0; j < na; ++j) acc -= a[j] * out[i - 1 - j];
-    out[i] = quantize(acc);
-  }
-}
-
-}  // namespace
 
 ExecutionPlan::ExecutionPlan(const sfg::Graph& g) : graph_(&g) {
   PSDACC_EXPECTS(!g.has_cycles());
@@ -143,11 +74,15 @@ void ExecutionPlan::run_node(sfg::NodeId id, Mode mode) {
       const BlockKernel& k = self.kernels_[id];
       const auto& x = in();
       if (mode == Mode::kFixedPoint && block.output_format.has_value()) {
-        run_quantized(k.b, k.a, *block.output_format, x, out);
+        // Direct form I with the accumulator quantized each sample and the
+        // feedback taps reading the quantized outputs, matching
+        // filt::FixedPointDirectForm with zero initial state.
+        const fxp::QuantizerKernel q(*block.output_format);
+        dsp::kernels::iir_df1_quantized(k.b, k.a, q, x, out);
       } else if (k.a.empty()) {
-        run_fir(k.b, x, out);
+        dsp::kernels::fir_apply(k.b, x, out);
       } else {
-        run_iir(k.b, k.a, x, out);
+        dsp::kernels::iir_df2(k.b, k.a, x, out);
       }
     }
     void operator()(const sfg::GainNode& gain) const {
@@ -189,7 +124,7 @@ void ExecutionPlan::run_node(sfg::NodeId id, Mode mode) {
       if (mode == Mode::kFixedPoint) {
         const fxp::QuantizerKernel quantize(q.format);
         out.resize(x.size());
-        for (std::size_t i = 0; i < x.size(); ++i) out[i] = quantize(x[i]);
+        dsp::kernels::quantize_span(quantize, x, out);
       } else {
         out.assign(x.begin(), x.end());
       }

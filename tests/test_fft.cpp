@@ -204,13 +204,17 @@ TEST(RealFft, IfftRealRoundTrip) {
 
 class PlanCacheTest : public ::testing::Test {
  protected:
+  static psdacc::dsp::PlanCache& cache() {
+    return psdacc::dsp::PlanCache::instance();
+  }
+
   void SetUp() override {
-    saved_capacity_ = psdacc::dsp::plan_cache_capacity();
-    psdacc::dsp::clear_plan_cache();
+    saved_capacity_ = cache().capacity();
+    cache().clear();
   }
   void TearDown() override {
-    psdacc::dsp::set_plan_cache_capacity(saved_capacity_);
-    psdacc::dsp::clear_plan_cache();
+    cache().set_capacity(saved_capacity_);
+    cache().clear();
   }
 
  private:
@@ -218,55 +222,55 @@ class PlanCacheTest : public ::testing::Test {
 };
 
 TEST_F(PlanCacheTest, CapacityClampsToAtLeastOne) {
-  psdacc::dsp::set_plan_cache_capacity(0);
-  EXPECT_EQ(psdacc::dsp::plan_cache_capacity(), 1u);
+  cache().set_capacity(0);
+  EXPECT_EQ(cache().capacity(), 1u);
   psdacc::dsp::plan_for(8);
-  EXPECT_LE(psdacc::dsp::plan_cache_size(), 1u);
+  EXPECT_LE(cache().size(), 1u);
 }
 
 TEST_F(PlanCacheTest, SizeStaysUnderCapAcrossManySizes) {
-  psdacc::dsp::set_plan_cache_capacity(4);
+  cache().set_capacity(4);
   // Mix of radix-2 and Bluestein sizes; the latter recursively insert
   // their convolution and rfft-half sub-plans, so this also exercises
   // eviction during construction.
   for (const std::size_t n :
        {8u, 16u, 5u, 100u, 31u, 64u, 7u, 128u, 48u, 1000u}) {
     psdacc::dsp::plan_for(n);
-    EXPECT_LE(psdacc::dsp::plan_cache_size(), 4u) << "after size " << n;
+    EXPECT_LE(cache().size(), 4u) << "after size " << n;
   }
 }
 
 TEST_F(PlanCacheTest, EvictsLeastRecentlyUsedFirst) {
-  psdacc::dsp::set_plan_cache_capacity(2);
-  const auto p1 = psdacc::dsp::plan_handle_for(1);
-  const auto p2 = psdacc::dsp::plan_handle_for(2);
-  psdacc::dsp::plan_handle_for(2);  // size 1 is now the LRU entry
+  cache().set_capacity(2);
+  const auto p1 = cache().handle(1);
+  const auto p2 = cache().handle(2);
+  cache().handle(2);  // size 1 is now the LRU entry
   // Size 4's constructor touches its half-plan (size 2) and the insert of
   // 4 overflows the cap, so the victim must be size 1.
-  psdacc::dsp::plan_handle_for(4);
-  EXPECT_EQ(psdacc::dsp::plan_handle_for(2).get(), p2.get())
+  cache().handle(4);
+  EXPECT_EQ(cache().handle(2).get(), p2.get())
       << "recently used plan was evicted";
-  EXPECT_NE(psdacc::dsp::plan_handle_for(1).get(), p1.get())
+  EXPECT_NE(cache().handle(1).get(), p1.get())
       << "LRU plan survived eviction";
 }
 
 TEST_F(PlanCacheTest, ShrinkingCapacityEvictsImmediately) {
-  psdacc::dsp::set_plan_cache_capacity(16);
+  cache().set_capacity(16);
   for (const std::size_t n : {8u, 16u, 32u, 64u}) psdacc::dsp::plan_for(n);
-  EXPECT_GE(psdacc::dsp::plan_cache_size(), 4u);
-  psdacc::dsp::set_plan_cache_capacity(2);
-  EXPECT_LE(psdacc::dsp::plan_cache_size(), 2u);
+  EXPECT_GE(cache().size(), 4u);
+  cache().set_capacity(2);
+  EXPECT_LE(cache().size(), 2u);
 }
 
 TEST_F(PlanCacheTest, EvictedHoldersStayValidAndCorrect) {
-  psdacc::dsp::set_plan_cache_capacity(1);
+  cache().set_capacity(1);
   // The handle co-owns the whole sub-plan chain (Bluestein convolution,
   // rfft halves), so a capacity-1 storm of other sizes must not invalidate
   // it.
-  const auto held = psdacc::dsp::plan_handle_for(24);
+  const auto held = cache().handle(24);
   for (const std::size_t n : {7u, 256u, 13u, 100u})
     psdacc::dsp::plan_for(n);
-  EXPECT_LE(psdacc::dsp::plan_cache_size(), 1u);
+  EXPECT_LE(cache().size(), 1u);
 
   Xoshiro256 rng(21);
   const auto x = psdacc::gaussian_signal(24, rng);
@@ -281,7 +285,7 @@ TEST_F(PlanCacheTest, EvictedHoldersStayValidAndCorrect) {
 }
 
 TEST_F(PlanCacheTest, ReRequestAfterEvictionIsCorrect) {
-  psdacc::dsp::set_plan_cache_capacity(1);
+  cache().set_capacity(1);
   psdacc::dsp::plan_for(48);
   psdacc::dsp::plan_for(512);  // evicts 48
   auto x = random_signal(48, 31);
@@ -290,5 +294,23 @@ TEST_F(PlanCacheTest, ReRequestAfterEvictionIsCorrect) {
   psdacc::dsp::plan_for(48).forward(x);  // rebuilt plan
   EXPECT_LT(max_abs_diff(x, reference), 1e-10);
 }
+
+// The deprecated free-function spellings must keep forwarding to the same
+// thread-local cache until they are removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST_F(PlanCacheTest, DeprecatedForwardersReachTheSameCache) {
+  psdacc::dsp::set_plan_cache_capacity(3);
+  EXPECT_EQ(cache().capacity(), 3u);
+  EXPECT_EQ(psdacc::dsp::plan_cache_capacity(), 3u);
+
+  const auto via_forwarder = psdacc::dsp::plan_handle_for(16);
+  EXPECT_EQ(via_forwarder.get(), cache().handle(16).get());
+  EXPECT_EQ(psdacc::dsp::plan_cache_size(), cache().size());
+
+  psdacc::dsp::clear_plan_cache();
+  EXPECT_EQ(cache().size(), 0u);
+}
+#pragma GCC diagnostic pop
 
 }  // namespace

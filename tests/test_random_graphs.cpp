@@ -9,6 +9,7 @@
 // serializer round-trip suite and the `psdacc-verify fuzz` differential
 // fuzzer draw from the same population.
 #include <cmath>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -26,6 +27,14 @@ namespace {
 using namespace psdacc;
 using sfg::Graph;
 using sfg::NodeId;
+
+// The DOT tests inspect the whole document, so render the streaming API
+// into a string.
+std::string render_dot(const Graph& g, std::string_view title = "sfg") {
+  std::ostringstream out;
+  sfg::dot::to_dot(out, g, title);
+  return out.str();
+}
 
 Graph random_graph(std::uint64_t seed, int depth) {
   return sfg::random_graph(seed, {.depth = depth});
@@ -94,7 +103,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphProperty,
 
 TEST(DotExport, ContainsEveryNodeAndEdge) {
   const auto g = random_graph(123, 4);
-  const auto dot = sfg::to_dot(g, "random");
+  const auto dot = render_dot(g, "random");
   EXPECT_NE(dot.find("digraph \"random\""), std::string::npos);
   for (sfg::NodeId id = 0; id < g.node_count(); ++id) {
     std::string needle = "n";
@@ -117,7 +126,7 @@ TEST(DotExport, QuantizersAreDoubleCircles) {
   sfg::Graph g;
   const auto in = g.add_input();
   g.add_output(g.add_quantizer(in, fxp::q_format(4, 8)));
-  const auto dot = sfg::to_dot(g);
+  const auto dot = render_dot(g);
   EXPECT_NE(dot.find("doublecircle"), std::string::npos);
 }
 
@@ -130,7 +139,7 @@ TEST(DotExport, EscapesNewlinesAndControlCharacters) {
   const auto in = g.add_input("line\nbreak");
   g.add_output(g.add_quantizer(in, fxp::q_format(4, 8), "ctrl\x01\x7fname"),
                "cr\rname");
-  const auto dot = sfg::to_dot(g, "title\nwith newline");
+  const auto dot = render_dot(g, "title\nwith newline");
 
   // No raw control characters anywhere in the emitted document (the
   // structural '\n' line ends are fine; check inside quotes only by
@@ -158,7 +167,7 @@ TEST(DotExport, HostileRandomNamesStayQuoted) {
   for (const std::uint64_t seed : {7u, 17u, 27u, 37u}) {
     const auto g = sfg::random_graph(seed,
                                      {.depth = 4, .hostile_names = true});
-    const auto dot = sfg::to_dot(g, "hostile");
+    const auto dot = render_dot(g, "hostile");
     bool in_quotes = false;
     for (std::size_t i = 0; i < dot.size(); ++i) {
       const char c = dot[i];

@@ -158,7 +158,7 @@ TEST(PlanCache, ConcurrentPlanForIsSafeAndCorrect) {
 TEST(PlanCache, ClearPlanCacheRebuildsPlans) {
   const auto* before = &dsp::plan_for(64);
   EXPECT_EQ(before, &dsp::plan_for(64));  // cached
-  dsp::clear_plan_cache();
+  dsp::PlanCache::instance().clear();
   const dsp::FftPlan& rebuilt = dsp::plan_for(64);
   std::vector<dsp::cplx> data(64, dsp::cplx(0.0, 0.0));
   data[0] = dsp::cplx(1.0, 0.0);
